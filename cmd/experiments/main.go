@@ -1,0 +1,129 @@
+// Command experiments regenerates every table and figure of the paper from
+// fresh simulations and writes the complete report (markdown) plus the raw
+// campaign database.
+//
+//	experiments -n 24 -seed 2018 -out EXPERIMENTS.md -db results.jsonl
+//	experiments -run table2 -n 50          (single artefact to stdout)
+//
+// The SERFI_FAULTS environment variable overrides -n when set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"serfi/internal/campaign"
+	"serfi/internal/exp"
+	"serfi/internal/npb"
+)
+
+func main() {
+	n := flag.Int("n", 24, "faults per scenario")
+	seed := flag.Int64("seed", 2018, "base seed")
+	out := flag.String("out", "", "write the full markdown report here (default stdout)")
+	db := flag.String("db", "", "also write the raw campaign database (JSON lines)")
+	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|fig1|fig2|fig3|macro|vulnwindow|mine")
+	flag.Parse()
+	if env := os.Getenv("SERFI_FAULTS"); env != "" {
+		if v, err := strconv.Atoi(env); err == nil {
+			*n = v
+		}
+	}
+
+	cfg := exp.Config{Faults: *n, Seed: *seed, Progress: os.Stderr}
+
+	if *run == "fig1" {
+		fmt.Print(exp.Figure1())
+		return
+	}
+
+	// Single-table runs use the smallest sufficient scenario subset.
+	subset := map[string]func(npb.Scenario) bool{
+		"table2": func(sc npb.Scenario) bool {
+			return sc.App == "IS" && sc.Mode != npb.Serial
+		},
+		"table3": func(sc npb.Scenario) bool {
+			return sc.ISA == "armv7" && sc.Mode == npb.MPI && (sc.App == "MG" || sc.App == "IS")
+		},
+		"table4": func(sc npb.Scenario) bool {
+			return sc.ISA == "armv8" && ((sc.Mode == npb.OMP && (sc.App == "LU" || sc.App == "SP")) ||
+				(sc.Mode == npb.MPI && sc.App == "FT"))
+		},
+		"fig2": func(sc npb.Scenario) bool { return sc.ISA == "armv7" },
+		"fig3": func(sc npb.Scenario) bool { return sc.ISA == "armv8" },
+	}
+	if keep, ok := subset[*run]; ok {
+		m, err := exp.RunSubset(cfg, keep)
+		if err != nil {
+			fatal(err)
+		}
+		switch *run {
+		case "table2":
+			fmt.Print(exp.Table2(m))
+		case "table3":
+			fmt.Print(exp.Table3(m))
+		case "table4":
+			fmt.Print(exp.Table4(m))
+		case "fig2":
+			fmt.Print(exp.Figure2(m))
+		case "fig3":
+			fmt.Print(exp.Figure3(m))
+		}
+		return
+	}
+
+	start := time.Now()
+	m, err := exp.RunMatrix(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	switch *run {
+	case "table1":
+		fmt.Print(exp.Table1(m))
+		return
+	case "macro":
+		fmt.Print(exp.MacroStats(m))
+		return
+	case "vulnwindow":
+		fmt.Print(exp.VulnWindow(m))
+		return
+	case "mine":
+		fmt.Print(exp.MineReport(m))
+		return
+	case "all":
+	default:
+		fatal(fmt.Errorf("unknown artefact %q", *run))
+	}
+
+	report := exp.Report(m, time.Since(start))
+	if *out == "" {
+		fmt.Print(report)
+	} else if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		fatal(err)
+	}
+	if *db != "" {
+		var results []*campaign.Result
+		for _, sc := range m.Order {
+			if r := m.Results[sc.ID()]; r != nil {
+				results = append(results, r)
+			}
+		}
+		if err := campaign.SaveDB(*db, results); err != nil {
+			fatal(err)
+		}
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios, %d faults each) in %v\n",
+			*out, len(m.Order), *n, time.Since(start).Round(time.Second))
+	}
+	_ = strings.TrimSpace
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

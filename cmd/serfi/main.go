@@ -1,0 +1,243 @@
+// Command serfi is the umbrella CLI of the soft-error reliability framework:
+//
+//	serfi scenarios                        list the 130 fault-injection scenarios
+//	serfi golden   -s armv7/IS/MPI-4       faultless run + gem5-style stats dump
+//	serfi inject   -s ... -n 100 -seed 7   one scenario campaign, print outcomes
+//	serfi campaign -n 100 -db results.json all scenarios, write the database
+//	serfi profile  -s ...                  golden flat profile (calls/samples)
+//	serfi disasm   -s ... -f main          disassemble a guest function
+//	serfi trends                           print the Figure 1 dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"serfi/internal/campaign"
+	"serfi/internal/cc"
+	"serfi/internal/exp"
+	"serfi/internal/fi"
+	"serfi/internal/isa"
+	"serfi/internal/mach"
+	"serfi/internal/npb"
+	"serfi/internal/profile"
+	"serfi/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "scenarios":
+		err = cmdScenarios(args)
+	case "golden":
+		err = cmdGolden(args)
+	case "inject":
+		err = cmdInject(args)
+	case "campaign":
+		err = cmdCampaign(args)
+	case "profile":
+		err = cmdProfile(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "trends":
+		fmt.Print(exp.Figure1())
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serfi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: serfi {scenarios|golden|inject|campaign|profile|disasm|trends} [flags]")
+}
+
+// parseScenario accepts "armv7/IS/MPI-4".
+func parseScenario(s string) (npb.Scenario, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return npb.Scenario{}, fmt.Errorf("scenario %q: want isa/APP/MODE-cores", s)
+	}
+	mc := strings.Split(parts[2], "-")
+	if len(mc) != 2 {
+		return npb.Scenario{}, fmt.Errorf("scenario %q: want MODE-cores", s)
+	}
+	cores, err := strconv.Atoi(mc[1])
+	if err != nil {
+		return npb.Scenario{}, err
+	}
+	var mode npb.Mode
+	switch mc[0] {
+	case "SER":
+		mode = npb.Serial
+	case "OMP":
+		mode = npb.OMP
+	case "MPI":
+		mode = npb.MPI
+	default:
+		return npb.Scenario{}, fmt.Errorf("unknown mode %q", mc[0])
+	}
+	return npb.Scenario{App: parts[1], Mode: mode, ISA: parts[0], Cores: cores}, nil
+}
+
+func cmdScenarios(args []string) error {
+	for _, sc := range npb.Scenarios() {
+		fmt.Println(sc.ID())
+	}
+	return nil
+}
+
+func cmdGolden(args []string) error {
+	fs := flag.NewFlagSet("golden", flag.ExitOnError)
+	scid := fs.String("s", "armv8/IS/SER-1", "scenario id")
+	fs.Parse(args)
+	sc, err := parseScenario(*scid)
+	if err != nil {
+		return err
+	}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		return err
+	}
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario        %s\n", sc.ID())
+	fmt.Printf("lifespan        [%d, %d] retired instructions\n", g.AppStart, g.AppEnd)
+	fmt.Printf("total retired   %d\n", g.Retired)
+	fmt.Printf("machine cycles  %d\n", g.Cycles)
+	fmt.Printf("console:\n%s\n", g.Console)
+	stats.Dump(os.Stdout, stats.Collect(g.Machine))
+	return nil
+}
+
+func cmdInject(args []string) error {
+	fs := flag.NewFlagSet("inject", flag.ExitOnError)
+	scid := fs.String("s", "armv8/IS/SER-1", "scenario id")
+	n := fs.Int("n", 50, "faults")
+	seed := fs.Int64("seed", 1, "fault-list seed")
+	verbose := fs.Bool("v", false, "print each run")
+	fs.Parse(args)
+	sc, err := parseScenario(*scid)
+	if err != nil {
+		return err
+	}
+	r, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: *n, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for _, run := range r.Runs {
+			fmt.Printf("%-32s -> %s\n", run.Fault, run.Outcome)
+		}
+	}
+	fmt.Printf("%s faults=%d %s masking=%.1f%%\n", sc.ID(), r.Faults, r.Counts, 100*r.Counts.Masking())
+	return nil
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	n := fs.Int("n", 50, "faults per scenario")
+	seed := fs.Int64("seed", 2018, "base seed")
+	db := fs.String("db", "results.jsonl", "output database path")
+	only := fs.String("only", "", "substring filter on scenario ids")
+	fs.Parse(args)
+	var scs []npb.Scenario
+	for _, sc := range npb.Scenarios() {
+		if *only == "" || strings.Contains(sc.ID(), *only) {
+			scs = append(scs, sc)
+		}
+	}
+	results, err := campaign.RunAll(scs, *n, *seed, func(r *campaign.Result) {
+		fmt.Printf("%-20s %s\n", r.Scenario.ID(), r.Counts)
+	})
+	if err != nil {
+		return err
+	}
+	if err := campaign.SaveDB(*db, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d scenario records to %s\n", len(results), *db)
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	scid := fs.String("s", "armv8/IS/SER-1", "scenario id")
+	top := fs.Int("top", 20, "functions to print")
+	fs.Parse(args)
+	sc, err := parseScenario(*scid)
+	if err != nil {
+		return err
+	}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		return err
+	}
+	cfg.Profile = true
+	cfg.SamplePeriod = 97
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		return err
+	}
+	p := profile.Build(img, g.Machine)
+	fmt.Printf("%-28s %12s %12s %8s\n", "function", "samples", "calls", "time%")
+	for i, fn := range p.Funcs {
+		if i >= *top {
+			break
+		}
+		share := 0.0
+		if p.TotalSamples > 0 {
+			share = 100 * float64(fn.Samples) / float64(p.TotalSamples)
+		}
+		fmt.Printf("%-28s %12d %12d %7.2f%%\n", fn.Name, fn.Samples, fn.Calls, share)
+	}
+	fmt.Printf("parallelization-API window: %.2f%%\n", 100*p.SampleShare(profile.RuntimePrefixes...))
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	scid := fs.String("s", "armv8/IS/SER-1", "scenario id")
+	fn := fs.String("f", "main", "function symbol")
+	fs.Parse(args)
+	sc, err := parseScenario(*scid)
+	if err != nil {
+		return err
+	}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		return err
+	}
+	sym, ok := img.Symbols[*fn]
+	if !ok {
+		return fmt.Errorf("no symbol %q", *fn)
+	}
+	// Install into a scratch machine to read the encoded words back.
+	m := mustMachine(cfg, img)
+	for pc := sym.Addr; pc < sym.Addr+sym.Size; pc += 4 {
+		w := m.Mem.ReadU32(pc)
+		ins := cfg.ISA.Decode(w)
+		fmt.Printf("%08x: %08x  %s\n", pc, w, isa.Disasm(cfg.ISA.Feat(), ins))
+	}
+	return nil
+}
+
+// mustMachine builds and installs a machine for inspection commands.
+func mustMachine(cfg mach.Config, img *cc.Image) *mach.Machine {
+	m := mach.New(cfg)
+	img.InstallTo(m)
+	return m
+}

@@ -1,0 +1,53 @@
+// Quickstart: run one golden execution and a small fault-injection campaign
+// on the integer-sort benchmark, then print the outcome distribution — the
+// smallest end-to-end tour of the public workflow.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serfi/internal/campaign"
+	"serfi/internal/fi"
+	"serfi/internal/npb"
+)
+
+func main() {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+
+	// Phase 1+2+3+4 in one call: golden reference, seeded fault list,
+	// parallel injection runs, classified report.
+	res, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: 40, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scenario            %s\n", sc.ID())
+	fmt.Printf("application window  [%d, %d] committed instructions\n",
+		res.Golden.AppStart, res.Golden.AppEnd)
+	fmt.Printf("golden instructions %d (%.2fs host)\n", res.Golden.Retired, res.GoldenWallSec)
+	fmt.Printf("branch share        %.1f%%   memory share %.1f%%\n",
+		res.Features.BranchPct, res.Features.MemInstrPct)
+	fmt.Println()
+	fmt.Printf("injected %d single-bit upsets into the register file:\n", res.Faults)
+	for o := fi.Outcome(0); o < fi.NumOutcomes; o++ {
+		fmt.Printf("  %-9s %3d  (%.1f%%)\n", o, res.Counts[o], 100*res.Counts.Rate(o))
+	}
+	fmt.Printf("masking rate: %.1f%%\n", 100*res.Counts.Masking())
+
+	// Every run is replayable: the first fault again, same outcome.
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := res.Runs[0].Fault
+	again := fi.Inject(img, cfg, g, f)
+	fmt.Printf("\nreplay %s -> %s (first campaign run said %s)\n",
+		f, again.Outcome, res.Runs[0].Outcome)
+}

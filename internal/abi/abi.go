@@ -1,0 +1,42 @@
+// Package abi fixes the guest ABI shared by the kernel (internal/kos), the
+// guest libraries (internal/glib) and host-side tooling: syscall numbers,
+// thread limits and process exit conventions.
+package abi
+
+// Syscall numbers. The syscall number travels in r12 (armv7) / x8 (armv8);
+// arguments in r0-r2; the result returns in r0.
+const (
+	SysExit         = 1  // exit(code): terminate the application
+	SysPutc         = 2  // putc(ch): write one byte to the console
+	SysSbrk         = 3  // sbrk(n) -> old break, or 0 when exhausted
+	SysThreadCreate = 4  // thread_create(entry, arg) -> tid, or -1
+	SysThreadExit   = 5  // thread_exit(): terminate calling thread
+	SysThreadJoin   = 6  // thread_join(tid) -> 0 (blocks until zombie)
+	SysFutexWait    = 7  // futex_wait(addr, val) -> 0 woken / 1 value changed
+	SysFutexWake    = 8  // futex_wake(addr, n) -> number woken
+	SysYield        = 9  // yield()
+	SysGetTID       = 10 // gettid() -> tid
+)
+
+// MaxThreads bounds the kernel thread table (the paper's scenarios need at
+// most 1 main + 4 ranks/workers plus slack).
+const MaxThreads = 16
+
+// Exit conventions: a faulting application terminates with 128+signal, the
+// signal also being reported through the app-exit beacon.
+const (
+	SigSegv = 11
+	SigIll  = 4
+	// SigKernel marks a kernel-mode fault (guest kernel panic).
+	SigKernel = 9
+)
+
+// Thread states in the kernel TCB table.
+const (
+	ThFree        = 0
+	ThReady       = 1
+	ThRunning     = 2
+	ThBlockedFtx  = 3
+	ThBlockedJoin = 4
+	ThZombie      = 5
+)

@@ -1,0 +1,282 @@
+// Package cache models the two-level cache hierarchy of the simulated
+// processors: private L1 instruction and data caches per core and a shared
+// unified L2, with an invalidation-based coherence directory.
+//
+// The model is timing-and-statistics only: architectural data always flows
+// through flat RAM (package mem), so cache state can never corrupt
+// simulation results. This mirrors how the study uses gem5's cache model —
+// to shape execution time and to produce the microarchitectural statistics
+// mined in the paper's cross-layer analysis (memory transaction rates,
+// hit/miss ratios), not as a fault target.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name      string
+	SizeBytes uint32
+	LineBytes uint32
+	Ways      uint32
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() uint32 { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Validate checks the geometry for power-of-two consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes == 0 || c.LineBytes == 0 || c.Ways == 0 {
+		return fmt.Errorf("cache %s: zero geometry", c.Name)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	sets := c.Sets()
+	if sets == 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Stats counts accesses for one cache.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Writeback uint64
+}
+
+// Accesses returns hits+misses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns the miss ratio in [0,1], 0 when never accessed.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+// Cache is a single set-associative write-back cache.
+type Cache struct {
+	cfg      Config
+	lines    []line // sets*ways, row-major by set
+	setShift uint32
+	setMask  uint32
+	tick     uint64
+	Stats    Stats
+}
+
+// New builds a cache; it panics on invalid geometry (configuration is fixed
+// by the processor model).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg}
+	c.lines = make([]line, cfg.Sets()*cfg.Ways)
+	shift := uint32(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	c.setShift = shift
+	c.setMask = cfg.Sets() - 1
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up addr, allocating on miss (write-allocate). It returns
+// true on hit. evictedTag receives the replaced line's address when a dirty
+// line was evicted (for write-back accounting); it is -1 otherwise.
+func (c *Cache) Access(addr uint32, write bool) (hit bool, evicted int64) {
+	c.tick++
+	lineAddr := addr >> c.setShift
+	set := lineAddr & c.setMask
+	tag := lineAddr >> 0 // full line address as tag (set bits redundant but harmless)
+	base := set * c.cfg.Ways
+	ways := c.lines[base : base+c.cfg.Ways]
+	victim := 0
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			c.Stats.Hits++
+			return true, -1
+		}
+		if !ways[i].valid {
+			victim = i
+		} else if ways[victim].valid && ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	c.Stats.Misses++
+	evicted = -1
+	if ways[victim].valid {
+		c.Stats.Evictions++
+		if ways[victim].dirty {
+			c.Stats.Writeback++
+			evicted = int64(ways[victim].tag) << c.setShift
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return false, evicted
+}
+
+// Invalidate drops the line containing addr if present, returning whether it
+// was present (and dirty).
+func (c *Cache) Invalidate(addr uint32) (present, dirty bool) {
+	lineAddr := addr >> c.setShift
+	set := lineAddr & c.setMask
+	base := set * c.cfg.Ways
+	ways := c.lines[base : base+c.cfg.Ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == lineAddr {
+			present, dirty = true, ways[i].dirty
+			ways[i] = line{}
+			return
+		}
+	}
+	return false, false
+}
+
+// Contains reports whether addr's line is resident (test helper).
+func (c *Cache) Contains(addr uint32) bool {
+	lineAddr := addr >> c.setShift
+	set := lineAddr & c.setMask
+	base := set * c.cfg.Ways
+	for _, l := range c.lines[base : base+c.cfg.Ways] {
+		if l.valid && l.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// HierConfig describes a full hierarchy. Latencies are the *additional*
+// cycles paid at each level on the way to a hit there; an L1 hit costs
+// L1Lat, an L2 hit L1Lat+L2Lat, a RAM access L1Lat+L2Lat+MemLat.
+type HierConfig struct {
+	L1I, L1D, L2          Config
+	L1Lat, L2Lat, MemLat  uint32
+	CoherencePenalty      uint32 // extra cycles when a store invalidates a peer line
+	LineBytes             uint32 // convenience copy of the L1 line size
+	DirectoryGranularBits uint32 // log2 line size used by the directory
+}
+
+// DefaultConfig returns the paper's cache configuration (§3.1): L1I 32kB
+// 4-way, L1D 32kB 4-way, L2 512kB 8-way, 64-byte lines.
+func DefaultConfig() HierConfig {
+	return HierConfig{
+		L1I:              Config{Name: "l1i", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4},
+		L1D:              Config{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4},
+		L2:               Config{Name: "l2", SizeBytes: 512 << 10, LineBytes: 64, Ways: 8},
+		L1Lat:            1,
+		L2Lat:            10,
+		MemLat:           60,
+		CoherencePenalty: 20,
+		LineBytes:        64,
+	}
+}
+
+// Hierarchy is the per-machine cache system.
+type Hierarchy struct {
+	cfg       HierConfig
+	l1i       []*Cache
+	l1d       []*Cache
+	l2        *Cache
+	dir       []uint8 // line index -> bitmask of cores with the line in L1D
+	lineShift uint32
+	// Invalidations counts coherence invalidations of peer L1D lines.
+	Invalidations uint64
+}
+
+// NewHierarchy builds caches for the given core count over ramSize bytes.
+func NewHierarchy(cfg HierConfig, cores int, ramSize uint32) *Hierarchy {
+	h := &Hierarchy{cfg: cfg, l2: New(cfg.L2)}
+	shift := uint32(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	h.lineShift = shift
+	h.dir = make([]uint8, ramSize>>shift)
+	for i := 0; i < cores; i++ {
+		ci, cd := cfg.L1I, cfg.L1D
+		ci.Name = fmt.Sprintf("l1i%d", i)
+		cd.Name = fmt.Sprintf("l1d%d", i)
+		h.l1i = append(h.l1i, New(ci))
+		h.l1d = append(h.l1d, New(cd))
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// L1IStats, L1DStats and L2Stats expose per-cache counters.
+func (h *Hierarchy) L1IStats(core int) Stats { return h.l1i[core].Stats }
+
+// L1DStats returns the data-cache counters of one core.
+func (h *Hierarchy) L1DStats(core int) Stats { return h.l1d[core].Stats }
+
+// L2Stats returns the shared L2 counters.
+func (h *Hierarchy) L2Stats() Stats { return h.l2.Stats }
+
+// Fetch models an instruction fetch by core at addr, returning the latency
+// in cycles.
+func (h *Hierarchy) Fetch(core int, addr uint32) uint32 {
+	if hit, _ := h.l1i[core].Access(addr, false); hit {
+		return h.cfg.L1Lat
+	}
+	if hit, _ := h.l2.Access(addr, false); hit {
+		return h.cfg.L1Lat + h.cfg.L2Lat
+	}
+	return h.cfg.L1Lat + h.cfg.L2Lat + h.cfg.MemLat
+}
+
+// Data models a data access by core at addr, returning latency in cycles.
+// Stores invalidate the line in peer L1Ds (MESI-like write-invalidate).
+func (h *Hierarchy) Data(core int, addr uint32, write bool) uint32 {
+	lat := h.cfg.L1Lat
+	hit, _ := h.l1d[core].Access(addr, write)
+	if !hit {
+		if h2, _ := h.l2.Access(addr, write); !h2 {
+			lat += h.cfg.L2Lat + h.cfg.MemLat
+		} else {
+			lat += h.cfg.L2Lat
+		}
+	}
+	idx := addr >> h.lineShift
+	if int(idx) >= len(h.dir) {
+		return lat // MMIO or out-of-RAM address: uncached timing only
+	}
+	mask := h.dir[idx]
+	self := uint8(1) << uint(core)
+	if write {
+		if peers := mask &^ self; peers != 0 {
+			for c := 0; peers != 0; c++ {
+				if peers&1 != 0 {
+					if p, _ := h.l1d[c].Invalidate(addr); p {
+						h.Invalidations++
+					}
+				}
+				peers >>= 1
+			}
+			lat += h.cfg.CoherencePenalty
+		}
+		h.dir[idx] = self
+	} else {
+		h.dir[idx] = mask | self
+	}
+	return lat
+}

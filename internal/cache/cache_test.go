@@ -1,0 +1,151 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallCfg() Config {
+	return Config{Name: "t", SizeBytes: 1 << 10, LineBytes: 64, Ways: 2} // 8 sets
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{Name: "b", SizeBytes: 1000, LineBytes: 48, Ways: 3}
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two geometry must be rejected")
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(smallCfg())
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Error("cold access must miss")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Error("second access must hit")
+	}
+	if hit, _ := c.Access(0x103f, false); !hit {
+		t.Error("same-line access must hit")
+	}
+	if hit, _ := c.Access(0x1040, false); hit {
+		t.Error("next-line access must miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(smallCfg()) // 2 ways, 8 sets, 64B lines: set stride = 512B
+	a, b, d := uint32(0x0000), uint32(0x0200), uint32(0x0400)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recent
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Contains(a) {
+		t.Error("a should survive")
+	}
+	if c.Contains(b) {
+		t.Error("b should be evicted")
+	}
+	if !c.Contains(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := New(smallCfg())
+	c.Access(0x0000, true) // dirty
+	c.Access(0x0200, false)
+	_, ev := c.Access(0x0400, false) // evicts dirty 0x0000
+	if ev != 0 {
+		t.Errorf("evicted line addr = %#x, want 0x0", ev)
+	}
+	if c.Stats.Writeback != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats.Writeback)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(smallCfg())
+	c.Access(0x1000, true)
+	p, d := c.Invalidate(0x1000)
+	if !p || !d {
+		t.Errorf("invalidate = (%v,%v), want dirty hit", p, d)
+	}
+	if c.Contains(0x1000) {
+		t.Error("line still resident after invalidate")
+	}
+}
+
+// TestStatsInvariant: hits+misses equals accesses; eviction count never
+// exceeds misses.
+func TestStatsInvariant(t *testing.T) {
+	c := New(smallCfg())
+	r := rand.New(rand.NewSource(5))
+	n := 10000
+	for i := 0; i < n; i++ {
+		c.Access(uint32(r.Intn(1<<14)), r.Intn(2) == 0)
+	}
+	if got := c.Stats.Accesses(); got != uint64(n) {
+		t.Errorf("accesses = %d, want %d", got, n)
+	}
+	if c.Stats.Evictions > c.Stats.Misses {
+		t.Error("evictions exceed misses")
+	}
+	if mr := c.Stats.MissRate(); mr <= 0 || mr >= 1 {
+		t.Errorf("miss rate %v out of (0,1)", mr)
+	}
+}
+
+func TestHierarchyCoherenceInvalidation(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg, 2, 1<<20)
+	addr := uint32(0x4000)
+	h.Data(0, addr, false) // core 0 caches the line
+	h.Data(1, addr, false) // core 1 too
+	lat := h.Data(1, addr, true)
+	if h.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", h.Invalidations)
+	}
+	if lat < cfg.CoherencePenalty {
+		t.Errorf("store latency %d missing coherence penalty", lat)
+	}
+	// Core 0 must now miss.
+	lat0 := h.Data(0, addr, false)
+	if lat0 <= cfg.L1Lat {
+		t.Errorf("core 0 latency %d suggests a stale hit", lat0)
+	}
+}
+
+func TestHierarchyFetchLatencies(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg, 1, 1<<20)
+	cold := h.Fetch(0, 0x100)
+	warm := h.Fetch(0, 0x100)
+	if cold != cfg.L1Lat+cfg.L2Lat+cfg.MemLat {
+		t.Errorf("cold fetch = %d", cold)
+	}
+	if warm != cfg.L1Lat {
+		t.Errorf("warm fetch = %d", warm)
+	}
+}
+
+func TestHierarchyMMIOAddressesSkipDirectory(t *testing.T) {
+	h := NewHierarchy(DefaultConfig(), 1, 1<<20)
+	// Address beyond RAM (device window) must not panic.
+	_ = h.Data(0, 0xf0000000, true)
+}
+
+func TestPaperGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1I.SizeBytes != 32<<10 || cfg.L1I.Ways != 4 {
+		t.Error("L1I must be 32kB 4-way (paper §3.1)")
+	}
+	if cfg.L1D.SizeBytes != 32<<10 || cfg.L1D.Ways != 4 {
+		t.Error("L1D must be 32kB 4-way (paper §3.1)")
+	}
+	if cfg.L2.SizeBytes != 512<<10 || cfg.L2.Ways != 8 {
+		t.Error("L2 must be 512kB 8-way (paper §3.1)")
+	}
+}

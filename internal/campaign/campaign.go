@@ -1,0 +1,201 @@
+// Package campaign drives fault-injection campaigns over NPB scenarios: the
+// distributed/parallel phase-3 execution of the paper (§3.2.4), with faults
+// batched into jobs that run on a host worker pool (standing in for the
+// 5000-core HPC cluster), and phase-4 report assembly into a results
+// database.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"serfi/internal/fi"
+	"serfi/internal/npb"
+	"serfi/internal/profile"
+)
+
+// Spec describes one scenario campaign.
+type Spec struct {
+	Scenario npb.Scenario
+	Faults   int
+	Seed     int64
+	// JobSize groups faults into jobs (the paper batches simulations per
+	// HPC job to amortize scheduling); 0 picks a sensible default.
+	JobSize int
+	// Workers bounds parallel jobs; 0 = GOMAXPROCS.
+	Workers int
+	// SamplePeriod for the golden profiling run.
+	SamplePeriod uint64
+}
+
+// Result is the scenario-level record: outcome distribution + golden
+// profile features, i.e. one row of the paper's cross-layer database.
+type Result struct {
+	Scenario npb.Scenario
+	Faults   int
+	Counts   fi.Counts
+	Golden   GoldenSummary
+	Features profile.Features
+	APICalls uint64 // calls into the parallelization runtime
+	Runs     []fi.Result
+	// Host wall-clock costs (the paper's Table 1 simulation-time axis).
+	GoldenWallSec   float64
+	CampaignWallSec float64
+}
+
+// GoldenSummary carries the reference-run headline numbers.
+type GoldenSummary struct {
+	AppStart uint64
+	AppEnd   uint64
+	Retired  uint64
+	Cycles   uint64
+}
+
+// Run executes all four workflow phases for one scenario.
+func Run(spec Spec) (*Result, error) {
+	img, cfg, err := npb.BuildScenario(spec.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 1: golden execution, with profiling enabled.
+	gcfg := cfg
+	gcfg.Profile = true
+	gcfg.SamplePeriod = spec.SamplePeriod
+	if gcfg.SamplePeriod == 0 {
+		gcfg.SamplePeriod = 97
+	}
+	t0 := time.Now()
+	g, err := fi.RunGolden(img, gcfg, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Scenario.ID(), err)
+	}
+	goldenWall := time.Since(t0).Seconds()
+	feat := cfg.ISA.Feat()
+
+	// Phase 2: fault list.
+	faults := fi.FaultList(spec.Seed, spec.Faults, g, feat, cfg.Cores)
+
+	// Phase 3: batched parallel injection runs.
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobSize := spec.JobSize
+	if jobSize <= 0 {
+		jobSize = 8
+	}
+	type job struct{ lo, hi int }
+	jobs := make(chan job)
+	results := make([]fi.Result, len(faults))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				for i := j.lo; i < j.hi; i++ {
+					results[i] = fi.Inject(img, cfg, g, faults[i])
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < len(faults); lo += jobSize {
+		hi := lo + jobSize
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		jobs <- job{lo, hi}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Phase 4: assemble the report.
+	res := &Result{
+		GoldenWallSec:   goldenWall,
+		CampaignWallSec: time.Since(t0).Seconds(),
+		Scenario:        spec.Scenario,
+		Faults:          spec.Faults,
+		Golden: GoldenSummary{
+			AppStart: g.AppStart,
+			AppEnd:   g.AppEnd,
+			Retired:  g.Retired,
+			Cycles:   g.Cycles,
+		},
+		Features: profile.Extract(img, g.Machine),
+		Runs:     results,
+	}
+	p := profile.Build(img, g.Machine)
+	res.APICalls = p.CallsTo(profile.RuntimePrefixes...)
+	for _, r := range results {
+		res.Counts.Add(r.Outcome)
+	}
+	return res, nil
+}
+
+// RunAll executes campaigns for several scenarios sequentially (each one
+// already saturates the worker pool internally).
+func RunAll(scs []npb.Scenario, faults int, seed int64, progress func(*Result)) ([]*Result, error) {
+	var out []*Result
+	for i, sc := range scs {
+		r, err := Run(Spec{Scenario: sc, Faults: faults, Seed: seed + int64(i)})
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+		if progress != nil {
+			progress(r)
+		}
+	}
+	return out, nil
+}
+
+// record is the JSON row stored in the database file.
+type record struct {
+	Scenario string             `json:"scenario"`
+	Faults   int                `json:"faults"`
+	Counts   map[string]int     `json:"counts"`
+	Golden   GoldenSummary      `json:"golden"`
+	Features map[string]float64 `json:"features"`
+	APICalls uint64             `json:"api_calls"`
+}
+
+// WriteDB streams scenario records as JSON lines (the single database of
+// workflow phase 4).
+func WriteDB(w io.Writer, results []*Result) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		rec := record{
+			Scenario: r.Scenario.ID(),
+			Faults:   r.Faults,
+			Counts: map[string]int{
+				"vanished": r.Counts[fi.Vanished],
+				"ona":      r.Counts[fi.ONA],
+				"omm":      r.Counts[fi.OMM],
+				"ut":       r.Counts[fi.UT],
+				"hang":     r.Counts[fi.Hang],
+			},
+			Golden:   r.Golden,
+			Features: r.Features.Map(),
+			APICalls: r.APICalls,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveDB writes the database to a file path.
+func SaveDB(path string, results []*Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteDB(f, results)
+}

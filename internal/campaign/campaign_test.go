@@ -1,0 +1,89 @@
+package campaign_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"serfi/internal/campaign"
+	"serfi/internal/fi"
+	"serfi/internal/npb"
+)
+
+func TestCampaignEndToEnd(t *testing.T) {
+	spec := campaign.Spec{
+		Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1},
+		Faults:   16,
+		Seed:     99,
+	}
+	r, err := campaign.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.Total() != 16 {
+		t.Fatalf("classified %d of 16", r.Counts.Total())
+	}
+	if r.Golden.Retired == 0 || r.Golden.AppEnd <= r.Golden.AppStart {
+		t.Error("golden summary empty")
+	}
+	if r.Features.Instructions == 0 || r.Features.BranchPct <= 0 {
+		t.Errorf("features empty: %+v", r.Features)
+	}
+	if len(r.Runs) != 16 {
+		t.Errorf("run records = %d", len(r.Runs))
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	sc := npb.Scenario{App: "EP", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	run := func(workers int) fi.Counts {
+		r, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: 12, Seed: 5, Workers: workers, JobSize: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Counts
+	}
+	if run(1) != run(2) {
+		t.Error("campaign outcome depends on host worker count")
+	}
+}
+
+func TestCampaignDBFormat(t *testing.T) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	r, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := campaign.WriteDB(&buf, []*campaign.Result{r}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"armv8/IS/SER-1", "vanished", "branch_pct", "api_calls"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("db missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestOMPCampaignHasAPIExposure(t *testing.T) {
+	sc := npb.Scenario{App: "EP", Mode: npb.OMP, ISA: "armv8", Cores: 2}
+	r, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.APICalls == 0 {
+		t.Error("OMP scenario shows no parallelization-API calls")
+	}
+	ser, err := campaign.Run(campaign.Spec{
+		Scenario: npb.Scenario{App: "EP", Mode: npb.Serial, ISA: "armv8", Cores: 1},
+		Faults:   2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Features.APIWindow > r.Features.APIWindow {
+		t.Errorf("serial API window %.2f%% exceeds OMP %.2f%%",
+			ser.Features.APIWindow, r.Features.APIWindow)
+	}
+}

@@ -1,0 +1,530 @@
+package cc
+
+import (
+	"testing"
+
+	"serfi/internal/cache"
+	"serfi/internal/isa"
+	"serfi/internal/isa/armv7"
+	"serfi/internal/isa/armv8"
+	"serfi/internal/mach"
+)
+
+// testKernel builds the minimal bare-metal harness: any exception halts, and
+// __start calls main in kernel mode with a private stack, storing main's
+// return value into __test_ret.
+func testKernel() *Program {
+	k := NewProgram("testkern")
+	k.GlobalBytes("__kstack", 4096)
+	k.GlobalInitWords("__test_ret", 0xdead)
+	vec := k.NakedFunc("__vector")
+	vec.Halt()
+	st := k.NakedFunc("__start")
+	st.SetSP(GOff("__kstack", 4096))
+	r := st.Local("r")
+	st.Assign(r, Call("main"))
+	st.Store(G("__test_ret"), V(r))
+	st.Halt()
+	return k
+}
+
+func machineFor(codec isa.ISA) mach.Config {
+	cfg := mach.Config{
+		ISA:      codec,
+		Cores:    1,
+		RAMBytes: 4 << 20,
+		Timing: mach.TimingModel{
+			Name: "t", IntALU: 1, Mul: 3, Div: 10, FPALU: 2, FPDiv: 10,
+			LdSt: 1, Branch: 1, Mispredict: 5, ExcEntry: 8, MMIO: 2,
+		},
+		Cache: cache.DefaultConfig(),
+	}
+	return cfg
+}
+
+// run compiles and boots a user program, returning main's result.
+func run(t *testing.T, codec isa.ISA, user *Program) uint64 {
+	t.Helper()
+	lcfg := DefaultLinkConfig()
+	lcfg.RAMBytes = 4 << 20
+	lcfg.StackRegion = 1 << 20
+	img, err := Link(codec, []*Program{testKernel()}, []*Program{user}, lcfg)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m := mach.New(machineFor(codec))
+	img.InstallTo(m)
+	if r := m.Run(50_000_000); r != mach.StopHalted {
+		t.Fatalf("machine stopped: %v (pc=%#x)", r, m.Cores[0].PC)
+	}
+	v, err := img.WordAt(m, "__test_ret", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// both runs the same program builder on both ISAs and checks the result.
+func both(t *testing.T, want uint64, build func(p *Program)) {
+	t.Helper()
+	for _, codec := range []isa.ISA{armv7.New(), armv8.New()} {
+		feat := codec.Feat()
+		p := NewProgram("user")
+		build(p)
+		got := run(t, codec, p)
+		w := want
+		if feat.WordBytes == 4 {
+			w &= 0xffffffff
+		}
+		if got != w {
+			t.Errorf("%s: got %d (%#x), want %d (%#x)", feat.Name, got, got, w, w)
+		}
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	both(t, 42, func(p *Program) {
+		f := p.Func("main")
+		f.Ret(I(42))
+	})
+}
+
+func TestArithmetic(t *testing.T) {
+	both(t, uint64((7+9)*3-100/4), func(p *Program) {
+		f := p.Func("main")
+		a := f.Local("a")
+		b := f.Local("b")
+		f.Assign(a, I(7))
+		f.Assign(b, I(9))
+		f.Ret(Sub(Mul(Add(V(a), V(b)), I(3)), UDiv(I(100), I(4))))
+	})
+}
+
+func TestBigConstants(t *testing.T) {
+	both(t, 0x12345678, func(p *Program) {
+		f := p.Func("main")
+		f.Ret(I(0x12345678))
+	})
+}
+
+func TestDivisionByZeroYieldsZero(t *testing.T) {
+	both(t, 0, func(p *Program) {
+		f := p.Func("main")
+		x := f.Local("x")
+		f.Assign(x, I(0))
+		f.Ret(UDiv(I(7), V(x)))
+	})
+}
+
+func TestSignedOps(t *testing.T) {
+	// -7/2 = -3 (truncation), -7%2 = -1, -8>>1 (arithmetic) = -4.
+	want := uint64(int64(-3) + int64(-1) + int64(-4) + 100)
+	both(t, want, func(p *Program) {
+		f := p.Func("main")
+		a := f.Local("a")
+		f.Assign(a, I(-7))
+		q := f.Local("q")
+		f.Assign(q, SDiv(V(a), I(2)))
+		r := f.Local("r")
+		f.Assign(r, SRem(V(a), I(2)))
+		s := f.Local("s")
+		f.Assign(s, Sar(I(-8), I(1)))
+		f.Ret(Add(Add(V(q), V(r)), Add(V(s), I(100))))
+	})
+}
+
+func TestRemainders(t *testing.T) {
+	both(t, uint64(17%5+1000), func(p *Program) {
+		f := p.Func("main")
+		f.Ret(Add(URem(I(17), I(5)), I(1000)))
+	})
+}
+
+func TestBitOps(t *testing.T) {
+	want := uint64((0xF0&0x3C)|(0x0F^0x05)) + uint64(1<<20) + uint64(0xFF>>4)
+	both(t, want, func(p *Program) {
+		f := p.Func("main")
+		f.Ret(Add(
+			Add(Or(And(I(0xF0), I(0x3C)), Xor(I(0x0F), I(0x05))), Shl(I(1), I(20))),
+			Shr(I(0xFF), I(4))))
+	})
+}
+
+func TestNegNot(t *testing.T) {
+	both(t, 2, func(p *Program) {
+		f := p.Func("main")
+		a := f.Local("a")
+		f.Assign(a, Neg(I(5)))
+		f.Ret(Add(V(a), I(7)))
+	})
+}
+
+func TestWhileLoopSum(t *testing.T) {
+	both(t, 5050, func(p *Program) {
+		f := p.Func("main")
+		i := f.Local("i")
+		s := f.Local("s")
+		f.Assign(i, I(1))
+		f.Assign(s, I(0))
+		f.While(Le(V(i), I(100)), func() {
+			f.Assign(s, Add(V(s), V(i)))
+			f.Assign(i, Add(V(i), I(1)))
+		})
+		f.Ret(V(s))
+	})
+}
+
+func TestForRangeNested(t *testing.T) {
+	both(t, 10*20, func(p *Program) {
+		f := p.Func("main")
+		i := f.Local("i")
+		j := f.Local("j")
+		n := f.Local("n")
+		f.Assign(n, I(0))
+		f.ForRange(i, I(0), I(10), func() {
+			f.ForRange(j, I(0), I(20), func() {
+				f.Assign(n, Add(V(n), I(1)))
+			})
+		})
+		f.Ret(V(n))
+	})
+}
+
+func TestBreakContinue(t *testing.T) {
+	// Sum odd numbers below 10, stop at 7: 1+3+5+7 = 16.
+	both(t, 16, func(p *Program) {
+		f := p.Func("main")
+		i := f.Local("i")
+		s := f.Local("s")
+		f.Assign(i, I(0))
+		f.Assign(s, I(0))
+		f.While(Lt(V(i), I(100)), func() {
+			f.Assign(i, Add(V(i), I(1)))
+			f.If(Eq(And(V(i), I(1)), I(0)), func() {
+				f.Continue()
+			}, nil)
+			f.Assign(s, Add(V(s), V(i)))
+			f.If(Ge(V(i), I(7)), func() {
+				f.Break()
+			}, nil)
+		})
+		f.Ret(V(s))
+	})
+}
+
+func TestManyLocalsSpill(t *testing.T) {
+	// 14 locals exceed both register pools; the sum must still be right.
+	both(t, 14*15/2, func(p *Program) {
+		f := p.Func("main")
+		vars := make([]*Var, 14)
+		for i := range vars {
+			vars[i] = f.Local("v")
+			f.Assign(vars[i], I(int64(i)+1))
+		}
+		s := f.Local("s")
+		f.Assign(s, I(0))
+		for _, v := range vars {
+			f.Assign(s, Add(V(s), V(v)))
+		}
+		f.Ret(V(s))
+	})
+}
+
+func TestIfElseChains(t *testing.T) {
+	both(t, 222, func(p *Program) {
+		f := p.Func("main")
+		x := f.Local("x")
+		r := f.Local("r")
+		f.Assign(x, I(5))
+		f.If(Gt(V(x), I(10)), func() {
+			f.Assign(r, I(111))
+		}, func() {
+			f.If(AndC(Ge(V(x), I(3)), Le(V(x), I(7))), func() {
+				f.Assign(r, I(222))
+			}, func() {
+				f.Assign(r, I(333))
+			})
+		})
+		f.Ret(V(r))
+	})
+}
+
+func TestShortCircuitOr(t *testing.T) {
+	both(t, 1, func(p *Program) {
+		f := p.Func("main")
+		x := f.Local("x")
+		f.Assign(x, I(42))
+		r := f.Local("r")
+		f.Assign(r, I(0))
+		f.If(OrC(Eq(V(x), I(1)), NotC(Ne(V(x), I(42)))), func() {
+			f.Assign(r, I(1))
+		}, nil)
+		f.Ret(V(r))
+	})
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	both(t, 55, func(p *Program) {
+		fib := p.Func("fib", "n")
+		n := fib.Params[0]
+		fib.If(Lt(V(n), I(2)), func() {
+			fib.Ret(V(n))
+		}, nil)
+		fib.Ret(Add(
+			Call("fib", Sub(V(n), I(1))),
+			Call("fib", Sub(V(n), I(2)))))
+		f := p.Func("main")
+		f.Ret(Call("fib", I(10)))
+	})
+}
+
+func TestFourArgCall(t *testing.T) {
+	both(t, 1234, func(p *Program) {
+		g4 := p.Func("comb", "a", "b", "c", "d")
+		f4 := g4.Params
+		g4.Ret(Add(Add(Mul(V(f4[0]), I(1000)), Mul(V(f4[1]), I(100))),
+			Add(Mul(V(f4[2]), I(10)), V(f4[3]))))
+		f := p.Func("main")
+		f.Ret(Call("comb", I(1), I(2), I(3), I(4)))
+	})
+}
+
+func TestGlobalsArraySum(t *testing.T) {
+	both(t, 4950, func(p *Program) {
+		p.GlobalWords("arr", 100)
+		f := p.Func("main")
+		i := f.Local("i")
+		s := f.Local("s")
+		f.ForRange(i, I(0), I(100), func() {
+			f.StoreWordElem("arr", V(i), V(i))
+		})
+		f.Assign(s, I(0))
+		f.ForRange(i, I(0), I(100), func() {
+			f.Assign(s, Add(V(s), LoadWordElem("arr", V(i))))
+		})
+		f.Ret(V(s))
+	})
+}
+
+func TestInitializedGlobals(t *testing.T) {
+	both(t, 10+20+30, func(p *Program) {
+		p.GlobalInitWords("tbl", 10, 20, 30)
+		f := p.Func("main")
+		f.Ret(Add(Add(Load(G("tbl")), Load(IndexW(G("tbl"), I(1)))),
+			Load(IndexW(G("tbl"), I(2)))))
+	})
+}
+
+func TestByteAndWord32Access(t *testing.T) {
+	both(t, 0xaa+0x1234, func(p *Program) {
+		p.GlobalBytes("buf", 64)
+		f := p.Func("main")
+		f.StoreB(G("buf"), I(0xaa))
+		f.StoreW(GOff("buf", 8), I(0x1234))
+		f.Ret(Add(LoadB(G("buf")), LoadW(GOff("buf", 8))))
+	})
+}
+
+func TestGlobalStrings(t *testing.T) {
+	both(t, 'h'+'i', func(p *Program) {
+		p.GlobalString("msg", "hi")
+		f := p.Func("main")
+		f.Ret(Add(LoadB(G("msg")), LoadB(GOff("msg", 1))))
+	})
+}
+
+func TestBoolMaterialization(t *testing.T) {
+	both(t, 1+0+1, func(p *Program) {
+		f := p.Func("main")
+		a := f.Local("a")
+		f.Assign(a, Bool(Lt(I(3), I(5))))
+		b := f.Local("b")
+		f.Assign(b, Bool(GtU(I(1), I(2))))
+		c := f.Local("c")
+		f.Assign(c, Bool(AndC(Eq(I(1), I(1)), Ne(I(2), I(3)))))
+		f.Ret(Add(Add(V(a), V(b)), V(c)))
+	})
+}
+
+func TestUnsignedCompare(t *testing.T) {
+	// 1 <u (word)-1 is true on both widths.
+	both(t, 1, func(p *Program) {
+		f := p.Func("main")
+		f.Ret(Bool(LtU(I(1), I(-1))))
+	})
+}
+
+func TestCASLoopIncrement(t *testing.T) {
+	both(t, 10, func(p *Program) {
+		p.GlobalWords("ctr", 1)
+		f := p.Func("main")
+		i := f.Local("i")
+		old := f.Local("old")
+		f.ForRange(i, I(0), I(10), func() {
+			// CAS-increment (single-threaded here, must always succeed).
+			f.Assign(old, Load(G("ctr")))
+			f.Do(CASExpr(G("ctr"), V(old), Add(V(old), I(1))))
+		})
+		f.Ret(Load(G("ctr")))
+	})
+}
+
+func TestMRSCoreID(t *testing.T) {
+	both(t, 0+1, func(p *Program) {
+		f := p.Func("main")
+		f.Ret(Add(MRS(isa.SysCOREID), MRS(isa.SysNCORES)))
+	})
+}
+
+func TestWordSizeConstants(t *testing.T) {
+	for _, tc := range []struct {
+		codec isa.ISA
+		want  uint64
+	}{{armv7.New(), 4 + 2}, {armv8.New(), 8 + 3}} {
+		p := NewProgram("user")
+		f := p.Func("main")
+		f.Ret(Add(WordBytes(), WordShift()))
+		if got := run(t, tc.codec, p); got != tc.want {
+			t.Errorf("%s: word consts = %d, want %d", tc.codec.Feat().Name, got, tc.want)
+		}
+	}
+}
+
+func TestTargetConstants(t *testing.T) {
+	for _, tc := range []struct {
+		codec isa.ISA
+		want  uint64 // sysnum + ctxwords
+	}{{armv7.New(), 12 + 17}, {armv8.New(), 8 + 66}} {
+		p := NewProgram("user")
+		f := p.Func("main")
+		f.Ret(Add(TC(TCSysNumIndex), TC(TCCtxWords)))
+		if got := run(t, tc.codec, p); got != tc.want {
+			t.Errorf("%s: target consts = %d, want %d", tc.codec.Feat().Name, got, tc.want)
+		}
+	}
+}
+
+// Hardware-FP tests run on armv8 only; the armv7 soft-float path is covered
+// by the glib package tests once the library exists.
+func runV8(t *testing.T, build func(p *Program)) uint64 {
+	t.Helper()
+	p := NewProgram("user")
+	build(p)
+	return run(t, armv8.New(), p)
+}
+
+func TestFPPolynomial(t *testing.T) {
+	// x=3: x^2 + 2x + 1 = 16
+	got := runV8(t, func(p *Program) {
+		f := p.Func("main")
+		x := f.LocalF("x")
+		f.Assign(x, F(3.0))
+		y := f.LocalF("y")
+		f.Assign(y, FAdd(FAdd(FMul(V(x), V(x)), FMul(F(2.0), V(x))), F(1.0)))
+		f.Ret(CvtFW(V(y)))
+	})
+	if got != 16 {
+		t.Errorf("poly = %d, want 16", got)
+	}
+}
+
+func TestFPSqrtAndCompare(t *testing.T) {
+	got := runV8(t, func(p *Program) {
+		f := p.Func("main")
+		r := f.LocalF("r")
+		f.Assign(r, Sqrt(F(64.0)))
+		out := f.Local("out")
+		f.Assign(out, I(0))
+		f.If(FEq(V(r), F(8.0)), func() {
+			f.Assign(out, I(1))
+		}, nil)
+		f.If(FLt(V(r), F(8.5)), func() {
+			f.Assign(out, Add(V(out), I(2)))
+		}, nil)
+		f.If(FGe(V(r), F(100.0)), func() {
+			f.Assign(out, Add(V(out), I(4)))
+		}, nil)
+		f.Ret(V(out))
+	})
+	if got != 3 {
+		t.Errorf("fp compare mask = %d, want 3", got)
+	}
+}
+
+func TestFPGlobalsAndConversions(t *testing.T) {
+	// Store i*0.5 for i in 0..9, sum, result 22.5 -> *2 = 45.
+	got := runV8(t, func(p *Program) {
+		p.GlobalF64("fa", 10)
+		f := p.Func("main")
+		i := f.Local("i")
+		f.ForRange(i, I(0), I(10), func() {
+			f.StoreF64Elem("fa", V(i), FMul(CvtWF(V(i)), F(0.5)))
+		})
+		s := f.LocalF("s")
+		f.Assign(s, F(0))
+		f.ForRange(i, I(0), I(10), func() {
+			f.Assign(s, FAdd(V(s), LoadF64Elem("fa", V(i))))
+		})
+		f.Ret(CvtFW(FMul(V(s), F(2.0))))
+	})
+	if got != 45 {
+		t.Errorf("fp sum = %d, want 45", got)
+	}
+}
+
+func TestFPNegAbs(t *testing.T) {
+	got := runV8(t, func(p *Program) {
+		f := p.Func("main")
+		x := f.LocalF("x")
+		f.Assign(x, FNeg(F(5.0)))
+		f.Ret(CvtFW(FAdd(FAbs(V(x)), FNeg(V(x))))) // 5 + 5
+	})
+	if got != 10 {
+		t.Errorf("neg/abs = %d, want 10", got)
+	}
+}
+
+func TestSyscallNumberRegisterUntouchedByCalls(t *testing.T) {
+	// Ensure a call inside an argument list doesn't corrupt outer args.
+	both(t, 7+3, func(p *Program) {
+		id := p.Func("id", "x")
+		id.Ret(V(id.Params[0]))
+		f := p.Func("main")
+		f.Ret(Add(Call("id", Call("id", I(7))), Call("id", I(3))))
+	})
+}
+
+func TestLinkErrors(t *testing.T) {
+	p := NewProgram("user")
+	f := p.Func("main")
+	f.Ret(Call("missing"))
+	lcfg := DefaultLinkConfig()
+	lcfg.RAMBytes = 4 << 20
+	lcfg.StackRegion = 1 << 20
+	if _, err := Link(armv8.New(), []*Program{testKernel()}, []*Program{p}, lcfg); err == nil {
+		t.Error("undefined symbol must fail the link")
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	p := NewProgram("user")
+	f := p.Func("main")
+	f.Ret(I(0))
+	lcfg := DefaultLinkConfig()
+	lcfg.RAMBytes = 4 << 20
+	lcfg.StackRegion = 1 << 20
+	img, err := Link(armv8.New(), []*Program{testKernel()}, []*Program{p}, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := img.Symbols["main"]
+	if got := img.FuncAt(s.Addr); got != "main" {
+		t.Errorf("FuncAt(main) = %q", got)
+	}
+	if got := img.FuncAt(s.Addr + s.Size - 4); got != "main" {
+		t.Errorf("FuncAt(main end) = %q", got)
+	}
+	if got := img.FuncAt(mach.VectorBase); got != "__vector" {
+		t.Errorf("FuncAt(vector) = %q", got)
+	}
+}

@@ -1,0 +1,83 @@
+package cc
+
+import (
+	"testing"
+
+	"serfi/internal/cache"
+	"serfi/internal/isa"
+	"serfi/internal/isa/armv7"
+	"serfi/internal/isa/armv8"
+	"serfi/internal/mach"
+)
+
+// buildSumProgram is a register-pressure workload for the allocation-mode
+// comparison.
+func buildSumProgram(noReg bool) *Program {
+	p := NewProgram("user")
+	p.NoRegLocals = noReg
+	f := p.Func("main")
+	a := f.Local("a")
+	b := f.Local("b")
+	c := f.Local("c")
+	i := f.Local("i")
+	f.Assign(a, I(1))
+	f.Assign(b, I(2))
+	f.Assign(c, I(3))
+	f.ForRange(i, I(0), I(500), func() {
+		f.Assign(a, Add(V(a), V(b)))
+		f.Assign(b, Xor(V(b), V(c)))
+		f.Assign(c, Add(V(c), I(1)))
+	})
+	f.Ret(V(a))
+	return p
+}
+
+// runStats compiles and runs, returning the result and memory-op counts.
+func runStats(t *testing.T, codec isa.ISA, p *Program) (uint64, uint64) {
+	t.Helper()
+	lcfg := DefaultLinkConfig()
+	lcfg.RAMBytes = 4 << 20
+	lcfg.StackRegion = 1 << 20
+	img, err := Link(codec, []*Program{testKernel()}, []*Program{p}, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mach.Config{
+		ISA: codec, Cores: 1, RAMBytes: 4 << 20,
+		Timing: mach.TimingModel{Name: "t", IntALU: 1, Mul: 3, Div: 10, FPALU: 2,
+			FPDiv: 10, LdSt: 1, Branch: 1, Mispredict: 5, ExcEntry: 8, MMIO: 2},
+		Cache: cache.DefaultConfig(),
+	}
+	m := mach.New(cfg)
+	img.InstallTo(m)
+	if r := m.Run(50_000_000); r != mach.StopHalted {
+		t.Fatalf("stopped %v", r)
+	}
+	v, err := img.WordAt(m, "__test_ret", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.TotalStats()
+	return v, s.Loads + s.Stores
+}
+
+// TestNoRegLocalsSameResultMoreMemory: the -O0-style mode must compute the
+// same value while touching memory far more often — the compiler-flag
+// reliability axis the paper proposes studying.
+func TestNoRegLocalsSameResultMoreMemory(t *testing.T) {
+	for _, codec := range []isa.ISA{armv7.New(), armv8.New()} {
+		vReg, memReg := runStats(t, codec, buildSumProgram(false))
+		vStk, memStk := runStats(t, codec, buildSumProgram(true))
+		if vReg != vStk {
+			t.Fatalf("%s: results differ: %d vs %d", codec.Feat().Name, vReg, vStk)
+		}
+		if memStk <= memReg {
+			t.Errorf("%s: stack-locals mode mem ops %d <= register mode %d",
+				codec.Feat().Name, memStk, memReg)
+		}
+		// The effect must be large on the register-rich armv8 target.
+		if codec.Feat().WordBytes == 8 && memStk < 2*memReg {
+			t.Errorf("armv8: expected >2x memory traffic, got %d vs %d", memStk, memReg)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package cc
+
+import (
+	"serfi/internal/isa"
+)
+
+// TargetConst selects an ISA-dependent constant usable in DSL expressions.
+// The guest kernel uses these to navigate thread-context blocks without
+// knowing which ISA it is being compiled for.
+type TargetConst uint8
+
+// Target constants.
+const (
+	TCSysNumIndex TargetConst = iota // context slot holding the syscall number (r12/x8)
+	TCCtxPCSlot                      // context slot holding the saved pc
+	TCCtxSPSRSlot                    // context slot holding the saved pstate
+	TCCtxSPSlot                      // context slot holding the saved stack pointer
+	TCCtxLRSlot                      // context slot holding the link register
+	TCCtxWords                       // context block size in words
+	TCNumGPR                         // number of general registers
+)
+
+// TC reads a target constant.
+func TC(sel TargetConst) *Expr { return &Expr{kind: kTC, typ: Word, sys: int(sel)} }
+
+// target describes one code-generation backend.
+type target struct {
+	codec      isa.ISA
+	feat       isa.Features
+	argRegs    []uint8
+	tempRegs   []uint8
+	localRegs  []uint8
+	ftempRegs  []uint8
+	flocalRegs []uint8
+	sysNumReg  uint8 // syscall-number register (r12 / x8)
+	immBits    uint  // signed immediate width of RI/MEM formats
+	wordBytes  uint32
+	wordShift  int64
+	lr, sp     uint8
+	softFloat  bool
+}
+
+func newTarget(codec isa.ISA) *target {
+	f := codec.Feat()
+	if f.WordBytes == 4 {
+		// armv7: 16 architectural registers force a tight allocation:
+		// r0-r3 args, r4-r8 temps, r9-r11 register locals, r12 syscall#,
+		// r13 sp, r14 lr, r15 pc. Only THREE register-resident locals --
+		// everything else lives on the stack (paper §4.1.2/§4.1.4).
+		return &target{
+			codec: codec, feat: f,
+			argRegs:   []uint8{0, 1, 2, 3},
+			tempRegs:  []uint8{4, 5, 6, 7, 8},
+			localRegs: []uint8{9, 10, 11},
+			sysNumReg: 12,
+			immBits:   12,
+			wordBytes: 4, wordShift: 2,
+			lr: 14, sp: 13,
+			softFloat: true,
+		}
+	}
+	// armv8: x0-x7 args (we use 4), x9-x15 temps, x19-x28 register
+	// locals, x8 syscall#, d0-d7 FP temps, d8-d15 FP register locals.
+	return &target{
+		codec: codec, feat: f,
+		argRegs:    []uint8{0, 1, 2, 3},
+		tempRegs:   []uint8{9, 10, 11, 12, 13, 14, 15},
+		localRegs:  []uint8{19, 20, 21, 22, 23, 24, 25, 26, 27, 28},
+		ftempRegs:  []uint8{0, 1, 2, 3, 4, 5, 6, 7},
+		flocalRegs: []uint8{8, 9, 10, 11, 12, 13, 14, 15},
+		sysNumReg:  8,
+		immBits:    14,
+		wordBytes:  8, wordShift: 3,
+		lr: 30, sp: 31,
+		softFloat: false,
+	}
+}
+
+// tcValue resolves a target constant.
+func (t *target) tcValue(sel TargetConst) int64 {
+	switch sel {
+	case TCSysNumIndex:
+		return int64(t.sysNumReg)
+	case TCCtxPCSlot:
+		return int64(isa.CtxPCSlot(t.feat))
+	case TCCtxSPSRSlot:
+		return int64(isa.CtxSPSRSlot(t.feat))
+	case TCCtxSPSlot:
+		return int64(isa.CtxSPSlot(t.feat))
+	case TCCtxLRSlot:
+		return int64(t.feat.LRIndex)
+	case TCCtxWords:
+		return int64(isa.CtxWords(t.feat))
+	case TCNumGPR:
+		return int64(t.feat.NumGPR)
+	}
+	panic("cc: unknown target constant")
+}
+
+// fitsImm reports whether v fits the target's signed RI immediate.
+func (t *target) fitsImm(v int64) bool { return isa.FitsSigned(v, t.immBits) }

@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"serfi/internal/npb"
+)
+
+// smallMatrix runs a cheap subset once for all formatting tests.
+var cached *Matrix
+
+func smallMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	cfg := Config{Faults: 3, Seed: 7}
+	m, err := RunSubset(cfg, func(sc npb.Scenario) bool {
+		// IS on armv8 everywhere (cheap); a slice of armv7 IS for the
+		// v7 panels; the Table 3/4 scenarios at 1 core.
+		if sc.App == "IS" && sc.ISA == "armv8" {
+			return true
+		}
+		if sc.App == "IS" && sc.ISA == "armv7" && sc.Cores == 1 {
+			return true
+		}
+		if sc.Cores != 1 || sc.ISA != "armv8" {
+			return sc.App == "MG" && sc.ISA == "armv7" && sc.Mode == npb.MPI && sc.Cores == 1
+		}
+		switch sc.App {
+		case "MG", "LU", "SP", "FT":
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = m
+	return m
+}
+
+func TestTable1Renders(t *testing.T) {
+	s := Table1(smallMatrix(t))
+	for _, want := range []string{"Simulation Time Single Run", "Executed Instructions", "armv7", "armv8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	s := Table2(smallMatrix(t))
+	for _, want := range []string{"IS MPI V7", "IS OMP V8", "Index F*B", "Hang"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table 2 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTables34Render(t *testing.T) {
+	m := smallMatrix(t)
+	s3 := Table3(m)
+	if !strings.Contains(s3, "MG MPIx1") || !strings.Contains(s3, "RD/WR") {
+		t.Errorf("table 3:\n%s", s3)
+	}
+	s4 := Table4(m)
+	if !strings.Contains(s4, "LU OMPx1") || !strings.Contains(s4, "FT MPIx1") {
+		t.Errorf("table 4:\n%s", s4)
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	m := smallMatrix(t)
+	f2 := Figure2(m)
+	if !strings.Contains(f2, "MPI benchmarks") || !strings.Contains(f2, "Mismatch") {
+		t.Errorf("figure 2:\n%s", f2)
+	}
+	if !strings.Contains(f2, "IS") {
+		t.Error("figure 2 missing IS rows")
+	}
+	f3 := Figure3(m)
+	if !strings.Contains(f3, "armv8") {
+		t.Errorf("figure 3:\n%s", f3)
+	}
+}
+
+func TestFigure1Static(t *testing.T) {
+	s := Figure1()
+	for _, want := range []string{"Intel 4004", "SPARC M7", "Cores", "Node"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure 1 missing %q", want)
+		}
+	}
+}
+
+func TestDatasetAndMining(t *testing.T) {
+	m := smallMatrix(t)
+	d := Dataset(m)
+	if len(d.Rows) != len(m.Order) {
+		t.Fatalf("dataset rows = %d, want %d", len(d.Rows), len(m.Order))
+	}
+	if _, ok := d.Column("rate_ut"); !ok {
+		t.Fatal("dataset missing outcome columns")
+	}
+	if s := MineReport(m); !strings.Contains(s, "spearman") {
+		t.Errorf("mining report:\n%s", s)
+	}
+}
+
+func TestReportAssembles(t *testing.T) {
+	m := smallMatrix(t)
+	r := Report(m, 3*time.Second)
+	for _, want := range []string{
+		"# Experiments", "Shape checks", "Table 1", "Table 4",
+		"Figure 2", "Figure 3", "vulnerability window", "| id |",
+	} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestMacroAndVulnRender(t *testing.T) {
+	m := smallMatrix(t)
+	if s := MacroStats(m); !strings.Contains(s, "MPI V7") {
+		t.Errorf("macro stats:\n%s", s)
+	}
+	if s := VulnWindow(m); !strings.Contains(s, "masking") {
+		t.Errorf("vuln window:\n%s", s)
+	}
+}

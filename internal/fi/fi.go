@@ -1,0 +1,266 @@
+// Package fi implements the paper's fault-injection methodology (§3.2):
+// the single-bit-upset fault model over architectural registers, the
+// four-phase workflow (golden execution, fault-list generation, injection
+// runs, report assembly) and the Cho et al. outcome classification
+// (Vanished / ONA / OMM / UT / Hang).
+package fi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"serfi/internal/cc"
+	"serfi/internal/isa"
+	"serfi/internal/mach"
+)
+
+// HangFactor multiplies the golden cycle count to obtain the fault-run
+// budget; a run still alive past it is classified Hang.
+const HangFactor = 3
+
+// HangSlack is added on top for very short workloads.
+const HangSlack = 500_000
+
+// Golden is the phase-1 reference record.
+type Golden struct {
+	AppStart uint64 // retired-instruction index at the app-start beacon
+	AppEnd   uint64 // retired-instruction index at app exit
+	Retired  uint64 // total retired instructions at halt
+	Cycles   uint64 // machine time (max per-core cycles)
+	Console  string
+	MemHash  uint64
+	RegHash  uint64
+	ExitCode int
+	Signal   int
+
+	Stats   mach.CoreStats   // totals over cores
+	PerCore []mach.CoreStats // per-core counters
+	L2Miss  float64
+	L1DMiss float64
+	Machine *mach.Machine // retained for profiling inspection
+}
+
+// RunGolden executes the faultless reference for an image/config pair.
+func RunGolden(img *cc.Image, cfg mach.Config, budget uint64) (*Golden, error) {
+	m := mach.New(cfg)
+	img.InstallTo(m)
+	if budget == 0 {
+		budget = 30_000_000_000
+	}
+	stop := m.Run(budget)
+	if stop != mach.StopHalted {
+		return nil, fmt.Errorf("fi: golden run did not halt: %v (retired %d)", stop, m.TotalRetired)
+	}
+	if !m.AppExited || m.AppSignal != 0 || m.AppExitCode != 0 {
+		return nil, fmt.Errorf("fi: golden run failed in-guest: exit=%d sig=%d", m.AppExitCode, m.AppSignal)
+	}
+	if m.AppStartRetired == 0 || m.AppEndRetired <= m.AppStartRetired {
+		return nil, fmt.Errorf("fi: app lifespan beacons missing")
+	}
+	g := &Golden{
+		AppStart: m.AppStartRetired,
+		AppEnd:   m.AppEndRetired,
+		Retired:  m.TotalRetired,
+		Cycles:   m.MaxCycles(),
+		Console:  m.ConsoleString(),
+		MemHash:  m.Mem.Hash(),
+		RegHash:  m.RegFileHash(),
+		ExitCode: m.AppExitCode,
+		Signal:   m.AppSignal,
+		Stats:    m.TotalStats(),
+		Machine:  m,
+	}
+	for i := range m.Cores {
+		g.PerCore = append(g.PerCore, m.Cores[i].Stats)
+	}
+	var dh, dm, l2h, l2m uint64
+	for c := 0; c < cfg.Cores; c++ {
+		s := m.Hier.L1DStats(c)
+		dh += s.Hits
+		dm += s.Misses
+	}
+	l2 := m.Hier.L2Stats()
+	l2h, l2m = l2.Hits, l2.Misses
+	if dh+dm > 0 {
+		g.L1DMiss = float64(dm) / float64(dh+dm)
+	}
+	if l2h+l2m > 0 {
+		g.L2Miss = float64(l2m) / float64(l2h+l2m)
+	}
+	return g, nil
+}
+
+// Fault is one single-bit upset: at committed-instruction `Index` within
+// the application lifespan, flip `Bit` of register `Reg` on `Core`.
+type Fault struct {
+	Index uint64
+	Core  int
+	Reg   int
+	Bit   int
+}
+
+// String renders like "i=1234 core=0 r7 bit=13".
+func (f Fault) String() string {
+	return fmt.Sprintf("i=%d core=%d r%d bit=%d", f.Index, f.Core, f.Reg, f.Bit)
+}
+
+// RandomFault draws a uniform fault (§3.2.1: uniform random bit location
+// and injection time across the register file and app lifespan).
+func RandomFault(r *rand.Rand, g *Golden, feat isa.Features, cores int) Fault {
+	span := g.AppEnd - g.AppStart
+	return Fault{
+		Index: uint64(r.Int63n(int64(span))),
+		Core:  r.Intn(cores),
+		Reg:   r.Intn(feat.FaultTargets),
+		Bit:   r.Intn(feat.WordBytes * 8),
+	}
+}
+
+// FaultList is phase 2: n seeded faults.
+func FaultList(seed int64, n int, g *Golden, feat isa.Features, cores int) []Fault {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = RandomFault(r, g, feat, cores)
+	}
+	return out
+}
+
+// Outcome is the Cho et al. classification (§3.2.2).
+type Outcome int
+
+// Outcomes.
+const (
+	Vanished Outcome = iota // no fault traces are left
+	ONA                     // output not affected, architectural state differs
+	OMM                     // output mismatch, normal termination
+	UT                      // unexpected termination (signal / bad exit / kernel panic)
+	Hang                    // did not finish within the cycle budget
+	NumOutcomes
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Vanished:
+		return "Vanished"
+	case ONA:
+		return "ONA"
+	case OMM:
+		return "OMM"
+	case UT:
+		return "UT"
+	case Hang:
+		return "Hang"
+	}
+	return "?"
+}
+
+// Result is one injection-run record.
+type Result struct {
+	Fault    Fault
+	Outcome  Outcome
+	Retired  uint64
+	Cycles   uint64
+	ExitCode int
+	Signal   int
+}
+
+// Inject runs phase 3 for one fault. The image is read-only and may be
+// shared across goroutines; each run gets a fresh machine.
+func Inject(img *cc.Image, cfg mach.Config, g *Golden, f Fault) Result {
+	m := mach.New(cfg)
+	img.InstallTo(m)
+	m.InjectAt = g.AppStart + f.Index
+	feat := cfg.ISA.Feat()
+	m.Inject = func(mm *mach.Machine) {
+		c := &mm.Cores[f.Core]
+		mask := uint64(1) << uint(f.Bit)
+		if feat.PCTarget && f.Reg == feat.NumGPR-1 {
+			c.PC ^= mask
+			if feat.WordBytes == 4 {
+				c.PC &= 0xffffffff
+			}
+			return
+		}
+		c.Regs[f.Reg] ^= mask
+		if feat.WordBytes == 4 {
+			c.Regs[f.Reg] &= 0xffffffff
+		}
+	}
+	budget := g.Cycles*HangFactor + HangSlack
+	stop := m.Run(budget)
+	res := Result{
+		Fault:    f,
+		Retired:  m.TotalRetired,
+		Cycles:   m.MaxCycles(),
+		ExitCode: m.AppExitCode,
+		Signal:   m.AppSignal,
+	}
+	res.Outcome = classify(m, g, stop)
+	return res
+}
+
+// classify maps a finished run against the golden reference.
+func classify(m *mach.Machine, g *Golden, stop mach.StopReason) Outcome {
+	if stop != mach.StopHalted {
+		return Hang // cycle budget exhausted or full-machine deadlock
+	}
+	if !m.AppExited || m.AppSignal != 0 || m.AppExitCode != g.ExitCode {
+		return UT
+	}
+	if m.ConsoleString() != g.Console {
+		return OMM
+	}
+	if m.Mem.Hash() == g.MemHash && m.RegFileHash() == g.RegHash {
+		return Vanished
+	}
+	return ONA
+}
+
+// Counts aggregates outcomes.
+type Counts [NumOutcomes]int
+
+// Add accumulates one outcome.
+func (c *Counts) Add(o Outcome) { c[o]++ }
+
+// Total returns the number of classified runs.
+func (c Counts) Total() int {
+	t := 0
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Rate returns the share of outcome o in [0, 1].
+func (c Counts) Rate(o Outcome) float64 {
+	if t := c.Total(); t > 0 {
+		return float64(c[o]) / float64(t)
+	}
+	return 0
+}
+
+// Masking is the fraction of executions without any error (Vanished+ONA),
+// the paper's §4.2.2 masking-rate definition.
+func (c Counts) Masking() float64 { return c.Rate(Vanished) + c.Rate(ONA) }
+
+// String renders like "V=62.0% ONA=10.0% OMM=5.0% UT=20.0% H=3.0%".
+func (c Counts) String() string {
+	return fmt.Sprintf("V=%.1f%% ONA=%.1f%% OMM=%.1f%% UT=%.1f%% H=%.1f%%",
+		100*c.Rate(Vanished), 100*c.Rate(ONA), 100*c.Rate(OMM),
+		100*c.Rate(UT), 100*c.Rate(Hang))
+}
+
+// Mismatch is the paper's Figures 2c/3c metric: the sum of absolute
+// per-class rate differences between two campaigns, in percent.
+func Mismatch(a, b Counts) float64 {
+	s := 0.0
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		d := a.Rate(o) - b.Rate(o)
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return 100 * s
+}

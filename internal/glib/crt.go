@@ -1,0 +1,113 @@
+package glib
+
+import (
+	"serfi/internal/abi"
+	. "serfi/internal/cc"
+)
+
+// BuildCRT returns the minimal user-side runtime: program entry, console
+// output helpers, memory helpers and syscall wrappers. Linked into every
+// user image.
+func BuildCRT() *Program {
+	p := NewProgram("crt")
+
+	// __main_start: thread-0 entry. Calls main and exits with its result.
+	f := p.Func("__main_start", "arg")
+	r := f.Local("r")
+	f.Assign(r, Call("main"))
+	f.Do(Syscall(abi.SysExit, V(r)))
+	f.While(Eq(I(0), I(0)), func() {}) // unreachable
+
+	// __putc(ch)
+	f = p.Func("__putc", "ch")
+	f.Do(Syscall(abi.SysPutc, V(f.Params[0])))
+	f.Ret(nil)
+
+	// __print_hexw(w): w as zero-padded hex (8 digits on armv7, 16 on
+	// armv8 — one per nibble of the machine word).
+	f = p.Func("__print_hexw", "w")
+	w := f.Params[0]
+	i := f.Local("i")
+	n := f.Local("nib")
+	f.Assign(i, Mul(WordBytes(), I(2)))
+	f.While(Gt(V(i), I(0)), func() {
+		f.Assign(i, Sub(V(i), I(1)))
+		f.Assign(n, And(Shr(V(w), Mul(V(i), I(4))), I(15)))
+		f.If(Lt(V(n), I(10)), func() {
+			f.Do(Call("__putc", Add(V(n), I('0'))))
+		}, func() {
+			f.Do(Call("__putc", Add(V(n), I('a'-10))))
+		})
+	})
+	f.Ret(nil)
+
+	// __print_hex32(w): exactly 8 hex digits of the low 32 bits (used for
+	// ISA-independent checksum output).
+	f = p.Func("__print_hex32", "w")
+	w = f.Params[0]
+	i = f.Local("i")
+	n = f.Local("nib")
+	f.Assign(i, I(8))
+	f.While(Gt(V(i), I(0)), func() {
+		f.Assign(i, Sub(V(i), I(1)))
+		f.Assign(n, And(Shr(V(w), Mul(V(i), I(4))), I(15)))
+		f.If(Lt(V(n), I(10)), func() {
+			f.Do(Call("__putc", Add(V(n), I('0'))))
+		}, func() {
+			f.Do(Call("__putc", Add(V(n), I('a'-10))))
+		})
+	})
+	f.Ret(nil)
+
+	// __print_nl()
+	f = p.Func("__print_nl")
+	f.Do(Call("__putc", I('\n')))
+	f.Ret(nil)
+
+	// __print_str(p, n)
+	f = p.Func("__print_str", "p", "n")
+	pp, nn := f.Params[0], f.Params[1]
+	i = f.Local("i")
+	f.ForRange(i, I(0), V(nn), func() {
+		f.Do(Call("__putc", LoadB(Add(V(pp), V(i)))))
+	})
+	f.Ret(nil)
+
+	// __memcpy(dst, src, n): word-sized main loop with a byte tail.
+	f = p.Func("__memcpy", "dst", "src", "n")
+	dst, src, cnt := f.Params[0], f.Params[1], f.Params[2]
+	i = f.Local("i")
+	f.Assign(i, I(0))
+	f.While(GeU(Sub(V(cnt), V(i)), WordBytes()), func() {
+		f.Store(Add(V(dst), V(i)), Load(Add(V(src), V(i))))
+		f.Assign(i, Add(V(i), WordBytes()))
+	})
+	f.While(LtU(V(i), V(cnt)), func() {
+		f.StoreB(Add(V(dst), V(i)), LoadB(Add(V(src), V(i))))
+		f.Assign(i, Add(V(i), I(1)))
+	})
+	f.Ret(nil)
+
+	// __memsetw(dst, v, nwords): fill with a word value.
+	f = p.Func("__memsetw", "dst", "v", "n")
+	dst, vv, cnt := f.Params[0], f.Params[1], f.Params[2]
+	i = f.Local("i")
+	f.ForRange(i, I(0), V(cnt), func() {
+		f.Store(IndexW(V(dst), V(i)), V(vv))
+	})
+	f.Ret(nil)
+
+	// __sbrk(n) -> base or 0.
+	f = p.Func("__sbrk", "n")
+	f.Ret(Syscall(abi.SysSbrk, V(f.Params[0])))
+
+	// __gettid() -> tid.
+	f = p.Func("__gettid")
+	f.Ret(Syscall(abi.SysGetTID))
+
+	// __yield()
+	f = p.Func("__yield")
+	f.Do(Syscall(abi.SysYield))
+	f.Ret(nil)
+	return p
+}

@@ -1,0 +1,197 @@
+package glib
+
+import (
+	"serfi/internal/abi"
+	. "serfi/internal/cc"
+)
+
+// BuildMPI returns the MPI-like guest runtime: SPMD rank threads with
+// rendezvous point-to-point messaging and the collectives the NPB-like
+// benchmarks need. Each rank is an independent worker thread (the paper's
+// observation that MPI balances instruction counts across cores follows
+// from this structure); communication is message-oriented and blocking, so
+// a lost or corrupted handshake deadlocks — the MPI failure mode the paper
+// highlights (§5).
+//
+// Substitution note (DESIGN.md §5): real MPI ranks own separate address
+// spaces; here ranks share one space with disjoint working sets and the
+// receiver copies directly from the sender's published buffer. The
+// library-exposure and balance properties relevant to the study survive.
+//
+// API (rank bodies have signature body(rank)):
+//
+//	__mpi_run(fn)                 spawn nranks-1 rank threads; run rank 0
+//	__mpi_rank() / __mpi_size()
+//	__mpi_send(dst, buf, len)     blocking rendezvous send (bytes)
+//	__mpi_recv(src, buf, len)     blocking receive
+//	__mpi_barrier()
+//	__mpi_bcast(root, buf, len)
+//	__mpi_reduce_sumw(buf, n)     word-sum into rank 0's buf
+//	__mpi_allreduce_sumf(buf, n)  f64 elementwise sum, result on all ranks
+//	                              (n <= 512)
+const mpiMaxRanks = 8
+
+// Channel layout: for each (src,dst) pair: {state, buf, len} words.
+// state: 0 idle, 1 posted (sender waiting), 2 drained (receiver done).
+const chWords = 3
+
+// BuildMPI constructs the runtime program.
+func BuildMPI() *Program {
+	p := NewProgram("mpi")
+	p.GlobalInitWords("__mpi_nranks", 1)
+	p.GlobalWords("mpi_fn", 1)
+	p.GlobalWords("mpi_tids", mpiMaxRanks)
+	p.GlobalWords("mpi_chans", mpiMaxRanks*mpiMaxRanks*chWords)
+	p.GlobalWords("mpi_bar", 2)            // {count, generation}
+	p.GlobalWords("mpi_ptrs", mpiMaxRanks) // per-rank published pointer
+	p.GlobalWords("mpi_rankof", abi.MaxThreads)
+
+	// __mpi_size() -> nranks.
+	f := p.Func("__mpi_size")
+	f.Ret(Load(G("__mpi_nranks")))
+
+	// __mpi_rank() -> calling thread's rank.
+	f = p.Func("__mpi_rank")
+	f.Ret(LoadWordElem("mpi_rankof", Call("__gettid")))
+
+	// __mpi_chan(src, dst) -> channel address.
+	f = p.Func("__mpi_chan", "src", "dst")
+	f.Ret(Add(G("mpi_chans"),
+		Mul(Add(Mul(V(f.Params[0]), I(mpiMaxRanks)), V(f.Params[1])), Mul(I(chWords), WordBytes()))))
+
+	// __mpi_rank_entry(rank): worker thread body.
+	f = p.Func("__mpi_rank_entry", "rank")
+	f.StoreWordElem("mpi_rankof", Call("__gettid"), V(f.Params[0]))
+	f.Do(Call("__mpi_barrier")) // all ranks registered before user code
+	f.Do(CallInd(Load(G("mpi_fn")), V(f.Params[0])))
+	f.Do(Syscall(abi.SysThreadExit))
+	f.Ret(nil)
+
+	// __mpi_run(fn): called from main; returns when every rank finished.
+	f = p.Func("__mpi_run", "fn")
+	nr := f.Local("nr")
+	f.Assign(nr, Load(G("__mpi_nranks")))
+	f.Store(G("mpi_fn"), V(f.Params[0]))
+	f.StoreWordElem("mpi_rankof", Call("__gettid"), I(0))
+	r := f.Local("r")
+	f.ForRange(r, I(1), V(nr), func() {
+		f.StoreWordElem("mpi_tids", V(r),
+			Syscall(abi.SysThreadCreate, G("__mpi_rank_entry"), V(r)))
+	})
+	f.Do(Call("__mpi_barrier"))
+	f.Do(CallInd(Load(G("mpi_fn")), I(0)))
+	f.ForRange(r, I(1), V(nr), func() {
+		f.Do(Syscall(abi.SysThreadJoin, LoadWordElem("mpi_tids", V(r))))
+	})
+	f.Ret(nil)
+
+	// __mpi_send(dst, buf, len): rendezvous.
+	f = p.Func("__mpi_send", "dst", "buf", "len")
+	dst, buf, ln := f.Params[0], f.Params[1], f.Params[2]
+	ch := f.Local("ch")
+	f.Assign(ch, Call("__mpi_chan", Call("__mpi_rank"), V(dst)))
+	// Wait for the channel to be idle (a prior message fully drained).
+	f.While(Ne(Load(V(ch)), I(0)), func() {
+		f.Do(Syscall(abi.SysFutexWait, V(ch), Load(V(ch))))
+	})
+	f.Store(IndexW(V(ch), I(1)), V(buf))
+	f.Store(IndexW(V(ch), I(2)), V(ln))
+	f.Store(V(ch), I(1))
+	f.Do(Syscall(abi.SysFutexWake, V(ch), I(abi.MaxThreads)))
+	// Wait until the receiver drains.
+	f.While(Ne(Load(V(ch)), I(2)), func() {
+		f.Do(Syscall(abi.SysFutexWait, V(ch), I(1)))
+	})
+	f.Store(V(ch), I(0))
+	f.Do(Syscall(abi.SysFutexWake, V(ch), I(abi.MaxThreads)))
+	f.Ret(nil)
+
+	// __mpi_recv(src, buf, len): copies min(len, posted) bytes.
+	f = p.Func("__mpi_recv", "src", "buf", "len")
+	src, buf, ln := f.Params[0], f.Params[1], f.Params[2]
+	ch = f.Local("ch")
+	f.Assign(ch, Call("__mpi_chan", V(src), Call("__mpi_rank")))
+	f.While(Ne(Load(V(ch)), I(1)), func() {
+		f.Do(Syscall(abi.SysFutexWait, V(ch), Load(V(ch))))
+	})
+	n := f.Local("n")
+	f.Assign(n, Load(IndexW(V(ch), I(2))))
+	f.If(LtU(V(ln), V(n)), func() { f.Assign(n, V(ln)) }, nil)
+	f.Do(Call("__memcpy", V(buf), Load(IndexW(V(ch), I(1))), V(n)))
+	f.Store(V(ch), I(2))
+	f.Do(Syscall(abi.SysFutexWake, V(ch), I(abi.MaxThreads)))
+	f.Ret(nil)
+
+	// __mpi_barrier(): sense-reversing barrier over all ranks.
+	f = p.Func("__mpi_barrier")
+	f.Do(Call("__barrier_wait", G("mpi_bar"), Load(G("__mpi_nranks"))))
+	f.Ret(nil)
+
+	// __mpi_bcast(root, buf, len): root publishes, others copy.
+	f = p.Func("__mpi_bcast", "root", "buf", "len")
+	root, buf, ln := f.Params[0], f.Params[1], f.Params[2]
+	me := f.Local("me")
+	f.Assign(me, Call("__mpi_rank"))
+	f.If(Eq(V(me), V(root)), func() {
+		f.StoreWordElem("mpi_ptrs", V(root), V(buf))
+	}, nil)
+	f.Do(Call("__mpi_barrier"))
+	f.If(Ne(V(me), V(root)), func() {
+		f.Do(Call("__memcpy", V(buf), LoadWordElem("mpi_ptrs", V(root)), V(ln)))
+	}, nil)
+	f.Do(Call("__mpi_barrier"))
+	f.Ret(nil)
+
+	// __mpi_reduce_sumw(buf, n): elementwise word sum into rank 0's buf.
+	f = p.Func("__mpi_reduce_sumw", "buf", "n")
+	buf, cnt := f.Params[0], f.Params[1]
+	me = f.Local("me")
+	f.Assign(me, Call("__mpi_rank"))
+	f.StoreWordElem("mpi_ptrs", V(me), V(buf))
+	f.Do(Call("__mpi_barrier"))
+	f.If(Eq(V(me), I(0)), func() {
+		rr := f.Local("rr")
+		i := f.Local("i")
+		f.ForRange(rr, I(1), Load(G("__mpi_nranks")), func() {
+			other := f.Local("other")
+			f.Assign(other, LoadWordElem("mpi_ptrs", V(rr)))
+			f.ForRange(i, I(0), V(cnt), func() {
+				f.Store(IndexW(V(buf), V(i)),
+					Add(Load(IndexW(V(buf), V(i))), Load(IndexW(V(other), V(i)))))
+			})
+		})
+	}, nil)
+	f.Do(Call("__mpi_barrier"))
+	f.Ret(nil)
+
+	// __mpi_allreduce_sumf(buf, n): f64 elementwise sum on every rank.
+	// Deterministic: every rank accumulates in the same rank order into a
+	// private pass over the published buffers.
+	p.GlobalF64("mpi_redtmp", 512) // shared scratch; bounds allreduce width
+	f = p.Func("__mpi_allreduce_sumf", "buf", "n")
+	buf, cnt = f.Params[0], f.Params[1]
+	me = f.Local("me")
+	f.Assign(me, Call("__mpi_rank"))
+	f.StoreWordElem("mpi_ptrs", V(me), V(buf))
+	f.Do(Call("__mpi_barrier"))
+	i := f.Local("i")
+	acc := f.LocalF("acc")
+	rr := f.Local("rr")
+	// Accumulate into the shared scratch (written only by rank 0 reader
+	// order is rank 0..nr-1 for every rank, so all ranks compute the
+	// same sums).
+	f.ForRange(i, I(0), V(cnt), func() {
+		f.Assign(acc, F(0))
+		f.ForRange(rr, I(0), Load(G("__mpi_nranks")), func() {
+			f.Assign(acc, FAdd(V(acc), LoadF(Index8(LoadWordElem("mpi_ptrs", V(rr)), V(i)))))
+		})
+		f.StoreF64Elem("mpi_redtmp", V(i), V(acc))
+	})
+	f.Do(Call("__mpi_barrier"))
+	f.ForRange(i, I(0), V(cnt), func() {
+		f.StoreF(Index8(V(buf), V(i)), LoadF64Elem("mpi_redtmp", V(i)))
+	})
+	f.Do(Call("__mpi_barrier"))
+	f.Ret(nil)
+	return p
+}

@@ -1,0 +1,114 @@
+package glib
+
+import (
+	"serfi/internal/abi"
+	. "serfi/internal/cc"
+)
+
+// BuildOMP returns the OpenMP-like guest runtime: a persistent worker pool
+// driven by a fork/join protocol, mirroring GOMP's behaviour that the paper
+// analyzes — the master executes serial portions (and its own chunk) while
+// workers sleep between parallel regions, so core utilization is uneven
+// (§4.2.2).
+//
+// Protocol: parallel bodies have the signature body(arg, lo, hi, tidx).
+// `__omp_parallel_for(fn, arg, lo, hi)` splits [lo, hi) into static chunks
+// across __omp_nthreads threads (master = thread 0). The scenario harness
+// patches the `__omp_nthreads` global before boot.
+func BuildOMP() *Program {
+	p := NewProgram("omp")
+	p.GlobalInitWords("__omp_nthreads", 1)
+	p.GlobalWords("omp_fn", 1)
+	p.GlobalWords("omp_arg", 1)
+	p.GlobalWords("omp_lo", 1)
+	p.GlobalWords("omp_hi", 1)
+	p.GlobalWords("omp_gen", 1)
+	p.GlobalWords("omp_done", 1)
+	p.GlobalWords("omp_inited", 1)
+
+	// __omp_chunk(idx, lo, hi, nth): start of thread idx's chunk (its end
+	// is the next thread's start). Static schedule with ceil division.
+	f := p.Func("__omp_chunk", "idx", "lo", "hi", "nth")
+	idx, lo, hi, nth := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+	chunk := f.Local("chunk")
+	f.Assign(chunk, UDiv(Sub(Add(Sub(V(hi), V(lo)), V(nth)), I(1)), V(nth)))
+	s := f.Local("s")
+	f.Assign(s, Add(V(lo), Mul(V(idx), V(chunk))))
+	f.If(Gt(V(s), V(hi)), func() { f.Assign(s, V(hi)) }, nil)
+	f.Ret(V(s))
+
+	// __omp_worker(widx): parked until the generation word advances, then
+	// runs its chunk of the published region and reports completion.
+	f = p.Func("__omp_worker", "widx")
+	widx := f.Params[0]
+	lastgen := f.Local("lastgen")
+	g := f.Local("g")
+	myLo := f.Local("mylo")
+	myHi := f.Local("myhi")
+	f.Assign(lastgen, I(0))
+	f.While(Eq(I(0), I(0)), func() {
+		f.While(Eq(Load(G("omp_gen")), V(lastgen)), func() {
+			f.Do(Syscall(abi.SysFutexWait, G("omp_gen"), V(lastgen)))
+		})
+		f.Assign(g, Load(G("omp_gen")))
+		f.Assign(lastgen, V(g))
+		f.Assign(myLo, Call("__omp_chunk", V(widx), Load(G("omp_lo")), Load(G("omp_hi")), Load(G("__omp_nthreads"))))
+		f.Assign(myHi, Call("__omp_chunk", Add(V(widx), I(1)), Load(G("omp_lo")), Load(G("omp_hi")), Load(G("__omp_nthreads"))))
+		f.If(Lt(V(myLo), V(myHi)), func() {
+			f.Do(CallInd(Load(G("omp_fn")), Load(G("omp_arg")), V(myLo), V(myHi), V(widx)))
+		}, nil)
+		f.Do(Call("__atomic_add", G("omp_done"), I(1)))
+		f.Do(Syscall(abi.SysFutexWake, G("omp_done"), I(1)))
+	})
+	f.Ret(nil)
+
+	// __omp_init(): spawn the worker pool (call once from main).
+	f = p.Func("__omp_init")
+	i := f.Local("i")
+	f.If(Ne(Load(G("omp_inited")), I(0)), func() { f.Ret(nil) }, nil)
+	f.Store(G("omp_inited"), I(1))
+	f.ForRange(i, I(1), Load(G("__omp_nthreads")), func() {
+		f.Do(Syscall(abi.SysThreadCreate, G("__omp_worker"), V(i)))
+	})
+	f.Ret(nil)
+
+	// __omp_parallel_for(fn, arg, lo, hi): fork/join one parallel region.
+	f = p.Func("__omp_parallel_for", "fn", "arg", "lo", "hi")
+	fn, arg, lo2, hi2 := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+	nth = f.Local("nth")
+	f.Assign(nth, Load(G("__omp_nthreads")))
+	f.If(OrC(Le(V(nth), I(1)), Eq(Load(G("omp_inited")), I(0))), func() {
+		f.Do(CallInd(V(fn), V(arg), V(lo2), V(hi2), I(0)))
+		f.Ret(nil)
+	}, nil)
+	f.Store(G("omp_fn"), V(fn))
+	f.Store(G("omp_arg"), V(arg))
+	f.Store(G("omp_lo"), V(lo2))
+	f.Store(G("omp_hi"), V(hi2))
+	f.Store(G("omp_done"), I(0))
+	f.Store(G("omp_gen"), Add(Load(G("omp_gen")), I(1)))
+	f.Do(Syscall(abi.SysFutexWake, G("omp_gen"), I(abi.MaxThreads)))
+	// Master runs chunk 0.
+	myLo2 := f.Local("mylo")
+	myHi2 := f.Local("myhi")
+	f.Assign(myLo2, Call("__omp_chunk", I(0), V(lo2), V(hi2), V(nth)))
+	f.Assign(myHi2, Call("__omp_chunk", I(1), V(lo2), V(hi2), V(nth)))
+	f.If(Lt(V(myLo2), V(myHi2)), func() {
+		f.Do(CallInd(V(fn), V(arg), V(myLo2), V(myHi2), I(0)))
+	}, nil)
+	// Join: wait until all workers reported.
+	want := f.Local("want")
+	f.Assign(want, Sub(V(nth), I(1)))
+	d := f.Local("d")
+	f.Assign(d, Load(G("omp_done")))
+	f.While(Ne(V(d), V(want)), func() {
+		f.Do(Syscall(abi.SysFutexWait, G("omp_done"), V(d)))
+		f.Assign(d, Load(G("omp_done")))
+	})
+	f.Ret(nil)
+
+	// __omp_nth() -> configured thread count.
+	f = p.Func("__omp_nth")
+	f.Ret(Load(G("__omp_nthreads")))
+	return p
+}

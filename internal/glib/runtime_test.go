@@ -1,0 +1,316 @@
+package glib_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"serfi/internal/cc"
+	"serfi/internal/mach"
+	"serfi/internal/soc"
+	"serfi/internal/stack"
+)
+
+func bootApp(t *testing.T, isaName string, cores int, app *cc.Program, nthreads, nranks uint64) (*mach.Machine, *cc.Image) {
+	t.Helper()
+	cfg, err := soc.Config(isaName, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := stack.Build(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nthreads > 0 {
+		if err := img.SetWord("__omp_nthreads", 0, nthreads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nranks > 0 {
+		if err := img.SetWord("__mpi_nranks", 0, nranks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return stack.NewMachine(cfg, img), img
+}
+
+func mustHalt(t *testing.T, m *mach.Machine, budget uint64) {
+	t.Helper()
+	if r := m.Run(budget); r != mach.StopHalted {
+		t.Fatalf("stopped: %v (pc=%#x kernel=%v retired=%d)", r, m.Cores[0].PC, m.Cores[0].Kernel, m.TotalRetired)
+	}
+}
+
+// ompSumApp sums i over [0, n) into per-thread partials via the OMP
+// runtime, then reduces serially.
+func ompSumApp(n int64) *cc.Program {
+	p := cc.NewProgram("ompsum")
+	p.GlobalWords("partials", 16)
+	body := p.Func("body", "arg", "lo", "hi", "tid")
+	lo, hi, tid := body.Params[1], body.Params[2], body.Params[3]
+	i := body.Local("i")
+	s := body.Local("s")
+	body.Assign(s, cc.I(0))
+	body.ForRange(i, cc.V(lo), cc.V(hi), func() {
+		body.Assign(s, cc.Add(cc.V(s), cc.V(i)))
+	})
+	body.StoreWordElem("partials", cc.V(tid), cc.V(s))
+	body.Ret(cc.I(0))
+
+	f := p.Func("main")
+	f.Do(cc.Call("__omp_init"))
+	f.Do(cc.Call("__omp_parallel_for", cc.G("body"), cc.I(0), cc.I(0), cc.I(n)))
+	t := f.Local("t")
+	sum := f.Local("sum")
+	f.Assign(sum, cc.I(0))
+	f.ForRange(t, cc.I(0), cc.Call("__omp_nth"), func() {
+		f.Assign(sum, cc.Add(cc.V(sum), cc.LoadWordElem("partials", cc.V(t))))
+	})
+	f.Ret(cc.V(sum))
+	return p
+}
+
+func TestOMPParallelForSum(t *testing.T) {
+	const n = 2000
+	want := uint64(n * (n - 1) / 2)
+	for _, tc := range []struct {
+		isa     string
+		cores   int
+		threads uint64
+	}{
+		{"armv8", 1, 1}, {"armv8", 1, 2}, {"armv8", 2, 2}, {"armv8", 4, 4},
+		{"armv7", 2, 2}, {"armv7", 4, 4},
+	} {
+		t.Run(fmt.Sprintf("%s-c%d-t%d", tc.isa, tc.cores, tc.threads), func(t *testing.T) {
+			m, _ := bootApp(t, tc.isa, tc.cores, ompSumApp(n), tc.threads, 0)
+			mustHalt(t, m, 2_000_000_000)
+			if m.ExitCode != want {
+				t.Errorf("sum = %d, want %d", m.ExitCode, want)
+			}
+		})
+	}
+}
+
+func TestOMPMultipleRegions(t *testing.T) {
+	// Two sequential parallel regions must both complete (join works).
+	p := cc.NewProgram("omp2")
+	p.GlobalWords("acc", 16)
+	body := p.Func("body", "arg", "lo", "hi", "tid")
+	lo, hi, tid := body.Params[1], body.Params[2], body.Params[3]
+	i := body.Local("i")
+	body.ForRange(i, cc.V(lo), cc.V(hi), func() {})
+	body.StoreWordElem("acc", cc.V(tid),
+		cc.Add(cc.LoadWordElem("acc", cc.V(tid)), cc.Sub(cc.V(hi), cc.V(lo))))
+	body.Ret(cc.I(0))
+	f := p.Func("main")
+	f.Do(cc.Call("__omp_init"))
+	f.Do(cc.Call("__omp_parallel_for", cc.G("body"), cc.I(0), cc.I(0), cc.I(100)))
+	f.Do(cc.Call("__omp_parallel_for", cc.G("body"), cc.I(0), cc.I(0), cc.I(50)))
+	s := f.Local("s")
+	tt := f.Local("t")
+	f.Assign(s, cc.I(0))
+	f.ForRange(tt, cc.I(0), cc.I(16), func() {
+		f.Assign(s, cc.Add(cc.V(s), cc.LoadWordElem("acc", cc.V(tt))))
+	})
+	f.Ret(cc.V(s))
+	m, _ := bootApp(t, "armv8", 2, p, 2, 0)
+	mustHalt(t, m, 1_000_000_000)
+	if m.ExitCode != 150 {
+		t.Errorf("total iterations = %d, want 150", m.ExitCode)
+	}
+}
+
+// mpiRingApp passes a token around a ring, each rank adding rank+1.
+func mpiRingApp() *cc.Program {
+	p := cc.NewProgram("mpiring")
+	p.GlobalWords("token", 2)
+	p.GlobalWords("out", 1)
+	rb := p.Func("rankmain", "rank")
+	rank := rb.Params[0]
+	nr := rb.Local("nr")
+	rb.Assign(nr, cc.Call("__mpi_size"))
+	tok := rb.Local("tok")
+	rb.If(cc.Eq(cc.V(nr), cc.I(1)), func() {
+		// A ring of one cannot rendezvous with itself.
+		rb.Store(cc.G("out"), cc.I(101))
+		rb.Ret(cc.I(0))
+	}, nil)
+	rb.If(cc.Eq(cc.V(rank), cc.I(0)), func() {
+		rb.Store(cc.G("token"), cc.I(100))
+		rb.Do(cc.Call("__mpi_send", cc.URem(cc.I(1), cc.V(nr)), cc.G("token"), cc.WordBytes()))
+		rb.Do(cc.Call("__mpi_recv", cc.Sub(cc.V(nr), cc.I(1)), cc.G("token"), cc.WordBytes()))
+		rb.Store(cc.G("out"), cc.Add(cc.Load(cc.G("token")), cc.I(1)))
+	}, func() {
+		buf := cc.GOff("token", 8)
+		rb.Do(cc.Call("__mpi_recv", cc.Sub(cc.V(rank), cc.I(1)), buf, cc.WordBytes()))
+		rb.Assign(tok, cc.Add(cc.Load(buf), cc.Add(cc.V(rank), cc.I(1))))
+		rb.Store(buf, cc.V(tok))
+		rb.Do(cc.Call("__mpi_send", cc.URem(cc.Add(cc.V(rank), cc.I(1)), cc.V(nr)), buf, cc.WordBytes()))
+	})
+	rb.Ret(cc.I(0))
+
+	f := p.Func("main")
+	f.Do(cc.Call("__mpi_run", cc.G("rankmain")))
+	f.Ret(cc.Load(cc.G("out")))
+	return p
+}
+
+func TestMPIRing(t *testing.T) {
+	// Ranks 1..n-1 add rank+1; rank 0 adds 1 at the end.
+	for _, tc := range []struct {
+		isa    string
+		cores  int
+		ranks  uint64
+		expect uint64
+	}{
+		{"armv8", 1, 1, 101},
+		{"armv8", 2, 2, 100 + 2 + 1},
+		{"armv8", 4, 4, 100 + 2 + 3 + 4 + 1},
+		{"armv7", 2, 2, 103},
+		{"armv7", 4, 4, 110},
+	} {
+		t.Run(fmt.Sprintf("%s-c%d-r%d", tc.isa, tc.cores, tc.ranks), func(t *testing.T) {
+			m, _ := bootApp(t, tc.isa, tc.cores, mpiRingApp(), 0, tc.ranks)
+			mustHalt(t, m, 2_000_000_000)
+			if m.ExitCode != tc.expect {
+				t.Errorf("token = %d, want %d", m.ExitCode, tc.expect)
+			}
+		})
+	}
+}
+
+func TestMPICollectives(t *testing.T) {
+	// Each rank contributes rank+1 to a word reduce and (rank+1)*0.5 to
+	// an f64 allreduce; rank 0 checks both and broadcasts a verdict.
+	p := cc.NewProgram("mpicoll")
+	p.GlobalWords("wbuf", 4)
+	p.GlobalF64("fbuf", 4*8)
+	p.GlobalWords("verdict", 2)
+	rb := p.Func("rankmain", "rank")
+	rank := rb.Params[0]
+	nr := rb.Local("nr")
+	rb.Assign(nr, cc.Call("__mpi_size"))
+	// Private slices: rank r uses wbuf[r] and fbuf[r*4 .. r*4+3].
+	rb.StoreWordElem("wbuf", cc.V(rank), cc.Add(cc.V(rank), cc.I(1)))
+	i := rb.Local("i")
+	rb.ForRange(i, cc.I(0), cc.I(4), func() {
+		rb.StoreF64Elem("fbuf", cc.Add(cc.Mul(cc.V(rank), cc.I(4)), cc.V(i)),
+			cc.FMul(cc.CvtWF(cc.Add(cc.V(rank), cc.I(1))), cc.F(0.5)))
+	})
+	rb.Do(cc.Call("__mpi_reduce_sumw", cc.IndexW(cc.G("wbuf"), cc.V(rank)), cc.I(1)))
+	rb.Do(cc.Call("__mpi_allreduce_sumf",
+		cc.Index8(cc.G("fbuf"), cc.Mul(cc.V(rank), cc.I(4))), cc.I(4)))
+	rb.If(cc.Eq(cc.V(rank), cc.I(0)), func() {
+		// Word reduce: sum over ranks of (r+1) landed in wbuf[0].
+		rb.Store(cc.G("verdict"), cc.Load(cc.G("wbuf"))) // n(n+1)/2
+	}, nil)
+	// All ranks see the same f64 allreduce result; rank nr-1 records one.
+	rb.If(cc.Eq(cc.V(rank), cc.Sub(cc.V(nr), cc.I(1))), func() {
+		rb.Store(cc.GOff("verdict", 8),
+			cc.CvtFW(cc.FMul(cc.LoadF64Elem("fbuf", cc.Mul(cc.V(rank), cc.I(4))), cc.F(2.0))))
+	}, nil)
+	rb.Ret(cc.I(0))
+	f := p.Func("main")
+	f.Do(cc.Call("__mpi_run", cc.G("rankmain")))
+	f.Ret(cc.Add(cc.Load(cc.G("verdict")), cc.Mul(cc.Load(cc.GOff("verdict", 8)), cc.I(100))))
+	runCollectives(t, p)
+}
+
+func runCollectives(t *testing.T, p *cc.Program) {
+	// ranks=4: word sum = 10; f64 allreduce elem0 = 0.5*(1+2+3+4)=5 -> *2=10.
+	m, _ := bootApp(t, "armv8", 2, p, 0, 4)
+	mustHalt(t, m, 3_000_000_000)
+	want := uint64(10 + 100*10)
+	if m.ExitCode != want {
+		t.Errorf("collectives verdict = %d, want %d", m.ExitCode, want)
+	}
+}
+
+func TestAtomicAddContended(t *testing.T) {
+	// 4 OMP threads on 4 cores atomically bump one counter 500x each.
+	p := cc.NewProgram("atomics")
+	p.GlobalWords("ctr", 1)
+	body := p.Func("body", "arg", "lo", "hi", "tid")
+	lo, hi := body.Params[1], body.Params[2]
+	i := body.Local("i")
+	body.ForRange(i, cc.V(lo), cc.V(hi), func() {
+		body.Do(cc.Call("__atomic_add", cc.G("ctr"), cc.I(1)))
+	})
+	body.Ret(cc.I(0))
+	f := p.Func("main")
+	f.Do(cc.Call("__omp_init"))
+	f.Do(cc.Call("__omp_parallel_for", cc.G("body"), cc.I(0), cc.I(0), cc.I(2000)))
+	f.Ret(cc.Load(cc.G("ctr")))
+	m, _ := bootApp(t, "armv8", 4, p, 4, 0)
+	mustHalt(t, m, 2_000_000_000)
+	if m.ExitCode != 2000 {
+		t.Errorf("counter = %d, want 2000", m.ExitCode)
+	}
+}
+
+func TestMutex(t *testing.T) {
+	// Critical-section increments under a futex mutex must not race.
+	p := cc.NewProgram("mutex")
+	p.GlobalWords("mu", 1)
+	p.GlobalWords("val", 1)
+	body := p.Func("body", "arg", "lo", "hi", "tid")
+	lo, hi := body.Params[1], body.Params[2]
+	i := body.Local("i")
+	v := body.Local("v")
+	body.ForRange(i, cc.V(lo), cc.V(hi), func() {
+		body.Do(cc.Call("__mutex_lock", cc.G("mu")))
+		body.Assign(v, cc.Load(cc.G("val")))
+		body.Store(cc.G("val"), cc.Add(cc.V(v), cc.I(1)))
+		body.Do(cc.Call("__mutex_unlock", cc.G("mu")))
+	})
+	body.Ret(cc.I(0))
+	f := p.Func("main")
+	f.Do(cc.Call("__omp_init"))
+	f.Do(cc.Call("__omp_parallel_for", cc.G("body"), cc.I(0), cc.I(0), cc.I(800)))
+	f.Ret(cc.Load(cc.G("val")))
+	m, _ := bootApp(t, "armv8", 4, p, 4, 0)
+	mustHalt(t, m, 2_000_000_000)
+	if m.ExitCode != 800 {
+		t.Errorf("val = %d, want 800", m.ExitCode)
+	}
+}
+
+func TestMemcpy(t *testing.T) {
+	p := cc.NewProgram("memcpy")
+	p.GlobalBytes("src", 64)
+	p.GlobalBytes("dst", 64)
+	f := p.Func("main")
+	i := f.Local("i")
+	f.ForRange(i, cc.I(0), cc.I(37), func() {
+		f.StoreB(cc.Add(cc.G("src"), cc.V(i)), cc.Add(cc.V(i), cc.I(3)))
+	})
+	f.Do(cc.Call("__memcpy", cc.G("dst"), cc.G("src"), cc.I(37)))
+	s := f.Local("s")
+	f.Assign(s, cc.I(0))
+	f.ForRange(i, cc.I(0), cc.I(37), func() {
+		f.Assign(s, cc.Add(cc.V(s), cc.LoadB(cc.Add(cc.G("dst"), cc.V(i)))))
+	})
+	f.Ret(cc.V(s)) // sum of 3..39 = 777
+	m, _ := bootApp(t, "armv7", 1, p, 0, 0)
+	mustHalt(t, m, 500_000_000)
+	if m.ExitCode != 777 {
+		t.Errorf("checksum = %d, want 777", m.ExitCode)
+	}
+}
+
+func TestOMPWorkloadImbalanceStats(t *testing.T) {
+	// With the master also running serial sections, per-core retired
+	// instruction counts should differ more under OMP than the per-rank
+	// symmetric MPI structure (paper §4.2.2, qualitative).
+	m, _ := bootApp(t, "armv8", 2, ompSumApp(20000), 2, 0)
+	mustHalt(t, m, 2_000_000_000)
+	a := m.Cores[0].Stats.Retired
+	b := m.Cores[1].Stats.Retired
+	if a == 0 || b == 0 {
+		t.Fatalf("a core retired nothing: %d %d", a, b)
+	}
+	diff := math.Abs(float64(a)-float64(b)) / float64(a+b)
+	if diff <= 0 {
+		t.Errorf("expected some imbalance, got %f", diff)
+	}
+}

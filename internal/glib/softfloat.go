@@ -1,0 +1,638 @@
+// Package glib provides the guest-side libraries linked into simulated
+// software stacks: the soft-float library (armv7 only), the C-runtime-ish
+// console/string helpers, and the OpenMP- and MPI-like parallel runtimes.
+// Everything in this package is DSL code compiled by internal/cc and
+// executed inside the simulator, so injected faults corrupt these libraries
+// exactly as they corrupt application code.
+package glib
+
+import (
+	. "serfi/internal/cc"
+)
+
+// Soft-float calling convention (armv7): all float64 values are passed by
+// pointer. dst/pa/pb point at 8-byte little-endian binary64 values.
+//
+//	__f64_add/sub/mul/div(dst, pa, pb)
+//	__f64_sqrt/neg/abs(dst, pa)
+//	__f64_fromw(dst, w)            w = signed 32-bit integer
+//	__f64_tow(pa) -> word          truncate toward zero, saturating
+//	__f64_cmp(pa, pb) -> word      0 eq, 1 lt, 2 gt, 3 unordered
+//
+// The implementation mirrors internal/softfp statement-for-statement; that
+// package is the bit-exact host oracle these routines are tested against.
+// Deviations from IEEE-754 (FTZ, canonical NaN, round-to-nearest only) are
+// documented there.
+
+const (
+	nanHi  = 0x7ff80000
+	infExp = 0x7ff
+)
+
+// sfb is a small builder for the two-word helpers shared by the soft-float
+// routines.
+type sfb struct {
+	f  *Func
+	t1 *Var
+	t2 *Var
+}
+
+func newSfb(f *Func) *sfb {
+	return &sfb{f: f, t1: f.Local(".t1"), t2: f.Local(".t2")}
+}
+
+// add64: (rh,rl) = (ah,al)+(bh,bl). rh/rl must not alias inputs' low words.
+func (s *sfb) add64(rh, rl, ah, al, bh, bl *Var) {
+	f := s.f
+	f.Assign(s.t1, Add(V(al), V(bl)))
+	f.Assign(s.t2, Bool(LtU(V(s.t1), V(al))))
+	f.Assign(rh, Add(Add(V(ah), V(bh)), V(s.t2)))
+	f.Assign(rl, V(s.t1))
+}
+
+// sub64: (rh,rl) = (ah,al)-(bh,bl).
+func (s *sfb) sub64(rh, rl, ah, al, bh, bl *Var) {
+	f := s.f
+	f.Assign(s.t1, Sub(V(al), V(bl)))
+	f.Assign(s.t2, Bool(LtU(V(al), V(bl))))
+	f.Assign(rh, Sub(Sub(V(ah), V(bh)), V(s.t2)))
+	f.Assign(rl, V(s.t1))
+}
+
+// inc64: (h,l) += 1.
+func (s *sfb) inc64(h, l *Var) {
+	f := s.f
+	f.Assign(l, Add(V(l), I(1)))
+	f.If(Eq(V(l), I(0)), func() { f.Assign(h, Add(V(h), I(1))) }, nil)
+}
+
+// cmp64 materializes 0/1/2 (eq/gt/lt order follows softfp.cmp64: 1 means
+// a>b, 2 means a<b).
+func (s *sfb) cmp64(r, ah, al, bh, bl *Var) {
+	f := s.f
+	f.Assign(r, I(0))
+	f.If(GtU(V(ah), V(bh)), func() { f.Assign(r, I(1)) }, func() {
+		f.If(LtU(V(ah), V(bh)), func() { f.Assign(r, I(2)) }, func() {
+			f.If(GtU(V(al), V(bl)), func() { f.Assign(r, I(1)) }, func() {
+				f.If(LtU(V(al), V(bl)), func() { f.Assign(r, I(2)) }, nil)
+			})
+		})
+	})
+}
+
+// shl64: (h,l) <<= n (variable amount, in place).
+func (s *sfb) shl64(h, l, n *Var) {
+	f := s.f
+	f.If(Ne(V(n), I(0)), func() {
+		f.If(GeU(V(n), I(64)), func() {
+			f.Assign(h, I(0))
+			f.Assign(l, I(0))
+		}, func() {
+			f.If(GeU(V(n), I(32)), func() {
+				f.Assign(h, Shl(V(l), Sub(V(n), I(32))))
+				f.Assign(l, I(0))
+			}, func() {
+				f.Assign(h, Or(Shl(V(h), V(n)), Shr(V(l), Sub(I(32), V(n)))))
+				f.Assign(l, Shl(V(l), V(n)))
+			})
+		})
+	}, nil)
+}
+
+// shr64 plain: (h,l) >>= n.
+func (s *sfb) shr64(h, l, n *Var) {
+	f := s.f
+	f.If(Ne(V(n), I(0)), func() {
+		f.If(GeU(V(n), I(64)), func() {
+			f.Assign(h, I(0))
+			f.Assign(l, I(0))
+		}, func() {
+			f.If(GeU(V(n), I(32)), func() {
+				f.Assign(l, Shr(V(h), Sub(V(n), I(32))))
+				f.Assign(h, I(0))
+			}, func() {
+				f.Assign(l, Or(Shr(V(l), V(n)), Shl(V(h), Sub(I(32), V(n)))))
+				f.Assign(h, Shr(V(h), V(n)))
+			})
+		})
+	}, nil)
+}
+
+// shr64sticky: (h,l) >>= n with every lost bit ORed into bit 0 of l.
+func (s *sfb) shr64sticky(h, l, n *Var) {
+	f := s.f
+	f.If(Eq(V(n), I(0)), func() {}, func() {
+		f.If(GeU(V(n), I(64)), func() {
+			f.Assign(s.t1, Bool(Ne(Or(V(h), V(l)), I(0))))
+			f.Assign(h, I(0))
+			f.Assign(l, V(s.t1))
+		}, func() {
+			f.If(GeU(V(n), I(32)), func() {
+				// k = n-32; sticky from l plus h<<(32-k) when k>0.
+				f.Assign(s.t1, Bool(Ne(V(l), I(0))))
+				f.Assign(s.t2, Sub(V(n), I(32)))
+				f.If(Gt(V(s.t2), I(0)), func() {
+					f.If(Ne(Shl(V(h), Sub(I(32), V(s.t2))), I(0)), func() {
+						f.Assign(s.t1, I(1))
+					}, nil)
+				}, nil)
+				f.Assign(l, Or(Shr(V(h), V(s.t2)), V(s.t1)))
+				f.Assign(h, I(0))
+			}, func() {
+				f.Assign(s.t1, Bool(Ne(Shl(V(l), Sub(I(32), V(n))), I(0))))
+				f.Assign(l, Or(Or(Shr(V(l), V(n)), Shl(V(h), Sub(I(32), V(n)))), V(s.t1)))
+				f.Assign(h, Shr(V(h), V(n)))
+			})
+		})
+	})
+}
+
+// unpack splits the value at [p] into sign/exp/mhi/mlo/kind locals (kinds
+// as in softfp: 0 zero, 1 normal, 2 inf, 3 nan; subnormals flush to zero).
+func (s *sfb) unpack(p *Var, sign, exp, mhi, mlo, kind *Var) {
+	f := s.f
+	f.Assign(mlo, LoadW(V(p)))
+	f.Assign(s.t1, LoadW(Add(V(p), I(4))))
+	f.Assign(sign, Shr(V(s.t1), I(31)))
+	f.Assign(exp, And(Shr(V(s.t1), I(20)), I(infExp)))
+	f.Assign(mhi, And(V(s.t1), I(0xfffff)))
+	f.If(Eq(V(exp), I(infExp)), func() {
+		f.If(Ne(Or(V(mhi), V(mlo)), I(0)), func() { f.Assign(kind, I(3)) },
+			func() { f.Assign(kind, I(2)) })
+	}, func() {
+		f.If(Eq(V(exp), I(0)), func() {
+			f.Assign(kind, I(0))
+			f.Assign(mhi, I(0))
+			f.Assign(mlo, I(0))
+		}, func() {
+			f.Assign(kind, I(1))
+			f.Assign(mhi, Or(V(mhi), I(1<<20)))
+		})
+	})
+}
+
+// storeBits writes (hi,lo) to [dst].
+func (s *sfb) storeBits(dst *Var, hi, lo *Expr) {
+	s.f.StoreW(V(dst), lo)
+	s.f.StoreW(Add(V(dst), I(4)), hi)
+}
+
+// storeNaN writes the canonical NaN to [dst].
+func (s *sfb) storeNaN(dst *Var) { s.storeBits(dst, I(nanHi), I(0)) }
+
+// storeInf writes a signed infinity.
+func (s *sfb) storeInf(dst, sign *Var) {
+	s.storeBits(dst, Or(Shl(V(sign), I(31)), I(infExp<<20)), I(0))
+}
+
+// packStore packs sign/exp/mhi/mlo (with overflow/underflow handling) into
+// [dst].
+func (s *sfb) packStore(dst, sign, exp, mhi, mlo *Var) {
+	f := s.f
+	f.If(Ge(V(exp), I(infExp)), func() {
+		s.storeInf(dst, sign)
+	}, func() {
+		f.If(Le(V(exp), I(0)), func() {
+			s.storeBits(dst, Shl(V(sign), I(31)), I(0))
+		}, func() {
+			s.storeBits(dst,
+				Or(Or(Shl(V(sign), I(31)), Shl(V(exp), I(20))), And(V(mhi), I(0xfffff))),
+				V(mlo))
+		})
+	})
+}
+
+// roundPackStore rounds the 56-bit mantissa (top at bit 55) to nearest-even
+// and packs.
+func (s *sfb) roundPackStore(dst, sign, exp, mhi, mlo, grs *Var) {
+	f := s.f
+	f.Assign(grs, And(V(mlo), I(7)))
+	f.Assign(s.t1, I(3))
+	s.shr64(mhi, mlo, s.t1)
+	f.If(OrC(GtU(V(grs), I(4)), AndC(Eq(V(grs), I(4)), Eq(And(V(mlo), I(1)), I(1)))), func() {
+		s.inc64(mhi, mlo)
+		f.If(GeU(V(mhi), I(1<<21)), func() {
+			f.Assign(s.t1, I(1))
+			s.shr64(mhi, mlo, s.t1)
+			f.Assign(exp, Add(V(exp), I(1)))
+		}, nil)
+	}, nil)
+	s.packStore(dst, sign, exp, mhi, mlo)
+}
+
+// BuildSoftFloat returns the guest soft-float program (link into armv7
+// images only; armv8 uses hardware FP).
+func BuildSoftFloat() *Program {
+	p := NewProgram("softfloat")
+	buildAddSub(p)
+	buildMul(p)
+	buildDiv(p)
+	buildCmp(p)
+	buildFromW(p)
+	buildToW(p)
+	buildNegAbs(p)
+	buildSqrt(p)
+	return p
+}
+
+func buildAddSub(p *Program) {
+	// __f64_addsub(dst, pa, pb, flip): the shared core.
+	f := p.Func("__f64_addsub", "dst", "pa", "pb", "flip")
+	dst, pa, pb, flip := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+	s := newSfb(f)
+	sa, ea := f.Local("sa"), f.Local("ea")
+	mah, mal, ka := f.Local("mah"), f.Local("mal"), f.Local("ka")
+	sb, eb := f.Local("sb"), f.Local("eb")
+	mbh, mbl, kb := f.Local("mbh"), f.Local("mbl"), f.Local("kb")
+	s.unpack(pa, sa, ea, mah, mal, ka)
+	s.unpack(pb, sb, eb, mbh, mbl, kb)
+	f.Assign(sb, Xor(V(sb), V(flip)))
+
+	f.If(OrC(Eq(V(ka), I(3)), Eq(V(kb), I(3))), func() {
+		s.storeNaN(dst)
+		f.Ret(nil)
+	}, nil)
+	f.If(Eq(V(ka), I(2)), func() {
+		f.If(AndC(Eq(V(kb), I(2)), Ne(V(sa), V(sb))), func() {
+			s.storeNaN(dst)
+		}, func() {
+			s.storeInf(dst, sa)
+		})
+		f.Ret(nil)
+	}, nil)
+	f.If(Eq(V(kb), I(2)), func() {
+		s.storeInf(dst, sb)
+		f.Ret(nil)
+	}, nil)
+	f.If(AndC(Eq(V(ka), I(0)), Eq(V(kb), I(0))), func() {
+		s.storeBits(dst, Shl(And(V(sa), V(sb)), I(31)), I(0))
+		f.Ret(nil)
+	}, nil)
+	f.If(Eq(V(ka), I(0)), func() {
+		s.packStore(dst, sb, eb, mbh, mbl)
+		f.Ret(nil)
+	}, nil)
+	f.If(Eq(V(kb), I(0)), func() {
+		s.packStore(dst, sa, ea, mah, mal)
+		f.Ret(nil)
+	}, nil)
+
+	// Widen to 56 bits.
+	n := f.Local("n")
+	f.Assign(n, I(3))
+	s.shl64(mah, mal, n)
+	f.Assign(n, I(3))
+	s.shl64(mbh, mbl, n)
+
+	// Ensure |a| >= |b| (swap otherwise).
+	cr := f.Local("cr")
+	s.cmp64(cr, mah, mal, mbh, mbl)
+	swap := f.Local("swap")
+	f.Assign(swap, Bool(OrC(Lt(V(ea), V(eb)), AndC(Eq(V(ea), V(eb)), Eq(V(cr), I(2))))))
+	f.If(Ne(V(swap), I(0)), func() {
+		for _, pr := range [][2]*Var{{sa, sb}, {ea, eb}, {mah, mbh}, {mal, mbl}} {
+			f.Assign(s.t1, V(pr[0]))
+			f.Assign(pr[0], V(pr[1]))
+			f.Assign(pr[1], V(s.t1))
+		}
+	}, nil)
+
+	f.Assign(n, Sub(V(ea), V(eb)))
+	s.shr64sticky(mbh, mbl, n)
+
+	grs := f.Local("grs")
+	f.If(Eq(V(sa), V(sb)), func() {
+		s.add64(mah, mal, mah, mal, mbh, mbl)
+		f.If(GeU(V(mah), I(1<<24)), func() {
+			f.Assign(n, I(1))
+			s.shr64sticky(mah, mal, n)
+			f.Assign(ea, Add(V(ea), I(1)))
+		}, nil)
+		s.roundPackStore(dst, sa, ea, mah, mal, grs)
+		f.Ret(nil)
+	}, nil)
+
+	s.sub64(mah, mal, mah, mal, mbh, mbl)
+	f.If(Eq(Or(V(mah), V(mal)), I(0)), func() {
+		s.storeBits(dst, I(0), I(0))
+		f.Ret(nil)
+	}, nil)
+	lz := f.Local("lz")
+	f.If(Ne(V(mah), I(0)), func() {
+		f.Assign(lz, Sub(Clz(V(mah)), I(8)))
+	}, func() {
+		f.Assign(lz, Add(I(24), Clz(V(mal))))
+	})
+	s.shl64(mah, mal, lz)
+	f.Assign(ea, Sub(V(ea), V(lz)))
+	s.roundPackStore(dst, sa, ea, mah, mal, grs)
+	f.Ret(nil)
+
+	add := p.Func("__f64_add", "dst", "pa", "pb")
+	add.Do(Call("__f64_addsub", V(add.Params[0]), V(add.Params[1]), V(add.Params[2]), I(0)))
+	add.Ret(nil)
+	sub := p.Func("__f64_sub", "dst", "pa", "pb")
+	sub.Do(Call("__f64_addsub", V(sub.Params[0]), V(sub.Params[1]), V(sub.Params[2]), I(1)))
+	sub.Ret(nil)
+}
+
+func buildMul(p *Program) {
+	f := p.Func("__f64_mul", "dst", "pa", "pb")
+	dst, pa, pb := f.Params[0], f.Params[1], f.Params[2]
+	s := newSfb(f)
+	sa, ea := f.Local("sa"), f.Local("ea")
+	mah, mal, ka := f.Local("mah"), f.Local("mal"), f.Local("ka")
+	sb, eb := f.Local("sb"), f.Local("eb")
+	mbh, mbl, kb := f.Local("mbh"), f.Local("mbl"), f.Local("kb")
+	s.unpack(pa, sa, ea, mah, mal, ka)
+	s.unpack(pb, sb, eb, mbh, mbl, kb)
+	sign := f.Local("sign")
+	f.Assign(sign, Xor(V(sa), V(sb)))
+
+	f.If(OrC(Eq(V(ka), I(3)), Eq(V(kb), I(3))), func() {
+		s.storeNaN(dst)
+		f.Ret(nil)
+	}, nil)
+	f.If(OrC(Eq(V(ka), I(2)), Eq(V(kb), I(2))), func() {
+		f.If(OrC(Eq(V(ka), I(0)), Eq(V(kb), I(0))), func() {
+			s.storeNaN(dst)
+		}, func() {
+			s.storeInf(dst, sign)
+		})
+		f.Ret(nil)
+	}, nil)
+	f.If(OrC(Eq(V(ka), I(0)), Eq(V(kb), I(0))), func() {
+		s.storeBits(dst, Shl(V(sign), I(31)), I(0))
+		f.Ret(nil)
+	}, nil)
+
+	exp := f.Local("exp")
+	f.Assign(exp, Sub(Add(V(ea), V(eb)), I(1023)))
+
+	// Four 32x32 partial products.
+	w0, w1, w2, w3 := f.Local("w0"), f.Local("w1"), f.Local("w2"), f.Local("w3")
+	t := f.Local("t")
+	f.Assign(w0, Mul(V(mal), V(mbl)))
+	f.Assign(w1, MulHi(V(mal), V(mbl)))
+	f.Assign(w2, I(0))
+	f.Assign(w3, I(0))
+	// w1 += lo(mal*mbh); carry -> w2; w2 += hi(mal*mbh)
+	f.Assign(t, Mul(V(mal), V(mbh)))
+	f.Assign(w1, Add(V(w1), V(t)))
+	f.If(LtU(V(w1), V(t)), func() { f.Assign(w2, Add(V(w2), I(1))) }, nil)
+	f.Assign(t, Mul(V(mah), V(mbl)))
+	f.Assign(w1, Add(V(w1), V(t)))
+	f.If(LtU(V(w1), V(t)), func() { f.Assign(w2, Add(V(w2), I(1))) }, nil)
+	// w2 += hi(mal*mbh) + hi(mah*mbl) + lo(mah*mbh), carries -> w3.
+	f.Assign(t, MulHi(V(mal), V(mbh)))
+	f.Assign(w2, Add(V(w2), V(t)))
+	f.If(LtU(V(w2), V(t)), func() { f.Assign(w3, Add(V(w3), I(1))) }, nil)
+	f.Assign(t, MulHi(V(mah), V(mbl)))
+	f.Assign(w2, Add(V(w2), V(t)))
+	f.If(LtU(V(w2), V(t)), func() { f.Assign(w3, Add(V(w3), I(1))) }, nil)
+	f.Assign(t, Mul(V(mah), V(mbh)))
+	f.Assign(w2, Add(V(w2), V(t)))
+	f.If(LtU(V(w2), V(t)), func() { f.Assign(w3, Add(V(w3), I(1))) }, nil)
+	f.Assign(w3, Add(V(w3), MulHi(V(mah), V(mbh))))
+
+	// Reduce to 56 bits + sticky.
+	k := f.Local("k") // shift-32: 17 or 18
+	f.If(Ne(Shr(V(w3), I(9)), I(0)), func() {
+		f.Assign(k, I(18))
+		f.Assign(exp, Add(V(exp), I(1)))
+	}, func() {
+		f.Assign(k, I(17))
+	})
+	sticky := f.Local("sticky")
+	f.Assign(sticky, Bool(Ne(V(w0), I(0))))
+	f.If(Ne(Shl(V(w1), Sub(I(32), V(k))), I(0)), func() { f.Assign(sticky, I(1)) }, nil)
+	mlo, mhi := f.Local("mlo"), f.Local("mhi")
+	f.Assign(mlo, Or(Shr(V(w1), V(k)), Shl(V(w2), Sub(I(32), V(k)))))
+	f.Assign(mhi, Or(Shr(V(w2), V(k)), Shl(V(w3), Sub(I(32), V(k)))))
+	f.Assign(mlo, Or(V(mlo), V(sticky)))
+	grs := f.Local("grs")
+	s.roundPackStore(dst, sign, exp, mhi, mlo, grs)
+	f.Ret(nil)
+}
+
+func buildDiv(p *Program) {
+	f := p.Func("__f64_div", "dst", "pa", "pb")
+	dst, pa, pb := f.Params[0], f.Params[1], f.Params[2]
+	s := newSfb(f)
+	sa, ea := f.Local("sa"), f.Local("ea")
+	mah, mal, ka := f.Local("mah"), f.Local("mal"), f.Local("ka")
+	sb, eb := f.Local("sb"), f.Local("eb")
+	mbh, mbl, kb := f.Local("mbh"), f.Local("mbl"), f.Local("kb")
+	s.unpack(pa, sa, ea, mah, mal, ka)
+	s.unpack(pb, sb, eb, mbh, mbl, kb)
+	sign := f.Local("sign")
+	f.Assign(sign, Xor(V(sa), V(sb)))
+
+	f.If(OrC(Eq(V(ka), I(3)), Eq(V(kb), I(3))), func() {
+		s.storeNaN(dst)
+		f.Ret(nil)
+	}, nil)
+	f.If(Eq(V(ka), I(2)), func() {
+		f.If(Eq(V(kb), I(2)), func() { s.storeNaN(dst) }, func() { s.storeInf(dst, sign) })
+		f.Ret(nil)
+	}, nil)
+	f.If(Eq(V(kb), I(2)), func() {
+		s.storeBits(dst, Shl(V(sign), I(31)), I(0))
+		f.Ret(nil)
+	}, nil)
+	f.If(Eq(V(kb), I(0)), func() {
+		f.If(Eq(V(ka), I(0)), func() { s.storeNaN(dst) }, func() { s.storeInf(dst, sign) })
+		f.Ret(nil)
+	}, nil)
+	f.If(Eq(V(ka), I(0)), func() {
+		s.storeBits(dst, Shl(V(sign), I(31)), I(0))
+		f.Ret(nil)
+	}, nil)
+
+	exp := f.Local("exp")
+	f.Assign(exp, Add(Sub(V(ea), V(eb)), I(1023)))
+	cr := f.Local("cr")
+	s.cmp64(cr, mah, mal, mbh, mbl)
+	n := f.Local("n")
+	f.If(Eq(V(cr), I(2)), func() {
+		f.Assign(n, I(1))
+		s.shl64(mah, mal, n)
+		f.Assign(exp, Sub(V(exp), I(1)))
+	}, nil)
+
+	qh, ql := f.Local("qh"), f.Local("ql")
+	f.Assign(qh, I(0))
+	f.Assign(ql, I(0))
+	i := f.Local("i")
+	f.ForRange(i, I(0), I(54), func() {
+		f.Assign(n, I(1))
+		s.shl64(qh, ql, n)
+		s.cmp64(cr, mah, mal, mbh, mbl)
+		f.If(Ne(V(cr), I(2)), func() { // rem >= B
+			s.sub64(mah, mal, mah, mal, mbh, mbl)
+			f.Assign(ql, Or(V(ql), I(1)))
+		}, nil)
+		f.Assign(n, I(1))
+		s.shl64(mah, mal, n)
+	})
+	sticky := f.Local("sticky")
+	f.Assign(sticky, Bool(Ne(Or(V(mah), V(mal)), I(0))))
+	f.Assign(n, I(2))
+	s.shl64(qh, ql, n)
+	f.Assign(ql, Or(V(ql), V(sticky)))
+	grs := f.Local("grs")
+	s.roundPackStore(dst, sign, exp, qh, ql, grs)
+	f.Ret(nil)
+}
+
+func buildCmp(p *Program) {
+	f := p.Func("__f64_cmp", "pa", "pb")
+	pa, pb := f.Params[0], f.Params[1]
+	s := newSfb(f)
+	sa, ea := f.Local("sa"), f.Local("ea")
+	mah, mal, ka := f.Local("mah"), f.Local("mal"), f.Local("ka")
+	sb, eb := f.Local("sb"), f.Local("eb")
+	mbh, mbl, kb := f.Local("mbh"), f.Local("mbl"), f.Local("kb")
+	s.unpack(pa, sa, ea, mah, mal, ka)
+	s.unpack(pb, sb, eb, mbh, mbl, kb)
+	_ = ea
+	_ = eb
+	f.If(OrC(Eq(V(ka), I(3)), Eq(V(kb), I(3))), func() { f.Ret(I(3)) }, nil)
+	f.If(AndC(Eq(V(ka), I(0)), Eq(V(kb), I(0))), func() { f.Ret(I(0)) }, nil)
+	f.If(Eq(V(ka), I(0)), func() {
+		f.If(Eq(V(sb), I(1)), func() { f.Ret(I(2)) }, func() { f.Ret(I(1)) })
+	}, nil)
+	f.If(Eq(V(kb), I(0)), func() {
+		f.If(Eq(V(sa), I(1)), func() { f.Ret(I(1)) }, func() { f.Ret(I(2)) })
+	}, nil)
+	f.If(Ne(V(sa), V(sb)), func() {
+		f.If(Eq(V(sa), I(1)), func() { f.Ret(I(1)) }, func() { f.Ret(I(2)) })
+	}, nil)
+	// Same sign: magnitude compare of raw bit patterns.
+	ah := f.Local("ah")
+	bh := f.Local("bh")
+	al := f.Local("al")
+	bl := f.Local("bl")
+	f.Assign(al, LoadW(V(pa)))
+	f.Assign(ah, And(LoadW(Add(V(pa), I(4))), I(0x7fffffff)))
+	f.Assign(bl, LoadW(V(pb)))
+	f.Assign(bh, And(LoadW(Add(V(pb), I(4))), I(0x7fffffff)))
+	cr := f.Local("cr")
+	s.cmp64(cr, ah, al, bh, bl)
+	f.If(Eq(V(cr), I(0)), func() { f.Ret(I(0)) }, nil)
+	less := f.Local("less")
+	f.Assign(less, Bool(Eq(V(cr), I(2))))
+	f.If(Eq(V(sa), I(1)), func() { f.Assign(less, Xor(V(less), I(1))) }, nil)
+	f.If(Ne(V(less), I(0)), func() { f.Ret(I(1)) }, nil)
+	f.Ret(I(2))
+}
+
+func buildFromW(p *Program) {
+	f := p.Func("__f64_fromw", "dst", "w")
+	dst, w := f.Params[0], f.Params[1]
+	s := newSfb(f)
+	f.If(Eq(V(w), I(0)), func() {
+		s.storeBits(dst, I(0), I(0))
+		f.Ret(nil)
+	}, nil)
+	sign := f.Local("sign")
+	mag := f.Local("mag")
+	f.Assign(sign, And(Shr(V(w), I(31)), I(1)))
+	f.Assign(mag, V(w))
+	f.If(Eq(V(sign), I(1)), func() { f.Assign(mag, Neg(V(w))) }, nil)
+	lz := f.Local("lz")
+	f.Assign(lz, Clz(V(mag)))
+	exp := f.Local("exp")
+	f.Assign(exp, Sub(Add(I(1023), I(31)), V(lz)))
+	mhi, mlo := f.Local("mhi"), f.Local("mlo")
+	f.Assign(mhi, I(0))
+	f.Assign(mlo, V(mag))
+	n := f.Local("n")
+	f.Assign(n, Add(I(21), V(lz)))
+	s.shl64(mhi, mlo, n)
+	s.packStore(dst, sign, exp, mhi, mlo)
+	f.Ret(nil)
+}
+
+func buildToW(p *Program) {
+	f := p.Func("__f64_tow", "pa")
+	pa := f.Params[0]
+	s := newSfb(f)
+	sa, ea := f.Local("sa"), f.Local("ea")
+	mah, mal, ka := f.Local("mah"), f.Local("mal"), f.Local("ka")
+	s.unpack(pa, sa, ea, mah, mal, ka)
+	f.If(OrC(Eq(V(ka), I(3)), Eq(V(ka), I(0))), func() { f.Ret(I(0)) }, nil)
+	f.If(Eq(V(ka), I(2)), func() {
+		f.If(Eq(V(sa), I(1)), func() { f.Ret(I(-0x80000000)) }, func() { f.Ret(I(0x7fffffff)) })
+	}, nil)
+	f.If(Lt(V(ea), I(1023)), func() { f.Ret(I(0)) }, nil)
+	pp := f.Local("p")
+	f.Assign(pp, Sub(V(ea), I(1023)))
+	f.If(GeU(V(pp), I(31)), func() {
+		f.If(Eq(V(sa), I(1)), func() {
+			f.Ret(I(-0x80000000)) // saturate; exactly -2^31 included
+		}, func() {
+			f.Ret(I(0x7fffffff))
+		})
+	}, nil)
+	// v = mant >> (52-p), plain shift, fits 31 bits.
+	n := f.Local("n")
+	f.Assign(n, Sub(I(52), V(pp)))
+	s.shr64(mah, mal, n)
+	f.If(Eq(V(sa), I(1)), func() { f.Ret(Neg(V(mal))) }, nil)
+	f.Ret(V(mal))
+}
+
+func buildNegAbs(p *Program) {
+	neg := p.Func("__f64_neg", "dst", "pa")
+	neg.StoreW(V(neg.Params[0]), LoadW(V(neg.Params[1])))
+	neg.StoreW(Add(V(neg.Params[0]), I(4)),
+		Xor(LoadW(Add(V(neg.Params[1]), I(4))), I(-0x80000000)))
+	neg.Ret(nil)
+	abs := p.Func("__f64_abs", "dst", "pa")
+	abs.StoreW(V(abs.Params[0]), LoadW(V(abs.Params[1])))
+	abs.StoreW(Add(V(abs.Params[0]), I(4)),
+		And(LoadW(Add(V(abs.Params[1]), I(4))), I(0x7fffffff)))
+	abs.Ret(nil)
+}
+
+func buildSqrt(p *Program) {
+	// Newton-Raphson on top of the library's own add/mul/div; the seed
+	// comes from halving the exponent field. Accurate to <=1 ulp over the
+	// normal range (documented deviation: not correctly rounded).
+	f := p.Func("__f64_sqrt", "dst", "pa")
+	dst, pa := f.Params[0], f.Params[1]
+	s := newSfb(f)
+	lo, hi := f.Local("lo"), f.Local("hi")
+	f.Assign(lo, LoadW(V(pa)))
+	f.Assign(hi, LoadW(Add(V(pa), I(4))))
+	exp := f.Local("exp")
+	f.Assign(exp, And(Shr(V(hi), I(20)), I(infExp)))
+	// Zero (or FTZ subnormal) propagates its sign; sqrt(-0) = -0.
+	f.If(Eq(V(exp), I(0)), func() {
+		s.storeBits(dst, And(V(hi), I(-0x80000000)), I(0))
+		f.Ret(nil)
+	}, nil)
+	// Negative -> NaN.
+	f.If(Ne(Shr(V(hi), I(31)), I(0)), func() {
+		s.storeNaN(dst)
+		f.Ret(nil)
+	}, nil)
+	// NaN/Inf propagate (sqrt(+inf)=+inf).
+	f.If(Eq(V(exp), I(infExp)), func() {
+		s.storeBits(dst, V(hi), V(lo))
+		f.Ret(nil)
+	}, nil)
+	// Seed: halve the exponent via the bit trick.
+	s.storeBits(dst, Add(Shr(V(hi), I(1)), I(0x1ff80000)), I(0))
+	x := f.LocalF("x")
+	a := f.LocalF("a")
+	f.Assign(x, LoadF(V(dst)))
+	f.Assign(a, LoadF(V(pa)))
+	it := f.Local("it")
+	f.ForRange(it, I(0), I(6), func() {
+		f.Assign(x, FMul(F(0.5), FAdd(V(x), FDiv(V(a), V(x)))))
+	})
+	f.StoreF(V(dst), V(x))
+	f.Ret(nil)
+}

@@ -1,0 +1,293 @@
+package glib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serfi/internal/cache"
+	"serfi/internal/cc"
+	"serfi/internal/isa"
+	"serfi/internal/isa/armv7"
+	"serfi/internal/isa/armv8"
+	"serfi/internal/mach"
+)
+
+// bareKernel is the minimal harness: exceptions halt, __start calls main on
+// a private stack.
+func bareKernel() *cc.Program {
+	k := cc.NewProgram("barekern")
+	k.GlobalBytes("__kstack", 8192)
+	vec := k.NakedFunc("__vector")
+	vec.Halt()
+	st := k.NakedFunc("__start")
+	st.SetSP(cc.GOff("__kstack", 8192))
+	st.Do(cc.Call("main"))
+	st.Halt()
+	return k
+}
+
+func testMachine(codec isa.ISA) *mach.Machine {
+	return mach.New(mach.Config{
+		ISA:      codec,
+		Cores:    1,
+		RAMBytes: 8 << 20,
+		Timing: mach.TimingModel{
+			Name: "t", IntALU: 1, Mul: 3, Div: 10, FPALU: 2, FPDiv: 10,
+			LdSt: 1, Branch: 1, Mispredict: 5, ExcEntry: 8, MMIO: 2,
+		},
+		Cache: cache.DefaultConfig(),
+	})
+}
+
+const nCases = 48
+
+// buildDriver computes, for each case i: add/sub/mul/div/sqrt/neg results,
+// a comparison mask, an f64->int conversion and an int->f64 conversion.
+func buildDriver() *cc.Program {
+	p := cc.NewProgram("driver")
+	p.GlobalF64("ina", nCases)
+	p.GlobalF64("inb", nCases)
+	p.GlobalWords("inw", nCases)
+	for _, out := range []string{"outadd", "outsub", "outmul", "outdiv", "outsqrt", "outneg", "outfromw"} {
+		p.GlobalF64(out, nCases)
+	}
+	p.GlobalWords("outcmp", nCases)
+	p.GlobalWords("outtow", nCases)
+	f := p.Func("main")
+	i := f.Local("i")
+	a := func() *cc.Expr { return cc.LoadF64Elem("ina", cc.V(i)) }
+	b := func() *cc.Expr { return cc.LoadF64Elem("inb", cc.V(i)) }
+	f.ForRange(i, cc.I(0), cc.I(nCases), func() {
+		f.StoreF64Elem("outadd", cc.V(i), cc.FAdd(a(), b()))
+		f.StoreF64Elem("outsub", cc.V(i), cc.FSub(a(), b()))
+		f.StoreF64Elem("outmul", cc.V(i), cc.FMul(a(), b()))
+		f.StoreF64Elem("outdiv", cc.V(i), cc.FDiv(a(), b()))
+		f.StoreF64Elem("outsqrt", cc.V(i), cc.Sqrt(cc.FAbs(a())))
+		f.StoreF64Elem("outneg", cc.V(i), cc.FNeg(a()))
+		mask := f.Local("mask")
+		f.Assign(mask, cc.Bool(cc.FLt(a(), b())))
+		f.Assign(mask, cc.Or(cc.V(mask), cc.Shl(cc.Bool(cc.FLe(a(), b())), cc.I(1))))
+		f.Assign(mask, cc.Or(cc.V(mask), cc.Shl(cc.Bool(cc.FEq(a(), b())), cc.I(2))))
+		f.Assign(mask, cc.Or(cc.V(mask), cc.Shl(cc.Bool(cc.FGt(a(), b())), cc.I(3))))
+		f.Assign(mask, cc.Or(cc.V(mask), cc.Shl(cc.Bool(cc.FGe(a(), b())), cc.I(4))))
+		f.Assign(mask, cc.Or(cc.V(mask), cc.Shl(cc.Bool(cc.FNe(a(), b())), cc.I(5))))
+		f.StoreWordElem("outcmp", cc.V(i), cc.V(mask))
+		f.StoreWordElem("outtow", cc.V(i), cc.CvtFW(a()))
+		f.StoreF64Elem("outfromw", cc.V(i), cc.CvtWF(cc.LoadWordElem("inw", cc.V(i))))
+	})
+	f.Ret(nil)
+	return p
+}
+
+type driverRun struct {
+	img *cc.Image
+	m   *mach.Machine
+}
+
+func runDriver(t *testing.T, codec isa.ISA, as, bs []float64, ws []int32) driverRun {
+	t.Helper()
+	progs := []*cc.Program{buildDriver()}
+	if !codec.Feat().HasHWFloat {
+		progs = append(progs, BuildSoftFloat())
+	}
+	lcfg := cc.DefaultLinkConfig()
+	lcfg.RAMBytes = 8 << 20
+	lcfg.StackRegion = 1 << 20
+	img, err := cc.Link(codec, []*cc.Program{bareKernel()}, progs, lcfg)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	// Patch inputs.
+	wb := uint32(codec.Feat().WordBytes)
+	setF64 := func(name string, idx int, v float64) {
+		bits := math.Float64bits(v)
+		if wb == 4 {
+			if err := img.SetWord(name, uint32(idx*2), uint64(uint32(bits))); err != nil {
+				t.Fatal(err)
+			}
+			if err := img.SetWord(name, uint32(idx*2+1), uint64(uint32(bits>>32))); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := img.SetWord(name, uint32(idx), bits); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range as {
+		setF64("ina", i, as[i])
+		setF64("inb", i, bs[i])
+		// Words are sign-extended to the target width.
+		if err := img.SetWord("inw", uint32(i), uint64(int64(ws[i]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := testMachine(codec)
+	img.InstallTo(m)
+	if r := m.Run(3_000_000_000); r != mach.StopHalted {
+		t.Fatalf("driver did not halt: %v (pc=%#x, retired=%d)", r, m.Cores[0].PC, m.TotalRetired)
+	}
+	return driverRun{img, m}
+}
+
+func (d driverRun) f64(t *testing.T, name string, i int) float64 {
+	t.Helper()
+	bits, err := d.img.F64At(d.m, name, uint32(i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return math.Float64frombits(bits)
+}
+
+func (d driverRun) word(t *testing.T, name string, i int) uint64 {
+	t.Helper()
+	v, err := d.img.WordAt(d.m, name, uint32(i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func makeInputs() (as, bs []float64, ws []int32) {
+	r := rand.New(rand.NewSource(2024))
+	randNormal := func() float64 {
+		exp := r.Intn(120) - 60
+		m := r.Float64() + 1.0
+		s := 1.0
+		if r.Intn(2) == 0 {
+			s = -1
+		}
+		return s * math.Ldexp(m, exp)
+	}
+	for i := 0; i < nCases-6; i++ {
+		as = append(as, randNormal())
+		bs = append(bs, randNormal())
+		ws = append(ws, int32(r.Uint32()))
+	}
+	// Edge cases.
+	as = append(as, 0, 1.5, -2.25, 1e300, 3.0, 123456.75)
+	bs = append(bs, 0, 1.5, 4.5, 1e-300, -3.0, -0.5)
+	ws = append(ws, 0, 1, -1, 2147483647, -2147483648, 65536)
+	return
+}
+
+func cmpMask(a, b float64) uint64 {
+	m := uint64(0)
+	if a < b {
+		m |= 1
+	}
+	if a <= b {
+		m |= 2
+	}
+	if a == b {
+		m |= 4
+	}
+	if a > b {
+		m |= 8
+	}
+	if a >= b {
+		m |= 16
+	}
+	if a != b {
+		m |= 32
+	}
+	return m
+}
+
+// towRef models CvtFW truncation at the target word width: the 32-bit ISA
+// saturates at int32, the 64-bit one at int64.
+func towRef(a float64, wordBytes int) uint64 {
+	if math.IsNaN(a) {
+		return 0
+	}
+	if wordBytes == 4 {
+		switch {
+		case a >= 2147483647:
+			return 2147483647
+		case a <= -2147483648:
+			return 0x80000000
+		default:
+			return uint64(uint32(int32(a)))
+		}
+	}
+	switch {
+	case a >= math.MaxInt64:
+		return math.MaxInt64
+	case a <= math.MinInt64:
+		return 1 << 63
+	default:
+		return uint64(int64(a))
+	}
+}
+
+func ulpDiff(a, b float64) uint64 {
+	ba, bb := math.Float64bits(a), math.Float64bits(b)
+	if ba == bb {
+		return 0
+	}
+	if ba > bb {
+		return ba - bb
+	}
+	return bb - ba
+}
+
+// checkDriver validates one ISA's run against native Go float64 semantics.
+func checkDriver(t *testing.T, codec isa.ISA) {
+	as, bs, ws := makeInputs()
+	d := runDriver(t, codec, as, bs, ws)
+	name := codec.Feat().Name
+	wordMask := uint64(0xffffffffffffffff)
+	if codec.Feat().WordBytes == 4 {
+		wordMask = 0xffffffff
+	}
+	for i := range as {
+		a, b := as[i], bs[i]
+		checks := []struct {
+			out  string
+			want float64
+		}{
+			{"outadd", a + b},
+			{"outsub", a - b},
+			{"outmul", a * b},
+			{"outdiv", a / b},
+			{"outneg", -a},
+		}
+		for _, c := range checks {
+			got := d.f64(t, c.out, i)
+			if math.IsNaN(c.want) && math.IsNaN(got) {
+				continue
+			}
+			if math.Float64bits(got) != math.Float64bits(c.want) {
+				t.Errorf("%s %s[%d] (%g, %g) = %g (%x), want %g (%x)", name, c.out, i,
+					a, b, got, math.Float64bits(got), c.want, math.Float64bits(c.want))
+			}
+		}
+		// sqrt(|a|): allow 1 ulp on the soft-float Newton implementation.
+		gotSqrt := d.f64(t, "outsqrt", i)
+		wantSqrt := math.Sqrt(math.Abs(a))
+		tol := uint64(0)
+		if !codec.Feat().HasHWFloat {
+			tol = 1
+		}
+		if ulpDiff(gotSqrt, wantSqrt) > tol {
+			t.Errorf("%s sqrt[%d](|%g|) = %g (%x), want %g (%x)", name, i, a,
+				gotSqrt, math.Float64bits(gotSqrt), wantSqrt, math.Float64bits(wantSqrt))
+		}
+		if got := d.word(t, "outcmp", i); got != cmpMask(a, b) {
+			t.Errorf("%s cmp[%d](%g, %g) = %06b, want %06b", name, i, a, b, got, cmpMask(a, b))
+		}
+		wantTow := towRef(a, codec.Feat().WordBytes) & wordMask
+		if got := d.word(t, "outtow", i); got != wantTow {
+			t.Errorf("%s tow[%d](%g) = %#x, want %#x", name, i, a, got, wantTow)
+		}
+		gotF := d.f64(t, "outfromw", i)
+		if gotF != float64(ws[i]) {
+			t.Errorf("%s fromw[%d](%d) = %g", name, i, ws[i], gotF)
+		}
+	}
+}
+
+func TestSoftFloatOnArmv7(t *testing.T) { checkDriver(t, armv7.New()) }
+
+func TestHardFloatOnArmv8(t *testing.T) { checkDriver(t, armv8.New()) }

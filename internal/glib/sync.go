@@ -1,0 +1,64 @@
+package glib
+
+import (
+	"serfi/internal/abi"
+	. "serfi/internal/cc"
+)
+
+// BuildSync returns the user-level synchronization primitives shared by the
+// OMP and MPI runtimes: an atomic add, a futex-backed mutex and a
+// sense-reversing barrier.
+func BuildSync() *Program {
+	p := NewProgram("sync")
+
+	// __atomic_add(addr, v) -> old value (CAS loop).
+	f := p.Func("__atomic_add", "addr", "v")
+	addr, v := f.Params[0], f.Params[1]
+	old := f.Local("old")
+	got := f.Local("got")
+	f.While(Eq(I(0), I(0)), func() {
+		f.Assign(old, Load(V(addr)))
+		f.Assign(got, CASExpr(V(addr), V(old), Add(V(old), V(v))))
+		f.If(Eq(V(got), V(old)), func() {
+			f.Ret(V(old))
+		}, nil)
+	})
+	f.Ret(I(0)) // unreachable
+
+	// __mutex_lock(addr): 0 = free, 1 = held.
+	f = p.Func("__mutex_lock", "addr")
+	addr = f.Params[0]
+	f.While(Ne(CASExpr(V(addr), I(0), I(1)), I(0)), func() {
+		f.Do(Syscall(abi.SysFutexWait, V(addr), I(1)))
+	})
+	f.Ret(nil)
+
+	// __mutex_unlock(addr)
+	f = p.Func("__mutex_unlock", "addr")
+	f.Store(V(f.Params[0]), I(0))
+	f.Do(Syscall(abi.SysFutexWake, V(f.Params[0]), I(1)))
+	f.Ret(nil)
+
+	// __barrier_wait(bar, n): bar points at {count, generation}. The
+	// last of n arrivals resets the count, bumps the generation and wakes
+	// the others.
+	f = p.Func("__barrier_wait", "bar", "n")
+	bar, n := f.Params[0], f.Params[1]
+	gen := f.Local("gen")
+	genAddr := f.Local("genaddr")
+	f.Assign(genAddr, Add(V(bar), WordBytes()))
+	f.Assign(gen, Load(V(genAddr)))
+	arrived := f.Local("arrived")
+	f.Assign(arrived, Add(Call("__atomic_add", V(bar), I(1)), I(1)))
+	f.If(Eq(V(arrived), V(n)), func() {
+		f.Store(V(bar), I(0))
+		f.Store(V(genAddr), Add(V(gen), I(1)))
+		f.Do(Syscall(abi.SysFutexWake, V(genAddr), I(abi.MaxThreads)))
+		f.Ret(nil)
+	}, nil)
+	f.While(Eq(Load(V(genAddr)), V(gen)), func() {
+		f.Do(Syscall(abi.SysFutexWait, V(genAddr), V(gen)))
+	})
+	f.Ret(nil)
+	return p
+}

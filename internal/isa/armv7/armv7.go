@@ -1,0 +1,240 @@
+// Package armv7 implements the 32-bit ARM-inspired ISA used to model the
+// Cortex-A9 class processor: 16 architectural registers (r0-r12, sp=r13,
+// lr=r14, pc=r15), a condition field on every instruction, UMULL/CLZ for
+// soft-float support, and no hardware floating point.
+//
+// Encoding layout (32-bit words):
+//
+//	[31:28] cond  [27:20] opcode  [19:0] operands
+//
+// Operand packing by format:
+//
+//	R3:   rd[3:0]  rn[7:4]   rm[11:8]
+//	R2:   rd[3:0]  rm[11:8]
+//	R4:   rd[3:0]  rn[7:4]   rm[11:8]  ra[15:12]
+//	RI:   rd[3:0]  rn[7:4]   imm12[19:8] (signed)
+//	MOV:  rd[3:0]  imm16[19:4]          (movk acts as ARM MOVT: hw=1)
+//	CMP:  rn[7:4]  rm[11:8]
+//	CMPI: rn[7:4]  imm12[19:8] (signed)
+//	B:    imm20[19:0] (signed word offset)
+//	BR:   rn[7:4]
+//	MEM:  rd[3:0]  rn[7:4]   imm12[19:8] (signed byte offset)
+//	SYS:  reg[3:0] sys[11:4]
+//	SVC:  imm16[19:4]
+package armv7
+
+import (
+	"fmt"
+
+	"serfi/internal/isa"
+)
+
+// WordBytes is the native integer width.
+const WordBytes = 4
+
+// Register indices.
+const (
+	SP = 13
+	LR = 14
+	PC = 15 // reads yield pc+8 (ARM legacy); writes branch
+)
+
+var feat = isa.Features{
+	Name:         "armv7",
+	WordBytes:    WordBytes,
+	NumGPR:       16, // r0-r14 plus architectural r15=pc
+	SPIndex:      SP,
+	LRIndex:      LR,
+	PCTarget:     true,
+	FaultTargets: 16, // 16 registers x 32 bits = 512 fault-target bits
+	HasHWFloat:   false,
+	HasPred:      true,
+	NumFP:        0,
+}
+
+// valid marks the ops this ISA encodes.
+var valid = func() [isa.NumOps]bool {
+	var v [isa.NumOps]bool
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		switch op {
+		case isa.OpINVALID,
+			isa.OpUMULH, isa.OpCSEL, isa.OpCSET, isa.OpCBZ, isa.OpCBNZ,
+			isa.OpLDRW, isa.OpSTRW,
+			isa.OpFLDR, isa.OpFSTR, isa.OpFADD, isa.OpFSUB, isa.OpFMUL,
+			isa.OpFDIV, isa.OpFSQRT, isa.OpFNEG, isa.OpFABS, isa.OpFMOVD,
+			isa.OpFCMP, isa.OpFMOVFI, isa.OpFMOVIF, isa.OpSCVTF, isa.OpFCVTZS:
+			// not available on the 32-bit ISA
+		default:
+			v[op] = true
+		}
+	}
+	return v
+}()
+
+// ISA is the armv7 codec. The zero value is ready to use.
+type ISA struct{}
+
+// New returns the armv7 ISA.
+func New() ISA { return ISA{} }
+
+// Feat implements isa.ISA.
+func (ISA) Feat() isa.Features { return feat }
+
+// Decode implements isa.ISA. It never fails: undecodable words come back as
+// OpINVALID, which the machine turns into an undefined-instruction trap.
+func (ISA) Decode(w uint32) isa.Instr {
+	op := isa.Op(w >> 20 & 0xff)
+	if int(op) >= isa.NumOps || !valid[op] {
+		return isa.Instr{Op: isa.OpINVALID, Cond: isa.CondAL}
+	}
+	ins := isa.Instr{Op: op, Cond: isa.Cond(w >> 28 & 0xf)}
+	f := w & 0xfffff
+	switch isa.FormatOf(op) {
+	case isa.FmtR3:
+		ins.Rd = uint8(f & 0xf)
+		ins.Rn = uint8(f >> 4 & 0xf)
+		ins.Rm = uint8(f >> 8 & 0xf)
+	case isa.FmtR2:
+		ins.Rd = uint8(f & 0xf)
+		ins.Rm = uint8(f >> 8 & 0xf)
+	case isa.FmtR4:
+		ins.Rd = uint8(f & 0xf)
+		ins.Rn = uint8(f >> 4 & 0xf)
+		ins.Rm = uint8(f >> 8 & 0xf)
+		ins.Ra = uint8(f >> 12 & 0xf)
+	case isa.FmtRI, isa.FmtMEM:
+		ins.Rd = uint8(f & 0xf)
+		ins.Rn = uint8(f >> 4 & 0xf)
+		ins.Imm = isa.SignExtend(uint64(f>>8&0xfff), 12)
+	case isa.FmtMOV:
+		ins.Rd = uint8(f & 0xf)
+		ins.Imm = int64(f >> 4 & 0xffff)
+		if op == isa.OpMOVK {
+			ins.Ra = 1 // MOVT semantics: always the high half-word
+		}
+	case isa.FmtCMP:
+		ins.Rn = uint8(f >> 4 & 0xf)
+		ins.Rm = uint8(f >> 8 & 0xf)
+	case isa.FmtCMPI:
+		ins.Rn = uint8(f >> 4 & 0xf)
+		ins.Imm = isa.SignExtend(uint64(f>>8&0xfff), 12)
+	case isa.FmtB:
+		ins.Imm = isa.SignExtend(uint64(f), 20)
+	case isa.FmtBR:
+		ins.Rn = uint8(f >> 4 & 0xf)
+	case isa.FmtSYS:
+		reg := uint8(f & 0xf)
+		ins.Imm = int64(f >> 4 & 0xff)
+		if op == isa.OpMRS {
+			ins.Rd = reg
+		} else {
+			ins.Rn = reg
+		}
+	case isa.FmtSVC:
+		ins.Imm = int64(f >> 4 & 0xffff)
+	}
+	return ins
+}
+
+// Encode implements isa.ISA.
+func (ISA) Encode(ins isa.Instr) (uint32, error) {
+	op := ins.Op
+	if int(op) >= isa.NumOps || !valid[op] {
+		return 0, fmt.Errorf("armv7: op %v not encodable", op)
+	}
+	if ins.Cond > isa.CondAL {
+		return 0, fmt.Errorf("armv7: bad condition %v", ins.Cond)
+	}
+	ckReg := func(rs ...uint8) error {
+		for _, r := range rs {
+			if r > 15 {
+				return fmt.Errorf("armv7: register r%d out of range in %v", r, op)
+			}
+		}
+		return nil
+	}
+	w := uint32(ins.Cond)<<28 | uint32(op)<<20
+	switch isa.FormatOf(op) {
+	case isa.FmtNone:
+	case isa.FmtR3:
+		if err := ckReg(ins.Rd, ins.Rn, ins.Rm); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rn)<<4 | uint32(ins.Rm)<<8
+	case isa.FmtR2:
+		if err := ckReg(ins.Rd, ins.Rm); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rm)<<8
+	case isa.FmtR4:
+		if err := ckReg(ins.Rd, ins.Rn, ins.Rm, ins.Ra); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rn)<<4 | uint32(ins.Rm)<<8 | uint32(ins.Ra)<<12
+	case isa.FmtRI, isa.FmtMEM:
+		if err := ckReg(ins.Rd, ins.Rn); err != nil {
+			return 0, err
+		}
+		if !isa.FitsSigned(ins.Imm, 12) {
+			return 0, fmt.Errorf("armv7: imm %d out of range for %v", ins.Imm, op)
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rn)<<4 | uint32(ins.Imm&0xfff)<<8
+	case isa.FmtMOV:
+		if err := ckReg(ins.Rd); err != nil {
+			return 0, err
+		}
+		if ins.Imm < 0 || ins.Imm > 0xffff {
+			return 0, fmt.Errorf("armv7: imm16 %d out of range for %v", ins.Imm, op)
+		}
+		if op == isa.OpMOVK && ins.Ra != 1 {
+			return 0, fmt.Errorf("armv7: movk requires hw=1 (got %d)", ins.Ra)
+		}
+		if op == isa.OpMOVZ && ins.Ra != 0 {
+			return 0, fmt.Errorf("armv7: movz requires hw=0 (got %d)", ins.Ra)
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Imm&0xffff)<<4
+	case isa.FmtCMP:
+		if err := ckReg(ins.Rn, ins.Rm); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rn)<<4 | uint32(ins.Rm)<<8
+	case isa.FmtCMPI:
+		if err := ckReg(ins.Rn); err != nil {
+			return 0, err
+		}
+		if !isa.FitsSigned(ins.Imm, 12) {
+			return 0, fmt.Errorf("armv7: imm %d out of range for %v", ins.Imm, op)
+		}
+		w |= uint32(ins.Rn)<<4 | uint32(ins.Imm&0xfff)<<8
+	case isa.FmtB:
+		if !isa.FitsSigned(ins.Imm, 20) {
+			return 0, fmt.Errorf("armv7: branch offset %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Imm & 0xfffff)
+	case isa.FmtBR:
+		if err := ckReg(ins.Rn); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rn) << 4
+	case isa.FmtSYS:
+		reg := ins.Rd
+		if op == isa.OpMSR {
+			reg = ins.Rn
+		}
+		if err := ckReg(reg); err != nil {
+			return 0, err
+		}
+		if ins.Imm < 0 || ins.Imm > 0xff {
+			return 0, fmt.Errorf("armv7: sysreg %d out of range", ins.Imm)
+		}
+		w |= uint32(reg) | uint32(ins.Imm&0xff)<<4
+	case isa.FmtSVC:
+		if ins.Imm < 0 || ins.Imm > 0xffff {
+			return 0, fmt.Errorf("armv7: svc imm %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Imm&0xffff) << 4
+	default:
+		return 0, fmt.Errorf("armv7: unhandled format for %v", op)
+	}
+	return w, nil
+}

@@ -1,0 +1,298 @@
+// Package armv8 implements the 64-bit ARM-inspired ISA used to model the
+// Cortex-A72 class processor: 31 general registers plus SP (x0-x30, sp),
+// hardware IEEE-754 binary64 floating point with 32 FP registers, and no
+// predication (only branches and csel/cset are conditional).
+//
+// Encoding layout (32-bit words):
+//
+//	[31:24] opcode  [23:0] operands
+//
+// Operand packing by format:
+//
+//	R3:    rd[4:0]  rn[9:5]   rm[14:10]
+//	R2:    rd[4:0]  rm[14:10]
+//	R4:    rd[4:0]  rn[9:5]   rm[14:10]  ra[19:15]
+//	RI:    rd[4:0]  rn[9:5]   imm14[23:10] (signed)
+//	MOV:   rd[4:0]  imm16[20:5]  hw[22:21]
+//	CMP:   rn[9:5]  rm[14:10]
+//	CMPI:  rn[9:5]  imm14[23:10] (signed)
+//	B:     imm24[23:0] (signed word offset); conditional form uses the
+//	       dedicated opcode 0xF0 with cond[3:0] imm20[23:4]
+//	BR:    rn[9:5]
+//	CB:    rt[4:0]  imm19[23:5] (signed word offset)
+//	MEM:   rd[4:0]  rn[9:5]   imm14[23:10] (signed byte offset)
+//	FI:    dest[4:0] src[9:5]
+//	SYS:   reg[4:0] sys[12:5]
+//	SVC:   imm16[15:0]
+//	CSEL:  rd[4:0]  rn[9:5]   rm[14:10]  cond[23:20]
+//	CSET:  rd[4:0]  cond[23:20]
+package armv8
+
+import (
+	"fmt"
+
+	"serfi/internal/isa"
+)
+
+// WordBytes is the native integer width.
+const WordBytes = 8
+
+// Register indices.
+const (
+	LR = 30
+	SP = 31
+)
+
+// opBcond is the dedicated opcode byte for the conditional branch form.
+const opBcond = 0xF0
+
+var feat = isa.Features{
+	Name:         "armv8",
+	WordBytes:    WordBytes,
+	NumGPR:       32, // x0-x30 plus sp
+	SPIndex:      SP,
+	LRIndex:      LR,
+	PCTarget:     false,
+	FaultTargets: 32, // 32 registers x 64 bits = 2048 fault-target bits
+	HasHWFloat:   true,
+	HasPred:      false,
+	NumFP:        32,
+}
+
+// valid marks the ops this ISA encodes.
+var valid = func() [isa.NumOps]bool {
+	var v [isa.NumOps]bool
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		switch op {
+		case isa.OpINVALID, isa.OpUMULL:
+			// umull is the v7 32x32->64 helper; v8 uses mul/umulh
+		default:
+			v[op] = true
+		}
+	}
+	return v
+}()
+
+// ISA is the armv8 codec. The zero value is ready to use.
+type ISA struct{}
+
+// New returns the armv8 ISA.
+func New() ISA { return ISA{} }
+
+// Feat implements isa.ISA.
+func (ISA) Feat() isa.Features { return feat }
+
+// Decode implements isa.ISA.
+func (ISA) Decode(w uint32) isa.Instr {
+	opByte := w >> 24 & 0xff
+	f := w & 0xffffff
+	if opByte == opBcond {
+		return isa.Instr{
+			Op:   isa.OpB,
+			Cond: isa.Cond(f & 0xf),
+			Imm:  isa.SignExtend(uint64(f>>4&0xfffff), 20),
+		}
+	}
+	op := isa.Op(opByte)
+	if int(op) >= isa.NumOps || !valid[op] {
+		return isa.Instr{Op: isa.OpINVALID, Cond: isa.CondAL}
+	}
+	ins := isa.Instr{Op: op, Cond: isa.CondAL}
+	switch isa.FormatOf(op) {
+	case isa.FmtR3, isa.FmtFR3:
+		ins.Rd = uint8(f & 0x1f)
+		ins.Rn = uint8(f >> 5 & 0x1f)
+		ins.Rm = uint8(f >> 10 & 0x1f)
+	case isa.FmtR2, isa.FmtFR2:
+		ins.Rd = uint8(f & 0x1f)
+		ins.Rm = uint8(f >> 10 & 0x1f)
+	case isa.FmtR4:
+		ins.Rd = uint8(f & 0x1f)
+		ins.Rn = uint8(f >> 5 & 0x1f)
+		ins.Rm = uint8(f >> 10 & 0x1f)
+		ins.Ra = uint8(f >> 15 & 0x1f)
+	case isa.FmtRI, isa.FmtMEM, isa.FmtFMEM:
+		ins.Rd = uint8(f & 0x1f)
+		ins.Rn = uint8(f >> 5 & 0x1f)
+		ins.Imm = isa.SignExtend(uint64(f>>10&0x3fff), 14)
+	case isa.FmtMOV:
+		ins.Rd = uint8(f & 0x1f)
+		ins.Imm = int64(f >> 5 & 0xffff)
+		ins.Ra = uint8(f >> 21 & 0x3) // half-word index
+	case isa.FmtCMP, isa.FmtFCMP:
+		ins.Rn = uint8(f >> 5 & 0x1f)
+		ins.Rm = uint8(f >> 10 & 0x1f)
+	case isa.FmtCMPI:
+		ins.Rn = uint8(f >> 5 & 0x1f)
+		ins.Imm = isa.SignExtend(uint64(f>>10&0x3fff), 14)
+	case isa.FmtB:
+		ins.Imm = isa.SignExtend(uint64(f), 24)
+	case isa.FmtBR:
+		ins.Rn = uint8(f >> 5 & 0x1f)
+	case isa.FmtCB:
+		ins.Rn = uint8(f & 0x1f)
+		ins.Imm = isa.SignExtend(uint64(f>>5&0x7ffff), 19)
+	case isa.FmtFI:
+		ins.Rd = uint8(f & 0x1f)
+		ins.Rn = uint8(f >> 5 & 0x1f)
+	case isa.FmtSYS:
+		reg := uint8(f & 0x1f)
+		ins.Imm = int64(f >> 5 & 0xff)
+		if op == isa.OpMRS {
+			ins.Rd = reg
+		} else {
+			ins.Rn = reg
+		}
+	case isa.FmtSVC:
+		ins.Imm = int64(f & 0xffff)
+	case isa.FmtCSEL:
+		ins.Rd = uint8(f & 0x1f)
+		ins.Rn = uint8(f >> 5 & 0x1f)
+		ins.Rm = uint8(f >> 10 & 0x1f)
+		ins.Cond = isa.Cond(f >> 20 & 0xf)
+	case isa.FmtCSET:
+		ins.Rd = uint8(f & 0x1f)
+		ins.Cond = isa.Cond(f >> 20 & 0xf)
+	}
+	return ins
+}
+
+// Encode implements isa.ISA.
+func (ISA) Encode(ins isa.Instr) (uint32, error) {
+	op := ins.Op
+	if int(op) >= isa.NumOps || !valid[op] {
+		return 0, fmt.Errorf("armv8: op %v not encodable", op)
+	}
+	fmtk := isa.FormatOf(op)
+	// Only branches and csel/cset may be conditional on v8.
+	if ins.Cond != isa.CondAL && fmtk != isa.FmtCSEL && fmtk != isa.FmtCSET && op != isa.OpB {
+		return 0, fmt.Errorf("armv8: %v cannot be predicated", op)
+	}
+	ckReg := func(rs ...uint8) error {
+		for _, r := range rs {
+			if r > 31 {
+				return fmt.Errorf("armv8: register %d out of range in %v", r, op)
+			}
+		}
+		return nil
+	}
+	if op == isa.OpB && ins.Cond != isa.CondAL {
+		if ins.Cond > isa.CondAL {
+			return 0, fmt.Errorf("armv8: bad condition %v", ins.Cond)
+		}
+		if !isa.FitsSigned(ins.Imm, 20) {
+			return 0, fmt.Errorf("armv8: conditional branch offset %d out of range", ins.Imm)
+		}
+		return uint32(opBcond)<<24 | uint32(ins.Imm&0xfffff)<<4 | uint32(ins.Cond), nil
+	}
+	w := uint32(op) << 24
+	switch fmtk {
+	case isa.FmtNone:
+	case isa.FmtR3, isa.FmtFR3:
+		if err := ckReg(ins.Rd, ins.Rn, ins.Rm); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rn)<<5 | uint32(ins.Rm)<<10
+	case isa.FmtR2, isa.FmtFR2:
+		if err := ckReg(ins.Rd, ins.Rm); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rm)<<10
+	case isa.FmtR4:
+		if err := ckReg(ins.Rd, ins.Rn, ins.Rm, ins.Ra); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rn)<<5 | uint32(ins.Rm)<<10 | uint32(ins.Ra)<<15
+	case isa.FmtRI, isa.FmtMEM, isa.FmtFMEM:
+		if err := ckReg(ins.Rd, ins.Rn); err != nil {
+			return 0, err
+		}
+		if !isa.FitsSigned(ins.Imm, 14) {
+			return 0, fmt.Errorf("armv8: imm %d out of range for %v", ins.Imm, op)
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rn)<<5 | uint32(ins.Imm&0x3fff)<<10
+	case isa.FmtMOV:
+		if err := ckReg(ins.Rd); err != nil {
+			return 0, err
+		}
+		if ins.Imm < 0 || ins.Imm > 0xffff {
+			return 0, fmt.Errorf("armv8: imm16 %d out of range for %v", ins.Imm, op)
+		}
+		if ins.Ra > 3 {
+			return 0, fmt.Errorf("armv8: half-word index %d out of range", ins.Ra)
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Imm&0xffff)<<5 | uint32(ins.Ra)<<21
+	case isa.FmtCMP, isa.FmtFCMP:
+		if err := ckReg(ins.Rn, ins.Rm); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rn)<<5 | uint32(ins.Rm)<<10
+	case isa.FmtCMPI:
+		if err := ckReg(ins.Rn); err != nil {
+			return 0, err
+		}
+		if !isa.FitsSigned(ins.Imm, 14) {
+			return 0, fmt.Errorf("armv8: imm %d out of range for %v", ins.Imm, op)
+		}
+		w |= uint32(ins.Rn)<<5 | uint32(ins.Imm&0x3fff)<<10
+	case isa.FmtB:
+		if !isa.FitsSigned(ins.Imm, 24) {
+			return 0, fmt.Errorf("armv8: branch offset %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Imm & 0xffffff)
+	case isa.FmtBR:
+		if err := ckReg(ins.Rn); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rn) << 5
+	case isa.FmtCB:
+		if err := ckReg(ins.Rn); err != nil {
+			return 0, err
+		}
+		if !isa.FitsSigned(ins.Imm, 19) {
+			return 0, fmt.Errorf("armv8: cb offset %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Rn) | uint32(ins.Imm&0x7ffff)<<5
+	case isa.FmtFI:
+		if err := ckReg(ins.Rd, ins.Rn); err != nil {
+			return 0, err
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rn)<<5
+	case isa.FmtSYS:
+		reg := ins.Rd
+		if op == isa.OpMSR {
+			reg = ins.Rn
+		}
+		if err := ckReg(reg); err != nil {
+			return 0, err
+		}
+		if ins.Imm < 0 || ins.Imm > 0xff {
+			return 0, fmt.Errorf("armv8: sysreg %d out of range", ins.Imm)
+		}
+		w |= uint32(reg) | uint32(ins.Imm&0xff)<<5
+	case isa.FmtSVC:
+		if ins.Imm < 0 || ins.Imm > 0xffff {
+			return 0, fmt.Errorf("armv8: svc imm %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Imm & 0xffff)
+	case isa.FmtCSEL:
+		if err := ckReg(ins.Rd, ins.Rn, ins.Rm); err != nil {
+			return 0, err
+		}
+		if ins.Cond > isa.CondAL {
+			return 0, fmt.Errorf("armv8: bad condition %v", ins.Cond)
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Rn)<<5 | uint32(ins.Rm)<<10 | uint32(ins.Cond)<<20
+	case isa.FmtCSET:
+		if err := ckReg(ins.Rd); err != nil {
+			return 0, err
+		}
+		if ins.Cond > isa.CondAL {
+			return 0, fmt.Errorf("armv8: bad condition %v", ins.Cond)
+		}
+		w |= uint32(ins.Rd) | uint32(ins.Cond)<<20
+	default:
+		return 0, fmt.Errorf("armv8: unhandled format for %v", op)
+	}
+	return w, nil
+}

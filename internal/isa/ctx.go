@@ -1,0 +1,43 @@
+package isa
+
+// Thread-context block layout shared by the SAVECTX/RESTCTX instructions and
+// the guest kernel. A context is CtxWords(f) consecutive machine words:
+//
+//	armv7: slot 0..14 = r0..r14 (slot 13 = user SP), slot 15 = pc (ELR),
+//	       slot 16 = SPSR                                  -> 17 words
+//	armv8: slot 0..30 = x0..x30, slot 31 = user SP, slot 32 = pc (ELR),
+//	       slot 33 = SPSR, slots 34..65 = d0..d31          -> 66 words
+//
+// On hardware-FP targets the FP file is part of the context: a preempted
+// thread's live FP state must survive the context switch.
+//
+// The guest kernel computes slot addresses from these helpers' values, which
+// the DSL compiler exposes as target constants.
+
+// CtxWords returns the context block size in machine words.
+func CtxWords(f Features) int {
+	if f.PCTarget {
+		return f.NumGPR + 1 // PC occupies the r15 slot
+	}
+	return f.NumGPR + 2 + f.NumFP
+}
+
+// CtxFPSlot returns the first FP slot index (meaningful when HasHWFloat).
+func CtxFPSlot(f Features) int { return f.NumGPR + 2 }
+
+// CtxPCSlot returns the slot index holding the saved program counter.
+func CtxPCSlot(f Features) int {
+	if f.PCTarget {
+		return f.NumGPR - 1
+	}
+	return f.NumGPR
+}
+
+// CtxSPSRSlot returns the slot index holding the saved processor state.
+func CtxSPSRSlot(f Features) int { return CtxPCSlot(f) + 1 }
+
+// CtxSPSlot returns the slot index holding the saved stack pointer.
+func CtxSPSlot(f Features) int { return f.SPIndex }
+
+// CtxBytes returns the context block size in bytes.
+func CtxBytes(f Features) int { return CtxWords(f) * f.WordBytes }

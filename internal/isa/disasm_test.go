@@ -1,0 +1,54 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDisasmCoversEveryOp: rendering any op with any operand pattern must
+// produce a non-empty string and never panic (the disassembler sees
+// fault-corrupted instructions).
+func TestDisasmCoversEveryOp(t *testing.T) {
+	feats := []Features{
+		{Name: "armv7", WordBytes: 4, NumGPR: 16, SPIndex: 13, LRIndex: 14, PCTarget: true},
+		{Name: "armv8", WordBytes: 8, NumGPR: 32, SPIndex: 31, LRIndex: 30},
+	}
+	for _, f := range feats {
+		for op := Op(0); int(op) < NumOps; op++ {
+			ins := Instr{Op: op, Cond: CondAL, Rd: 1, Rn: 2, Rm: 3, Ra: 1, Imm: 42}
+			s := Disasm(f, ins)
+			if s == "" {
+				t.Errorf("%s: empty disasm for %v", f.Name, op)
+			}
+			// Conditional rendering must include the suffix.
+			ins.Cond = CondNE
+			if s2 := Disasm(f, ins); s2 == "" {
+				t.Errorf("%s: empty conditional disasm for %v", f.Name, op)
+			}
+		}
+	}
+}
+
+func TestDisasmRegisterNames(t *testing.T) {
+	f7 := Features{Name: "armv7", WordBytes: 4, NumGPR: 16, SPIndex: 13, LRIndex: 14, PCTarget: true}
+	s := Disasm(f7, Instr{Op: OpADD, Cond: CondAL, Rd: 13, Rn: 14, Rm: 15})
+	for _, want := range []string{"sp", "lr", "pc"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disasm %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCtxLayout(t *testing.T) {
+	v7 := Features{Name: "armv7", WordBytes: 4, NumGPR: 16, SPIndex: 13, PCTarget: true}
+	v8 := Features{Name: "armv8", WordBytes: 8, NumGPR: 32, SPIndex: 31, NumFP: 32, HasHWFloat: true}
+	if CtxWords(v7) != 17 || CtxPCSlot(v7) != 15 || CtxSPSRSlot(v7) != 16 {
+		t.Errorf("v7 ctx layout: %d/%d/%d", CtxWords(v7), CtxPCSlot(v7), CtxSPSRSlot(v7))
+	}
+	if CtxWords(v8) != 66 || CtxPCSlot(v8) != 32 || CtxFPSlot(v8) != 34 {
+		t.Errorf("v8 ctx layout: %d/%d/%d", CtxWords(v8), CtxPCSlot(v8), CtxFPSlot(v8))
+	}
+	if CtxBytes(v7) != 68 || CtxBytes(v8) != 528 {
+		t.Errorf("ctx bytes: %d/%d", CtxBytes(v7), CtxBytes(v8))
+	}
+}

@@ -1,0 +1,75 @@
+package isa
+
+// Format classifies the operand shape of an Op so the per-ISA encoders and
+// decoders can share field-packing logic.
+type Format uint8
+
+const (
+	FmtNone Format = iota // no operands
+	FmtR3                 // rd, rn, rm
+	FmtR2                 // rd, rm
+	FmtR4                 // rd, ra, rn, rm (umull, cas)
+	FmtRI                 // rd, rn, imm
+	FmtMOV                // rd, imm16, hw (hw carried in Ra)
+	FmtCMP                // rn, rm
+	FmtCMPI               // rn, imm
+	FmtB                  // imm (word offset); cond only via predication/Bcond
+	FmtBR                 // rn
+	FmtCB                 // rn, imm (cbz/cbnz, v8)
+	FmtMEM                // rd, [rn, #imm]
+	FmtFR3                // fd, fn, fm
+	FmtFR2                // fd, fm
+	FmtFCMP               // fn, fm
+	FmtFI                 // rd/fd, rn/fn cross-file move or convert
+	FmtFMEM               // fd, [rn, #imm]
+	FmtSYS                // mrs rd, sys / msr sys, rn
+	FmtSVC                // imm16
+	FmtCSEL               // rd, rn, rm, cond
+	FmtCSET               // rd, cond
+)
+
+var opFormats = [NumOps]Format{
+	OpINVALID: FmtNone, OpNOP: FmtNone,
+	OpADD: FmtR3, OpSUB: FmtR3, OpMUL: FmtR3, OpUDIV: FmtR3, OpSDIV: FmtR3,
+	OpAND: FmtR3, OpORR: FmtR3, OpEOR: FmtR3, OpLSL: FmtR3, OpLSR: FmtR3, OpASR: FmtR3,
+	OpMVN: FmtR2, OpNEG: FmtR2, OpCLZ: FmtR2,
+	OpUMULL: FmtR4, OpUMULH: FmtR3,
+	OpADDI: FmtRI, OpSUBI: FmtRI, OpANDI: FmtRI, OpORRI: FmtRI, OpEORI: FmtRI,
+	OpLSLI: FmtRI, OpLSRI: FmtRI, OpASRI: FmtRI,
+	OpMOVZ: FmtMOV, OpMOVK: FmtMOV,
+	OpCMP: FmtCMP, OpCMPI: FmtCMPI,
+	OpCSEL: FmtCSEL, OpCSET: FmtCSET,
+	OpB: FmtB, OpBL: FmtB, OpBR: FmtBR, OpBLR: FmtBR, OpCBZ: FmtCB, OpCBNZ: FmtCB,
+	OpLDR: FmtMEM, OpSTR: FmtMEM, OpLDRW: FmtMEM, OpSTRW: FmtMEM,
+	OpLDRB: FmtMEM, OpSTRB: FmtMEM,
+	OpFLDR: FmtFMEM, OpFSTR: FmtFMEM,
+	OpFADD: FmtFR3, OpFSUB: FmtFR3, OpFMUL: FmtFR3, OpFDIV: FmtFR3,
+	OpFSQRT: FmtFR2, OpFNEG: FmtFR2, OpFABS: FmtFR2, OpFMOVD: FmtFR2,
+	OpFCMP:   FmtFCMP,
+	OpFMOVFI: FmtFI, OpFMOVIF: FmtFI, OpSCVTF: FmtFI, OpFCVTZS: FmtFI,
+	OpCAS: FmtR4,
+	OpSVC: FmtSVC, OpERET: FmtNone, OpMRS: FmtSYS, OpMSR: FmtSYS,
+	OpSAVECTX: FmtNone, OpRESTCTX: FmtNone, OpWFI: FmtNone, OpHALT: FmtNone,
+}
+
+// FormatOf returns the operand format of op.
+func FormatOf(op Op) Format {
+	if int(op) < NumOps {
+		return opFormats[op]
+	}
+	return FmtNone
+}
+
+// SignExtend sign-extends the low bits of v to 64 bits.
+func SignExtend(v uint64, bits uint) int64 {
+	shift := 64 - bits
+	return int64(v<<shift) >> shift
+}
+
+// FitsSigned reports whether v is representable as a signed integer of the
+// given bit width.
+func FitsSigned(v int64, bits uint) bool {
+	min := int64(-1) << (bits - 1)
+	max := -min - 1
+	return v >= min && v <= max
+}

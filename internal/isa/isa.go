@@ -1,0 +1,421 @@
+// Package isa defines the instruction set shared by the two ARM-inspired
+// architectures simulated by serfi: a 32-bit "v7-like" ISA (16 architectural
+// registers including PC, full predication, no hardware floating point) and a
+// 64-bit "v8-like" ISA (31 general registers plus SP, hardware IEEE-754
+// binary64 floating point, no predication).
+//
+// The encodings are ARM-inspired teaching encodings, NOT binary compatible
+// with any real ARM architecture. They exist so that instruction words live
+// in simulated memory as 32-bit values that fault injection can corrupt, and
+// so that corrupted words decode (or fail to decode) the way a fixed-width
+// RISC encoding would.
+package isa
+
+import "fmt"
+
+// Op enumerates every operation either ISA can express. Each concrete ISA
+// encodes a subset; Encode returns an error for unsupported ops.
+type Op uint8
+
+const (
+	OpINVALID Op = iota // decode failure; executing raises an undefined-instruction exception
+	OpNOP
+
+	// Register ALU: Rd = Rn <op> Rm (NEG/MVN/CLZ use only Rm).
+	OpADD
+	OpSUB
+	OpMUL
+	OpUDIV
+	OpSDIV
+	OpAND
+	OpORR
+	OpEOR
+	OpLSL
+	OpLSR
+	OpASR
+	OpMVN
+	OpNEG
+	OpCLZ
+	OpUMULL // v7 only: Rd = lo32(Rn*Rm), Ra = hi32(Rn*Rm), unsigned
+	OpUMULH // v8 only: Rd = hi64(Rn*Rm), unsigned
+
+	// Immediate ALU: Rd = Rn <op> Imm.
+	OpADDI
+	OpSUBI
+	OpANDI
+	OpORRI
+	OpEORI
+	OpLSLI
+	OpLSRI
+	OpASRI
+
+	// Wide moves: Rd = Imm<<shift (MOVZ zeroes the rest, MOVK keeps it).
+	OpMOVZ
+	OpMOVK
+
+	// Flag setting.
+	OpCMP  // flags from Rn - Rm
+	OpCMPI // flags from Rn - Imm
+
+	// Conditional select (v8 only; v7 uses predication instead).
+	OpCSEL // Rd = cond ? Rn : Rm
+	OpCSET // Rd = cond ? 1 : 0
+
+	// Branches. Imm is a signed word (4-byte) offset from the branch itself.
+	OpB
+	OpBL
+	OpBR  // indirect: pc = Rn
+	OpBLR // indirect with link
+	OpCBZ // v8 only: branch if Rn == 0
+	OpCBNZ
+
+	// Memory. Word width follows the ISA (4 bytes on v7, 8 on v8);
+	// LDRW/STRW are the v8 32-bit accesses. Address = Rn + Imm.
+	OpLDR
+	OpSTR
+	OpLDRW
+	OpSTRW
+	OpLDRB
+	OpSTRB
+
+	// Floating point (v8 only). Fd/Fn/Fm index the separate FP file.
+	OpFLDR // Fd = mem[Rn+Imm] (binary64)
+	OpFSTR
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFSQRT
+	OpFNEG
+	OpFABS
+	OpFMOVD  // Fd = Fm (register move)
+	OpFCMP   // NZCV from IEEE compare of Fn, Fm
+	OpFMOVFI // Rd = rawbits(Fn)
+	OpFMOVIF // Fd = frombits(Rn)
+	OpSCVTF  // Fd = float64(int64(Rn))
+	OpFCVTZS // Rd = int64(trunc(Fn))
+
+	// Atomics: old = mem[Rn]; if old == Ra { mem[Rn] = Rm }; Rd = old.
+	OpCAS
+
+	// System.
+	OpSVC     // supervisor call, Imm = syscall number hint
+	OpERET    // return from exception: pc = ELR, pstate = SPSR
+	OpMRS     // Rd = sysreg[Imm]
+	OpMSR     // sysreg[Imm] = Rn
+	OpSAVECTX // store GPRs+ELR+SPSR to [CTXPTR] (privileged)
+	OpRESTCTX // load GPRs+ELR+SPSR from [CTXPTR] (privileged)
+	OpWFI     // wait for interrupt (privileged)
+	OpHALT    // stop the whole machine (privileged)
+
+	opCount
+)
+
+// NumOps is the number of defined operations (for table sizing).
+const NumOps = int(opCount)
+
+var opNames = [...]string{
+	OpINVALID: "invalid", OpNOP: "nop",
+	OpADD: "add", OpSUB: "sub", OpMUL: "mul", OpUDIV: "udiv", OpSDIV: "sdiv",
+	OpAND: "and", OpORR: "orr", OpEOR: "eor", OpLSL: "lsl", OpLSR: "lsr",
+	OpASR: "asr", OpMVN: "mvn", OpNEG: "neg", OpCLZ: "clz",
+	OpUMULL: "umull", OpUMULH: "umulh",
+	OpADDI: "addi", OpSUBI: "subi", OpANDI: "andi", OpORRI: "orri",
+	OpEORI: "eori", OpLSLI: "lsli", OpLSRI: "lsri", OpASRI: "asri",
+	OpMOVZ: "movz", OpMOVK: "movk",
+	OpCMP: "cmp", OpCMPI: "cmpi", OpCSEL: "csel", OpCSET: "cset",
+	OpB: "b", OpBL: "bl", OpBR: "br", OpBLR: "blr", OpCBZ: "cbz", OpCBNZ: "cbnz",
+	OpLDR: "ldr", OpSTR: "str", OpLDRW: "ldrw", OpSTRW: "strw",
+	OpLDRB: "ldrb", OpSTRB: "strb",
+	OpFLDR: "fldr", OpFSTR: "fstr", OpFADD: "fadd", OpFSUB: "fsub",
+	OpFMUL: "fmul", OpFDIV: "fdiv", OpFSQRT: "fsqrt", OpFNEG: "fneg",
+	OpFABS: "fabs", OpFMOVD: "fmovd",
+	OpFCMP: "fcmp", OpFMOVFI: "fmovfi", OpFMOVIF: "fmovif",
+	OpSCVTF: "scvtf", OpFCVTZS: "fcvtzs",
+	OpCAS: "cas",
+	OpSVC: "svc", OpERET: "eret", OpMRS: "mrs", OpMSR: "msr",
+	OpSAVECTX: "savectx", OpRESTCTX: "restctx", OpWFI: "wfi", OpHALT: "halt",
+}
+
+// String returns the mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond is an ARM-style condition code evaluated against the NZCV flags.
+type Cond uint8
+
+// Condition codes use the classic ARM numbering so that a 4-bit field
+// bit-flip maps to another plausible condition.
+const (
+	CondEQ Cond = 0  // Z
+	CondNE Cond = 1  // !Z
+	CondHS Cond = 2  // C
+	CondLO Cond = 3  // !C
+	CondMI Cond = 4  // N
+	CondPL Cond = 5  // !N
+	CondVS Cond = 6  // V
+	CondVC Cond = 7  // !V
+	CondHI Cond = 8  // C && !Z
+	CondLS Cond = 9  // !C || Z
+	CondGE Cond = 10 // N == V
+	CondLT Cond = 11 // N != V
+	CondGT Cond = 12 // !Z && N == V
+	CondLE Cond = 13 // Z || N != V
+	CondAL Cond = 14 // always
+	condNV Cond = 15 // reserved; treated as always-false
+)
+
+var condNames = [...]string{
+	"eq", "ne", "hs", "lo", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "al", "nv",
+}
+
+// String returns the condition mnemonic.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Flags is the NZCV condition-flag state.
+type Flags struct {
+	N, Z, C, V bool
+}
+
+// Pass reports whether the condition holds under f.
+func (c Cond) Pass(f Flags) bool {
+	switch c {
+	case CondEQ:
+		return f.Z
+	case CondNE:
+		return !f.Z
+	case CondHS:
+		return f.C
+	case CondLO:
+		return !f.C
+	case CondMI:
+		return f.N
+	case CondPL:
+		return !f.N
+	case CondVS:
+		return f.V
+	case CondVC:
+		return !f.V
+	case CondHI:
+		return f.C && !f.Z
+	case CondLS:
+		return !f.C || f.Z
+	case CondGE:
+		return f.N == f.V
+	case CondLT:
+		return f.N != f.V
+	case CondGT:
+		return !f.Z && f.N == f.V
+	case CondLE:
+		return f.Z || f.N != f.V
+	case CondAL:
+		return true
+	default: // condNV and out-of-range: never taken
+		return false
+	}
+}
+
+// Invert returns the logically opposite condition. Inverting CondAL is not
+// meaningful and returns condNV (never).
+func (c Cond) Invert() Cond {
+	if c == CondAL {
+		return condNV
+	}
+	return c ^ 1
+}
+
+// Instr is a decoded instruction. Field use depends on Op; unused fields are
+// zero. Rd/Rn/Rm/Ra index the integer file for integer ops and the FP file
+// for FP data operands (FLDR/FSTR use Rn as an integer base register).
+type Instr struct {
+	Op   Op
+	Cond Cond
+	Rd   uint8
+	Rn   uint8
+	Rm   uint8
+	Ra   uint8
+	Imm  int64
+}
+
+// Sysreg numbers for MRS/MSR.
+const (
+	SysCAUSE   = 0  // exception cause (read-only)
+	SysELR     = 1  // exception link register (faulting/return pc)
+	SysSPSR    = 2  // saved pstate (packed; see mach)
+	SysCTXPTR  = 3  // per-core pointer used by SAVECTX/RESTCTX
+	SysKSP     = 4  // kernel stack pointer loaded into SP on exception entry
+	SysUSP     = 5  // user SP captured on exception entry
+	SysCOREID  = 6  // this core's index (read-only)
+	SysNCORES  = 7  // total core count (read-only)
+	SysCYCLES  = 8  // this core's cycle counter (read-only)
+	SysINSTRET = 9  // this core's retired-instruction counter (read-only)
+	SysTIMER   = 10 // cycles until next timer interrupt; 0 disarms
+	SysBADADDR = 11 // faulting address for data/prefetch aborts (read-only)
+	SysSCRATCH = 12 // kernel scratch register
+	NumSysregs = 13
+)
+
+var sysNames = [NumSysregs]string{
+	"cause", "elr", "spsr", "ctxptr", "ksp", "usp", "coreid",
+	"ncores", "cycles", "instret", "timer", "badaddr", "scratch",
+}
+
+// SysregName returns a printable name for a sysreg index.
+func SysregName(i int) string {
+	if i >= 0 && i < NumSysregs {
+		return sysNames[i]
+	}
+	return fmt.Sprintf("sys%d", i)
+}
+
+// Exception causes (SysCAUSE values).
+const (
+	ExcNone          = 0
+	ExcSVC           = 1 // supervisor call
+	ExcTimer         = 2 // timer interrupt
+	ExcUndef         = 3 // undefined/illegal instruction
+	ExcDataAbort     = 4 // data access permission/unmapped fault
+	ExcPrefetchAbort = 5 // instruction fetch fault
+)
+
+// ExcName returns a printable name for an exception cause.
+func ExcName(c uint64) string {
+	switch c {
+	case ExcNone:
+		return "none"
+	case ExcSVC:
+		return "svc"
+	case ExcTimer:
+		return "timer"
+	case ExcUndef:
+		return "undef"
+	case ExcDataAbort:
+		return "dabort"
+	case ExcPrefetchAbort:
+		return "pabort"
+	}
+	return fmt.Sprintf("exc%d", c)
+}
+
+// Features describes the architectural parameters of a concrete ISA.
+type Features struct {
+	Name      string // "armv7" or "armv8"
+	WordBytes int    // native integer/pointer width in bytes
+	NumGPR    int    // general registers in the integer file (incl. SP)
+	SPIndex   int    // register index used as the stack pointer
+	LRIndex   int    // link register index
+	// PCTarget reports whether the program counter is an injectable
+	// architectural register (true on v7, where r15 is the PC).
+	PCTarget bool
+	// FaultTargets is the count of injectable registers: NumGPR plus the
+	// PC when PCTarget (v7: 16, v8: 32). The injector flips one bit of
+	// one of these.
+	FaultTargets int
+	HasHWFloat   bool
+	HasPred      bool // full predication (condition field on every instruction)
+	NumFP        int  // FP registers (0 when !HasHWFloat)
+}
+
+// ISA abstracts one of the two simulated architectures.
+type ISA interface {
+	Feat() Features
+	// Decode decodes a 32-bit instruction word. Undecodable words yield
+	// Instr{Op: OpINVALID}; Decode never fails.
+	Decode(w uint32) Instr
+	// Encode encodes an instruction, returning an error when the op or an
+	// operand is not representable in this ISA.
+	Encode(ins Instr) (uint32, error)
+}
+
+// Disasm renders a decoded instruction in a uniform assembly-like syntax.
+func Disasm(f Features, ins Instr) string {
+	r := func(i uint8) string {
+		switch {
+		case int(i) == f.SPIndex:
+			return "sp"
+		case int(i) == f.LRIndex:
+			return "lr"
+		case f.PCTarget && int(i) == f.NumGPR-1:
+			return "pc"
+		default:
+			return fmt.Sprintf("r%d", i)
+		}
+	}
+	d := func(i uint8) string { return fmt.Sprintf("d%d", i) }
+	suffix := ""
+	if ins.Cond != CondAL {
+		suffix = "." + ins.Cond.String()
+	}
+	switch ins.Op {
+	case OpNOP, OpERET, OpSAVECTX, OpRESTCTX, OpWFI, OpHALT:
+		return ins.Op.String() + suffix
+	case OpADD, OpSUB, OpMUL, OpUDIV, OpSDIV, OpAND, OpORR, OpEOR, OpLSL, OpLSR, OpASR:
+		return fmt.Sprintf("%s%s %s, %s, %s", ins.Op, suffix, r(ins.Rd), r(ins.Rn), r(ins.Rm))
+	case OpMVN, OpNEG, OpCLZ:
+		return fmt.Sprintf("%s%s %s, %s", ins.Op, suffix, r(ins.Rd), r(ins.Rm))
+	case OpUMULL:
+		return fmt.Sprintf("umull%s %s, %s, %s, %s", suffix, r(ins.Rd), r(ins.Ra), r(ins.Rn), r(ins.Rm))
+	case OpUMULH:
+		return fmt.Sprintf("umulh%s %s, %s, %s", suffix, r(ins.Rd), r(ins.Rn), r(ins.Rm))
+	case OpADDI, OpSUBI, OpANDI, OpORRI, OpEORI, OpLSLI, OpLSRI, OpASRI:
+		return fmt.Sprintf("%s%s %s, %s, #%d", ins.Op, suffix, r(ins.Rd), r(ins.Rn), ins.Imm)
+	case OpMOVZ, OpMOVK:
+		return fmt.Sprintf("%s%s %s, #%d", ins.Op, suffix, r(ins.Rd), ins.Imm)
+	case OpCMP:
+		return fmt.Sprintf("cmp%s %s, %s", suffix, r(ins.Rn), r(ins.Rm))
+	case OpCMPI:
+		return fmt.Sprintf("cmpi%s %s, #%d", suffix, r(ins.Rn), ins.Imm)
+	case OpCSEL:
+		return fmt.Sprintf("csel.%s %s, %s, %s", ins.Cond, r(ins.Rd), r(ins.Rn), r(ins.Rm))
+	case OpCSET:
+		return fmt.Sprintf("cset.%s %s", ins.Cond, r(ins.Rd))
+	case OpB, OpBL:
+		return fmt.Sprintf("%s%s %+d", ins.Op, suffix, ins.Imm)
+	case OpBR, OpBLR:
+		return fmt.Sprintf("%s%s %s", ins.Op, suffix, r(ins.Rn))
+	case OpCBZ, OpCBNZ:
+		return fmt.Sprintf("%s %s, %+d", ins.Op, r(ins.Rn), ins.Imm)
+	case OpLDR, OpLDRW, OpLDRB:
+		return fmt.Sprintf("%s%s %s, [%s, #%d]", ins.Op, suffix, r(ins.Rd), r(ins.Rn), ins.Imm)
+	case OpSTR, OpSTRW, OpSTRB:
+		return fmt.Sprintf("%s%s %s, [%s, #%d]", ins.Op, suffix, r(ins.Rd), r(ins.Rn), ins.Imm)
+	case OpFLDR:
+		return fmt.Sprintf("fldr %s, [%s, #%d]", d(ins.Rd), r(ins.Rn), ins.Imm)
+	case OpFSTR:
+		return fmt.Sprintf("fstr %s, [%s, #%d]", d(ins.Rd), r(ins.Rn), ins.Imm)
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		return fmt.Sprintf("%s %s, %s, %s", ins.Op, d(ins.Rd), d(ins.Rn), d(ins.Rm))
+	case OpFSQRT, OpFNEG, OpFABS, OpFMOVD:
+		return fmt.Sprintf("%s %s, %s", ins.Op, d(ins.Rd), d(ins.Rm))
+	case OpFCMP:
+		return fmt.Sprintf("fcmp %s, %s", d(ins.Rn), d(ins.Rm))
+	case OpFMOVFI:
+		return fmt.Sprintf("fmovfi %s, %s", r(ins.Rd), d(ins.Rn))
+	case OpFMOVIF:
+		return fmt.Sprintf("fmovif %s, %s", d(ins.Rd), r(ins.Rn))
+	case OpSCVTF:
+		return fmt.Sprintf("scvtf %s, %s", d(ins.Rd), r(ins.Rn))
+	case OpFCVTZS:
+		return fmt.Sprintf("fcvtzs %s, %s", r(ins.Rd), d(ins.Rn))
+	case OpCAS:
+		return fmt.Sprintf("cas%s %s, [%s], %s, old=%s", suffix, r(ins.Rd), r(ins.Rn), r(ins.Rm), r(ins.Ra))
+	case OpSVC:
+		return fmt.Sprintf("svc%s #%d", suffix, ins.Imm)
+	case OpMRS:
+		return fmt.Sprintf("mrs%s %s, %s", suffix, r(ins.Rd), SysregName(int(ins.Imm)))
+	case OpMSR:
+		return fmt.Sprintf("msr%s %s, %s", suffix, SysregName(int(ins.Imm)), r(ins.Rn))
+	default:
+		return ins.Op.String() + suffix
+	}
+}

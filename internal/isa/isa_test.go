@@ -1,0 +1,113 @@
+package isa
+
+import "testing"
+
+func TestCondPass(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		f    Flags
+		want bool
+	}{
+		{CondEQ, Flags{Z: true}, true},
+		{CondEQ, Flags{}, false},
+		{CondNE, Flags{}, true},
+		{CondNE, Flags{Z: true}, false},
+		{CondHS, Flags{C: true}, true},
+		{CondLO, Flags{C: true}, false},
+		{CondMI, Flags{N: true}, true},
+		{CondPL, Flags{N: true}, false},
+		{CondVS, Flags{V: true}, true},
+		{CondVC, Flags{V: true}, false},
+		{CondHI, Flags{C: true}, true},
+		{CondHI, Flags{C: true, Z: true}, false},
+		{CondLS, Flags{C: true, Z: true}, true},
+		{CondLS, Flags{C: true}, false},
+		{CondGE, Flags{N: true, V: true}, true},
+		{CondGE, Flags{N: true}, false},
+		{CondLT, Flags{N: true}, true},
+		{CondLT, Flags{N: true, V: true}, false},
+		{CondGT, Flags{}, true},
+		{CondGT, Flags{Z: true}, false},
+		{CondLE, Flags{Z: true}, true},
+		{CondLE, Flags{}, false},
+		{CondAL, Flags{}, true},
+		{CondAL, Flags{N: true, Z: true, C: true, V: true}, true},
+		{condNV, Flags{N: true, Z: true, C: true, V: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Pass(c.f); got != c.want {
+			t.Errorf("Cond %v with %+v: got %v, want %v", c.c, c.f, got, c.want)
+		}
+	}
+}
+
+func TestCondInvertIsComplement(t *testing.T) {
+	flagSets := []Flags{}
+	for i := 0; i < 16; i++ {
+		flagSets = append(flagSets, Flags{
+			N: i&1 != 0, Z: i&2 != 0, C: i&4 != 0, V: i&8 != 0,
+		})
+	}
+	for c := CondEQ; c < CondAL; c++ {
+		inv := c.Invert()
+		for _, f := range flagSets {
+			if c.Pass(f) == inv.Pass(f) {
+				t.Errorf("invert(%v)=%v not complementary under %+v", c, inv, f)
+			}
+		}
+	}
+	if CondAL.Invert().Pass(Flags{}) {
+		t.Errorf("inverted AL should never pass")
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		bits uint
+		want int64
+	}{
+		{0x7ff, 12, 2047},
+		{0x800, 12, -2048},
+		{0xfff, 12, -1},
+		{0, 12, 0},
+		{0x80000, 20, -524288},
+		{0x7ffff, 20, 524287},
+	}
+	for _, c := range cases {
+		if got := SignExtend(c.v, c.bits); got != c.want {
+			t.Errorf("SignExtend(%#x, %d) = %d, want %d", c.v, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestFitsSigned(t *testing.T) {
+	if !FitsSigned(2047, 12) || FitsSigned(2048, 12) {
+		t.Error("FitsSigned upper bound wrong for 12 bits")
+	}
+	if !FitsSigned(-2048, 12) || FitsSigned(-2049, 12) {
+		t.Error("FitsSigned lower bound wrong for 12 bits")
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+	}
+}
+
+func TestFormatTableCoversAllOps(t *testing.T) {
+	// Every op other than the no-operand system ops must have a non-None
+	// format; a missing table entry would silently decode to garbage.
+	noneOK := map[Op]bool{
+		OpINVALID: true, OpNOP: true, OpERET: true, OpSAVECTX: true,
+		OpRESTCTX: true, OpWFI: true, OpHALT: true,
+	}
+	for op := Op(0); int(op) < NumOps; op++ {
+		if FormatOf(op) == FmtNone && !noneOK[op] {
+			t.Errorf("op %v has FmtNone but takes operands", op)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// Package kos builds the guest operating system: a miniature
+// symmetric-multiprocessing kernel compiled from the cc DSL that stands in
+// for the Linux kernel of the paper's software stack. It provides
+// preemptive round-robin scheduling across cores via per-core timer
+// interrupts, kernel-assisted futexes, threads, a brk-style allocator and a
+// console — everything the OpenMP/MPI-like runtimes and the NPB-like
+// benchmarks need.
+//
+// Because the kernel is guest code resident in simulated memory and
+// executing on the simulated cores, injected register faults corrupt kernel
+// execution (scheduling decisions, run-queue state, context switches)
+// exactly as the paper describes for faults landing during OS activity:
+// they surface as unexpected terminations, hangs or silent corruption.
+package kos
+
+import (
+	"serfi/internal/abi"
+	. "serfi/internal/cc"
+	"serfi/internal/isa"
+	"serfi/internal/mach"
+)
+
+const (
+	// maxCtxWords is the worst-case (armv8) context size used to size the
+	// TCB array (34 integer/state slots + 32 FP slots); the runtime
+	// stride uses the target's real context size.
+	maxCtxWords = 66
+	tcbExtras   = 4 // state, wait, two spares
+	kstackBytes = 4096
+	rqCap       = 32
+	idleTid     = -1
+)
+
+// Build returns the kernel program.
+func Build() *Program {
+	p := NewProgram("kos")
+
+	p.GlobalWords("k_tcbs", uint32(abi.MaxThreads*(tcbExtras+maxCtxWords)))
+	p.GlobalWords("k_rq", rqCap)
+	p.GlobalWords("k_rqhead", 1)
+	p.GlobalWords("k_rqtail", 1)
+	p.GlobalWords("k_lock", 1)
+	p.GlobalWords("k_boot", 1)
+	p.GlobalWords("k_brk", 1)
+	p.GlobalWords("k_cur", 8) // per-core current tid (max 8 cores)
+	p.GlobalWords("k_panicctx", maxCtxWords)
+	p.GlobalBytes("k_stacks", 8*kstackBytes)
+	// Linker-filled configuration.
+	for _, s := range []string{
+		"__cfg_user_entry", "__cfg_heap_base", "__cfg_heap_end",
+		"__cfg_stacks_base", "__cfg_stacks_end", "__cfg_stack_size",
+		"__cfg_tick",
+	} {
+		p.GlobalWords(s, 1)
+	}
+
+	buildHelpers(p)
+	buildScheduler(p)
+	buildSyscalls(p)
+	buildHandlers(p)
+	buildBoot(p)
+	return p
+}
+
+// tcbStrideE is the per-target TCB stride in bytes.
+func tcbStrideE() *Expr {
+	return Mul(Add(TC(TCCtxWords), I(tcbExtras)), WordBytes())
+}
+
+func buildHelpers(p *Program) {
+	// k_tcb(tid) -> TCB base address.
+	f := p.Func("k_tcb", "tid")
+	f.Ret(Add(G("k_tcbs"), Mul(V(f.Params[0]), tcbStrideE())))
+
+	// k_ctx(tid) -> context block address inside the TCB.
+	f = p.Func("k_ctx", "tid")
+	f.Ret(Add(Call("k_tcb", V(f.Params[0])), Mul(I(tcbExtras), WordBytes())))
+
+	// k_lockacq/k_lockrel: the global scheduler spinlock.
+	f = p.Func("k_lockacq")
+	f.While(Ne(CASExpr(G("k_lock"), I(0), I(1)), I(0)), func() {})
+	f.Ret(nil)
+	f = p.Func("k_lockrel")
+	f.Store(G("k_lock"), I(0))
+	f.Ret(nil)
+
+	// k_rqpush(tid): append to the ready ring (lock held).
+	f = p.Func("k_rqpush", "tid")
+	t := f.Local("t")
+	f.Assign(t, Load(G("k_rqtail")))
+	f.Store(IndexW(G("k_rq"), URem(V(t), I(rqCap))), V(f.Params[0]))
+	f.Store(G("k_rqtail"), Add(V(t), I(1)))
+	f.Ret(nil)
+
+	// k_rqpop() -> tid or -1 (lock held).
+	f = p.Func("k_rqpop")
+	h := f.Local("h")
+	f.Assign(h, Load(G("k_rqhead")))
+	f.If(Eq(V(h), Load(G("k_rqtail"))), func() {
+		f.Ret(I(-1))
+	}, nil)
+	tid := f.Local("tid")
+	f.Assign(tid, Load(IndexW(G("k_rq"), URem(V(h), I(rqCap)))))
+	f.Store(G("k_rqhead"), Add(V(h), I(1)))
+	f.Ret(V(tid))
+
+	// k_state(tid) -> state; k_setstate(tid, s); k_setwait(tid, w).
+	f = p.Func("k_state", "tid")
+	f.Ret(Load(Call("k_tcb", V(f.Params[0]))))
+	f = p.Func("k_setstate", "tid", "s")
+	f.Store(Call("k_tcb", V(f.Params[0])), V(f.Params[1]))
+	f.Ret(nil)
+	f = p.Func("k_wait", "tid")
+	f.Ret(Load(Add(Call("k_tcb", V(f.Params[0])), WordBytes())))
+	f = p.Func("k_setwait", "tid", "w")
+	f.Store(Add(Call("k_tcb", V(f.Params[0])), WordBytes()), V(f.Params[1]))
+	f.Ret(nil)
+}
+
+func buildScheduler(p *Program) {
+	// k_dispatch(tid): switch to a ready thread. Never returns.
+	f := p.Func("k_dispatch", "tid")
+	tid := f.Params[0]
+	core := f.Local("core")
+	f.Assign(core, MRS(isa.SysCOREID))
+	f.StoreWordElem("k_cur", V(core), V(tid))
+	f.Do(Call("k_setstate", V(tid), I(abi.ThRunning)))
+	ctx := f.Local("ctx")
+	f.Assign(ctx, Call("k_ctx", V(tid)))
+	f.MSR(isa.SysCTXPTR, V(ctx))
+	f.MSR(isa.SysTIMER, Load(G("__cfg_tick")))
+	f.RestCtx()
+	f.Eret()
+
+	// k_schedule(): run the next ready thread; idle on an empty queue.
+	// Never returns.
+	f = p.Func("k_schedule")
+	core = f.Local("core")
+	f.Assign(core, MRS(isa.SysCOREID))
+	tid2 := f.Local("tid")
+	f.While(Eq(I(0), I(0)), func() {
+		f.Do(Call("k_lockacq"))
+		f.Assign(tid2, Call("k_rqpop"))
+		f.Do(Call("k_lockrel"))
+		f.If(Ge(V(tid2), I(0)), func() {
+			f.Do(Call("k_dispatch", V(tid2)))
+		}, nil)
+		// Idle: mark no current thread and sleep one quantum. The
+		// timer write acknowledges any pending interrupt.
+		f.StoreWordElem("k_cur", V(core), I(idleTid))
+		f.MSR(isa.SysCTXPTR, G("k_panicctx"))
+		f.MSR(isa.SysTIMER, Load(G("__cfg_tick")))
+		f.WFI()
+	})
+
+	// k_newthread(entry, arg) -> tid or -1.
+	f = p.Func("k_newthread", "entry", "arg")
+	entry, arg := f.Params[0], f.Params[1]
+	f.Do(Call("k_lockacq"))
+	tid3 := f.Local("tid")
+	f.Assign(tid3, I(-1))
+	i := f.Local("i")
+	f.ForRange(i, I(0), I(abi.MaxThreads), func() {
+		f.If(AndC(Eq(V(tid3), I(-1)), Eq(Call("k_state", V(i)), I(abi.ThFree))), func() {
+			f.Assign(tid3, V(i))
+		}, nil)
+	})
+	f.If(Eq(V(tid3), I(-1)), func() {
+		f.Do(Call("k_lockrel"))
+		f.Ret(I(-1))
+	}, nil)
+	nctx := f.Local("nctx")
+	f.Assign(nctx, Call("k_ctx", V(tid3)))
+	f.ForRange(i, I(0), TC(TCCtxWords), func() {
+		f.Store(IndexW(V(nctx), V(i)), I(0))
+	})
+	f.Store(IndexW(V(nctx), TC(TCCtxPCSlot)), V(entry))
+	f.Store(V(nctx), V(arg)) // slot 0 = first argument register
+	// Stack: stacks_end - tid*stack_size.
+	f.Store(IndexW(V(nctx), TC(TCCtxSPSlot)),
+		Sub(Load(G("__cfg_stacks_end")), Mul(V(tid3), Load(G("__cfg_stack_size")))))
+	f.Store(IndexW(V(nctx), TC(TCCtxSPSRSlot)), I(2)) // user mode, IRQs on
+	f.Do(Call("k_setwait", V(tid3), I(0)))
+	f.Do(Call("k_setstate", V(tid3), I(abi.ThReady)))
+	f.Do(Call("k_rqpush", V(tid3)))
+	f.Do(Call("k_lockrel"))
+	f.Ret(V(tid3))
+
+	// k_exitapp(code, sig): report the application end and power off.
+	// Never returns.
+	f = p.Func("k_exitapp", "code", "sig")
+	code, sig := f.Params[0], f.Params[1]
+	f.Store(I(mach.MMIOAppExit), Or(And(V(code), I(0xff)), Shl(And(V(sig), I(0xff)), I(8))))
+	f.If(Ne(V(sig), I(0)), func() {
+		f.Store(I(mach.MMIOPoweroff), Add(I(128), V(sig)))
+	}, func() {
+		f.Store(I(mach.MMIOPoweroff), V(code))
+	})
+	f.While(Eq(I(0), I(0)), func() {}) // unreachable: machine halted
+}
+
+func buildSyscalls(p *Program) {
+	// k_sysret(result): store the result into the caller's r0 and resume
+	// it. Never returns.
+	f := p.Func("k_sysret", "res")
+	ctx := f.Local("ctx")
+	f.Assign(ctx, MRS(isa.SysCTXPTR))
+	f.Store(V(ctx), V(f.Params[0]))
+	f.RestCtx()
+	f.Eret()
+
+	// k_curtid() -> tid running on this core.
+	f = p.Func("k_curtid")
+	f.Ret(Load(IndexW(G("k_cur"), MRS(isa.SysCOREID))))
+
+	// k_block(state, wait): park the current thread and reschedule.
+	f = p.Func("k_block", "state", "wait")
+	tid := f.Local("tid")
+	f.Assign(tid, Call("k_curtid"))
+	f.Do(Call("k_setstate", V(tid), V(f.Params[0])))
+	f.Do(Call("k_setwait", V(tid), V(f.Params[1])))
+	f.Do(Call("k_lockrel"))
+	f.Do(Call("k_schedule"))
+	f.Ret(nil) // unreachable
+
+	// k_wakejoiners(tid): release threads joined on tid (lock held).
+	f = p.Func("k_wakejoiners", "tid")
+	i := f.Local("i")
+	f.ForRange(i, I(0), I(abi.MaxThreads), func() {
+		f.If(AndC(Eq(Call("k_state", V(i)), I(abi.ThBlockedJoin)),
+			Eq(Call("k_wait", V(i)), V(f.Params[0]))), func() {
+			f.Do(Call("k_setstate", V(i), I(abi.ThReady)))
+			f.Do(Call("k_rqpush", V(i)))
+		}, nil)
+	})
+	f.Ret(nil)
+
+	// k_syscall(num, a0, a1, a2): dispatch. Quick calls resume the caller
+	// via k_sysret; blocking calls reschedule. Never returns.
+	f = p.Func("k_syscall", "num", "a0", "a1")
+	num, a0, a1 := f.Params[0], f.Params[1], f.Params[2]
+
+	f.If(Eq(V(num), I(abi.SysPutc)), func() {
+		f.StoreB(I(mach.MMIOConsole), V(a0))
+		f.Do(Call("k_sysret", I(0)))
+	}, nil)
+
+	f.If(Eq(V(num), I(abi.SysExit)), func() {
+		f.Do(Call("k_exitapp", V(a0), I(0)))
+	}, nil)
+
+	f.If(Eq(V(num), I(abi.SysGetTID)), func() {
+		f.Do(Call("k_sysret", Call("k_curtid")))
+	}, nil)
+
+	f.If(Eq(V(num), I(abi.SysSbrk)), func() {
+		f.Do(Call("k_lockacq"))
+		old := f.Local("old")
+		f.Assign(old, Load(G("k_brk")))
+		nw := f.Local("nw")
+		f.Assign(nw, Add(V(old), V(a0)))
+		f.If(GtU(V(nw), Load(G("__cfg_heap_end"))), func() {
+			f.Do(Call("k_lockrel"))
+			f.Do(Call("k_sysret", I(0)))
+		}, nil)
+		f.Store(G("k_brk"), V(nw))
+		f.Do(Call("k_lockrel"))
+		f.Do(Call("k_sysret", V(old)))
+	}, nil)
+
+	f.If(Eq(V(num), I(abi.SysThreadCreate)), func() {
+		f.Do(Call("k_sysret", Call("k_newthread", V(a0), V(a1))))
+	}, nil)
+
+	f.If(Eq(V(num), I(abi.SysThreadExit)), func() {
+		tid := f.Local("tid")
+		f.Assign(tid, Call("k_curtid"))
+		f.If(Eq(V(tid), I(0)), func() {
+			f.Do(Call("k_exitapp", I(0), I(0))) // main thread exit ends the app
+		}, nil)
+		f.Do(Call("k_lockacq"))
+		f.Do(Call("k_setstate", V(tid), I(abi.ThZombie)))
+		f.Do(Call("k_wakejoiners", V(tid)))
+		f.Do(Call("k_lockrel"))
+		f.Do(Call("k_schedule"))
+	}, nil)
+
+	f.If(Eq(V(num), I(abi.SysThreadJoin)), func() {
+		f.Do(Call("k_lockacq"))
+		f.If(Eq(Call("k_state", V(a0)), I(abi.ThZombie)), func() {
+			f.Do(Call("k_setstate", V(a0), I(abi.ThFree))) // reap
+			f.Do(Call("k_lockrel"))
+			f.Do(Call("k_sysret", I(0)))
+		}, nil)
+		// Park until the target exits; the zombie stays for the next
+		// join call to reap.
+		f.Do(Call("k_block", I(abi.ThBlockedJoin), V(a0)))
+	}, nil)
+
+	f.If(Eq(V(num), I(abi.SysFutexWait)), func() {
+		f.Do(Call("k_lockacq"))
+		f.If(Ne(Load(V(a0)), V(a1)), func() {
+			f.Do(Call("k_lockrel"))
+			f.Do(Call("k_sysret", I(1))) // value already changed
+		}, nil)
+		f.Do(Call("k_block", I(abi.ThBlockedFtx), V(a0)))
+	}, nil)
+
+	f.If(Eq(V(num), I(abi.SysFutexWake)), func() {
+		f.Do(Call("k_lockacq"))
+		n := f.Local("n")
+		f.Assign(n, I(0))
+		i := f.Local("i")
+		f.ForRange(i, I(0), I(abi.MaxThreads), func() {
+			f.If(AndC(Lt(V(n), V(a1)),
+				AndC(Eq(Call("k_state", V(i)), I(abi.ThBlockedFtx)),
+					Eq(Call("k_wait", V(i)), V(a0)))), func() {
+				f.Do(Call("k_setstate", V(i), I(abi.ThReady)))
+				f.Do(Call("k_rqpush", V(i)))
+				f.Assign(n, Add(V(n), I(1)))
+			}, nil)
+		})
+		f.Do(Call("k_lockrel"))
+		f.Do(Call("k_sysret", V(n)))
+	}, nil)
+
+	f.If(Eq(V(num), I(abi.SysYield)), func() {
+		tid := f.Local("tid")
+		f.Assign(tid, Call("k_curtid"))
+		f.Do(Call("k_lockacq"))
+		f.Do(Call("k_setstate", V(tid), I(abi.ThReady)))
+		f.Do(Call("k_rqpush", V(tid)))
+		f.Do(Call("k_lockrel"))
+		f.Do(Call("k_schedule"))
+	}, nil)
+
+	// Unknown syscall numbers (possibly fault-corrupted) return -1.
+	f.Do(Call("k_sysret", I(-1)))
+	f.Ret(nil)
+}
+
+func buildHandlers(p *Program) {
+	// k_tick(): quantum expired; requeue the interrupted thread.
+	f := p.Func("k_tick")
+	tid := f.Local("tid")
+	f.Assign(tid, Call("k_curtid"))
+	f.If(Ge(V(tid), I(0)), func() {
+		f.Do(Call("k_lockacq"))
+		f.Do(Call("k_setstate", V(tid), I(abi.ThReady)))
+		f.Do(Call("k_rqpush", V(tid)))
+		f.Do(Call("k_lockrel"))
+	}, nil)
+	f.Do(Call("k_schedule"))
+	f.Ret(nil)
+
+	// k_fault(cause): a synchronous exception. A fault in kernel mode is
+	// a guest-kernel panic; any user-thread fault kills the application
+	// (segmentation fault / illegal instruction), matching the paper's
+	// Unexpected Termination class.
+	f = p.Func("k_fault", "cause")
+	spsr := f.Local("spsr")
+	f.Assign(spsr, MRS(isa.SysSPSR))
+	f.If(Eq(And(V(spsr), I(1)), I(1)), func() {
+		f.Do(Call("k_exitapp", I(0), I(abi.SigKernel))) // kernel panic
+	}, nil)
+	f.If(Eq(V(f.Params[0]), I(isa.ExcUndef)), func() {
+		f.Do(Call("k_exitapp", I(0), I(abi.SigIll)))
+	}, nil)
+	f.Do(Call("k_exitapp", I(0), I(abi.SigSegv)))
+	f.Ret(nil)
+
+	// k_handler(): first-level exception dispatch (stack is ready).
+	f = p.Func("k_handler")
+	cause := f.Local("cause")
+	f.Assign(cause, MRS(isa.SysCAUSE))
+	f.If(Eq(V(cause), I(isa.ExcSVC)), func() {
+		ctx := f.Local("ctx")
+		f.Assign(ctx, MRS(isa.SysCTXPTR))
+		f.Do(Call("k_syscall",
+			Load(IndexW(V(ctx), TC(TCSysNumIndex))),
+			Load(V(ctx)),
+			Load(IndexW(V(ctx), I(1)))))
+	}, nil)
+	f.If(Eq(V(cause), I(isa.ExcTimer)), func() {
+		f.Do(Call("k_tick"))
+	}, nil)
+	f.Do(Call("k_fault", V(cause)))
+	f.Ret(nil)
+
+	// __vector: hardware enters here with SP on the per-core kernel
+	// stack; the interrupted context is saved through CTXPTR first.
+	v := p.NakedFunc("__vector")
+	v.SaveCtx()
+	v.Do(Call("k_handler"))
+	// Falling through means a corrupted handler: the naked-function
+	// guard HALT stops the machine (classified as abnormal).
+}
+
+func buildBoot(p *Program) {
+	// k_boot0: primary-core initialization.
+	f := p.Func("k_boot0")
+	i := f.Local("i")
+	f.ForRange(i, I(0), I(abi.MaxThreads), func() {
+		f.Do(Call("k_setstate", V(i), I(abi.ThFree)))
+	})
+	f.Store(G("k_rqhead"), I(0))
+	f.Store(G("k_rqtail"), I(0))
+	f.Store(G("k_lock"), I(0))
+	f.Store(G("k_brk"), Load(G("__cfg_heap_base")))
+	f.ForRange(i, I(0), I(8), func() {
+		f.StoreWordElem("k_cur", V(i), I(idleTid))
+	})
+	f.Do(Call("k_newthread", Load(G("__cfg_user_entry")), I(0)))
+	f.Store(G("k_boot"), I(1))
+	// The application lifespan (fault-injection window) starts now.
+	f.Store(I(mach.MMIOAppStart), I(1))
+	f.Do(Call("k_schedule"))
+	f.Ret(nil)
+
+	// __start: every core enters here in kernel mode with IRQs masked.
+	st := p.NakedFunc("__start")
+	id := st.Local("id")
+	st.Assign(id, MRS(isa.SysCOREID))
+	sp := st.Local("sp")
+	st.Assign(sp, Add(G("k_stacks"), Mul(Add(V(id), I(1)), I(kstackBytes))))
+	st.SetSP(V(sp))
+	st.MSR(isa.SysKSP, V(sp))
+	st.MSR(isa.SysCTXPTR, G("k_panicctx"))
+	st.If(Eq(V(id), I(0)), func() {
+		st.Do(Call("k_boot0"))
+	}, nil)
+	st.While(Eq(Load(G("k_boot")), I(0)), func() {})
+	st.Do(Call("k_schedule"))
+}

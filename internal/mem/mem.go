@@ -1,0 +1,212 @@
+// Package mem provides the flat physical memory of a simulated machine plus
+// the region/permission table that stands in for an MMU. There is no paging:
+// the guest kernel and applications share one physical address space, and
+// segmentation faults arise from region permission violations exactly as the
+// paper's "access outside its permissions" UT mechanism requires.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Perm is a region permission bitmask.
+type Perm uint8
+
+// Permission bits. PermUser marks a region accessible from user mode;
+// kernel mode may access every mapped region.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+	PermUser
+)
+
+// String renders the permission like "rwxu".
+func (p Perm) String() string {
+	b := []byte("----")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	if p&PermUser != 0 {
+		b[3] = 'u'
+	}
+	return string(b)
+}
+
+// Region is a mapped address range [Start, End).
+type Region struct {
+	Name  string
+	Start uint32
+	End   uint32
+	Perm  Perm
+}
+
+// Contains reports whether addr lies in the region.
+func (r Region) Contains(addr uint32) bool { return addr >= r.Start && addr < r.End }
+
+// Fault describes a rejected access.
+type Fault struct {
+	Addr  uint32
+	Write bool
+	Exec  bool
+	User  bool
+	What  string // "unmapped" or "perm"
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	if f.Exec {
+		kind = "exec"
+	}
+	mode := "kernel"
+	if f.User {
+		mode = "user"
+	}
+	return fmt.Sprintf("%s fault: %s %s at %#x", f.What, mode, kind, f.Addr)
+}
+
+// Memory is the physical RAM image plus its region table. Memory is not safe
+// for concurrent use; each simulated machine owns one.
+type Memory struct {
+	ram     []byte
+	regions []Region // sorted by Start
+	last    int      // index of most recently hit region (locality cache)
+}
+
+// New allocates size bytes of zeroed RAM with no mapped regions.
+func New(size uint32) *Memory {
+	return &Memory{ram: make([]byte, size)}
+}
+
+// Size returns the RAM size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.ram)) }
+
+// Map adds a region. Regions must not overlap; Map panics on programmer
+// error since the memory map is fixed at machine construction.
+func (m *Memory) Map(r Region) {
+	if r.End <= r.Start || r.End > m.Size() {
+		panic(fmt.Sprintf("mem: bad region %s [%#x,%#x) for RAM size %#x", r.Name, r.Start, r.End, m.Size()))
+	}
+	for _, o := range m.regions {
+		if r.Start < o.End && o.Start < r.End {
+			panic(fmt.Sprintf("mem: region %s overlaps %s", r.Name, o.Name))
+		}
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Start < m.regions[j].Start })
+	m.last = 0
+}
+
+// Regions returns the region table (shared slice; callers must not modify).
+func (m *Memory) Regions() []Region { return m.regions }
+
+// FindRegion returns the region containing addr, or nil.
+func (m *Memory) FindRegion(addr uint32) *Region {
+	if m.last < len(m.regions) && m.regions[m.last].Contains(addr) {
+		return &m.regions[m.last]
+	}
+	lo, hi := 0, len(m.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.regions[mid].Start > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	if r := &m.regions[lo-1]; r.Contains(addr) {
+		m.last = lo - 1
+		return r
+	}
+	return nil
+}
+
+// Check validates an access of size bytes at addr. user selects user-mode
+// permission checking; want is the required permission (PermR, PermW or
+// PermX). It returns nil when the access is allowed.
+func (m *Memory) Check(addr uint32, size uint32, want Perm, user bool) *Fault {
+	end := addr + size
+	if end < addr || end > m.Size() {
+		return &Fault{Addr: addr, Write: want == PermW, Exec: want == PermX, User: user, What: "unmapped"}
+	}
+	r := m.FindRegion(addr)
+	if r == nil || end > r.End {
+		return &Fault{Addr: addr, Write: want == PermW, Exec: want == PermX, User: user, What: "unmapped"}
+	}
+	if r.Perm&want == 0 || (user && r.Perm&PermUser == 0) {
+		return &Fault{Addr: addr, Write: want == PermW, Exec: want == PermX, User: user, What: "perm"}
+	}
+	return nil
+}
+
+// The raw accessors below skip permission checks; they are used by the
+// machine after Check, by loaders, and by the fault injector.
+
+// ReadU8 reads one byte.
+func (m *Memory) ReadU8(addr uint32) uint8 { return m.ram[addr] }
+
+// WriteU8 writes one byte.
+func (m *Memory) WriteU8(addr uint32, v uint8) { m.ram[addr] = v }
+
+// ReadU32 reads a little-endian 32-bit value.
+func (m *Memory) ReadU32(addr uint32) uint32 {
+	return binary.LittleEndian.Uint32(m.ram[addr : addr+4])
+}
+
+// WriteU32 writes a little-endian 32-bit value.
+func (m *Memory) WriteU32(addr uint32, v uint32) {
+	binary.LittleEndian.PutUint32(m.ram[addr:addr+4], v)
+}
+
+// ReadU64 reads a little-endian 64-bit value.
+func (m *Memory) ReadU64(addr uint32) uint64 {
+	return binary.LittleEndian.Uint64(m.ram[addr : addr+8])
+}
+
+// WriteU64 writes a little-endian 64-bit value.
+func (m *Memory) WriteU64(addr uint32, v uint64) {
+	binary.LittleEndian.PutUint64(m.ram[addr:addr+8], v)
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr, n uint32) []byte {
+	out := make([]byte, n)
+	copy(out, m.ram[addr:addr+n])
+	return out
+}
+
+// WriteBytes copies b into RAM at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	copy(m.ram[addr:], b)
+}
+
+// Hash returns a 64-bit FNV-1a digest of all of RAM. The fault classifier
+// compares full-memory digests between golden and faulty runs.
+func (m *Memory) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write(m.ram)
+	return h.Sum64()
+}
+
+// HashRange digests the half-open byte range [start, end).
+func (m *Memory) HashRange(start, end uint32) uint64 {
+	h := fnv.New64a()
+	h.Write(m.ram[start:end])
+	return h.Sum64()
+}

@@ -1,0 +1,135 @@
+package mining
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(xs, xs); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation = %f", r)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti correlation = %f", r)
+	}
+	if r := Pearson([]float64{1, 1, 1}, xs[:3]); !math.IsNaN(r) {
+		t.Errorf("constant series must be NaN, got %f", r)
+	}
+}
+
+func TestPearsonBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		p := Pearson(xs, ys)
+		return math.IsNaN(p) || (p >= -1.0000001 && p <= 1.0000001)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonInvariantUnderAffineTransform(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		p1 := Pearson(xs, ys)
+		scaled := make([]float64, n)
+		for i := range xs {
+			scaled[i] = 3*xs[i] + 7
+		}
+		p2 := Pearson(scaled, ys)
+		if math.IsNaN(p1) || math.IsNaN(p2) {
+			return true
+		}
+		return math.Abs(p1-p2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform gives rho = 1.
+	xs := []float64{1, 4, 2, 8, 5, 7}
+	ys := make([]float64, len(xs))
+	for i, v := range xs {
+		ys[i] = math.Exp(v) // monotone, nonlinear
+	}
+	if r := Spearman(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Errorf("monotone spearman = %f", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	if r := Spearman(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Errorf("tied spearman = %f", r)
+	}
+}
+
+func TestDataSetRoundTrip(t *testing.T) {
+	d := NewDataSet()
+	d.AddRow("a", map[string]float64{"x": 1, "y": 10})
+	d.AddRow("b", map[string]float64{"x": 2, "y": 20, "z": 5})
+	d.AddRow("c", map[string]float64{"x": 3, "y": 30})
+	xs, ok := d.Column("x")
+	if !ok || len(xs) != 3 {
+		t.Fatal("column x broken")
+	}
+	zs, _ := d.Column("z")
+	if !math.IsNaN(zs[0]) || zs[1] != 5 || !math.IsNaN(zs[2]) {
+		t.Errorf("NaN padding broken: %v", zs)
+	}
+	cs := d.Correlate("y")
+	if len(cs) == 0 || cs[0].Feature != "x" {
+		t.Fatalf("correlate: %+v", cs)
+	}
+	if math.Abs(cs[0].Spearman-1) > 1e-12 {
+		t.Errorf("x-y spearman = %f", cs[0].Spearman)
+	}
+}
+
+func TestSelectAndMeanStd(t *testing.T) {
+	d := NewDataSet()
+	d.AddRow("armv7/IS/MPI-1", map[string]float64{"v": 10})
+	d.AddRow("armv7/IS/OMP-1", map[string]float64{"v": 20})
+	d.AddRow("armv8/IS/MPI-1", map[string]float64{"v": 30})
+	mpi := d.Select(func(n string) bool { return strings.Contains(n, "MPI") })
+	if len(mpi.Rows) != 2 {
+		t.Fatalf("select rows = %d", len(mpi.Rows))
+	}
+	mean, std, n := d.MeanStd("v", func(n string) bool { return strings.HasPrefix(n, "armv7") })
+	if n != 2 || mean != 15 || math.Abs(std-5) > 1e-12 {
+		t.Errorf("meanstd = (%f, %f, %d)", mean, std, n)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	d := NewDataSet()
+	for i := 0; i < 5; i++ {
+		d.AddRow("r", map[string]float64{"x": float64(i), "t": float64(i * i)})
+	}
+	s := Report(d.Correlate("t"), 3)
+	if !strings.Contains(s, "x") || !strings.Contains(s, "spearman") {
+		t.Errorf("report: %s", s)
+	}
+}

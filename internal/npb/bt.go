@@ -1,0 +1,287 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// BT: block-tridiagonal solver. Lines of 2x2 blocks are eliminated with
+// block Thomas recursion (matrix inverses per point), in row and column
+// phases like SP. The MPI decomposition requires a square rank grid, which
+// is why the paper has no BT MPI dual-core scenario — the registry encodes
+// that via MPISquare.
+const (
+	btNL   = 8  // row-phase lines
+	btNP   = 16 // blocks per line
+	btIter = 1
+)
+
+// BuildBT constructs the BT program.
+func BuildBT() *Program {
+	p := NewProgram("bt")
+	blocks := uint32(btNL * btNP)
+	p.GlobalF64("bt_B", blocks*4)
+	p.GlobalF64("bt_C", blocks*4)
+	p.GlobalF64("bt_D", blocks*4)
+	p.GlobalF64("bt_F", blocks*2)
+	p.GlobalF64("bt_U", blocks*2)
+	p.GlobalF64("bt_V", blocks*2)
+	p.GlobalF64("bt_U2", blocks*2)
+
+	// bt_gen(base, n, seed): fill 2x2 band matrices for one line of n
+	// blocks starting at block index base.
+	f := p.Func("bt_gen", "base", "n", "seed")
+	base, n, seed := f.Params[0], f.Params[1], f.Params[2]
+	k := f.Local("k")
+	e4 := f.Local("e4")
+	h := f.Local("h")
+	fr := f.LocalF("fr")
+	f.ForRange(k, I(0), V(n), func() {
+		f.Assign(e4, Mul(Add(V(base), V(k)), I(4)))
+		f.Assign(h, And(Mul(Add(Add(V(e4), V(seed)), I(53)), I(2654435761)), I(255)))
+		f.Assign(fr, FMul(CvtWF(V(h)), F(1.0/1024.0))) // [0, 0.25)
+		// C: strongly dominant diagonal block.
+		f.StoreF64Elem("bt_C", V(e4), F(6.0))
+		f.StoreF64Elem("bt_C", Add(V(e4), I(1)), FAdd(F(0.5), V(fr)))
+		f.StoreF64Elem("bt_C", Add(V(e4), I(2)), F(0.4))
+		f.StoreF64Elem("bt_C", Add(V(e4), I(3)), F(6.0))
+		// B and D: small off-diagonal blocks.
+		f.StoreF64Elem("bt_B", V(e4), F(1.0))
+		f.StoreF64Elem("bt_B", Add(V(e4), I(1)), F(0.2))
+		f.StoreF64Elem("bt_B", Add(V(e4), I(2)), FAdd(F(0.1), V(fr)))
+		f.StoreF64Elem("bt_B", Add(V(e4), I(3)), F(1.0))
+		f.StoreF64Elem("bt_D", V(e4), F(1.0))
+		f.StoreF64Elem("bt_D", Add(V(e4), I(1)), V(fr))
+		f.StoreF64Elem("bt_D", Add(V(e4), I(2)), F(0.2))
+		f.StoreF64Elem("bt_D", Add(V(e4), I(3)), F(1.0))
+	})
+	f.Ret(I(0))
+
+	// bt_solve(base, n, dst): block Thomas over blocks [base, base+n);
+	// 2-vector solution into the dst array at the same block indices.
+	f = p.Func("bt_solve", "base", "n", "dst")
+	base, n = f.Params[0], f.Params[1]
+	dst := f.Params[2]
+	i := f.Local("i")
+	e4 = f.Local("e4")
+	p4 := f.Local("p4") // previous block *4
+	e2 := f.Local("e2")
+	p2 := f.Local("p2")
+	det := f.LocalF("det")
+	i00 := f.LocalF("i00")
+	i01 := f.LocalF("i01")
+	i10 := f.LocalF("i10")
+	i11 := f.LocalF("i11")
+	m00 := f.LocalF("m00")
+	m01 := f.LocalF("m01")
+	m10 := f.LocalF("m10")
+	m11 := f.LocalF("m11")
+	t0 := f.LocalF("t0")
+	t1 := f.LocalF("t1")
+	// invPrevC computes inv(C at offset p4) into i00..i11.
+	invAt := func(off *Var) {
+		f.Assign(det, FSub(
+			FMul(LoadF64Elem("bt_C", V(off)), LoadF64Elem("bt_C", Add(V(off), I(3)))),
+			FMul(LoadF64Elem("bt_C", Add(V(off), I(1))), LoadF64Elem("bt_C", Add(V(off), I(2))))))
+		// One reciprocal, four multiplies (division dominates on the
+		// soft-float target, as it does for real compilers).
+		f.Assign(det, FDiv(F(1.0), V(det)))
+		f.Assign(i00, FMul(LoadF64Elem("bt_C", Add(V(off), I(3))), V(det)))
+		f.Assign(i01, FMul(FNeg(LoadF64Elem("bt_C", Add(V(off), I(1)))), V(det)))
+		f.Assign(i10, FMul(FNeg(LoadF64Elem("bt_C", Add(V(off), I(2)))), V(det)))
+		f.Assign(i11, FMul(LoadF64Elem("bt_C", V(off)), V(det)))
+	}
+	f.ForRange(i, I(1), V(n), func() {
+		f.Assign(e4, Mul(Add(V(base), V(i)), I(4)))
+		f.Assign(p4, Sub(V(e4), I(4)))
+		f.Assign(e2, Mul(Add(V(base), V(i)), I(2)))
+		f.Assign(p2, Sub(V(e2), I(2)))
+		invAt(p4)
+		// M = B[i] * inv(C[i-1])
+		f.Assign(m00, FAdd(FMul(LoadF64Elem("bt_B", V(e4)), V(i00)),
+			FMul(LoadF64Elem("bt_B", Add(V(e4), I(1))), V(i10))))
+		f.Assign(m01, FAdd(FMul(LoadF64Elem("bt_B", V(e4)), V(i01)),
+			FMul(LoadF64Elem("bt_B", Add(V(e4), I(1))), V(i11))))
+		f.Assign(m10, FAdd(FMul(LoadF64Elem("bt_B", Add(V(e4), I(2))), V(i00)),
+			FMul(LoadF64Elem("bt_B", Add(V(e4), I(3))), V(i10))))
+		f.Assign(m11, FAdd(FMul(LoadF64Elem("bt_B", Add(V(e4), I(2))), V(i01)),
+			FMul(LoadF64Elem("bt_B", Add(V(e4), I(3))), V(i11))))
+		// C[i] -= M * D[i-1]
+		f.Assign(t0, FAdd(FMul(V(m00), LoadF64Elem("bt_D", V(p4))),
+			FMul(V(m01), LoadF64Elem("bt_D", Add(V(p4), I(2))))))
+		f.StoreF64Elem("bt_C", V(e4), FSub(LoadF64Elem("bt_C", V(e4)), V(t0)))
+		f.Assign(t0, FAdd(FMul(V(m00), LoadF64Elem("bt_D", Add(V(p4), I(1)))),
+			FMul(V(m01), LoadF64Elem("bt_D", Add(V(p4), I(3))))))
+		f.StoreF64Elem("bt_C", Add(V(e4), I(1)), FSub(LoadF64Elem("bt_C", Add(V(e4), I(1))), V(t0)))
+		f.Assign(t0, FAdd(FMul(V(m10), LoadF64Elem("bt_D", V(p4))),
+			FMul(V(m11), LoadF64Elem("bt_D", Add(V(p4), I(2))))))
+		f.StoreF64Elem("bt_C", Add(V(e4), I(2)), FSub(LoadF64Elem("bt_C", Add(V(e4), I(2))), V(t0)))
+		f.Assign(t0, FAdd(FMul(V(m10), LoadF64Elem("bt_D", Add(V(p4), I(1)))),
+			FMul(V(m11), LoadF64Elem("bt_D", Add(V(p4), I(3))))))
+		f.StoreF64Elem("bt_C", Add(V(e4), I(3)), FSub(LoadF64Elem("bt_C", Add(V(e4), I(3))), V(t0)))
+		// F[i] -= M * F[i-1]
+		f.Assign(t0, FAdd(FMul(V(m00), LoadF64Elem("bt_F", V(p2))),
+			FMul(V(m01), LoadF64Elem("bt_F", Add(V(p2), I(1))))))
+		f.Assign(t1, FAdd(FMul(V(m10), LoadF64Elem("bt_F", V(p2))),
+			FMul(V(m11), LoadF64Elem("bt_F", Add(V(p2), I(1))))))
+		f.StoreF64Elem("bt_F", V(e2), FSub(LoadF64Elem("bt_F", V(e2)), V(t0)))
+		f.StoreF64Elem("bt_F", Add(V(e2), I(1)), FSub(LoadF64Elem("bt_F", Add(V(e2), I(1))), V(t1)))
+	})
+	// Back substitution: U[n-1] = inv(C[n-1]) F[n-1].
+	f.Assign(e4, Mul(Add(V(base), Sub(V(n), I(1))), I(4)))
+	f.Assign(e2, Mul(Add(V(base), Sub(V(n), I(1))), I(2)))
+	invAt(e4)
+	f.Assign(t0, FAdd(FMul(V(i00), LoadF64Elem("bt_F", V(e2))),
+		FMul(V(i01), LoadF64Elem("bt_F", Add(V(e2), I(1))))))
+	f.Assign(t1, FAdd(FMul(V(i10), LoadF64Elem("bt_F", V(e2))),
+		FMul(V(i11), LoadF64Elem("bt_F", Add(V(e2), I(1))))))
+	f.StoreF(Index8(V(dst), V(e2)), V(t0))
+	f.StoreF(Index8(V(dst), Add(V(e2), I(1))), V(t1))
+	f.Assign(i, Sub(V(n), I(2)))
+	f.While(Ge(V(i), I(0)), func() {
+		f.Assign(e4, Mul(Add(V(base), V(i)), I(4)))
+		f.Assign(e2, Mul(Add(V(base), V(i)), I(2)))
+		f.Assign(p2, Add(V(e2), I(2))) // next block's solution
+		// rhs = F[i] - D[i] U[i+1]
+		f.Assign(t0, FSub(LoadF64Elem("bt_F", V(e2)),
+			FAdd(FMul(LoadF64Elem("bt_D", V(e4)), LoadF(Index8(V(dst), V(p2)))),
+				FMul(LoadF64Elem("bt_D", Add(V(e4), I(1))), LoadF(Index8(V(dst), Add(V(p2), I(1))))))))
+		f.Assign(t1, FSub(LoadF64Elem("bt_F", Add(V(e2), I(1))),
+			FAdd(FMul(LoadF64Elem("bt_D", Add(V(e4), I(2))), LoadF(Index8(V(dst), V(p2)))),
+				FMul(LoadF64Elem("bt_D", Add(V(e4), I(3))), LoadF(Index8(V(dst), Add(V(p2), I(1))))))))
+		invAt(e4)
+		f.StoreF(Index8(V(dst), V(e2)), FAdd(FMul(V(i00), V(t0)), FMul(V(i01), V(t1))))
+		f.StoreF(Index8(V(dst), Add(V(e2), I(1))), FAdd(FMul(V(i10), V(t0)), FMul(V(i11), V(t1))))
+		f.Assign(i, Sub(V(i), I(1)))
+	})
+	f.Ret(I(0))
+
+	// bt_row_body(it, lo, hi, idx): row-phase lines.
+	f = p.Func("bt_row_body", "it", "lo", "hi", "idx")
+	it, lo, hi := f.Params[0], f.Params[1], f.Params[2]
+	l := f.Local("l")
+	k = f.Local("k")
+	e2 = f.Local("e2")
+	h = f.Local("h")
+	cpl := f.LocalF("cpl")
+	hv := f.LocalF("hv")
+	ui := f.Local("ui")
+	f.ForRange(l, V(lo), V(hi), func() {
+		bb := f.Local("bb")
+		f.Assign(bb, Mul(V(l), I(btNP)))
+		f.ForRange(k, I(0), I(btNP), func() {
+			f.Assign(e2, Mul(Add(V(bb), V(k)), I(2)))
+			f.Assign(h, And(Mul(Add(V(e2), Mul(V(it), I(41))), I(2654435761)), I(511)))
+			f.Assign(hv, FMul(CvtWF(V(h)), F(1.0/256.0)))
+			f.Assign(ui, Add(Mul(V(k), I(btNL*2)), Mul(V(l), I(2))))
+			f.Assign(cpl, LoadF64Elem("bt_U2", V(ui)))
+			f.StoreF64Elem("bt_F", V(e2), FAdd(V(hv), FMul(F(0.1), V(cpl))))
+			f.StoreF64Elem("bt_F", Add(V(e2), I(1)), F(1.0))
+		})
+		f.Do(Call("bt_gen", V(bb), I(btNP), V(it)))
+		f.Do(Call("bt_solve", V(bb), I(btNP), G("bt_U")))
+	})
+	f.Ret(I(0))
+
+	// bt_col_body(it, lo, hi, idx): column-phase lines over the
+	// transposed row solution.
+	f = p.Func("bt_col_body", "it", "lo", "hi", "idx")
+	it, lo, hi = f.Params[0], f.Params[1], f.Params[2]
+	cc := f.Local("c")
+	k = f.Local("k")
+	e2 = f.Local("e2")
+	f.ForRange(cc, V(lo), V(hi), func() {
+		bb := f.Local("bb")
+		f.Assign(bb, Mul(V(cc), I(btNL)))
+		ui2 := f.Local("ui2")
+		f.ForRange(k, I(0), I(btNL), func() {
+			f.Assign(e2, Mul(Add(V(bb), V(k)), I(2)))
+			f.Assign(ui2, Add(Mul(V(k), I(btNP*2)), Mul(V(cc), I(2))))
+			f.StoreF64Elem("bt_F", V(e2), FAdd(F(1.0), LoadF64Elem("bt_U", V(ui2))))
+			f.StoreF64Elem("bt_F", Add(V(e2), I(1)), LoadF64Elem("bt_U", Add(V(ui2), I(1))))
+		})
+		f.Do(Call("bt_gen", V(bb), I(btNL), Add(V(it), I(13))))
+		f.Do(Call("bt_solve", V(bb), I(btNL), G("bt_V")))
+		f.ForRange(k, I(0), Mul(I(btNL), I(2)), func() {
+			f.Assign(e2, Add(Mul(V(bb), I(2)), V(k)))
+			f.StoreF64Elem("bt_U2", V(e2), LoadF64Elem("bt_V", V(e2)))
+		})
+	})
+	f.Ret(I(0))
+
+	// bt_zero_body(arg, lo, hi, idx)
+	f = p.Func("bt_zero_body", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.StoreF64Elem("bt_U2", V(i), F(0))
+	})
+	f.Ret(I(0))
+
+	f = p.Func("bt_finish")
+	f.Store(G("__result"), Call("npb_cksumf", G("bt_U2"), I(btNL*btNP*2)))
+	f.StoreF64Elem("__resultf", I(0), LoadF64Elem("bt_U2", I(btNL*btNP)))
+	f.Ret(I(0))
+
+	serial := func(f *Func) {
+		f.Do(Call("bt_zero_body", I(0), I(0), I(btNL*btNP*2), I(0)))
+		it := f.Local("it")
+		f.ForRange(it, I(0), I(btIter), func() {
+			f.Do(Call("bt_row_body", V(it), I(0), I(btNL), I(0)))
+			f.Do(Call("bt_col_body", V(it), I(0), I(btNP), I(0)))
+		})
+		f.Do(Call("bt_finish"))
+	}
+	omp := func(f *Func) {
+		f.Do(Call("__omp_parallel_for", G("bt_zero_body"), I(0), I(0), I(btNL*btNP*2)))
+		it := f.Local("it")
+		f.ForRange(it, I(0), I(btIter), func() {
+			f.Do(Call("__omp_parallel_for", G("bt_row_body"), V(it), I(0), I(btNL)))
+			f.Do(Call("__omp_parallel_for", G("bt_col_body"), V(it), I(0), I(btNP)))
+		})
+		f.Do(Call("bt_finish"))
+	}
+
+	rm := p.Func("bt_rankmain", "rank")
+	rank := rm.Params[0]
+	nr := rm.Local("nr")
+	rm.Assign(nr, Call("__mpi_size"))
+	share := func(array string, totalElems int64) {
+		r2 := rm.Local("r2")
+		rm.ForRange(r2, I(0), V(nr), func() {
+			sLo := rm.Local("slo")
+			sHi := rm.Local("shi")
+			rm.Assign(sLo, UDiv(Mul(V(r2), I(totalElems)), V(nr)))
+			rm.Assign(sHi, UDiv(Mul(Add(V(r2), I(1)), I(totalElems)), V(nr)))
+			rm.Do(Call("__mpi_bcast", V(r2), Index8(G(array), V(sLo)),
+				Mul(Sub(V(sHi), V(sLo)), I(8))))
+		})
+	}
+	rLo := rm.Local("rlo")
+	rHi := rm.Local("rhi")
+	cLo := rm.Local("clo")
+	cHi := rm.Local("chi")
+	rm.Assign(rLo, UDiv(Mul(V(rank), I(btNL)), V(nr)))
+	rm.Assign(rHi, UDiv(Mul(Add(V(rank), I(1)), I(btNL)), V(nr)))
+	rm.Assign(cLo, UDiv(Mul(V(rank), I(btNP)), V(nr)))
+	rm.Assign(cHi, UDiv(Mul(Add(V(rank), I(1)), I(btNP)), V(nr)))
+	zLo := rm.Local("zlo")
+	zHi := rm.Local("zhi")
+	rm.Assign(zLo, UDiv(Mul(V(rank), I(btNL*btNP*2)), V(nr)))
+	rm.Assign(zHi, UDiv(Mul(Add(V(rank), I(1)), I(btNL*btNP*2)), V(nr)))
+	rm.Do(Call("bt_zero_body", I(0), V(zLo), V(zHi), V(rank)))
+	rm.Do(Call("__mpi_barrier"))
+	it2 := rm.Local("it")
+	rm.ForRange(it2, I(0), I(btIter), func() {
+		rm.Do(Call("bt_row_body", V(it2), V(rLo), V(rHi), V(rank)))
+		share("bt_U", btNL*btNP*2)
+		rm.Do(Call("bt_col_body", V(it2), V(cLo), V(cHi), V(rank)))
+		share("bt_U2", btNL*btNP*2)
+	})
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Do(Call("bt_finish"))
+	}, nil)
+	rm.Ret(I(0))
+
+	addMain(p, serial, omp, "bt_rankmain")
+	return p
+}

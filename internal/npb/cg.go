@@ -1,0 +1,264 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// CG: conjugate-gradient solve of A x = b. A is a symmetric positive
+// definite sparse matrix in a fixed-bandwidth CSR-like layout: a dominant
+// diagonal plus four symmetric off-diagonal rings (a circulant pattern, so
+// every row has 9 entries and A = A^T by construction — CG's requirement).
+// Dot products reduce through per-worker partials; MPI ranks own row slices,
+// share p through slice broadcasts and scalars through one-element
+// allreduces. Every worker keeps private alpha/beta/rho slots so no scalar
+// is ever written concurrently.
+const (
+	cgN    = 192
+	cgNNZ  = 9 // diagonal + 4 symmetric offset pairs
+	cgIter = 4
+	cgMaxW = 16
+)
+
+var cgOffsets = [4]int64{1, 7, 31, 97}
+var cgWeights = [4]float64{0.9, 0.7, 0.5, 0.3}
+
+// BuildCG constructs the CG program.
+func BuildCG() *Program {
+	p := NewProgram("cg")
+	p.GlobalWords("cg_col", cgN*cgNNZ)
+	p.GlobalF64("cg_val", cgN*cgNNZ)
+	p.GlobalF64("cg_x", cgN)
+	p.GlobalF64("cg_r", cgN)
+	p.GlobalF64("cg_p", cgN)
+	p.GlobalF64("cg_q", cgN)
+	p.GlobalF64("cg_part", cgMaxW)
+	// Per-worker scalar slots: {alpha, beta, rho, total}.
+	p.GlobalF64("cg_scal", cgMaxW*4)
+
+	scal := func(idx *Expr, k int64) *Expr {
+		return Index8(G("cg_scal"), Add(Mul(idx, I(4)), I(k)))
+	}
+
+	// cg_init(arg, lo, hi, idx): build symmetric rows and vectors.
+	f := p.Func("cg_init", "arg", "lo", "hi", "idx")
+	lo, hi := f.Params[1], f.Params[2]
+	i := f.Local("i")
+	e := f.Local("e")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.Assign(e, Mul(V(i), I(cgNNZ)))
+		f.StoreWordElem("cg_col", V(e), V(i))
+		f.StoreF64Elem("cg_val", V(e), F(12.0))
+		for k, d := range cgOffsets {
+			w := cgWeights[k]
+			// +d neighbour
+			f.StoreWordElem("cg_col", Add(V(e), I(int64(2*k+1))),
+				URem(Add(V(i), I(d)), I(cgN)))
+			f.StoreF64Elem("cg_val", Add(V(e), I(int64(2*k+1))), F(w))
+			// -d neighbour (same weight: symmetry)
+			f.StoreWordElem("cg_col", Add(V(e), I(int64(2*k+2))),
+				URem(Add(V(i), I(cgN-d)), I(cgN)))
+			f.StoreF64Elem("cg_val", Add(V(e), I(int64(2*k+2))), F(w))
+		}
+		f.StoreF64Elem("cg_x", V(i), F(0))
+		f.StoreF64Elem("cg_r", V(i), F(1.0))
+		f.StoreF64Elem("cg_p", V(i), F(1.0))
+	})
+	f.Ret(I(0))
+
+	// cg_spmv(arg, lo, hi, idx): q = A p over row range.
+	f = p.Func("cg_spmv", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	j := f.Local("j")
+	s := f.LocalF("s")
+	e2 := f.Local("e2")
+	colv := f.Local("colv")
+	av := f.LocalF("av")
+	pv := f.LocalF("pv")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.Assign(s, F(0))
+		f.ForRange(j, I(0), I(cgNNZ), func() {
+			f.Assign(e2, Add(Mul(V(i), I(cgNNZ)), V(j)))
+			f.Assign(colv, LoadWordElem("cg_col", V(e2)))
+			f.Assign(av, LoadF64Elem("cg_val", V(e2)))
+			f.Assign(pv, LoadF64Elem("cg_p", V(colv)))
+			f.Assign(s, FAdd(V(s), FMul(V(av), V(pv))))
+		})
+		f.StoreF64Elem("cg_q", V(i), V(s))
+	})
+	f.Ret(I(0))
+
+	// cg_dot_pq / cg_dot_rr: partials into cg_part[idx].
+	f = p.Func("cg_dot_pq", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	s = f.LocalF("s")
+	f.Assign(s, F(0))
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.Assign(s, FAdd(V(s), FMul(LoadF64Elem("cg_p", V(i)), LoadF64Elem("cg_q", V(i)))))
+	})
+	f.StoreF64Elem("cg_part", V(f.Params[3]), V(s))
+	f.Ret(I(0))
+
+	f = p.Func("cg_dot_rr", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	s = f.LocalF("s")
+	f.Assign(s, F(0))
+	f.ForRange(i, V(lo), V(hi), func() {
+		rr := f.LocalF("rr")
+		f.Assign(rr, LoadF64Elem("cg_r", V(i)))
+		f.Assign(s, FAdd(V(s), FMul(V(rr), V(rr))))
+	})
+	f.StoreF64Elem("cg_part", V(f.Params[3]), V(s))
+	f.Ret(I(0))
+
+	// cg_sum_part(nw, slotIdx): sum partials into worker slotIdx's total.
+	f = p.Func("cg_sum_part", "nw", "slot")
+	w := f.Local("w")
+	s = f.LocalF("s")
+	f.Assign(s, F(0))
+	f.ForRange(w, I(0), V(f.Params[0]), func() {
+		f.Assign(s, FAdd(V(s), LoadF64Elem("cg_part", V(w))))
+	})
+	f.StoreF(scal(V(f.Params[1]), 3), V(s))
+	f.Ret(I(0))
+
+	// cg_axpy(arg, lo, hi, idx): x += alpha p; r -= alpha q (alpha from
+	// the worker's private slot).
+	f = p.Func("cg_axpy", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	al := f.LocalF("al")
+	f.Assign(al, LoadF(scal(V(f.Params[3]), 0)))
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.StoreF64Elem("cg_x", V(i),
+			FAdd(LoadF64Elem("cg_x", V(i)), FMul(V(al), LoadF64Elem("cg_p", V(i)))))
+		f.StoreF64Elem("cg_r", V(i),
+			FSub(LoadF64Elem("cg_r", V(i)), FMul(V(al), LoadF64Elem("cg_q", V(i)))))
+	})
+	f.Ret(I(0))
+
+	// cg_pupdate(arg, lo, hi, idx): p = r + beta p.
+	f = p.Func("cg_pupdate", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	be := f.LocalF("be")
+	f.Assign(be, LoadF(scal(V(f.Params[3]), 1)))
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.StoreF64Elem("cg_p", V(i),
+			FAdd(LoadF64Elem("cg_r", V(i)), FMul(V(be), LoadF64Elem("cg_p", V(i)))))
+	})
+	f.Ret(I(0))
+
+	// cg_finish(): stable solution component first, tiny residual second.
+	f = p.Func("cg_finish")
+	f.StoreF64Elem("__resultf", I(0), LoadF64Elem("cg_x", I(7)))
+	f.StoreF64Elem("__resultf", I(1), LoadF(scal(I(0), 2)))
+	f.Store(G("__result"), I(0xc6))
+	f.Ret(I(0))
+
+	// Serial/OMP driver: the master computes scalars in slot 0 and
+	// replicates alpha/beta into every worker slot between joins (workers
+	// are idle then, so the copies race with nothing).
+	driver := func(f *Func, par func(body string, n int64), nwE func() *Expr) {
+		par("cg_init", cgN)
+		par("cg_dot_rr", cgN)
+		f.Do(Call("cg_sum_part", nwE(), I(0)))
+		f.StoreF(scal(I(0), 2), LoadF(scal(I(0), 3))) // rho = r.r
+		replicate := func(k int64) {
+			w := f.Local("repw")
+			f.ForRange(w, I(1), nwE(), func() {
+				f.StoreF(scal(V(w), k), LoadF(scal(I(0), k)))
+			})
+		}
+		it := f.Local("it")
+		f.ForRange(it, I(0), I(cgIter), func() {
+			par("cg_spmv", cgN)
+			par("cg_dot_pq", cgN)
+			f.Do(Call("cg_sum_part", nwE(), I(0)))
+			f.StoreF(scal(I(0), 0), FDiv(LoadF(scal(I(0), 2)), LoadF(scal(I(0), 3))))
+			replicate(0)
+			par("cg_axpy", cgN)
+			par("cg_dot_rr", cgN)
+			f.Do(Call("cg_sum_part", nwE(), I(0)))
+			f.StoreF(scal(I(0), 1), FDiv(LoadF(scal(I(0), 3)), LoadF(scal(I(0), 2))))
+			f.StoreF(scal(I(0), 2), LoadF(scal(I(0), 3)))
+			replicate(1)
+			par("cg_pupdate", cgN)
+		})
+		f.Do(Call("cg_finish"))
+	}
+
+	serial := func(f *Func) {
+		driver(f, func(body string, n int64) {
+			f.Do(Call(body, I(0), I(0), I(n), I(0)))
+		}, func() *Expr { return I(1) })
+	}
+	omp := func(f *Func) {
+		driver(f, func(body string, n int64) {
+			f.Do(Call("__omp_parallel_for", G(body), I(0), I(0), I(n)))
+		}, func() *Expr { return Call("__omp_nth") })
+	}
+
+	// MPI: row slices; p via slice broadcasts; scalar totals via a
+	// one-element allreduce of each rank's private partial; alpha/beta/rho
+	// all live in the rank's own slot.
+	rm := p.Func("cg_rankmain", "rank")
+	rank := rm.Params[0]
+	nr := rm.Local("nr")
+	rm.Assign(nr, Call("__mpi_size"))
+	chunk := rm.Local("chunk")
+	rm.Assign(chunk, UDiv(I(cgN), V(nr)))
+	myLo := rm.Local("mylo")
+	myHi := rm.Local("myhi")
+	rm.Assign(myLo, Mul(V(rank), V(chunk)))
+	rm.Assign(myHi, Add(V(myLo), V(chunk)))
+	rm.If(Eq(V(rank), Sub(V(nr), I(1))), func() { rm.Assign(myHi, I(cgN)) }, nil)
+
+	sharep := func() {
+		r2 := rm.Local("r2")
+		rm.ForRange(r2, I(0), V(nr), func() {
+			sLo := rm.Local("slo")
+			sHi := rm.Local("shi")
+			rm.Assign(sLo, Mul(V(r2), V(chunk)))
+			rm.Assign(sHi, Add(V(sLo), V(chunk)))
+			rm.If(Eq(V(r2), Sub(V(nr), I(1))), func() { rm.Assign(sHi, I(cgN)) }, nil)
+			rm.Do(Call("__mpi_bcast", V(r2), Index8(G("cg_p"), V(sLo)),
+				Mul(Sub(V(sHi), V(sLo)), I(8))))
+		})
+	}
+	// allscal leaves the global sum of partials in the rank's slot 3.
+	allscal := func() {
+		rm.Do(Call("__mpi_allreduce_sumf", Index8(G("cg_part"), V(rank)), I(1)))
+		rm.StoreF(scal(V(rank), 3), LoadF64Elem("cg_part", V(rank)))
+	}
+
+	rm.Do(Call("cg_init", I(0), V(myLo), V(myHi), V(rank)))
+	rm.Do(Call("__mpi_barrier"))
+	rm.Do(Call("cg_dot_rr", I(0), V(myLo), V(myHi), V(rank)))
+	allscal()
+	rm.StoreF(scal(V(rank), 2), LoadF(scal(V(rank), 3)))
+	it := rm.Local("it")
+	rm.ForRange(it, I(0), I(cgIter), func() {
+		sharep()
+		rm.Do(Call("cg_spmv", I(0), V(myLo), V(myHi), V(rank)))
+		rm.Do(Call("cg_dot_pq", I(0), V(myLo), V(myHi), V(rank)))
+		allscal()
+		rm.StoreF(scal(V(rank), 0), FDiv(LoadF(scal(V(rank), 2)), LoadF(scal(V(rank), 3))))
+		rm.Do(Call("cg_axpy", I(0), V(myLo), V(myHi), V(rank)))
+		rm.Do(Call("cg_dot_rr", I(0), V(myLo), V(myHi), V(rank)))
+		allscal()
+		rm.StoreF(scal(V(rank), 1), FDiv(LoadF(scal(V(rank), 3)), LoadF(scal(V(rank), 2))))
+		rm.StoreF(scal(V(rank), 2), LoadF(scal(V(rank), 3)))
+		rm.Do(Call("cg_pupdate", I(0), V(myLo), V(myHi), V(rank)))
+		rm.Do(Call("__mpi_barrier"))
+	})
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Do(Call("cg_finish"))
+	}, nil)
+	rm.Ret(I(0))
+
+	addMain(p, serial, omp, "cg_rankmain")
+	return p
+}

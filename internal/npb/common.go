@@ -1,0 +1,101 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// ResultWords is the size of the per-app __result checksum area.
+const ResultWords = 8
+
+// BuildCommon returns the guest helpers every benchmark links: the mode
+// global, the result area, checksum folds and the result printer.
+func BuildCommon() *Program {
+	p := NewProgram("npbrt")
+	p.GlobalInitWords("__npb_mode", 0)
+	p.GlobalWords("__result", ResultWords)
+	p.GlobalF64("__resultf", 4)
+
+	// npb_cksumw(ptr, n): XOR-rotate fold of n words (low 32 bits each so
+	// both ISAs produce comparable sums on equal data).
+	f := p.Func("npb_cksumw", "ptr", "n")
+	ptr, n := f.Params[0], f.Params[1]
+	i := f.Local("i")
+	h := f.Local("h")
+	f.Assign(h, I(0x9e3779b9))
+	f.ForRange(i, I(0), V(n), func() {
+		f.Assign(h, Xor(V(h), Load(IndexW(V(ptr), V(i)))))
+		f.Assign(h, And(Or(Shl(V(h), I(7)), Shr(And(V(h), I(0xffffffff)), I(25))), I(0xffffffff)))
+		f.Assign(h, Add(V(h), V(i)))
+	})
+	f.Ret(And(V(h), I(0xffffffff)))
+
+	// npb_cksumf(ptr, n): fold n float64 values by their 32-bit halves
+	// (bit-pattern based, ISA independent).
+	f = p.Func("npb_cksumf", "ptr", "n")
+	ptr, n = f.Params[0], f.Params[1]
+	i = f.Local("i")
+	h = f.Local("h")
+	a := f.Local("a")
+	f.Assign(h, I(0x811c9dc5))
+	f.ForRange(i, I(0), V(n), func() {
+		f.Assign(a, Add(V(ptr), Shl(V(i), I(3))))
+		f.Assign(h, Xor(V(h), LoadW(V(a))))
+		f.Assign(h, And(Or(Shl(V(h), I(5)), Shr(And(V(h), I(0xffffffff)), I(27))), I(0xffffffff)))
+		f.Assign(h, Xor(V(h), LoadW(Add(V(a), I(4)))))
+		f.Assign(h, And(Or(Shl(V(h), I(9)), Shr(And(V(h), I(0xffffffff)), I(23))), I(0xffffffff)))
+	})
+	f.Ret(And(V(h), I(0xffffffff)))
+
+	// npb_report(): print the result words as hex lines.
+	f = p.Func("npb_report")
+	i = f.Local("i")
+	f.ForRange(i, I(0), I(ResultWords), func() {
+		f.Do(Call("__print_hex32", LoadWordElem("__result", V(i))))
+		f.Do(Call("__print_nl"))
+	})
+	f.Ret(nil)
+	return p
+}
+
+// rngNext emits x = (a*x + c) mod 2^31 and returns the expression for the
+// new state (the classic BSD LCG, splittable by seeding per rank/thread).
+func rngNext(x *Expr) *Expr {
+	return And(Add(Mul(x, I(1103515245)), I(12345)), I(0x7fffffff))
+}
+
+// rngSeed gives thread/rank r a decorrelated stream seed.
+func rngSeed(r *Expr) *Expr {
+	return And(Add(Mul(Add(r, I(1)), I(69069)), I(314159261)), I(0x7fffffff))
+}
+
+// addMain wires the standard three-mode main: serial driver, OMP driver
+// (after __omp_init) or __mpi_run(rankMain), then checksum reporting.
+// Drivers fill __result themselves.
+func addMain(p *Program, serial func(f *Func), omp func(f *Func), rankMainName string) {
+	f := p.Func("main")
+	mode := f.Local("mode")
+	f.Assign(mode, Load(G("__npb_mode")))
+	if omp != nil {
+		f.If(Eq(V(mode), I(1)), func() {
+			f.Do(Call("__omp_init"))
+			omp(f)
+		}, func() {
+			if rankMainName != "" {
+				f.If(Eq(V(mode), I(2)), func() {
+					f.Do(Call("__mpi_run", G(rankMainName)))
+				}, func() {
+					serial(f)
+				})
+			} else {
+				serial(f)
+			}
+		})
+	} else if rankMainName != "" {
+		// MPI-only app (DT): every mode routes through the rank driver.
+		f.Do(Call("__mpi_run", G(rankMainName)))
+	} else {
+		serial(f)
+	}
+	f.Do(Call("npb_report"))
+	f.Ret(I(0))
+}

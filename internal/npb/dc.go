@@ -1,0 +1,124 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// DC: data-cube aggregation. A synthetic tuple stream (four hashed
+// dimension attributes plus a measure) is aggregated into eight group-by
+// views of increasing arity — the in-memory essence of NPB DC's view
+// materialization (DESIGN.md §5). Integer and branch heavy; the original
+// suite has no MPI variant and neither do we. Parallelism is over views.
+const (
+	dcT = 2048 // tuples
+)
+
+// Attribute cardinalities and the 8 views (attribute subsets).
+var dcCard = [4]int64{8, 16, 32, 64}
+
+// view -> (attr mask, table size) computed in Go.
+var dcViews = func() [8]struct {
+	Mask int64
+	Size int64
+	Off  int64
+} {
+	var out [8]struct{ Mask, Size, Off int64 }
+	masks := []int64{0b0001, 0b0010, 0b0100, 0b1000, 0b0011, 0b0110, 0b1100, 0b0111}
+	off := int64(0)
+	for i, m := range masks {
+		size := int64(1)
+		for a := 0; a < 4; a++ {
+			if m&(1<<a) != 0 {
+				size *= dcCard[a]
+			}
+		}
+		out[i] = struct{ Mask, Size, Off int64 }{m, size, off}
+		off += size
+	}
+	return out
+}()
+
+// BuildDC constructs the DC program.
+func BuildDC() *Program {
+	p := NewProgram("dc")
+	total := int64(0)
+	for _, v := range dcViews {
+		total += v.Size
+	}
+	p.GlobalWords("dc_tab", uint32(total))
+	p.GlobalWords("dc_voff", 8)
+	p.GlobalWords("dc_vmask", 8)
+	p.GlobalWords("dc_vsize", 8)
+
+	// dc_setup(): view descriptor tables.
+	f := p.Func("dc_setup")
+	for i, v := range dcViews {
+		f.StoreWordElem("dc_voff", I(int64(i)), I(v.Off))
+		f.StoreWordElem("dc_vmask", I(int64(i)), I(v.Mask))
+		f.StoreWordElem("dc_vsize", I(int64(i)), I(v.Size))
+	}
+	i := f.Local("i")
+	f.ForRange(i, I(0), I(total), func() {
+		f.StoreWordElem("dc_tab", V(i), I(0))
+	})
+	f.Ret(I(0))
+
+	// dc_attr(t, a) -> attribute a of tuple t (position hash).
+	f = p.Func("dc_attr", "t", "a")
+	t, a := f.Params[0], f.Params[1]
+	h := f.Local("h")
+	f.Assign(h, Mul(Add(Add(Mul(V(t), I(4)), V(a)), I(157)), I(2654435761)))
+	card := f.Local("card")
+	f.Assign(card, I(8))
+	f.If(Eq(V(a), I(1)), func() { f.Assign(card, I(16)) }, nil)
+	f.If(Eq(V(a), I(2)), func() { f.Assign(card, I(32)) }, nil)
+	f.If(Eq(V(a), I(3)), func() { f.Assign(card, I(64)) }, nil)
+	f.Ret(URem(And(Shr(V(h), I(7)), I(0x7fffffff)), V(card)))
+
+	// dc_view_body(arg, lo, hi, idx): aggregate views [lo, hi) over the
+	// whole tuple stream.
+	f = p.Func("dc_view_body", "arg", "lo", "hi", "idx")
+	lo, hi := f.Params[1], f.Params[2]
+	v := f.Local("v")
+	tt := f.Local("t")
+	key := f.Local("key")
+	mask := f.Local("mask")
+	m := f.Local("m")
+	av := f.Local("av")
+	f.ForRange(v, V(lo), V(hi), func() {
+		f.Assign(mask, LoadWordElem("dc_vmask", V(v)))
+		f.ForRange(tt, I(0), I(dcT), func() {
+			f.Assign(key, I(0))
+			for attr := int64(0); attr < 4; attr++ {
+				f.If(Ne(And(V(mask), I(1<<uint(attr))), I(0)), func() {
+					f.Assign(av, Call("dc_attr", V(tt), I(attr)))
+					f.Assign(key, Add(Mul(V(key), I(dcCard[attr])), V(av)))
+				}, nil)
+			}
+			// Measure: tuple hash folded to a small value.
+			f.Assign(m, And(Mul(Add(V(tt), I(83)), I(2654435761)), I(1023)))
+			ix := f.Local("ix")
+			f.Assign(ix, Add(LoadWordElem("dc_voff", V(v)), V(key)))
+			f.StoreWordElem("dc_tab", V(ix), Add(LoadWordElem("dc_tab", V(ix)), V(m)))
+		})
+	})
+	f.Ret(I(0))
+
+	f = p.Func("dc_finish")
+	f.Store(G("__result"), Call("npb_cksumw", G("dc_tab"), I(total)))
+	f.StoreWordElem("__result", I(1), LoadWordElem("dc_tab", I(3)))
+	f.Ret(I(0))
+
+	serial := func(f *Func) {
+		f.Do(Call("dc_setup"))
+		f.Do(Call("dc_view_body", I(0), I(0), I(8), I(0)))
+		f.Do(Call("dc_finish"))
+	}
+	omp := func(f *Func) {
+		f.Do(Call("dc_setup"))
+		f.Do(Call("__omp_parallel_for", G("dc_view_body"), I(0), I(0), I(8)))
+		f.Do(Call("dc_finish"))
+	}
+	addMain(p, serial, omp, "")
+	return p
+}

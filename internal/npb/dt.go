@@ -1,0 +1,112 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// DT: data-traffic graph benchmark (MPI only, as in the paper's suite). A
+// butterfly communication graph moves whole buffers between ranks for
+// log2(nranks) rounds; each round combines received data into the local
+// buffer. Communication-dominated by construction (the role DT plays in the
+// original suite's black-hole/white-hole graphs; DESIGN.md §5).
+const (
+	dtN      = 768 // words per rank buffer
+	dtLocal  = 2   // local mixing rounds
+	dtMaxNR  = 8
+	dtRounds = 2 // max butterfly rounds (log2 of 4 ranks)
+)
+
+// BuildDT constructs the DT program.
+func BuildDT() *Program {
+	p := NewProgram("dt")
+	p.GlobalWords("dt_data", dtMaxNR*dtN)
+	p.GlobalWords("dt_recv", dtMaxNR*dtN)
+	p.GlobalWords("dt_sum", dtMaxNR)
+
+	// dt_mix(base): one local transformation pass over a rank's buffer.
+	f := p.Func("dt_mix", "base", "salt")
+	base, salt := f.Params[0], f.Params[1]
+	i := f.Local("i")
+	x := f.Local("x")
+	f.ForRange(i, I(0), I(dtN), func() {
+		f.Assign(x, LoadWordElem("dt_data", Add(V(base), V(i))))
+		f.Assign(x, And(Add(Mul(V(x), I(1103515245)), Add(I(12345), V(salt))), I(0x7fffffff)))
+		f.StoreWordElem("dt_data", Add(V(base), V(i)), V(x))
+	})
+	f.Ret(I(0))
+
+	// dt_combine(base, rbase, round): fold received words in.
+	f = p.Func("dt_combine", "base", "rbase", "round")
+	base, rbase, round := f.Params[0], f.Params[1], f.Params[2]
+	i = f.Local("i")
+	x = f.Local("x")
+	r := f.Local("r")
+	f.ForRange(i, I(0), I(dtN), func() {
+		f.Assign(x, LoadWordElem("dt_data", Add(V(base), V(i))))
+		f.Assign(r, LoadWordElem("dt_recv",
+			Add(V(rbase), URem(Add(Mul(V(i), I(7)), V(round)), I(dtN)))))
+		f.Assign(x, Xor(Add(V(x), V(r)), Shr(V(r), I(3))))
+		f.StoreWordElem("dt_data", Add(V(base), V(i)), And(V(x), I(0x7fffffff)))
+	})
+	f.Ret(I(0))
+
+	rm := p.Func("dt_rankmain", "rank")
+	rank := rm.Params[0]
+	nr := rm.Local("nr")
+	rm.Assign(nr, Call("__mpi_size"))
+	base2 := rm.Local("base")
+	rm.Assign(base2, Mul(V(rank), I(dtN)))
+	// Seed the buffer by absolute position (mode independent).
+	i2 := rm.Local("i")
+	rm.ForRange(i2, I(0), I(dtN), func() {
+		rm.StoreWordElem("dt_data", Add(V(base2), V(i2)),
+			And(Mul(Add(Add(V(base2), V(i2)), I(19)), I(2654435761)), I(0x7fffffff)))
+	})
+	lr := rm.Local("lr")
+	rm.ForRange(lr, I(0), I(dtLocal), func() {
+		rm.Do(Call("dt_mix", V(base2), V(lr)))
+	})
+	// Butterfly exchange rounds: partner = rank ^ (1<<round) while the
+	// partner is a valid rank.
+	rnd := rm.Local("round")
+	partner := rm.Local("partner")
+	bit := rm.Local("bit")
+	rm.Assign(bit, I(1))
+	rm.ForRange(rnd, I(0), I(dtRounds), func() {
+		rm.If(LtU(V(bit), V(nr)), func() {
+			rm.Assign(partner, Xor(V(rank), V(bit)))
+			// Lower rank sends first (pairwise deadlock-free).
+			rm.If(Lt(V(rank), V(partner)), func() {
+				rm.Do(Call("__mpi_send", V(partner), IndexW(G("dt_data"), V(base2)),
+					Mul(I(dtN), WordBytes())))
+				rm.Do(Call("__mpi_recv", V(partner), IndexW(G("dt_recv"), V(base2)),
+					Mul(I(dtN), WordBytes())))
+			}, func() {
+				rm.Do(Call("__mpi_recv", V(partner), IndexW(G("dt_recv"), V(base2)),
+					Mul(I(dtN), WordBytes())))
+				rm.Do(Call("__mpi_send", V(partner), IndexW(G("dt_data"), V(base2)),
+					Mul(I(dtN), WordBytes())))
+			})
+			rm.Do(Call("dt_combine", V(base2), V(base2), V(rnd)))
+			rm.Do(Call("dt_mix", V(base2), Add(V(rnd), I(100))))
+		}, nil)
+		rm.Assign(bit, Shl(V(bit), I(1)))
+	})
+	// Local fold and reduction to rank 0.
+	s := rm.Local("s")
+	rm.Assign(s, I(0))
+	rm.ForRange(i2, I(0), I(dtN), func() {
+		rm.Assign(s, And(Add(Mul(V(s), I(31)),
+			LoadWordElem("dt_data", Add(V(base2), V(i2)))), I(0x7fffffff)))
+	})
+	rm.StoreWordElem("dt_sum", V(rank), V(s))
+	rm.Do(Call("__mpi_reduce_sumw", IndexW(G("dt_sum"), V(rank)), I(1)))
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Store(G("__result"), Load(G("dt_sum")))
+		rm.StoreWordElem("__result", I(1), Call("npb_cksumw", G("dt_data"), I(dtN)))
+	}, nil)
+	rm.Ret(I(0))
+
+	addMain(p, nil, nil, "dt_rankmain")
+	return p
+}

@@ -1,0 +1,126 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// EP: embarrassingly parallel Monte-Carlo sampling. Each sample draws an
+// (x, y) point from a per-sample-seeded LCG stream, tests membership in the
+// unit circle and tallies an annulus histogram — the same RNG + FP-multiply
+// + compare structure as NPB EP's Gaussian-pair tally, minus the
+// transcendental log the guest math library omits (DESIGN.md §5). Because
+// streams are seeded by sample index, every partition of the sample space
+// produces identical counts.
+const (
+	epN    = 2048
+	epBins = 8
+	epMaxW = 16
+)
+
+// BuildEP constructs the EP program.
+func BuildEP() *Program {
+	p := NewProgram("ep")
+	p.GlobalWords("ep_in", epMaxW)
+	p.GlobalWords("ep_bins", epMaxW*epBins)
+	p.GlobalF64("ep_sumx", epMaxW)
+	p.GlobalWords("ep_tot", 1+epBins)
+
+	// ep_body(arg, lo, hi, idx): sample indices [lo, hi).
+	f := p.Func("ep_body", "arg", "lo", "hi", "idx")
+	lo, hi, idx := f.Params[1], f.Params[2], f.Params[3]
+	i := f.Local("i")
+	st := f.Local("st")
+	inC := f.Local("inc")
+	x := f.LocalF("x")
+	y := f.LocalF("y")
+	t := f.LocalF("t")
+	sx := f.LocalF("sx")
+	bin := f.Local("bin")
+	scale := F(1.0 / 2147483648.0)
+	f.Assign(inC, I(0))
+	f.Assign(sx, F(0))
+	bbase := f.Local("bbase")
+	f.Assign(bbase, Mul(V(idx), I(epBins)))
+	b := f.Local("b")
+	f.ForRange(b, I(0), I(epBins), func() {
+		f.StoreWordElem("ep_bins", Add(V(bbase), V(b)), I(0))
+	})
+	f.ForRange(i, V(lo), V(hi), func() {
+		// Per-sample stream: two draws from seed(i).
+		f.Assign(st, rngSeed(V(i)))
+		f.Assign(st, rngNext(V(st)))
+		f.Assign(x, FSub(FMul(CvtWF(V(st)), FMul(scale, F(2.0))), F(1.0)))
+		f.Assign(st, rngNext(V(st)))
+		f.Assign(y, FSub(FMul(CvtWF(V(st)), FMul(scale, F(2.0))), F(1.0)))
+		f.Assign(t, FAdd(FMul(V(x), V(x)), FMul(V(y), V(y))))
+		f.If(FLe(V(t), F(1.0)), func() {
+			f.Assign(inC, Add(V(inC), I(1)))
+			f.Assign(sx, FAdd(V(sx), V(x)))
+			f.Assign(bin, CvtFW(FMul(V(t), F(float64(epBins)))))
+			f.If(Ge(V(bin), I(epBins)), func() { f.Assign(bin, I(epBins-1)) }, nil)
+			f.StoreWordElem("ep_bins", Add(V(bbase), V(bin)),
+				Add(LoadWordElem("ep_bins", Add(V(bbase), V(bin))), I(1)))
+		}, nil)
+	})
+	f.StoreWordElem("ep_in", V(idx), V(inC))
+	f.StoreF64Elem("ep_sumx", V(idx), V(sx))
+	f.Ret(I(0))
+
+	// ep_reduce(nw): combine worker tallies into ep_tot and checksums.
+	f = p.Func("ep_reduce", "nw")
+	nw := f.Params[0]
+	w := f.Local("w")
+	b = f.Local("b")
+	s := f.Local("s")
+	f.Assign(s, I(0))
+	f.ForRange(w, I(0), V(nw), func() {
+		f.Assign(s, Add(V(s), LoadWordElem("ep_in", V(w))))
+	})
+	f.Store(G("ep_tot"), V(s))
+	f.ForRange(b, I(0), I(epBins), func() {
+		f.Assign(s, I(0))
+		f.ForRange(w, I(0), V(nw), func() {
+			f.Assign(s, Add(V(s), LoadWordElem("ep_bins", Add(Mul(V(w), I(epBins)), V(b)))))
+		})
+		f.StoreWordElem("ep_tot", Add(V(b), I(1)), V(s))
+	})
+	sxT := f.LocalF("sxt")
+	f.Assign(sxT, F(0))
+	f.ForRange(w, I(0), V(nw), func() {
+		f.Assign(sxT, FAdd(V(sxT), LoadF64Elem("ep_sumx", V(w))))
+	})
+	f.StoreF64Elem("__resultf", I(0), V(sxT))
+	f.Store(G("__result"), Load(G("ep_tot")))
+	f.StoreWordElem("__result", I(1), Call("npb_cksumw", G("ep_tot"), I(1+epBins)))
+	f.Ret(I(0))
+
+	serial := func(f *Func) {
+		f.Do(Call("ep_body", I(0), I(0), I(epN), I(0)))
+		f.Do(Call("ep_reduce", I(1)))
+	}
+	omp := func(f *Func) {
+		f.Do(Call("__omp_parallel_for", G("ep_body"), I(0), I(0), I(epN)))
+		f.Do(Call("ep_reduce", Call("__omp_nth")))
+	}
+
+	rm := p.Func("ep_rankmain", "rank")
+	rank := rm.Params[0]
+	nr := rm.Local("nr")
+	rm.Assign(nr, Call("__mpi_size"))
+	chunk := rm.Local("chunk")
+	rm.Assign(chunk, UDiv(I(epN), V(nr)))
+	myLo := rm.Local("mylo")
+	myHi := rm.Local("myhi")
+	rm.Assign(myLo, Mul(V(rank), V(chunk)))
+	rm.Assign(myHi, Add(V(myLo), V(chunk)))
+	rm.If(Eq(V(rank), Sub(V(nr), I(1))), func() { rm.Assign(myHi, I(epN)) }, nil)
+	rm.Do(Call("ep_body", I(0), V(myLo), V(myHi), V(rank)))
+	rm.Do(Call("__mpi_barrier"))
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Do(Call("ep_reduce", V(nr)))
+	}, nil)
+	rm.Ret(I(0))
+
+	addMain(p, serial, omp, "ep_rankmain")
+	return p
+}

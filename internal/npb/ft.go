@@ -1,0 +1,225 @@
+package npb
+
+import (
+	"math"
+
+	. "serfi/internal/cc"
+)
+
+// FT: 3D fast Fourier transform on an 8x8x8 complex grid with an evolve
+// step between iterations (NPB FT's spectral kernel at miniature scale).
+// Data is interleaved (re, im) float64 pairs; the radix-2 size-8 FFT uses an
+// embedded exact twiddle table. Line transforms are independent, so every
+// partition computes bit-identical results; the MPI variant owns z-slabs,
+// runs x/y lines locally and redistributes the volume around the z pass —
+// the all-to-all-ish traffic pattern of real FT.
+const (
+	ftN     = 8
+	ftElems = ftN * ftN * ftN
+	ftIter  = 1
+)
+
+// BuildFT constructs the FT program.
+func BuildFT() *Program {
+	p := NewProgram("ft")
+	p.GlobalF64("ft_data", ftElems*2)
+	s2 := math.Sqrt2 / 2
+	p.GlobalInitF64("ft_wre", 1, s2, 0, -s2)
+	p.GlobalInitF64("ft_wim", 0, -s2, -1, -s2)
+
+	// Complex element c lives at ft_data + c*16.
+	cAddr := func(c *Expr) *Expr { return Add(G("ft_data"), Mul(c, I(16))) }
+
+	// ft_init(arg, lo, hi, idx): hashed values in [-1, 1).
+	f := p.Func("ft_init", "arg", "lo", "hi", "idx")
+	lo, hi := f.Params[1], f.Params[2]
+	c := f.Local("c")
+	h := f.Local("h")
+	a := f.Local("a")
+	f.ForRange(c, V(lo), V(hi), func() {
+		f.Assign(a, cAddr(V(c)))
+		f.Assign(h, And(Mul(Add(V(c), I(211)), I(2654435761)), I(4095)))
+		f.StoreF(V(a), FSub(FMul(CvtWF(V(h)), F(1.0/2048.0)), F(1.0)))
+		f.Assign(h, And(Mul(Add(V(c), I(977)), I(2654435761)), I(4095)))
+		f.StoreF(Add(V(a), I(8)), FSub(FMul(CvtWF(V(h)), F(1.0/2048.0)), F(1.0)))
+	})
+	f.Ret(I(0))
+
+	// ft_fft8(base, stride): in-place size-8 DIT FFT over elements
+	// base + k*stride.
+	f = p.Func("ft_fft8", "base", "stride")
+	base, stride := f.Params[0], f.Params[1]
+	ea := f.Local("ea")
+	eb := f.Local("eb")
+	ur := f.LocalF("ur")
+	ui := f.LocalF("ui")
+	vr := f.LocalF("vr")
+	vi := f.LocalF("vi")
+	wr := f.LocalF("wr")
+	wi := f.LocalF("wi")
+	tr := f.LocalF("tr")
+	ti := f.LocalF("ti")
+	elem := func(k *Expr) *Expr { return cAddr(Add(V(base), Mul(k, V(stride)))) }
+	swap := func(k1, k2 int64) {
+		f.Assign(ea, elem(I(k1)))
+		f.Assign(eb, elem(I(k2)))
+		f.Assign(ur, LoadF(V(ea)))
+		f.Assign(ui, LoadF(Add(V(ea), I(8))))
+		f.Assign(vr, LoadF(V(eb)))
+		f.Assign(vi, LoadF(Add(V(eb), I(8))))
+		f.StoreF(V(ea), V(vr))
+		f.StoreF(Add(V(ea), I(8)), V(vi))
+		f.StoreF(V(eb), V(ur))
+		f.StoreF(Add(V(eb), I(8)), V(ui))
+	}
+	swap(1, 4)
+	swap(3, 6)
+	k := f.Local("k")
+	j := f.Local("j")
+	for _, s := range []int64{1, 2, 4} {
+		twStep := 4 / s
+		f.Assign(k, I(0))
+		f.While(Lt(V(k), I(ftN)), func() {
+			f.ForRange(j, I(0), I(s), func() {
+				tw := Mul(V(j), I(twStep))
+				f.Assign(wr, LoadF64Elem("ft_wre", tw))
+				f.Assign(wi, LoadF64Elem("ft_wim", Mul(V(j), I(twStep))))
+				f.Assign(ea, elem(Add(V(k), V(j))))
+				f.Assign(eb, elem(Add(Add(V(k), V(j)), I(s))))
+				f.Assign(ur, LoadF(V(ea)))
+				f.Assign(ui, LoadF(Add(V(ea), I(8))))
+				f.Assign(vr, LoadF(V(eb)))
+				f.Assign(vi, LoadF(Add(V(eb), I(8))))
+				// (tr, ti) = v * w
+				f.Assign(tr, FSub(FMul(V(vr), V(wr)), FMul(V(vi), V(wi))))
+				f.Assign(ti, FAdd(FMul(V(vr), V(wi)), FMul(V(vi), V(wr))))
+				f.StoreF(V(ea), FAdd(V(ur), V(tr)))
+				f.StoreF(Add(V(ea), I(8)), FAdd(V(ui), V(ti)))
+				f.StoreF(V(eb), FSub(V(ur), V(tr)))
+				f.StoreF(Add(V(eb), I(8)), FSub(V(ui), V(ti)))
+			})
+			f.Assign(k, Add(V(k), I(2*s)))
+		})
+	}
+	f.Ret(I(0))
+
+	// Line bodies: 64 lines per dimension, [lo,hi).
+	addLineBody := func(name string, baseOf func(l *Expr) *Expr, stride int64) {
+		f := p.Func(name, "arg", "lo", "hi", "idx")
+		lo, hi := f.Params[1], f.Params[2]
+		l := f.Local("l")
+		f.ForRange(l, V(lo), V(hi), func() {
+			f.Do(Call("ft_fft8", baseOf(V(l)), I(stride)))
+		})
+		f.Ret(I(0))
+	}
+	// x-lines: l = y + 8z -> base = 8y + 64z = 8*l
+	addLineBody("ft_x_body", func(l *Expr) *Expr { return Mul(l, I(8)) }, 1)
+	// y-lines: l = x + 8z -> base = x + 64z = (l&7) + 64*(l>>3)
+	addLineBody("ft_y_body", func(l *Expr) *Expr {
+		return Add(And(l, I(7)), Mul(Shr(l, I(3)), I(64)))
+	}, 8)
+	// z-lines: l = x + 8y -> base = x + 8y = l
+	addLineBody("ft_z_body", func(l *Expr) *Expr { return l }, 64)
+
+	// ft_evolve_body(arg, lo, hi, idx): a[c] *= W[(x+y+z)&3].
+	f = p.Func("ft_evolve_body", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	c = f.Local("c")
+	xyz := f.Local("xyz")
+	ea = f.Local("ea")
+	ur = f.LocalF("ur")
+	ui = f.LocalF("ui")
+	wr = f.LocalF("wr")
+	wi = f.LocalF("wi")
+	f.ForRange(c, V(lo), V(hi), func() {
+		f.Assign(xyz, And(Add(Add(And(V(c), I(7)), And(Shr(V(c), I(3)), I(7))), Shr(V(c), I(6))), I(3)))
+		f.Assign(wr, LoadF64Elem("ft_wre", V(xyz)))
+		f.Assign(wi, LoadF64Elem("ft_wim", V(xyz)))
+		f.Assign(ea, cAddr(V(c)))
+		f.Assign(ur, LoadF(V(ea)))
+		f.Assign(ui, LoadF(Add(V(ea), I(8))))
+		f.StoreF(V(ea), FSub(FMul(V(ur), V(wr)), FMul(V(ui), V(wi))))
+		f.StoreF(Add(V(ea), I(8)), FAdd(FMul(V(ur), V(wi)), FMul(V(ui), V(wr))))
+	})
+	f.Ret(I(0))
+
+	f = p.Func("ft_finish")
+	f.Store(G("__result"), Call("npb_cksumf", G("ft_data"), I(ftElems*2)))
+	f.StoreF64Elem("__resultf", I(0), LoadF64Elem("ft_data", I(2*77)))
+	f.Ret(I(0))
+
+	serial := func(f *Func) {
+		f.Do(Call("ft_init", I(0), I(0), I(ftElems), I(0)))
+		it := f.Local("it")
+		f.ForRange(it, I(0), I(ftIter), func() {
+			f.Do(Call("ft_x_body", I(0), I(0), I(64), I(0)))
+			f.Do(Call("ft_y_body", I(0), I(0), I(64), I(0)))
+			f.Do(Call("ft_z_body", I(0), I(0), I(64), I(0)))
+			f.Do(Call("ft_evolve_body", I(0), I(0), I(ftElems), I(0)))
+		})
+		f.Do(Call("ft_finish"))
+	}
+	omp := func(f *Func) {
+		f.Do(Call("__omp_parallel_for", G("ft_init"), I(0), I(0), I(ftElems)))
+		it := f.Local("it")
+		f.ForRange(it, I(0), I(ftIter), func() {
+			f.Do(Call("__omp_parallel_for", G("ft_x_body"), I(0), I(0), I(64)))
+			f.Do(Call("__omp_parallel_for", G("ft_y_body"), I(0), I(0), I(64)))
+			f.Do(Call("__omp_parallel_for", G("ft_z_body"), I(0), I(0), I(64)))
+			f.Do(Call("__omp_parallel_for", G("ft_evolve_body"), I(0), I(0), I(ftElems)))
+		})
+		f.Do(Call("ft_finish"))
+	}
+
+	// MPI: z-slab decomposition. x/y lines have z in the own slab; the
+	// volume is redistributed (slab broadcasts) around the z pass.
+	rm := p.Func("ft_rankmain", "rank")
+	rank := rm.Params[0]
+	nr := rm.Local("nr")
+	rm.Assign(nr, Call("__mpi_size"))
+	zLo := rm.Local("zlo")
+	zHi := rm.Local("zhi")
+	rm.Assign(zLo, UDiv(Mul(V(rank), I(ftN)), V(nr)))
+	rm.Assign(zHi, UDiv(Mul(Add(V(rank), I(1)), I(ftN)), V(nr)))
+	share := func() {
+		r2 := rm.Local("r2")
+		rm.ForRange(r2, I(0), V(nr), func() {
+			sLo := rm.Local("slo")
+			sHi := rm.Local("shi")
+			rm.Assign(sLo, UDiv(Mul(V(r2), I(ftN)), V(nr)))
+			rm.Assign(sHi, UDiv(Mul(Add(V(r2), I(1)), I(ftN)), V(nr)))
+			// A z-slab [sLo, sHi) covers elements [64 sLo, 64 sHi).
+			rm.Do(Call("__mpi_bcast", V(r2),
+				Add(G("ft_data"), Mul(Mul(V(sLo), I(64)), I(16))),
+				Mul(Sub(V(sHi), V(sLo)), I(64*16))))
+		})
+	}
+	rm.Do(Call("ft_init", I(0), Mul(V(zLo), I(64)), Mul(V(zHi), I(64)), V(rank)))
+	rm.Do(Call("__mpi_barrier"))
+	it := rm.Local("it")
+	lLo := rm.Local("llo")
+	lHi := rm.Local("lhi")
+	rm.ForRange(it, I(0), I(ftIter), func() {
+		// x and y lines restricted to the own slab: l in [8 zLo, 8 zHi).
+		rm.Assign(lLo, Mul(V(zLo), I(8)))
+		rm.Assign(lHi, Mul(V(zHi), I(8)))
+		rm.Do(Call("ft_x_body", I(0), V(lLo), V(lHi), V(rank)))
+		rm.Do(Call("ft_y_body", I(0), V(lLo), V(lHi), V(rank)))
+		share()
+		// z lines: split the 64 (x,y) lines evenly.
+		rm.Assign(lLo, UDiv(Mul(V(rank), I(64)), V(nr)))
+		rm.Assign(lHi, UDiv(Mul(Add(V(rank), I(1)), I(64)), V(nr)))
+		rm.Do(Call("ft_z_body", I(0), V(lLo), V(lHi), V(rank)))
+		share()
+		rm.Do(Call("ft_evolve_body", I(0), Mul(V(zLo), I(64)), Mul(V(zHi), I(64)), V(rank)))
+		rm.Do(Call("__mpi_barrier"))
+	})
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Do(Call("ft_finish"))
+	}, nil)
+	rm.Ret(I(0))
+
+	addMain(p, serial, omp, "ft_rankmain")
+	return p
+}

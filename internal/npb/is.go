@@ -1,0 +1,214 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// IS: integer bucket sort. Keys are ranked by a stable counting sort over
+// B buckets, repeated for several iterations with the key set permuted by
+// the previous ranking. Integer-only (the one benchmark the paper uses for
+// its branch/Hang analysis, Table 2).
+const (
+	isN    = 6144
+	isB    = 512
+	isIter = 3
+	isMaxW = 16 // max workers (threads or ranks)
+)
+
+// BuildIS constructs the IS program.
+func BuildIS() *Program {
+	p := NewProgram("is")
+	p.GlobalWords("is_keys", isN)
+	p.GlobalWords("is_rank", isN)
+	p.GlobalWords("is_hist", isB)
+	p.GlobalWords("is_prefix", isB)
+	p.GlobalWords("is_phist", isMaxW*isB)
+	p.GlobalWords("is_base", isMaxW*isB)
+	p.GlobalWords("is_nw", 1) // active worker count (for merge/base phases)
+	p.GlobalWords("is_it", 1)
+
+	// Deterministic position-based key: any partition yields identical
+	// data.
+	keyOf := func(i *Expr) *Expr {
+		return And(Mul(Add(i, I(12345)), I(2654435761)), I(isB-1))
+	}
+
+	// is_init(arg, lo, hi, idx): fill keys.
+	f := p.Func("is_init", "arg", "lo", "hi", "idx")
+	lo, hi := f.Params[1], f.Params[2]
+	i := f.Local("i")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.StoreWordElem("is_keys", V(i), keyOf(V(i)))
+	})
+	f.Ret(I(0))
+
+	// is_hist_body(arg, lo, hi, idx): private histogram of own slice.
+	f = p.Func("is_hist_body", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	idx := f.Params[3]
+	i = f.Local("i")
+	base := f.Local("base")
+	f.Assign(base, Mul(V(idx), I(isB)))
+	f.ForRange(i, I(0), I(isB), func() {
+		f.StoreWordElem("is_phist", Add(V(base), V(i)), I(0))
+	})
+	f.ForRange(i, V(lo), V(hi), func() {
+		k := f.Local("k")
+		f.Assign(k, LoadWordElem("is_keys", V(i)))
+		f.StoreWordElem("is_phist", Add(V(base), V(k)),
+			Add(LoadWordElem("is_phist", Add(V(base), V(k))), I(1)))
+	})
+	f.Ret(I(0))
+
+	// is_merge_body(arg, lo, hi, idx): hist[b] = sum of worker hists,
+	// and per-worker scatter bases.
+	f = p.Func("is_merge_body", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	b := f.Local("b")
+	w := f.Local("w")
+	s := f.Local("s")
+	f.ForRange(b, V(lo), V(hi), func() {
+		f.Assign(s, I(0))
+		f.ForRange(w, I(0), Load(G("is_nw")), func() {
+			f.StoreWordElem("is_base", Add(Mul(V(w), I(isB)), V(b)), V(s))
+			f.Assign(s, Add(V(s), LoadWordElem("is_phist", Add(Mul(V(w), I(isB)), V(b)))))
+		})
+		f.StoreWordElem("is_hist", V(b), V(s))
+	})
+	f.Ret(I(0))
+
+	// is_prefix(): exclusive prefix sum over buckets (single worker).
+	f = p.Func("is_prefix_phase")
+	b = f.Local("b")
+	s = f.Local("s")
+	acc := f.Local("acc")
+	f.Assign(acc, I(0))
+	f.ForRange(b, I(0), I(isB), func() {
+		f.Assign(s, LoadWordElem("is_hist", V(b)))
+		f.StoreWordElem("is_prefix", V(b), V(acc))
+		f.Assign(acc, Add(V(acc), V(s)))
+	})
+	f.Ret(I(0))
+
+	// is_scatter_body(arg, lo, hi, idx): stable global ranking.
+	f = p.Func("is_scatter_body", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	idx = f.Params[3]
+	i = f.Local("i")
+	k := f.Local("k")
+	pos := f.Local("pos")
+	off := f.Local("off")
+	f.Assign(off, Mul(V(idx), I(isB)))
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.Assign(k, LoadWordElem("is_keys", V(i)))
+		f.Assign(pos, Add(LoadWordElem("is_prefix", V(k)),
+			LoadWordElem("is_base", Add(V(off), V(k)))))
+		f.StoreWordElem("is_base", Add(V(off), V(k)),
+			Add(LoadWordElem("is_base", Add(V(off), V(k))), I(1)))
+		f.StoreWordElem("is_rank", V(i), V(pos))
+	})
+	f.Ret(I(0))
+
+	// is_update_body(arg, lo, hi, idx): permute keys for the next round.
+	f = p.Func("is_update_body", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.StoreWordElem("is_keys", V(i),
+			And(Add(LoadWordElem("is_keys", V(i)),
+				Add(LoadWordElem("is_rank", V(i)), Load(G("is_it")))), I(isB-1)))
+	})
+	f.Ret(I(0))
+
+	// is_finish(): checksums.
+	f = p.Func("is_finish")
+	f.Store(G("__result"), Call("npb_cksumw", G("is_rank"), I(isN)))
+	f.StoreWordElem("__result", I(1), Call("npb_cksumw", G("is_hist"), I(isB)))
+	f.StoreWordElem("__result", I(2), LoadWordElem("is_rank", I(1234)))
+	f.Ret(I(0))
+
+	// Serial driver.
+	serial := func(f *Func) {
+		f.Store(G("is_nw"), I(1))
+		f.Do(Call("is_init", I(0), I(0), I(isN), I(0)))
+		it := f.Local("it")
+		f.ForRange(it, I(0), I(isIter), func() {
+			f.Store(G("is_it"), V(it))
+			f.Do(Call("is_hist_body", I(0), I(0), I(isN), I(0)))
+			f.Do(Call("is_merge_body", I(0), I(0), I(isB), I(0)))
+			f.Do(Call("is_prefix_phase"))
+			f.Do(Call("is_scatter_body", I(0), I(0), I(isN), I(0)))
+			f.Do(Call("is_update_body", I(0), I(0), I(isN), I(0)))
+		})
+		f.Do(Call("is_finish"))
+	}
+
+	// OMP driver: the scatter phase must see each worker's own slice, so
+	// the slice split of parallel_for (static chunks) matches the idx
+	// used for private histograms.
+	omp := func(f *Func) {
+		f.Store(G("is_nw"), Call("__omp_nth"))
+		f.Do(Call("__omp_parallel_for", G("is_init"), I(0), I(0), I(isN)))
+		it := f.Local("it")
+		f.ForRange(it, I(0), I(isIter), func() {
+			f.Store(G("is_it"), V(it))
+			f.Do(Call("__omp_parallel_for", G("is_hist_body"), I(0), I(0), I(isN)))
+			f.Do(Call("__omp_parallel_for", G("is_merge_body"), I(0), I(0), I(isB)))
+			f.Do(Call("is_prefix_phase"))
+			f.Do(Call("__omp_parallel_for", G("is_scatter_body"), I(0), I(0), I(isN)))
+			f.Do(Call("__omp_parallel_for", G("is_update_body"), I(0), I(0), I(isN)))
+		})
+		f.Do(Call("is_finish"))
+	}
+
+	// MPI rank driver: slices by rank; histogram totals travel through a
+	// word reduce and the prefix table through a broadcast.
+	rm := p.Func("is_rankmain", "rank")
+	rank := rm.Params[0]
+	nr := rm.Local("nr")
+	rm.Assign(nr, Call("__mpi_size"))
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Store(G("is_nw"), V(nr))
+	}, nil)
+	myLo := rm.Local("mylo")
+	myHi := rm.Local("myhi")
+	chunk := rm.Local("chunk")
+	rm.Assign(chunk, UDiv(I(isN), V(nr)))
+	rm.Assign(myLo, Mul(V(rank), V(chunk)))
+	rm.Assign(myHi, Add(V(myLo), V(chunk)))
+	rm.If(Eq(V(rank), Sub(V(nr), I(1))), func() { rm.Assign(myHi, I(isN)) }, nil)
+	rm.Do(Call("is_init", I(0), V(myLo), V(myHi), V(rank)))
+	rm.Do(Call("__mpi_barrier"))
+	it := rm.Local("it")
+	rm.ForRange(it, I(0), I(isIter), func() {
+		rm.If(Eq(V(rank), I(0)), func() { rm.Store(G("is_it"), V(it)) }, nil)
+		rm.Do(Call("__mpi_barrier"))
+		rm.Do(Call("is_hist_body", I(0), V(myLo), V(myHi), V(rank)))
+		rm.Do(Call("__mpi_barrier"))
+		// Bucket-range split of the merge phase.
+		bLo := rm.Local("blo")
+		bHi := rm.Local("bhi")
+		rm.Assign(bLo, Mul(V(rank), UDiv(I(isB), V(nr))))
+		rm.Assign(bHi, Add(V(bLo), UDiv(I(isB), V(nr))))
+		rm.If(Eq(V(rank), Sub(V(nr), I(1))), func() { rm.Assign(bHi, I(isB)) }, nil)
+		rm.Do(Call("is_merge_body", I(0), V(bLo), V(bHi), V(rank)))
+		rm.Do(Call("__mpi_barrier"))
+		rm.If(Eq(V(rank), I(0)), func() {
+			rm.Do(Call("is_prefix_phase"))
+		}, nil)
+		// Everyone needs the prefix table: broadcast it (real copies on
+		// the receivers).
+		rm.Do(Call("__mpi_bcast", I(0), G("is_prefix"), Mul(I(isB), WordBytes())))
+		rm.Do(Call("is_scatter_body", I(0), V(myLo), V(myHi), V(rank)))
+		rm.Do(Call("__mpi_barrier"))
+		rm.Do(Call("is_update_body", I(0), V(myLo), V(myHi), V(rank)))
+		rm.Do(Call("__mpi_barrier"))
+	})
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Do(Call("is_finish"))
+	}, nil)
+	rm.Ret(I(0))
+
+	addMain(p, serial, omp, "is_rankmain")
+	return p
+}

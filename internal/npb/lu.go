@@ -1,0 +1,161 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// LU: red-black successive over-relaxation sweeps on a 2D 5-point system
+// (the SSOR heart of NPB LU without its block structure). The red/black
+// colouring makes each half-sweep order-independent, so serial, OMP and MPI
+// variants converge identically; MPI ranks own row slabs and exchange ghost
+// rows between colour phases.
+const (
+	luN      = 40
+	luSweeps = 4
+)
+
+// BuildLU constructs the LU program.
+func BuildLU() *Program {
+	p := NewProgram("lu")
+	p.GlobalF64("lu_u", luN*luN)
+	p.GlobalF64("lu_f", luN*luN)
+
+	// lu_init(arg, lo, hi, idx): hashed rhs, zero solution.
+	f := p.Func("lu_init", "arg", "lo", "hi", "idx")
+	lo, hi := f.Params[1], f.Params[2]
+	i := f.Local("i")
+	j := f.Local("j")
+	e := f.Local("e")
+	h := f.Local("h")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.ForRange(j, I(0), I(luN), func() {
+			f.Assign(e, Add(Mul(V(i), I(luN)), V(j)))
+			f.Assign(h, And(Mul(Add(V(e), I(101)), I(2654435761)), I(2047)))
+			f.StoreF64Elem("lu_u", V(e), F(0))
+			f.StoreF64Elem("lu_f", V(e), FMul(CvtWF(V(h)), F(1.0/1024.0)))
+		})
+	})
+	f.Ret(I(0))
+
+	// lu_sweep_body(color, lo, hi, idx): one colour of a Gauss-Seidel
+	// sweep with over-relaxation over interior rows [lo,hi).
+	f = p.Func("lu_sweep_body", "color", "lo", "hi", "idx")
+	color, lo, hi := f.Params[0], f.Params[1], f.Params[2]
+	i = f.Local("i")
+	j = f.Local("j")
+	e = f.Local("e")
+	j0 := f.Local("j0")
+	s := f.LocalF("s")
+	t := f.LocalF("t")
+	unew := f.LocalF("unew")
+	f.ForRange(i, V(lo), V(hi), func() {
+		// First interior column of this colour on row i.
+		f.Assign(j0, Add(I(1), URem(Add(V(i), Add(V(color), I(1))), I(2))))
+		f.Assign(j, V(j0))
+		f.While(Lt(V(j), I(luN-1)), func() {
+			f.Assign(e, Add(Mul(V(i), I(luN)), V(j)))
+			f.Assign(s, LoadF64Elem("lu_u", Sub(V(e), I(luN))))
+			f.Assign(t, LoadF64Elem("lu_u", Add(V(e), I(luN))))
+			f.Assign(s, FAdd(V(s), V(t)))
+			f.Assign(t, LoadF64Elem("lu_u", Sub(V(e), I(1))))
+			f.Assign(s, FAdd(V(s), V(t)))
+			f.Assign(t, LoadF64Elem("lu_u", Add(V(e), I(1))))
+			f.Assign(s, FAdd(V(s), V(t)))
+			f.Assign(t, LoadF64Elem("lu_f", V(e)))
+			f.Assign(s, FMul(FAdd(V(s), V(t)), F(0.25)))
+			// Over-relax: u += omega (s - u), omega = 1.2.
+			f.Assign(unew, LoadF64Elem("lu_u", V(e)))
+			f.Assign(unew, FAdd(V(unew), FMul(F(1.2), FSub(V(s), V(unew)))))
+			f.StoreF64Elem("lu_u", V(e), V(unew))
+			f.Assign(j, Add(V(j), I(2)))
+		})
+	})
+	f.Ret(I(0))
+
+	// lu_finish()
+	f = p.Func("lu_finish")
+	f.Store(G("__result"), Call("npb_cksumf", G("lu_u"), I(luN*luN)))
+	f.StoreF64Elem("__resultf", I(0), LoadF64Elem("lu_u", I(luN/2*luN+luN/2)))
+	f.Ret(I(0))
+
+	serial := func(f *Func) {
+		f.Do(Call("lu_init", I(0), I(0), I(luN), I(0)))
+		sw := f.Local("sw")
+		f.ForRange(sw, I(0), I(luSweeps), func() {
+			f.Do(Call("lu_sweep_body", I(0), I(1), I(luN-1), I(0)))
+			f.Do(Call("lu_sweep_body", I(1), I(1), I(luN-1), I(0)))
+		})
+		f.Do(Call("lu_finish"))
+	}
+	omp := func(f *Func) {
+		f.Do(Call("__omp_parallel_for", G("lu_init"), I(0), I(0), I(luN)))
+		sw := f.Local("sw")
+		f.ForRange(sw, I(0), I(luSweeps), func() {
+			f.Do(Call("__omp_parallel_for", G("lu_sweep_body"), I(0), I(1), I(luN-1)))
+			f.Do(Call("__omp_parallel_for", G("lu_sweep_body"), I(1), I(1), I(luN-1)))
+		})
+		f.Do(Call("lu_finish"))
+	}
+
+	// lu_halo(rlo, rhi): ghost-row exchange (same protocol as MG).
+	f = p.Func("lu_halo", "rlo", "rhi")
+	rlo, rhi := f.Params[0], f.Params[1]
+	me := f.Local("me")
+	nr := f.Local("nr")
+	odd := f.Local("odd")
+	f.Assign(me, Call("__mpi_rank"))
+	f.Assign(nr, Call("__mpi_size"))
+	f.Assign(odd, And(V(me), I(1)))
+	rowB := int64(luN * 8)
+	rowAddr := func(r *Expr) *Expr { return Add(G("lu_u"), Mul(r, I(rowB))) }
+	f.If(Gt(V(me), I(0)), func() {
+		f.If(Eq(V(odd), I(1)), func() {
+			f.Do(Call("__mpi_send", Sub(V(me), I(1)), rowAddr(V(rlo)), I(rowB)))
+			f.Do(Call("__mpi_recv", Sub(V(me), I(1)), rowAddr(Sub(V(rlo), I(1))), I(rowB)))
+		}, func() {
+			f.Do(Call("__mpi_recv", Sub(V(me), I(1)), rowAddr(Sub(V(rlo), I(1))), I(rowB)))
+			f.Do(Call("__mpi_send", Sub(V(me), I(1)), rowAddr(V(rlo)), I(rowB)))
+		})
+	}, nil)
+	f.If(Lt(V(me), Sub(V(nr), I(1))), func() {
+		f.If(Eq(V(odd), I(1)), func() {
+			f.Do(Call("__mpi_send", Add(V(me), I(1)), rowAddr(Sub(V(rhi), I(1))), I(rowB)))
+			f.Do(Call("__mpi_recv", Add(V(me), I(1)), rowAddr(V(rhi)), I(rowB)))
+		}, func() {
+			f.Do(Call("__mpi_recv", Add(V(me), I(1)), rowAddr(V(rhi)), I(rowB)))
+			f.Do(Call("__mpi_send", Add(V(me), I(1)), rowAddr(Sub(V(rhi), I(1))), I(rowB)))
+		})
+	}, nil)
+	f.Ret(I(0))
+
+	rm := p.Func("lu_rankmain", "rank")
+	rank := rm.Params[0]
+	nr2 := rm.Local("nr")
+	rm.Assign(nr2, Call("__mpi_size"))
+	rlo2 := rm.Local("rlo")
+	rhi2 := rm.Local("rhi")
+	rm.Assign(rlo2, UDiv(Mul(V(rank), I(luN)), V(nr2)))
+	rm.Assign(rhi2, UDiv(Mul(Add(V(rank), I(1)), I(luN)), V(nr2)))
+	rm.Do(Call("lu_init", I(0), V(rlo2), V(rhi2), V(rank)))
+	rm.Do(Call("__mpi_barrier"))
+	// Interior slab.
+	span := int64(luN - 2)
+	rm.Assign(rlo2, Add(I(1), UDiv(Mul(V(rank), I(span)), V(nr2))))
+	rm.Assign(rhi2, Add(I(1), UDiv(Mul(Add(V(rank), I(1)), I(span)), V(nr2))))
+	sw := rm.Local("sw")
+	rm.ForRange(sw, I(0), I(luSweeps), func() {
+		rm.Do(Call("lu_halo", V(rlo2), V(rhi2)))
+		rm.Do(Call("lu_sweep_body", I(0), V(rlo2), V(rhi2), V(rank)))
+		rm.Do(Call("__mpi_barrier"))
+		rm.Do(Call("lu_halo", V(rlo2), V(rhi2)))
+		rm.Do(Call("lu_sweep_body", I(1), V(rlo2), V(rhi2), V(rank)))
+		rm.Do(Call("__mpi_barrier"))
+	})
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Do(Call("lu_finish"))
+	}, nil)
+	rm.Ret(I(0))
+
+	addMain(p, serial, omp, "lu_rankmain")
+	return p
+}

@@ -1,0 +1,330 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// MG: multigrid V-cycle on a 2D Poisson problem (the paper's MG is 3D; the
+// 2D miniature keeps the multigrid structure — smooth, restrict, coarse
+// solve, prolong — and the slab-decomposed halo communication of the MPI
+// variant; see DESIGN.md §5). Jacobi smoothing into a shadow array keeps
+// every variant partition-invariant.
+const (
+	mgN0     = 32 // fine grid (includes boundary)
+	mgLevels = 3  // 32 -> 16 -> 8
+	mgCycles = 1
+	mgPre    = 2 // pre/post smoothing steps
+	mgCoarse = 4
+)
+
+func mgSize(l int64) int64 { return mgN0 >> uint(l) }
+
+// BuildMG constructs the MG program.
+func BuildMG() *Program {
+	p := NewProgram("mg")
+	total := uint32(0)
+	for l := int64(0); l < mgLevels; l++ {
+		n := uint32(mgSize(l))
+		p.GlobalF64(mgName("u", l), n*n)
+		p.GlobalF64(mgName("w", l), n*n) // Jacobi shadow
+		p.GlobalF64(mgName("r", l), n*n)
+		total += 3 * n * n
+	}
+	p.GlobalWords("mg_n", mgLevels)  // grid size per level
+	p.GlobalWords("mg_ub", mgLevels) // base addresses
+	p.GlobalWords("mg_wb", mgLevels)
+	p.GlobalWords("mg_rb", mgLevels)
+
+	// mg_setup(): fill the level tables and the fine-grid rhs.
+	f := p.Func("mg_setup")
+	for l := int64(0); l < mgLevels; l++ {
+		f.StoreWordElem("mg_n", I(l), I(mgSize(l)))
+		f.StoreWordElem("mg_ub", I(l), G(mgName("u", l)))
+		f.StoreWordElem("mg_wb", I(l), G(mgName("w", l)))
+		f.StoreWordElem("mg_rb", I(l), G(mgName("r", l)))
+	}
+	f.Ret(I(0))
+
+	// mg_initrhs(arg, lo, hi, idx): position-hashed rhs on the fine grid,
+	// zero solution (rows [lo,hi) of level 0).
+	f = p.Func("mg_initrhs", "arg", "lo", "hi", "idx")
+	lo, hi := f.Params[1], f.Params[2]
+	i := f.Local("i")
+	j := f.Local("j")
+	e := f.Local("e")
+	h := f.Local("h")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.ForRange(j, I(0), I(mgN0), func() {
+			f.Assign(e, Add(Mul(V(i), I(mgN0)), V(j)))
+			f.Assign(h, And(Mul(Add(V(e), I(17)), I(2654435761)), I(1023)))
+			f.StoreF64Elem(mgName("u", 0), V(e), F(0))
+			f.StoreF64Elem(mgName("w", 0), V(e), F(0))
+			f.StoreF64Elem(mgName("r", 0), V(e),
+				FSub(FMul(CvtWF(V(h)), F(1.0/512.0)), F(1.0))) // [-1, 1)
+		})
+	})
+	f.Ret(I(0))
+
+	// mg_smooth_body(lev, lo, hi, idx): w = 0.25*(u_n + u_s + u_w + u_e
+	// + r) over interior rows [lo, hi).
+	f = p.Func("mg_smooth_body", "lev", "lo", "hi", "idx")
+	lev, lo, hi := f.Params[0], f.Params[1], f.Params[2]
+	n := f.Local("n")
+	ub := f.Local("ub")
+	wb := f.Local("wb")
+	rb := f.Local("rb")
+	f.Assign(n, LoadWordElem("mg_n", V(lev)))
+	f.Assign(ub, LoadWordElem("mg_ub", V(lev)))
+	f.Assign(wb, LoadWordElem("mg_wb", V(lev)))
+	f.Assign(rb, LoadWordElem("mg_rb", V(lev)))
+	i = f.Local("i")
+	j = f.Local("j")
+	e = f.Local("e")
+	s := f.LocalF("s")
+	t := f.LocalF("t")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.ForRange(j, I(1), Sub(V(n), I(1)), func() {
+			f.Assign(e, Add(Mul(V(i), V(n)), V(j)))
+			f.Assign(s, LoadF(Index8(V(ub), Sub(V(e), V(n)))))
+			f.Assign(t, LoadF(Index8(V(ub), Add(V(e), V(n)))))
+			f.Assign(s, FAdd(V(s), V(t)))
+			f.Assign(t, LoadF(Index8(V(ub), Sub(V(e), I(1)))))
+			f.Assign(s, FAdd(V(s), V(t)))
+			f.Assign(t, LoadF(Index8(V(ub), Add(V(e), I(1)))))
+			f.Assign(s, FAdd(V(s), V(t)))
+			f.Assign(t, LoadF(Index8(V(rb), V(e))))
+			f.Assign(s, FAdd(V(s), V(t)))
+			f.StoreF(Index8(V(wb), V(e)), FMul(V(s), F(0.25)))
+		})
+	})
+	f.Ret(I(0))
+
+	// mg_copy_body(lev, lo, hi, idx): u = w over interior rows.
+	f = p.Func("mg_copy_body", "lev", "lo", "hi", "idx")
+	lev, lo, hi = f.Params[0], f.Params[1], f.Params[2]
+	n = f.Local("n")
+	ub = f.Local("ub")
+	wb = f.Local("wb")
+	f.Assign(n, LoadWordElem("mg_n", V(lev)))
+	f.Assign(ub, LoadWordElem("mg_ub", V(lev)))
+	f.Assign(wb, LoadWordElem("mg_wb", V(lev)))
+	i = f.Local("i")
+	j = f.Local("j")
+	e = f.Local("e")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.ForRange(j, I(1), Sub(V(n), I(1)), func() {
+			f.Assign(e, Add(Mul(V(i), V(n)), V(j)))
+			f.StoreF(Index8(V(ub), V(e)), LoadF(Index8(V(wb), V(e))))
+		})
+	})
+	f.Ret(I(0))
+
+	// mg_restrict_body(lev, lo, hi, idx): coarse residual at lev+1 from
+	// the fine defect (r - A u), rows [lo,hi) of the COARSE grid.
+	f = p.Func("mg_restrict_body", "lev", "lo", "hi", "idx")
+	lev, lo, hi = f.Params[0], f.Params[1], f.Params[2]
+	n = f.Local("n")
+	ub = f.Local("ub")
+	rb = f.Local("rb")
+	cn := f.Local("cn")
+	crb := f.Local("crb")
+	cub := f.Local("cub")
+	cwb := f.Local("cwb")
+	f.Assign(n, LoadWordElem("mg_n", V(lev)))
+	f.Assign(ub, LoadWordElem("mg_ub", V(lev)))
+	f.Assign(rb, LoadWordElem("mg_rb", V(lev)))
+	f.Assign(cn, LoadWordElem("mg_n", Add(V(lev), I(1))))
+	f.Assign(crb, LoadWordElem("mg_rb", Add(V(lev), I(1))))
+	f.Assign(cub, LoadWordElem("mg_ub", Add(V(lev), I(1))))
+	f.Assign(cwb, LoadWordElem("mg_wb", Add(V(lev), I(1))))
+	i = f.Local("i")
+	j = f.Local("j")
+	fe := f.Local("fe")
+	ce := f.Local("ce")
+	d := f.LocalF("d")
+	t = f.LocalF("t")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.ForRange(j, I(1), Sub(V(cn), I(1)), func() {
+			f.Assign(ce, Add(Mul(V(i), V(cn)), V(j)))
+			f.Assign(fe, Add(Mul(Mul(V(i), I(2)), V(n)), Mul(V(j), I(2))))
+			// defect = r - (4u - nbrs) at the matching fine point
+			f.Assign(d, LoadF(Index8(V(rb), V(fe))))
+			f.Assign(t, FMul(LoadF(Index8(V(ub), V(fe))), F(4.0)))
+			f.Assign(d, FSub(V(d), V(t)))
+			f.Assign(t, LoadF(Index8(V(ub), Sub(V(fe), V(n)))))
+			f.Assign(d, FAdd(V(d), V(t)))
+			f.Assign(t, LoadF(Index8(V(ub), Add(V(fe), V(n)))))
+			f.Assign(d, FAdd(V(d), V(t)))
+			f.Assign(t, LoadF(Index8(V(ub), Sub(V(fe), I(1)))))
+			f.Assign(d, FAdd(V(d), V(t)))
+			f.Assign(t, LoadF(Index8(V(ub), Add(V(fe), I(1)))))
+			f.Assign(d, FAdd(V(d), V(t)))
+			f.StoreF(Index8(V(crb), V(ce)), V(d))
+			f.StoreF(Index8(V(cub), V(ce)), F(0))
+			f.StoreF(Index8(V(cwb), V(ce)), F(0))
+		})
+	})
+	f.Ret(I(0))
+
+	// mg_prolong_body(lev, lo, hi, idx): inject the coarse correction at
+	// lev+1 back into lev (rows [lo,hi) of the COARSE grid).
+	f = p.Func("mg_prolong_body", "lev", "lo", "hi", "idx")
+	lev, lo, hi = f.Params[0], f.Params[1], f.Params[2]
+	n = f.Local("n")
+	ub = f.Local("ub")
+	cn = f.Local("cn")
+	cub = f.Local("cub")
+	f.Assign(n, LoadWordElem("mg_n", V(lev)))
+	f.Assign(ub, LoadWordElem("mg_ub", V(lev)))
+	f.Assign(cn, LoadWordElem("mg_n", Add(V(lev), I(1))))
+	f.Assign(cub, LoadWordElem("mg_ub", Add(V(lev), I(1))))
+	i = f.Local("i")
+	j = f.Local("j")
+	fe = f.Local("fe")
+	cv := f.LocalF("cv")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.ForRange(j, I(1), Sub(V(cn), I(1)), func() {
+			f.Assign(cv, LoadF(Index8(V(cub), Add(Mul(V(i), V(cn)), V(j)))))
+			f.Assign(fe, Add(Mul(Mul(V(i), I(2)), V(n)), Mul(V(j), I(2))))
+			f.StoreF(Index8(V(ub), V(fe)), FAdd(LoadF(Index8(V(ub), V(fe))), V(cv)))
+		})
+	})
+	f.Ret(I(0))
+
+	// mg_finish(): checksums of the fine solution.
+	f = p.Func("mg_finish")
+	f.Store(G("__result"), Call("npb_cksumf", G(mgName("u", 0)), I(mgN0*mgN0)))
+	center := int64(mgN0/2*mgN0 + mgN0/2)
+	f.StoreF64Elem("__resultf", I(0), LoadF64Elem(mgName("u", 0), I(center)))
+	f.Ret(I(0))
+
+	// Shared V-cycle orchestration. par runs body(levArg, 1, n-1) over
+	// interior rows of the given level's grid.
+	vcycle := func(f *Func, par func(body string, lev, rows int64)) {
+		smooth := func(lev int64, steps int64) {
+			rows := mgSize(lev) - 1
+			for s := int64(0); s < steps; s++ {
+				par("mg_smooth_body", lev, rows)
+				par("mg_copy_body", lev, rows)
+			}
+		}
+		for c := 0; c < mgCycles; c++ {
+			for l := int64(0); l < mgLevels-1; l++ {
+				smooth(l, mgPre)
+				par("mg_restrict_body", l, mgSize(l+1)-1)
+			}
+			smooth(mgLevels-1, mgCoarse)
+			for l := int64(mgLevels - 2); l >= 0; l-- {
+				par("mg_prolong_body", l, mgSize(l+1)-1)
+				smooth(l, mgPre)
+			}
+		}
+	}
+
+	serial := func(f *Func) {
+		f.Do(Call("mg_setup"))
+		f.Do(Call("mg_initrhs", I(0), I(0), I(mgN0), I(0)))
+		vcycle(f, func(body string, lev, rows int64) {
+			f.Do(Call(body, I(lev), I(1), I(rows), I(0)))
+		})
+		f.Do(Call("mg_finish"))
+	}
+	omp := func(f *Func) {
+		f.Do(Call("mg_setup"))
+		f.Do(Call("__omp_parallel_for", G("mg_initrhs"), I(0), I(0), I(mgN0)))
+		vcycle(f, func(body string, lev, rows int64) {
+			f.Do(Call("__omp_parallel_for", G(body), I(lev), I(1), I(rows)))
+		})
+		f.Do(Call("mg_finish"))
+	}
+
+	// MPI: interior rows of each level split into rank slabs; ghost rows
+	// travel point-to-point before every smoothing step (even ranks
+	// receive first — the classic deadlock-free ordering).
+	buildMGMPI(p, vcycle)
+
+	addMain(p, serial, omp, "mg_rankmain")
+	return p
+}
+
+func mgName(base string, l int64) string {
+	return "mg_" + base + string(rune('0'+l))
+}
+
+// buildMGMPI adds the rank driver and the halo-exchange helper.
+func buildMGMPI(p *Program, vcycle func(f *Func, par func(body string, lev, rows int64))) {
+	// mg_halo(lev, rlo, rhi): exchange boundary rows [rlo, rhi) with the
+	// neighbouring ranks. Rows are shared-memory resident; the messages
+	// carry the same bytes they would in a distributed run.
+	f := p.Func("mg_halo", "lev", "rlo", "rhi")
+	lev, rlo, rhi := f.Params[0], f.Params[1], f.Params[2]
+	me := f.Local("me")
+	nr := f.Local("nr")
+	n := f.Local("n")
+	ub := f.Local("ub")
+	rowB := f.Local("rowB")
+	f.Assign(me, Call("__mpi_rank"))
+	f.Assign(nr, Call("__mpi_size"))
+	f.Assign(n, LoadWordElem("mg_n", V(lev)))
+	f.Assign(ub, LoadWordElem("mg_ub", V(lev)))
+	f.Assign(rowB, Mul(V(n), I(8))) // row bytes
+	odd := f.Local("odd")
+	f.Assign(odd, And(V(me), I(1)))
+	rowAddr := func(r *Expr) *Expr { return Add(V(ub), Mul(r, V(rowB))) }
+	// Left neighbour: send my first row, receive its last.
+	f.If(Gt(V(me), I(0)), func() {
+		f.If(Eq(V(odd), I(1)), func() {
+			f.Do(Call("__mpi_send", Sub(V(me), I(1)), rowAddr(V(rlo)), V(rowB)))
+			f.Do(Call("__mpi_recv", Sub(V(me), I(1)), rowAddr(Sub(V(rlo), I(1))), V(rowB)))
+		}, func() {
+			f.Do(Call("__mpi_recv", Sub(V(me), I(1)), rowAddr(Sub(V(rlo), I(1))), V(rowB)))
+			f.Do(Call("__mpi_send", Sub(V(me), I(1)), rowAddr(V(rlo)), V(rowB)))
+		})
+	}, nil)
+	// Right neighbour: send my last row, receive its first.
+	f.If(Lt(V(me), Sub(V(nr), I(1))), func() {
+		f.If(Eq(V(odd), I(1)), func() {
+			f.Do(Call("__mpi_send", Add(V(me), I(1)), rowAddr(Sub(V(rhi), I(1))), V(rowB)))
+			f.Do(Call("__mpi_recv", Add(V(me), I(1)), rowAddr(V(rhi)), V(rowB)))
+		}, func() {
+			f.Do(Call("__mpi_recv", Add(V(me), I(1)), rowAddr(V(rhi)), V(rowB)))
+			f.Do(Call("__mpi_send", Add(V(me), I(1)), rowAddr(Sub(V(rhi), I(1))), V(rowB)))
+		})
+	}, nil)
+	f.Ret(I(0))
+
+	rm := p.Func("mg_rankmain", "rank")
+	rank := rm.Params[0]
+	nr2 := rm.Local("nr")
+	rm.Assign(nr2, Call("__mpi_size"))
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Do(Call("mg_setup"))
+	}, nil)
+	rm.Do(Call("__mpi_barrier"))
+	// Row range helper for a level with `rows` interior-row bound: the
+	// interior rows [1, rows) are split evenly.
+	mlo := rm.Local("xlo")
+	mhi := rm.Local("xhi")
+	rangeFor := func(rows int64) {
+		span := rows - 1 // interior count
+		rm.Assign(mlo, Add(I(1), UDiv(Mul(V(rank), I(span)), V(nr2))))
+		rm.Assign(mhi, Add(I(1), UDiv(Mul(Add(V(rank), I(1)), I(span)), V(nr2))))
+	}
+	// Init covers all rows including the boundary.
+	rm.Assign(mlo, UDiv(Mul(V(rank), I(mgN0)), V(nr2)))
+	rm.Assign(mhi, UDiv(Mul(Add(V(rank), I(1)), I(mgN0)), V(nr2)))
+	rm.Do(Call("mg_initrhs", I(0), V(mlo), V(mhi), V(rank)))
+	rm.Do(Call("__mpi_barrier"))
+	vcycle(rm, func(body string, lev, rows int64) {
+		rangeFor(rows)
+		if body == "mg_smooth_body" {
+			rm.Do(Call("mg_halo", I(lev), V(mlo), V(mhi)))
+		}
+		rm.Do(Call(body, I(lev), V(mlo), V(mhi), V(rank)))
+		rm.Do(Call("__mpi_barrier"))
+	})
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Do(Call("mg_finish"))
+	}, nil)
+	rm.Ret(I(0))
+}

@@ -1,0 +1,228 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// SP: scalar pentadiagonal solver. Each iteration performs a batch of
+// independent pentadiagonal line solves along the rows of a 2D grid and then
+// along its columns (NPB SP's ADI structure), with the column phase coupling
+// to the row-phase solution through a transpose — which is what forces the
+// MPI variant to redistribute data between phases.
+const (
+	spNL   = 24 // lines in the row phase
+	spNP   = 32 // points per row line (and line count of the column phase)
+	spIter = 1
+)
+
+// BuildSP constructs the SP program.
+func BuildSP() *Program {
+	p := NewProgram("sp")
+	size := uint32(spNL * spNP)
+	for _, a := range []string{"sp_a", "sp_b", "sp_c", "sp_d", "sp_e", "sp_f", "sp_u", "sp_u2", "sp_v"} {
+		p.GlobalF64(a, size)
+	}
+
+	// sp_gen(base, n, seed): fill the band arrays for one line (the rhs
+	// sp_f is produced by the caller).
+	f := p.Func("sp_gen", "base", "n", "seed")
+	base, n, seed := f.Params[0], f.Params[1], f.Params[2]
+	k := f.Local("k")
+	e := f.Local("e")
+	h := f.Local("h")
+	fr := f.LocalF("fr")
+	f.ForRange(k, I(0), V(n), func() {
+		f.Assign(e, Add(V(base), V(k)))
+		f.Assign(h, And(Mul(Add(Add(V(e), V(seed)), I(31)), I(2654435761)), I(255)))
+		f.Assign(fr, FMul(CvtWF(V(h)), F(1.0/512.0))) // [0, 0.5)
+		f.StoreF64Elem("sp_c", V(e), F(8.0))
+		f.StoreF64Elem("sp_b", V(e), FAdd(F(1.0), V(fr)))
+		f.StoreF64Elem("sp_d", V(e), FSub(F(1.5), V(fr)))
+		f.StoreF64Elem("sp_a", V(e), F(0.5))
+		f.StoreF64Elem("sp_e", V(e), F(0.5))
+	})
+	f.Ret(I(0))
+
+	// sp_solve(base, n, dst): in-place pentadiagonal elimination over
+	// [base, base+n) of the band arrays; solution into the dst array (so
+	// the column phase can solve without clobbering its own inputs).
+	f = p.Func("sp_solve", "base", "n", "dst")
+	base, n = f.Params[0], f.Params[1]
+	dst := f.Params[2]
+	i := f.Local("i")
+	e = f.Local("e")
+	m := f.LocalF("m")
+	t := f.LocalF("t")
+	f.ForRange(i, I(1), V(n), func() {
+		f.Assign(e, Add(V(base), V(i)))
+		f.If(Ge(V(i), I(2)), func() {
+			// Eliminate the A band against row i-2.
+			f.Assign(m, FDiv(LoadF64Elem("sp_a", V(e)), LoadF64Elem("sp_c", Sub(V(e), I(2)))))
+			f.Assign(t, FMul(V(m), LoadF64Elem("sp_d", Sub(V(e), I(2)))))
+			f.StoreF64Elem("sp_b", V(e), FSub(LoadF64Elem("sp_b", V(e)), V(t)))
+			f.Assign(t, FMul(V(m), LoadF64Elem("sp_e", Sub(V(e), I(2)))))
+			f.StoreF64Elem("sp_c", V(e), FSub(LoadF64Elem("sp_c", V(e)), V(t)))
+			f.Assign(t, FMul(V(m), LoadF64Elem("sp_f", Sub(V(e), I(2)))))
+			f.StoreF64Elem("sp_f", V(e), FSub(LoadF64Elem("sp_f", V(e)), V(t)))
+		}, nil)
+		// Eliminate the B band against row i-1.
+		f.Assign(m, FDiv(LoadF64Elem("sp_b", V(e)), LoadF64Elem("sp_c", Sub(V(e), I(1)))))
+		f.Assign(t, FMul(V(m), LoadF64Elem("sp_d", Sub(V(e), I(1)))))
+		f.StoreF64Elem("sp_c", V(e), FSub(LoadF64Elem("sp_c", V(e)), V(t)))
+		f.Assign(t, FMul(V(m), LoadF64Elem("sp_e", Sub(V(e), I(1)))))
+		f.StoreF64Elem("sp_d", V(e), FSub(LoadF64Elem("sp_d", V(e)), V(t)))
+		f.Assign(t, FMul(V(m), LoadF64Elem("sp_f", Sub(V(e), I(1)))))
+		f.StoreF64Elem("sp_f", V(e), FSub(LoadF64Elem("sp_f", V(e)), V(t)))
+	})
+	// Back substitution.
+	last := f.Local("last")
+	f.Assign(last, Add(V(base), Sub(V(n), I(1))))
+	f.StoreF(Index8(V(dst), V(last)),
+		FDiv(LoadF64Elem("sp_f", V(last)), LoadF64Elem("sp_c", V(last))))
+	f.Assign(e, Sub(V(last), I(1)))
+	f.Assign(t, FMul(LoadF64Elem("sp_d", V(e)), LoadF(Index8(V(dst), V(last)))))
+	f.StoreF(Index8(V(dst), V(e)),
+		FDiv(FSub(LoadF64Elem("sp_f", V(e)), V(t)), LoadF64Elem("sp_c", V(e))))
+	f.Assign(i, Sub(V(n), I(3)))
+	f.While(Ge(V(i), I(0)), func() {
+		f.Assign(e, Add(V(base), V(i)))
+		f.Assign(t, FMul(LoadF64Elem("sp_d", V(e)), LoadF(Index8(V(dst), Add(V(e), I(1))))))
+		f.Assign(t, FAdd(V(t), FMul(LoadF64Elem("sp_e", V(e)), LoadF(Index8(V(dst), Add(V(e), I(2)))))))
+		f.StoreF(Index8(V(dst), V(e)),
+			FDiv(FSub(LoadF64Elem("sp_f", V(e)), V(t)), LoadF64Elem("sp_c", V(e))))
+		f.Assign(i, Sub(V(i), I(1)))
+	})
+	f.Ret(I(0))
+
+	// sp_row_body(it, lo, hi, idx): row-phase lines [lo,hi).
+	f = p.Func("sp_row_body", "it", "lo", "hi", "idx")
+	it, lo, hi := f.Params[0], f.Params[1], f.Params[2]
+	l := f.Local("l")
+	k = f.Local("k")
+	e = f.Local("e")
+	h = f.Local("h")
+	cpl := f.LocalF("cpl")
+	f.ForRange(l, V(lo), V(hi), func() {
+		bb := f.Local("bb")
+		f.Assign(bb, Mul(V(l), I(spNP)))
+		// rhs: hash + coupling to the previous column-phase solution
+		// (transposed read).
+		f.ForRange(k, I(0), I(spNP), func() {
+			f.Assign(e, Add(V(bb), V(k)))
+			f.Assign(h, And(Mul(Add(V(e), Mul(V(it), I(97))), I(2654435761)), I(511)))
+			f.Assign(cpl, LoadF64Elem("sp_u2", Add(Mul(V(k), I(spNL)), V(l))))
+			f.StoreF64Elem("sp_f", V(e),
+				FAdd(FMul(CvtWF(V(h)), F(1.0/256.0)), FMul(F(0.1), V(cpl))))
+		})
+		f.Do(Call("sp_gen", V(bb), I(spNP), V(it)))
+		f.Do(Call("sp_solve", V(bb), I(spNP), G("sp_u")))
+	})
+	f.Ret(I(0))
+
+	// sp_col_body(it, lo, hi, idx): column-phase lines [lo,hi); rhs reads
+	// the row-phase solution transposed.
+	f = p.Func("sp_col_body", "it", "lo", "hi", "idx")
+	it, lo, hi = f.Params[0], f.Params[1], f.Params[2]
+	c := f.Local("c")
+	k = f.Local("k")
+	e = f.Local("e")
+	f.ForRange(c, V(lo), V(hi), func() {
+		bb := f.Local("bb")
+		f.Assign(bb, Mul(V(c), I(spNL)))
+		f.ForRange(k, I(0), I(spNL), func() {
+			f.Assign(e, Add(V(bb), V(k)))
+			f.StoreF64Elem("sp_f", V(e),
+				FAdd(F(1.0), LoadF64Elem("sp_u", Add(Mul(V(k), I(spNP)), V(c)))))
+		})
+		f.Do(Call("sp_gen", V(bb), I(spNL), Add(V(it), I(7))))
+		f.Do(Call("sp_solve", V(bb), I(spNL), G("sp_v")))
+		// Column solutions accumulate in sp_u2 (copied from the scratch).
+		f.ForRange(k, I(0), I(spNL), func() {
+			f.Assign(e, Add(V(bb), V(k)))
+			f.StoreF64Elem("sp_u2", V(e), LoadF64Elem("sp_v", V(e)))
+		})
+	})
+	f.Ret(I(0))
+
+	// sp_zero_body(arg, lo, hi, idx): clear u2 rows.
+	f = p.Func("sp_zero_body", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.StoreF64Elem("sp_u2", V(i), F(0))
+	})
+	f.Ret(I(0))
+
+	f = p.Func("sp_finish")
+	f.Store(G("__result"), Call("npb_cksumf", G("sp_u2"), I(spNL*spNP)))
+	f.StoreF64Elem("__resultf", I(0), LoadF64Elem("sp_u2", I(spNL*spNP/2)))
+	f.Ret(I(0))
+
+	serial := func(f *Func) {
+		f.Do(Call("sp_zero_body", I(0), I(0), I(spNL*spNP), I(0)))
+		it := f.Local("it")
+		f.ForRange(it, I(0), I(spIter), func() {
+			f.Do(Call("sp_row_body", V(it), I(0), I(spNL), I(0)))
+			f.Do(Call("sp_col_body", V(it), I(0), I(spNP), I(0)))
+		})
+		f.Do(Call("sp_finish"))
+	}
+	omp := func(f *Func) {
+		f.Do(Call("__omp_parallel_for", G("sp_zero_body"), I(0), I(0), I(spNL*spNP)))
+		it := f.Local("it")
+		f.ForRange(it, I(0), I(spIter), func() {
+			f.Do(Call("__omp_parallel_for", G("sp_row_body"), V(it), I(0), I(spNL)))
+			f.Do(Call("__omp_parallel_for", G("sp_col_body"), V(it), I(0), I(spNP)))
+		})
+		f.Do(Call("sp_finish"))
+	}
+
+	// MPI: lines split by rank; between phases each rank broadcasts its
+	// slab of the just-computed solution so other ranks can read it
+	// transposed (the paper's ADI data redistribution).
+	rm := p.Func("sp_rankmain", "rank")
+	rank := rm.Params[0]
+	nr := rm.Local("nr")
+	rm.Assign(nr, Call("__mpi_size"))
+	share := func(array string, total int64) {
+		r2 := rm.Local("r2")
+		rm.ForRange(r2, I(0), V(nr), func() {
+			sLo := rm.Local("slo")
+			sHi := rm.Local("shi")
+			rm.Assign(sLo, UDiv(Mul(V(r2), I(total)), V(nr)))
+			rm.Assign(sHi, UDiv(Mul(Add(V(r2), I(1)), I(total)), V(nr)))
+			rm.Do(Call("__mpi_bcast", V(r2), Index8(G(array), Mul(V(sLo), I(1))),
+				Mul(Sub(V(sHi), V(sLo)), I(8))))
+		})
+	}
+	rLo := rm.Local("rlo")
+	rHi := rm.Local("rhi")
+	cLo := rm.Local("clo")
+	cHi := rm.Local("chi")
+	rm.Assign(rLo, UDiv(Mul(V(rank), I(spNL)), V(nr)))
+	rm.Assign(rHi, UDiv(Mul(Add(V(rank), I(1)), I(spNL)), V(nr)))
+	rm.Assign(cLo, UDiv(Mul(V(rank), I(spNP)), V(nr)))
+	rm.Assign(cHi, UDiv(Mul(Add(V(rank), I(1)), I(spNP)), V(nr)))
+	zLo := rm.Local("zlo")
+	zHi := rm.Local("zhi")
+	rm.Assign(zLo, UDiv(Mul(V(rank), I(spNL*spNP)), V(nr)))
+	rm.Assign(zHi, UDiv(Mul(Add(V(rank), I(1)), I(spNL*spNP)), V(nr)))
+	rm.Do(Call("sp_zero_body", I(0), V(zLo), V(zHi), V(rank)))
+	rm.Do(Call("__mpi_barrier"))
+	it2 := rm.Local("it")
+	rm.ForRange(it2, I(0), I(spIter), func() {
+		rm.Do(Call("sp_row_body", V(it2), V(rLo), V(rHi), V(rank)))
+		// Redistribute the row solutions (u, indexed by row line).
+		share("sp_u", spNL*spNP)
+		rm.Do(Call("sp_col_body", V(it2), V(cLo), V(cHi), V(rank)))
+		// Redistribute the column solutions for the next coupling.
+		share("sp_u2", spNL*spNP)
+	})
+	rm.If(Eq(V(rank), I(0)), func() {
+		rm.Do(Call("sp_finish"))
+	}, nil)
+	rm.Ret(I(0))
+
+	addMain(p, serial, omp, "sp_rankmain")
+	return p
+}

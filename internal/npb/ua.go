@@ -1,0 +1,145 @@
+package npb
+
+import (
+	. "serfi/internal/cc"
+)
+
+// UA: unstructured adaptive refinement. An irregular 1D mesh of elements
+// linked through indirection arrays is adaptively refined (elements whose
+// value exceeds a per-round threshold split in two) and smoothed over the
+// irregular neighbour links — the pointer-chasing, irregular-memory
+// behaviour of NPB UA at miniature scale (DESIGN.md §5). Serial and OMP
+// only, like the original suite.
+const (
+	uaCap    = 2048
+	uaStart  = 200
+	uaRounds = 3
+	uaSmooth = 2
+)
+
+// BuildUA constructs the UA program.
+func BuildUA() *Program {
+	p := NewProgram("ua")
+	p.GlobalWords("ua_val", uaCap)
+	p.GlobalWords("ua_new", uaCap)
+	p.GlobalWords("ua_nbrL", uaCap)
+	p.GlobalWords("ua_nbrR", uaCap)
+	p.GlobalWords("ua_mark", uaCap)
+	p.GlobalWords("ua_count", 1)
+
+	// ua_init(): chain of uaStart elements with hashed values.
+	f := p.Func("ua_init")
+	i := f.Local("i")
+	f.ForRange(i, I(0), I(uaStart), func() {
+		f.StoreWordElem("ua_val", V(i),
+			And(Mul(Add(V(i), I(71)), I(2654435761)), I(0xffff)))
+		f.StoreWordElem("ua_nbrL", V(i), Sub(V(i), I(1)))
+		f.StoreWordElem("ua_nbrR", V(i), Add(V(i), I(1)))
+	})
+	f.StoreWordElem("ua_nbrL", I(0), I(0))
+	f.StoreWordElem("ua_nbrR", I(uaStart-1), I(uaStart-1))
+	f.Store(G("ua_count"), I(uaStart))
+	f.Ret(I(0))
+
+	// ua_mark_body(thresh, lo, hi, idx): flag elements to refine.
+	f = p.Func("ua_mark_body", "thresh", "lo", "hi", "idx")
+	th, lo, hi := f.Params[0], f.Params[1], f.Params[2]
+	i = f.Local("i")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.StoreWordElem("ua_mark", V(i),
+			Bool(GtU(LoadWordElem("ua_val", V(i)), V(th))))
+	})
+	f.Ret(I(0))
+
+	// ua_refine(): split marked elements (serial: keeps the mesh
+	// deterministic regardless of worker count).
+	f = p.Func("ua_refine")
+	n := f.Local("n")
+	cnt := f.Local("cnt")
+	i = f.Local("i")
+	r := f.Local("r")
+	f.Assign(n, Load(G("ua_count")))
+	f.Assign(cnt, V(n))
+	f.ForRange(i, I(0), V(n), func() {
+		f.If(AndC(Ne(LoadWordElem("ua_mark", V(i)), I(0)), Lt(V(cnt), I(uaCap))), func() {
+			// New element r takes half of i's value and slots in to
+			// the right of i.
+			f.Assign(r, V(cnt))
+			f.Assign(cnt, Add(V(cnt), I(1)))
+			v := f.Local("v")
+			f.Assign(v, LoadWordElem("ua_val", V(i)))
+			f.StoreWordElem("ua_val", V(i), Shr(V(v), I(1)))
+			f.StoreWordElem("ua_val", V(r), Sub(V(v), Shr(V(v), I(1))))
+			oldR := f.Local("oldR")
+			f.Assign(oldR, LoadWordElem("ua_nbrR", V(i)))
+			f.StoreWordElem("ua_nbrR", V(i), V(r))
+			f.StoreWordElem("ua_nbrL", V(r), V(i))
+			f.StoreWordElem("ua_nbrR", V(r), V(oldR))
+			f.If(Ne(V(oldR), V(i)), func() {
+				f.StoreWordElem("ua_nbrL", V(oldR), V(r))
+			}, func() {
+				// i was the right edge: r becomes the new edge.
+				f.StoreWordElem("ua_nbrR", V(r), V(r))
+			})
+		}, nil)
+	})
+	f.Store(G("ua_count"), V(cnt))
+	f.Ret(I(0))
+
+	// ua_smooth_body(arg, lo, hi, idx): val_new[i] = avg over the
+	// irregular neighbourhood.
+	f = p.Func("ua_smooth_body", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	s := f.Local("s")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.Assign(s, LoadWordElem("ua_val", V(i)))
+		f.Assign(s, Add(V(s), LoadWordElem("ua_val", LoadWordElem("ua_nbrL", V(i)))))
+		f.Assign(s, Add(V(s), LoadWordElem("ua_val", LoadWordElem("ua_nbrR", V(i)))))
+		f.StoreWordElem("ua_new", V(i), UDiv(V(s), I(3)))
+	})
+	f.Ret(I(0))
+
+	// ua_copy_body(arg, lo, hi, idx): val = new.
+	f = p.Func("ua_copy_body", "arg", "lo", "hi", "idx")
+	lo, hi = f.Params[1], f.Params[2]
+	i = f.Local("i")
+	f.ForRange(i, V(lo), V(hi), func() {
+		f.StoreWordElem("ua_val", V(i), LoadWordElem("ua_new", V(i)))
+	})
+	f.Ret(I(0))
+
+	f = p.Func("ua_finish")
+	f.Store(G("__result"), Call("npb_cksumw", G("ua_val"), Load(G("ua_count"))))
+	f.StoreWordElem("__result", I(1), Load(G("ua_count")))
+	f.Ret(I(0))
+
+	// Per-round thresholds shrink so later rounds refine more.
+	thresh := []int64{0xc000, 0x8000, 0x4000}
+
+	driver := func(f *Func, par func(body string, arg *Expr)) {
+		f.Do(Call("ua_init"))
+		for r := 0; r < uaRounds; r++ {
+			par("ua_mark_body", I(thresh[r]))
+			f.Do(Call("ua_refine"))
+			for s := 0; s < uaSmooth; s++ {
+				par("ua_smooth_body", I(0))
+				par("ua_copy_body", I(0))
+			}
+		}
+		f.Do(Call("ua_finish"))
+	}
+
+	serial := func(f *Func) {
+		driver(f, func(body string, arg *Expr) {
+			f.Do(Call(body, arg, I(0), Load(G("ua_count")), I(0)))
+		})
+	}
+	omp := func(f *Func) {
+		driver(f, func(body string, arg *Expr) {
+			f.Do(Call("__omp_parallel_for", G(body), arg, I(0), Load(G("ua_count"))))
+		})
+	}
+	addMain(p, serial, omp, "")
+	return p
+}

@@ -1,0 +1,215 @@
+// Package profile turns raw machine counters into the software symptoms the
+// paper's cross-layer analysis mines (§3.4/§4): function call counts,
+// flat PC-sample profiles, the vulnerability window of the parallelization
+// API, per-core instruction balance and the branch/memory composition
+// indices of Tables 2-4.
+package profile
+
+import (
+	"sort"
+	"strings"
+
+	"serfi/internal/cc"
+	"serfi/internal/mach"
+)
+
+// FuncStat is one function's share of execution.
+type FuncStat struct {
+	Name    string
+	Calls   uint64
+	Samples uint64
+}
+
+// Profile is the per-run flat profile.
+type Profile struct {
+	Funcs        []FuncStat // sorted by samples, descending
+	TotalCalls   uint64
+	TotalSamples uint64
+	byName       map[string]*FuncStat
+}
+
+// Build aggregates a machine's call counters and PC samples by symbol.
+// The machine must have been configured with Profile enabled.
+func Build(img *cc.Image, m *mach.Machine) *Profile {
+	p := &Profile{byName: make(map[string]*FuncStat)}
+	get := func(name string) *FuncStat {
+		if name == "" {
+			name = "<unknown>"
+		}
+		fs, ok := p.byName[name]
+		if !ok {
+			fs = &FuncStat{Name: name}
+			p.byName[name] = fs
+		}
+		return fs
+	}
+	for pc, n := range m.CallCounts {
+		get(img.FuncAt(pc)).Calls += n
+		p.TotalCalls += n
+	}
+	for pc, n := range m.Samples {
+		get(img.FuncAt(pc)).Samples += n
+		p.TotalSamples += n
+	}
+	for _, fs := range p.byName {
+		p.Funcs = append(p.Funcs, *fs)
+	}
+	sort.Slice(p.Funcs, func(i, j int) bool {
+		if p.Funcs[i].Samples != p.Funcs[j].Samples {
+			return p.Funcs[i].Samples > p.Funcs[j].Samples
+		}
+		return p.Funcs[i].Name < p.Funcs[j].Name
+	})
+	return p
+}
+
+// SampleShare returns the fraction of PC samples falling in functions whose
+// name starts with any of the prefixes. This realizes the paper's
+// "vulnerability window" of a library (§4.2.2): the time share during which
+// faults hit that library's code.
+func (p *Profile) SampleShare(prefixes ...string) float64 {
+	if p.TotalSamples == 0 {
+		return 0
+	}
+	var hit uint64
+	for _, fs := range p.Funcs {
+		for _, pre := range prefixes {
+			if strings.HasPrefix(fs.Name, pre) {
+				hit += fs.Samples
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(p.TotalSamples)
+}
+
+// CallsTo sums call counts into functions with any of the prefixes.
+func (p *Profile) CallsTo(prefixes ...string) uint64 {
+	var n uint64
+	for _, fs := range p.Funcs {
+		for _, pre := range prefixes {
+			if strings.HasPrefix(fs.Name, pre) {
+				n += fs.Calls
+				break
+			}
+		}
+	}
+	return n
+}
+
+// RuntimePrefixes are the parallelization-API symbols (OMP + MPI + sync).
+var RuntimePrefixes = []string{"__omp", "__mpi", "__barrier", "__mutex", "__atomic"}
+
+// Features is the flattened feature vector mined against fault outcomes.
+type Features struct {
+	Instructions  float64 // retired, application+OS
+	Cycles        float64
+	BranchPct     float64 // branches / retired (%)
+	MemInstrPct   float64 // (loads+stores) / retired (%)
+	RdWrRatio     float64 // loads / stores
+	FPPct         float64
+	Calls         float64
+	Branches      float64
+	FBIndex       float64 // calls x branches, normalized later per group
+	KernelPct     float64 // kernel-mode retired share (%)
+	IdleCycles    float64
+	CtxSwitches   float64
+	Mispredicts   float64
+	CoreImbalance float64 // max-min retired over mean, in %
+	APIWindow     float64 // runtime-library vulnerability window (%)
+	L1DMissPct    float64
+	L2MissPct     float64
+	// PowerTransitions counts WFI low-power entries across cores (a
+	// future-work statistic the paper names in §5).
+	PowerTransitions float64
+}
+
+// Extract computes the feature vector from a finished machine (plus its
+// image for symbolization).
+func Extract(img *cc.Image, m *mach.Machine) Features {
+	t := m.TotalStats()
+	f := Features{
+		Instructions: float64(t.Retired),
+		Cycles:       float64(m.MaxCycles()),
+		Calls:        float64(t.Calls),
+		Branches:     float64(t.Branches),
+		IdleCycles:   float64(t.IdleCycles),
+		CtxSwitches:  float64(t.CtxRestores),
+		Mispredicts:  float64(t.Mispredicts),
+	}
+	f.PowerTransitions = float64(t.WFISleeps)
+	if t.Retired > 0 {
+		f.BranchPct = 100 * float64(t.Branches) / float64(t.Retired)
+		f.MemInstrPct = 100 * float64(t.Loads+t.Stores) / float64(t.Retired)
+		f.FPPct = 100 * float64(t.FPOps) / float64(t.Retired)
+		f.KernelPct = 100 * float64(t.KernelRetired) / float64(t.Retired)
+	}
+	if t.Stores > 0 {
+		f.RdWrRatio = float64(t.Loads) / float64(t.Stores)
+	}
+	f.FBIndex = float64(t.Calls) * float64(t.Branches)
+	// Per-core balance: spread of retired instructions across cores that
+	// executed anything.
+	var min, max, sum uint64
+	n := 0
+	for i := range m.Cores {
+		r := m.Cores[i].Stats.Retired
+		if r == 0 {
+			continue
+		}
+		if n == 0 || r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+		sum += r
+		n++
+	}
+	if n > 1 && sum > 0 {
+		mean := float64(sum) / float64(n)
+		f.CoreImbalance = 100 * float64(max-min) / mean
+	}
+	if m.Samples != nil {
+		p := Build(img, m)
+		f.APIWindow = 100 * p.SampleShare(RuntimePrefixes...)
+	}
+	var dh, dm uint64
+	for c := range m.Cores {
+		s := m.Hier.L1DStats(c)
+		dh += s.Hits
+		dm += s.Misses
+	}
+	if dh+dm > 0 {
+		f.L1DMissPct = 100 * float64(dm) / float64(dh+dm)
+	}
+	l2 := m.Hier.L2Stats()
+	if l2.Hits+l2.Misses > 0 {
+		f.L2MissPct = 100 * float64(l2.Misses) / float64(l2.Hits+l2.Misses)
+	}
+	return f
+}
+
+// Map flattens the features for the mining layer.
+func (f Features) Map() map[string]float64 {
+	return map[string]float64{
+		"instructions": f.Instructions,
+		"cycles":       f.Cycles,
+		"branch_pct":   f.BranchPct,
+		"mem_pct":      f.MemInstrPct,
+		"rdwr_ratio":   f.RdWrRatio,
+		"fp_pct":       f.FPPct,
+		"calls":        f.Calls,
+		"branches":     f.Branches,
+		"fb_index":     f.FBIndex,
+		"kernel_pct":   f.KernelPct,
+		"idle_cycles":  f.IdleCycles,
+		"ctx_switches": f.CtxSwitches,
+		"mispredicts":  f.Mispredicts,
+		"imbalance":    f.CoreImbalance,
+		"api_window":   f.APIWindow,
+		"l1d_miss_pct": f.L1DMissPct,
+		"l2_miss_pct":  f.L2MissPct,
+		"power_trans":  f.PowerTransitions,
+	}
+}

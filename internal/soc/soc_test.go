@@ -1,0 +1,36 @@
+package soc
+
+import "testing"
+
+func TestModelsMatchPaperConfiguration(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		a9 := CortexA9(cores)
+		a72 := CortexA72(cores)
+		if a9.ISA.Feat().Name != "armv7" || a72.ISA.Feat().Name != "armv8" {
+			t.Fatal("ISA pairing wrong")
+		}
+		// Paper §3.1 cache geometry.
+		if a9.Cache.L1I.SizeBytes != 32<<10 || a9.Cache.L1D.Ways != 4 || a9.Cache.L2.SizeBytes != 512<<10 {
+			t.Errorf("A9 cache geometry: %+v", a9.Cache)
+		}
+		if a72.Cache.L2.Ways != 8 {
+			t.Errorf("A72 L2 ways: %d", a72.Cache.L2.Ways)
+		}
+		if a9.Cores != cores || a72.Cores != cores {
+			t.Error("core count not applied")
+		}
+		// The A72 pays a deeper mispredict penalty than the A9.
+		if a72.Timing.Mispredict <= a9.Timing.Mispredict {
+			t.Error("pipeline depth ordering violated")
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if Model("armv7", 2) != "cortex-a9x2" || Model("armv8", 4) != "cortex-a72x4" {
+		t.Error("model naming broken")
+	}
+	if _, err := Config("armv9", 1); err == nil {
+		t.Error("unknown ISA accepted")
+	}
+}

@@ -1,0 +1,518 @@
+// Package softfp is the host-side reference model of the guest soft-float
+// library linked into ARMv7 images (the role of the "ARM software FP
+// library" in the paper, §4.1.1).
+//
+// Every routine works exclusively on 32-bit unsigned words plus the UMULL
+// and CLZ primitives that exist on the 32-bit guest ISA, so the guest DSL
+// transcription in internal/glib mirrors this code statement-for-statement
+// and can be differentially tested against it.
+//
+// Deviations from IEEE-754, chosen to keep the guest library tractable and
+// documented in DESIGN.md:
+//   - subnormal inputs and outputs are flushed to zero (FTZ);
+//   - only round-to-nearest-even is implemented;
+//   - NaNs are canonicalized to 0x7FF8000000000000.
+//
+// Within the normal range, Add/Sub/Mul/Div/FromInt32/ToInt32 are bit-exact
+// against IEEE-754 (and are property-tested against Go's float64).
+package softfp
+
+const (
+	// ExpMask etc. describe the binary64 layout split into two words.
+	expBits  = 11
+	manthi   = 0xfffff // high 20 mantissa bits in the hi word
+	bias     = 1023
+	expInf   = 0x7ff
+	implicit = uint32(1) << 20 // implicit mantissa bit position in hi word
+
+	// CanonNaNHi/Lo is the canonical quiet NaN produced by the library.
+	CanonNaNHi = 0x7ff80000
+	CanonNaNLo = 0x00000000
+)
+
+// umull mirrors the guest UMULL instruction: full 32x32 -> 64 multiply.
+func umull(a, b uint32) (lo, hi uint32) {
+	p := uint64(a) * uint64(b)
+	return uint32(p), uint32(p >> 32)
+}
+
+// clz mirrors the guest CLZ instruction.
+func clz(v uint32) uint32 {
+	n := uint32(0)
+	if v == 0 {
+		return 32
+	}
+	for v&0x80000000 == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+// add64/sub64/cmp64/shl64/shr64sticky are the two-word helpers the guest
+// code inlines.
+
+func add64(ahi, alo, bhi, blo uint32) (hi, lo uint32) {
+	lo = alo + blo
+	hi = ahi + bhi
+	if lo < alo {
+		hi++
+	}
+	return
+}
+
+func sub64(ahi, alo, bhi, blo uint32) (hi, lo uint32) {
+	lo = alo - blo
+	hi = ahi - bhi
+	if alo < blo {
+		hi--
+	}
+	return
+}
+
+// cmp64 returns 1 if a>b, 0 if equal, 2 if a<b (unsigned).
+func cmp64(ahi, alo, bhi, blo uint32) uint32 {
+	if ahi > bhi {
+		return 1
+	}
+	if ahi < bhi {
+		return 2
+	}
+	if alo > blo {
+		return 1
+	}
+	if alo < blo {
+		return 2
+	}
+	return 0
+}
+
+func shl64(hi, lo, n uint32) (uint32, uint32) {
+	if n == 0 {
+		return hi, lo
+	}
+	if n >= 64 {
+		return 0, 0
+	}
+	if n >= 32 {
+		return lo << (n - 32), 0
+	}
+	return hi<<n | lo>>(32-n), lo << n
+}
+
+// shr64 is a plain two-word right shift (no sticky).
+func shr64(hi, lo, n uint32) (uint32, uint32) {
+	if n == 0 {
+		return hi, lo
+	}
+	if n >= 64 {
+		return 0, 0
+	}
+	if n >= 32 {
+		return 0, hi >> (n - 32)
+	}
+	return hi >> n, lo>>n | hi<<(32-n)
+}
+
+// shr64sticky shifts right by n, ORing every shifted-out bit into bit 0.
+func shr64sticky(hi, lo, n uint32) (uint32, uint32) {
+	if n == 0 {
+		return hi, lo
+	}
+	sticky := uint32(0)
+	if n >= 64 {
+		if hi|lo != 0 {
+			sticky = 1
+		}
+		return 0, sticky
+	}
+	if n >= 32 {
+		k := n - 32
+		if lo != 0 {
+			sticky = 1
+		}
+		if k > 0 && hi<<(32-k) != 0 {
+			sticky = 1
+		}
+		return 0, hi>>k | sticky
+	}
+	if lo<<(32-n) != 0 {
+		sticky = 1
+	}
+	return hi >> n, (lo>>n | hi<<(32-n)) | sticky
+}
+
+// kind classification.
+const (
+	kZero = 0
+	kNorm = 1
+	kInf  = 2
+	kNaN  = 3
+)
+
+// unpack splits a binary64 bit pattern; subnormals flush to zero. For
+// normal numbers the implicit bit is set in mhi (53-bit mantissa).
+func unpack(hi, lo uint32) (sign, exp, mhi, mlo, kind uint32) {
+	sign = hi >> 31
+	exp = hi >> 20 & expInf
+	mhi = hi & manthi
+	mlo = lo
+	switch {
+	case exp == expInf:
+		if mhi|mlo != 0 {
+			kind = kNaN
+		} else {
+			kind = kInf
+		}
+	case exp == 0:
+		kind = kZero // true zero and FTZ'd subnormals
+		mhi, mlo = 0, 0
+	default:
+		kind = kNorm
+		mhi |= implicit
+	}
+	return
+}
+
+// pack assembles a result, handling exponent overflow/underflow. exp is a
+// signed value carried in uint32 two's complement.
+func pack(sign, exp, mhi, mlo uint32) (uint32, uint32) {
+	if int32(exp) >= expInf {
+		return sign<<31 | expInf<<20, 0 // overflow -> inf
+	}
+	if int32(exp) <= 0 {
+		return sign << 31, 0 // underflow -> FTZ zero
+	}
+	return sign<<31 | exp<<20 | mhi&manthi, mlo
+}
+
+// roundPack rounds a 56-bit mantissa (53 significant + 3 GRS bits held in
+// mhi:mlo with the top bit at position 55) to nearest-even and packs.
+func roundPack(sign, exp, mhi, mlo uint32) (uint32, uint32) {
+	grs := mlo & 7
+	mhi, mlo = shr64(mhi, mlo, 3)
+	if grs > 4 || (grs == 4 && mlo&1 == 1) {
+		mhi, mlo = add64(mhi, mlo, 0, 1)
+		if mhi >= 1<<21 { // carried into 2^53: renormalize
+			mhi, mlo = shr64(mhi, mlo, 1)
+			exp++
+		}
+	}
+	return pack(sign, exp, mhi, mlo)
+}
+
+// Add returns the bits of a+b.
+func Add(ahi, alo, bhi, blo uint32) (uint32, uint32) {
+	sa, ea, mah, mal, ka := unpack(ahi, alo)
+	sb, eb, mbh, mbl, kb := unpack(bhi, blo)
+	if ka == kNaN || kb == kNaN {
+		return CanonNaNHi, CanonNaNLo
+	}
+	if ka == kInf {
+		if kb == kInf && sa != sb {
+			return CanonNaNHi, CanonNaNLo
+		}
+		return sa<<31 | expInf<<20, 0
+	}
+	if kb == kInf {
+		return sb<<31 | expInf<<20, 0
+	}
+	if ka == kZero && kb == kZero {
+		return (sa & sb) << 31, 0
+	}
+	if ka == kZero {
+		return pack(sb, eb, mbh, mbl)
+	}
+	if kb == kZero {
+		return pack(sa, ea, mah, mal)
+	}
+	// Widen to 56 bits (room for G,R,S).
+	mah, mal = shl64(mah, mal, 3)
+	mbh, mbl = shl64(mbh, mbl, 3)
+	// Ensure |a| >= |b|.
+	if ea < eb || (ea == eb && cmp64(mah, mal, mbh, mbl) == 2) {
+		sa, sb = sb, sa
+		ea, eb = eb, ea
+		mah, mbh = mbh, mah
+		mal, mbl = mbl, mal
+	}
+	mbh, mbl = shr64sticky(mbh, mbl, ea-eb)
+	if sa == sb {
+		mah, mal = add64(mah, mal, mbh, mbl)
+		if mah >= 1<<24 { // carry past bit 55
+			mah, mal = shr64sticky(mah, mal, 1)
+			ea++
+		}
+		return roundPack(sa, ea, mah, mal)
+	}
+	mah, mal = sub64(mah, mal, mbh, mbl)
+	if mah|mal == 0 {
+		return 0, 0 // exact cancellation -> +0
+	}
+	// Normalize so the top bit returns to position 55.
+	var lz uint32
+	if mah != 0 {
+		lz = clz(mah) - 8 // top should be bit 23 of mhi
+	} else {
+		lz = 24 + clz(mal)
+	}
+	mah, mal = shl64(mah, mal, lz)
+	ea -= lz
+	return roundPack(sa, ea, mah, mal)
+}
+
+// Sub returns the bits of a-b.
+func Sub(ahi, alo, bhi, blo uint32) (uint32, uint32) {
+	return Add(ahi, alo, bhi^0x80000000, blo)
+}
+
+// Mul returns the bits of a*b.
+func Mul(ahi, alo, bhi, blo uint32) (uint32, uint32) {
+	sa, ea, mah, mal, ka := unpack(ahi, alo)
+	sb, eb, mbh, mbl, kb := unpack(bhi, blo)
+	sign := sa ^ sb
+	if ka == kNaN || kb == kNaN {
+		return CanonNaNHi, CanonNaNLo
+	}
+	if ka == kInf || kb == kInf {
+		if ka == kZero || kb == kZero {
+			return CanonNaNHi, CanonNaNLo
+		}
+		return sign<<31 | expInf<<20, 0
+	}
+	if ka == kZero || kb == kZero {
+		return sign << 31, 0
+	}
+	exp := ea + eb - bias
+	// 53x53 -> 106-bit product via four 32x32 partials.
+	p0lo, p0hi := umull(mal, mbl)
+	p1lo, p1hi := umull(mal, mbh)
+	p2lo, p2hi := umull(mah, mbl)
+	p3lo, p3hi := umull(mah, mbh)
+	// w0..w3 little-endian 32-bit limbs of the product.
+	w0 := p0lo
+	w1 := p0hi
+	w2 := uint32(0)
+	w3 := uint32(0)
+	// w1 += p1lo
+	w1 += p1lo
+	if w1 < p1lo {
+		w2++
+	}
+	// w1 += p2lo
+	w1 += p2lo
+	if w1 < p2lo {
+		w2++
+	}
+	// w2 += p1hi + p2hi + p3lo with carries into w3.
+	w2 += p1hi
+	if w2 < p1hi {
+		w3++
+	}
+	w2 += p2hi
+	if w2 < p2hi {
+		w3++
+	}
+	w2 += p3lo
+	if w2 < p3lo {
+		w3++
+	}
+	w3 += p3hi
+	// Product bits: top at 105 (w3 bit 9) or 104 (w3 bit 8). Shift the
+	// 128-bit value right so the top bit lands at position 55 of a
+	// two-word value, collecting sticky.
+	var mhi, mlo, sticky uint32
+	top := uint32(104)
+	if w3>>9 != 0 {
+		top = 105
+		exp++
+	}
+	shift := top - 55 // 49 or 50
+	// sticky: any bit below `shift` set?
+	sticky = 0
+	if w0 != 0 {
+		sticky = 1
+	}
+	if shift >= 32 {
+		k := shift - 32
+		if w1<<(32-k) != 0 {
+			sticky = 1
+		}
+		mlo = w1>>k | w2<<(32-k)
+		mhi = w2>>k | w3<<(32-k)
+	} else {
+		panic("softfp: unreachable shift")
+	}
+	mlo |= sticky
+	return roundPack(sign, exp, mhi, mlo)
+}
+
+// Div returns the bits of a/b.
+func Div(ahi, alo, bhi, blo uint32) (uint32, uint32) {
+	sa, ea, mah, mal, ka := unpack(ahi, alo)
+	sb, eb, mbh, mbl, kb := unpack(bhi, blo)
+	sign := sa ^ sb
+	if ka == kNaN || kb == kNaN {
+		return CanonNaNHi, CanonNaNLo
+	}
+	if ka == kInf {
+		if kb == kInf {
+			return CanonNaNHi, CanonNaNLo
+		}
+		return sign<<31 | expInf<<20, 0
+	}
+	if kb == kInf {
+		return sign << 31, 0
+	}
+	if kb == kZero {
+		if ka == kZero {
+			return CanonNaNHi, CanonNaNLo
+		}
+		return sign<<31 | expInf<<20, 0 // x/0 -> inf
+	}
+	if ka == kZero {
+		return sign << 31, 0
+	}
+	exp := ea - eb + bias
+	// Ensure mantA >= mantB so the first quotient bit is 1.
+	if cmp64(mah, mal, mbh, mbl) == 2 {
+		mah, mal = shl64(mah, mal, 1)
+		exp--
+	}
+	// 54 iterations produce 53 result bits + 1 guard bit.
+	remh, reml := mah, mal
+	var qh, ql uint32
+	for i := 0; i < 54; i++ {
+		qh, ql = shl64(qh, ql, 1)
+		if cmp64(remh, reml, mbh, mbl) != 2 { // rem >= B
+			remh, reml = sub64(remh, reml, mbh, mbl)
+			ql |= 1
+		}
+		remh, reml = shl64(remh, reml, 1)
+	}
+	sticky := uint32(0)
+	if remh|reml != 0 {
+		sticky = 1
+	}
+	// q holds 54 bits (top at 53): widen to the 56-bit rounding format
+	// (top at 55): shift left 2 and put sticky at bit 0.
+	qh, ql = shl64(qh, ql, 2)
+	ql |= sticky
+	return roundPack(sign, exp, qh, ql)
+}
+
+// Cmp compares a and b: 0 equal, 1 less, 2 greater, 3 unordered.
+func Cmp(ahi, alo, bhi, blo uint32) uint32 {
+	sa, _, _, _, ka := unpack(ahi, alo)
+	sb, _, _, _, kb := unpack(bhi, blo)
+	if ka == kNaN || kb == kNaN {
+		return 3
+	}
+	if ka == kZero && kb == kZero {
+		return 0
+	}
+	if ka == kZero {
+		if sb == 1 {
+			return 2 // a=0 > negative b
+		}
+		return 1
+	}
+	if kb == kZero {
+		if sa == 1 {
+			return 1
+		}
+		return 2
+	}
+	if sa != sb {
+		if sa == 1 {
+			return 1
+		}
+		return 2
+	}
+	// Same sign: compare magnitude as a 63-bit integer (works for inf
+	// too, whose exponent field dominates).
+	c := cmp64(ahi&0x7fffffff, alo, bhi&0x7fffffff, blo)
+	if c == 0 {
+		return 0
+	}
+	lessMag := c == 2
+	if sa == 1 {
+		lessMag = !lessMag
+	}
+	if lessMag {
+		return 1
+	}
+	return 2
+}
+
+// FromInt32 converts a signed 32-bit integer (carried in a uint32) exactly.
+func FromInt32(v uint32) (uint32, uint32) {
+	if v == 0 {
+		return 0, 0
+	}
+	sign := v >> 31
+	mag := v
+	if sign == 1 {
+		mag = -v
+	}
+	lz := clz(mag)
+	// Place the top bit of mag at mantissa bit 52.
+	exp := uint32(bias) + 31 - lz
+	// value = mag << (21 + lz) across the pair.
+	mhi, mlo := shl64(0, mag, 21+lz)
+	return pack(sign, exp, mhi, mlo)
+}
+
+// ToInt32 truncates toward zero with saturation; NaN yields 0.
+func ToInt32(hi, lo uint32) uint32 {
+	sign, exp, mhi, mlo, kind := unpack(hi, lo)
+	switch kind {
+	case kNaN:
+		return 0
+	case kZero:
+		return 0
+	case kInf:
+		if sign == 1 {
+			return 0x80000000
+		}
+		return 0x7fffffff
+	}
+	if int32(exp) < bias {
+		return 0 // |x| < 1
+	}
+	p := exp - bias // integer bit position, 0..
+	if p >= 31 {
+		// Magnitude 2^31 or more: saturate (exactly -2^31 is
+		// representable).
+		if sign == 1 && p == 31 && mhi == implicit && mlo == 0 {
+			return 0x80000000
+		}
+		if sign == 1 {
+			return 0x80000000
+		}
+		return 0x7fffffff
+	}
+	// Integer part = mant >> (52-p); p <= 30 so it fits in 31 bits.
+	v := shrPlain(mhi, mlo, 52-p)
+	if sign == 1 {
+		return -v
+	}
+	return v
+}
+
+// shrPlain is a two-word right shift without sticky.
+func shrPlain(hi, lo, n uint32) uint32 {
+	if n >= 64 {
+		return 0
+	}
+	if n >= 32 {
+		return hi >> (n - 32)
+	}
+	return lo>>n | hi<<(32-n)
+}
+
+// Neg flips the sign bit.
+func Neg(hi, lo uint32) (uint32, uint32) { return hi ^ 0x80000000, lo }
+
+// Abs clears the sign bit.
+func Abs(hi, lo uint32) (uint32, uint32) { return hi & 0x7fffffff, lo }

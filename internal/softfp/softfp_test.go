@@ -1,0 +1,307 @@
+package softfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func split(f float64) (uint32, uint32) {
+	b := math.Float64bits(f)
+	return uint32(b >> 32), uint32(b)
+}
+
+func join(hi, lo uint32) float64 {
+	return math.Float64frombits(uint64(hi)<<32 | uint64(lo))
+}
+
+// isSubnormal reports whether f (or a result involving it) falls outside
+// our FTZ contract.
+func isSubnormal(f float64) bool {
+	return f != 0 && math.Abs(f) < 2.2250738585072014e-308
+}
+
+// randNormal produces a random normal float64 within a comfortable
+// exponent range so results stay normal.
+func randNormal(r *rand.Rand) float64 {
+	exp := r.Intn(600) - 300 // 2^-300 .. 2^300
+	m := r.Float64() + 1.0   // [1,2)
+	s := 1.0
+	if r.Intn(2) == 0 {
+		s = -1
+	}
+	return s * math.Ldexp(m, exp)
+}
+
+func TestAddMatchesIEEE(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for i := 0; i < 200000; i++ {
+		a, b := randNormal(r), randNormal(r)
+		want := a + b
+		if isSubnormal(want) {
+			continue
+		}
+		got := join(Add(splitPair(a, b)))
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("add(%g, %g) = %g (%x), want %g (%x)",
+				a, b, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// splitPair adapts two floats to the 4-word call signature.
+func splitPair(a, b float64) (uint32, uint32, uint32, uint32) {
+	ah, al := split(a)
+	bh, bl := split(b)
+	return ah, al, bh, bl
+}
+
+func TestSubMatchesIEEE(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	for i := 0; i < 100000; i++ {
+		a, b := randNormal(r), randNormal(r)
+		want := a - b
+		if isSubnormal(want) {
+			continue
+		}
+		got := join(Sub(splitPair(a, b)))
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("sub(%g, %g) = %g, want %g", a, b, got, want)
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	got := join(Sub(splitPair(1.5, 1.5)))
+	if math.Float64bits(got) != 0 {
+		t.Errorf("1.5-1.5 = %g (bits %x), want +0", got, math.Float64bits(got))
+	}
+	// Catastrophic cancellation paths (normalize by >32 bits).
+	a := 1.0 + math.Ldexp(1, -50)
+	got = join(Sub(splitPair(a, 1.0)))
+	want := a - 1.0
+	if got != want {
+		t.Errorf("tiny diff = %g, want %g", got, want)
+	}
+}
+
+func TestMulMatchesIEEE(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for i := 0; i < 200000; i++ {
+		a, b := randNormal(r), randNormal(r)
+		want := a * b
+		if isSubnormal(want) {
+			continue
+		}
+		got := join(Mul(splitPair(a, b)))
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("mul(%g, %g) = %g (%x), want %g (%x)",
+				a, b, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestDivMatchesIEEE(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	for i := 0; i < 100000; i++ {
+		a, b := randNormal(r), randNormal(r)
+		want := a / b
+		if isSubnormal(want) {
+			continue
+		}
+		got := join(Div(splitPair(a, b)))
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("div(%g, %g) = %g (%x), want %g (%x)",
+				a, b, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	inf := math.Inf(1)
+	ninf := math.Inf(-1)
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		op   func(a, b float64) (uint32, uint32)
+		a, b float64
+		want float64 // NaN means expect NaN
+	}{
+		{"inf+inf", func(a, b float64) (uint32, uint32) { return Add(splitPair(a, b)) }, inf, inf, inf},
+		{"inf+-inf", func(a, b float64) (uint32, uint32) { return Add(splitPair(a, b)) }, inf, ninf, nan},
+		{"nan+1", func(a, b float64) (uint32, uint32) { return Add(splitPair(a, b)) }, nan, 1, nan},
+		{"inf*0", func(a, b float64) (uint32, uint32) { return Mul(splitPair(a, b)) }, inf, 0, nan},
+		{"inf*2", func(a, b float64) (uint32, uint32) { return Mul(splitPair(a, b)) }, inf, 2, inf},
+		{"-2*inf", func(a, b float64) (uint32, uint32) { return Mul(splitPair(a, b)) }, -2, inf, ninf},
+		{"1/0", func(a, b float64) (uint32, uint32) { return Div(splitPair(a, b)) }, 1, 0, inf},
+		{"-1/0", func(a, b float64) (uint32, uint32) { return Div(splitPair(a, b)) }, -1, 0, ninf},
+		{"0/0", func(a, b float64) (uint32, uint32) { return Div(splitPair(a, b)) }, 0, 0, nan},
+		{"inf/inf", func(a, b float64) (uint32, uint32) { return Div(splitPair(a, b)) }, inf, inf, nan},
+		{"1/inf", func(a, b float64) (uint32, uint32) { return Div(splitPair(a, b)) }, 1, inf, 0},
+		{"0*5", func(a, b float64) (uint32, uint32) { return Mul(splitPair(a, b)) }, 0, 5, 0},
+		{"0+7", func(a, b float64) (uint32, uint32) { return Add(splitPair(a, b)) }, 0, 7, 7},
+	}
+	for _, c := range cases {
+		got := join(c.op(c.a, c.b))
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s = %g, want NaN", c.name, got)
+			}
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(c.want) {
+			t.Errorf("%s = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	big := math.MaxFloat64
+	got := join(Mul(splitPair(big, 2)))
+	if !math.IsInf(got, 1) {
+		t.Errorf("overflow = %g, want +inf", got)
+	}
+	got = join(Add(splitPair(big, big)))
+	if !math.IsInf(got, 1) {
+		t.Errorf("add overflow = %g, want +inf", got)
+	}
+}
+
+func TestUnderflowFTZ(t *testing.T) {
+	tiny := math.Ldexp(1, -1000)
+	got := join(Mul(splitPair(tiny, tiny)))
+	if got != 0 {
+		t.Errorf("underflow = %g, want 0 (FTZ)", got)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want uint32
+	}{
+		{1, 1, 0}, {1, 2, 1}, {2, 1, 2},
+		{-1, 1, 1}, {1, -1, 2}, {-2, -1, 1}, {-1, -2, 2},
+		{0, 0, 0}, {0, -0.0, 0}, {-0.0, 0, 0},
+		{0, 1, 1}, {0, -1, 2}, {1, 0, 2}, {-1, 0, 1},
+		{math.NaN(), 1, 3}, {1, math.NaN(), 3},
+		{math.Inf(1), 1e308, 2}, {math.Inf(-1), -1e308, 1},
+		{math.Inf(1), math.Inf(1), 0},
+	}
+	for _, c := range cases {
+		if got := Cmp(splitPair(c.a, c.b)); got != c.want {
+			t.Errorf("cmp(%g, %g) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmpMatchesGoOperators(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	for i := 0; i < 50000; i++ {
+		a, b := randNormal(r), randNormal(r)
+		want := uint32(0)
+		switch {
+		case a < b:
+			want = 1
+		case a > b:
+			want = 2
+		}
+		if got := Cmp(splitPair(a, b)); got != want {
+			t.Fatalf("cmp(%g, %g) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestFromInt32(t *testing.T) {
+	vals := []int32{0, 1, -1, 42, -42, 2147483647, -2147483648, 65536, -65536, 7, 1 << 30}
+	for _, v := range vals {
+		got := join(FromInt32(uint32(v)))
+		if got != float64(v) {
+			t.Errorf("fromInt(%d) = %g, want %g", v, got, float64(v))
+		}
+	}
+	r := rand.New(rand.NewSource(106))
+	for i := 0; i < 50000; i++ {
+		v := int32(r.Uint32())
+		if got := join(FromInt32(uint32(v))); got != float64(v) {
+			t.Fatalf("fromInt(%d) = %g", v, got)
+		}
+	}
+}
+
+func TestToInt32(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want int32
+	}{
+		{0, 0}, {0.9, 0}, {-0.9, 0}, {1, 1}, {-1, -1},
+		{1.5, 1}, {-1.5, -1}, {123456.789, 123456}, {-123456.789, -123456},
+		{2147483646.9, 2147483646}, {-2147483647.9, -2147483647},
+		{3e9, 2147483647}, {-3e9, -2147483648},
+		{math.Inf(1), 2147483647}, {math.Inf(-1), -2147483648},
+		{math.NaN(), 0},
+		{-2147483648, -2147483648},
+	}
+	for _, c := range cases {
+		hi, lo := split(c.f)
+		if got := int32(ToInt32(hi, lo)); got != c.want {
+			t.Errorf("toInt(%g) = %d, want %d", c.f, got, c.want)
+		}
+	}
+	r := rand.New(rand.NewSource(107))
+	for i := 0; i < 50000; i++ {
+		f := (r.Float64() - 0.5) * 4e9
+		want := int32(f)
+		if f >= 2147483647 {
+			want = 2147483647
+		}
+		if f <= -2147483648 {
+			want = -2147483648
+		}
+		hi, lo := split(f)
+		if got := int32(ToInt32(hi, lo)); got != want {
+			t.Fatalf("toInt(%g) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	if got := join(Neg(split(1.5))); got != -1.5 {
+		t.Errorf("neg(1.5) = %g", got)
+	}
+	if got := join(Abs(split(-2.5))); got != 2.5 {
+		t.Errorf("abs(-2.5) = %g", got)
+	}
+}
+
+func TestRoundToNearestEvenTies(t *testing.T) {
+	// 2^52 + 0.5 rounds to 2^52 (even); 2^52+1.5 rounds to 2^52+2.
+	base := math.Ldexp(1, 52)
+	got := join(Add(splitPair(base, 0.5)))
+	if got != base {
+		t.Errorf("2^52+0.5 = %g, want %g", got, base)
+	}
+	got = join(Add(splitPair(base+1, 0.5)))
+	if got != base+2 {
+		t.Errorf("2^52+1+0.5 = %g, want %g", got, base+2)
+	}
+}
+
+func TestHelpers64(t *testing.T) {
+	hi, lo := shl64(0, 1, 40)
+	if hi != 1<<8 || lo != 0 {
+		t.Errorf("shl64(1,40) = %x:%x", hi, lo)
+	}
+	hi, lo = shr64sticky(1<<8, 0, 40)
+	if hi != 0 || lo != 1 {
+		t.Errorf("shr64sticky round trip = %x:%x", hi, lo)
+	}
+	// Sticky must capture lost bits.
+	_, lo = shr64sticky(0, 0b1011, 2)
+	if lo != 0b11 { // 0b10 | sticky(1)
+		t.Errorf("sticky shift = %b", lo)
+	}
+	if c := cmp64(1, 0, 0, 0xffffffff); c != 1 {
+		t.Errorf("cmp64 = %d", c)
+	}
+}

@@ -1,0 +1,90 @@
+// Package stats renders machine counters in a gem5-style "stats dump" text
+// format: one dotted counter name and value per line, grouped by component.
+// The dumps feed the same kind of microarchitectural database the paper's
+// mining tool ingests (200,000 parameters in the original study).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"serfi/internal/mach"
+)
+
+// Entry is one named statistic.
+type Entry struct {
+	Name  string
+	Value float64
+}
+
+// Collect flattens a machine's counters into gem5-style entries.
+func Collect(m *mach.Machine) []Entry {
+	var out []Entry
+	add := func(name string, v uint64) {
+		out = append(out, Entry{name, float64(v)})
+	}
+	addf := func(name string, v float64) {
+		out = append(out, Entry{name, v})
+	}
+	t := m.TotalStats()
+	add("sim.instructions", t.Retired)
+	add("sim.kernel_instructions", t.KernelRetired)
+	add("sim.max_cycles", m.MaxCycles())
+	add("sim.idle_cycles", t.IdleCycles)
+	add("sim.branches", t.Branches)
+	add("sim.branches_taken", t.BranchTaken)
+	add("sim.branch_mispredicts", t.Mispredicts)
+	add("sim.cond_skipped", t.CondSkipped)
+	add("sim.loads", t.Loads)
+	add("sim.stores", t.Stores)
+	add("sim.fp_ops", t.FPOps)
+	add("sim.calls", t.Calls)
+	add("sim.syscalls", t.Svcs)
+	add("sim.exceptions", t.Exceptions)
+	add("sim.context_restores", t.CtxRestores)
+	add("sim.power_transitions", t.WFISleeps)
+	for i := range m.Cores {
+		s := &m.Cores[i].Stats
+		pre := fmt.Sprintf("cpu%d.", i)
+		add(pre+"instructions", s.Retired)
+		add(pre+"kernel_instructions", s.KernelRetired)
+		add(pre+"cycles", s.Cycles)
+		add(pre+"idle_cycles", s.IdleCycles)
+		add(pre+"branches", s.Branches)
+		add(pre+"mispredicts", s.Mispredicts)
+		add(pre+"loads", s.Loads)
+		add(pre+"stores", s.Stores)
+		add(pre+"fp_ops", s.FPOps)
+		i1 := m.Hier.L1IStats(i)
+		d1 := m.Hier.L1DStats(i)
+		add(pre+"icache.hits", i1.Hits)
+		add(pre+"icache.misses", i1.Misses)
+		addf(pre+"icache.miss_rate", i1.MissRate())
+		add(pre+"dcache.hits", d1.Hits)
+		add(pre+"dcache.misses", d1.Misses)
+		addf(pre+"dcache.miss_rate", d1.MissRate())
+	}
+	l2 := m.Hier.L2Stats()
+	add("l2.hits", l2.Hits)
+	add("l2.misses", l2.Misses)
+	addf("l2.miss_rate", l2.MissRate())
+	add("l2.writebacks", l2.Writeback)
+	add("coherence.invalidations", m.Hier.Invalidations)
+	return out
+}
+
+// Dump writes the entries in sorted gem5 style.
+func Dump(w io.Writer, entries []Entry) {
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	fmt.Fprintln(w, "---------- Begin Simulation Statistics ----------")
+	for _, e := range sorted {
+		if e.Value == float64(uint64(e.Value)) {
+			fmt.Fprintf(w, "%-40s %20.0f\n", e.Name, e.Value)
+		} else {
+			fmt.Fprintf(w, "%-40s %20.6f\n", e.Name, e.Value)
+		}
+	}
+	fmt.Fprintln(w, "---------- End Simulation Statistics   ----------")
+}
