@@ -173,6 +173,61 @@ func BenchmarkInjection(b *testing.B) {
 	}
 }
 
+// benchInjectionSetup prepares the mid-size scenario shared by the two
+// injection-engine benchmarks below.
+func benchInjectionSetup(b *testing.B) (*fi.Golden, []fi.Fault, func(fi.Fault) fi.Result, func(fi.Fault) fi.Result, *fi.CheckpointSet) {
+	b.Helper()
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fi.FaultList(3, 64, g, cfg.ISA.Feat(), cfg.Cores)
+	cs, err := fi.BuildCheckpoints(img, cfg, g, fi.DefaultCheckpoints)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reset := func(f fi.Fault) fi.Result { return fi.Inject(img, cfg, g, f) }
+	snap := func(f fi.Fault) fi.Result { return cs.Inject(g, f) }
+	return g, faults, reset, snap, cs
+}
+
+// BenchmarkInjectFromReset measures one injection run that re-executes the
+// whole machine from reset (the pre-snapshot engine). The instrs/inject
+// metric counts simulated guest instructions per injection.
+func BenchmarkInjectFromReset(b *testing.B) {
+	_, faults, reset, _, _ := benchInjectionSetup(b)
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instrs += reset(faults[i%len(faults)]).Retired
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/inject")
+}
+
+// BenchmarkInjectSnapshot measures the same injections resumed from the
+// nearest pre-fault checkpoint. Compare instrs/inject against
+// BenchmarkInjectFromReset: the snapshot engine simulates only the
+// post-checkpoint suffix (the amortization the README documents), while
+// producing bit-identical outcome classifications.
+func BenchmarkInjectSnapshot(b *testing.B) {
+	_, faults, _, snap, cs := benchInjectionSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snap(faults[i%len(faults)])
+	}
+	b.StopTimer()
+	executed, fromReset := cs.SimulatedInstructions()
+	b.ReportMetric(float64(executed)/float64(b.N), "instrs/inject")
+	if executed > 0 {
+		b.ReportMetric(float64(fromReset)/float64(executed), "amortization-x")
+	}
+}
+
 // BenchmarkScenarioBuild measures compile+link of a full software stack.
 func BenchmarkScenarioBuild(b *testing.B) {
 	for _, isaName := range []string{"armv7", "armv8"} {

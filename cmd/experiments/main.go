@@ -27,6 +27,8 @@ func main() {
 	out := flag.String("out", "", "write the full markdown report here (default stdout)")
 	db := flag.String("db", "", "also write the raw campaign database (JSON lines)")
 	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|fig1|fig2|fig3|macro|vulnwindow|mine")
+	workers := flag.Int("workers", 0, "host worker pool size (0 = all cores)")
+	snapshots := flag.Int("snapshots", 0, "pre-fault checkpoints per scenario (0 = default, negative disables)")
 	flag.Parse()
 	if env := os.Getenv("SERFI_FAULTS"); env != "" {
 		if v, err := strconv.Atoi(env); err == nil {
@@ -34,7 +36,8 @@ func main() {
 		}
 	}
 
-	cfg := exp.Config{Faults: *n, Seed: *seed, Progress: os.Stderr}
+	cfg := exp.Config{Faults: *n, Seed: *seed, Progress: os.Stderr,
+		Workers: *workers, Snapshots: *snapshots}
 
 	if *run == "fig1" {
 		fmt.Print(exp.Figure1())

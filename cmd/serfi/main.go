@@ -3,17 +3,21 @@
 //	serfi scenarios                        list the 130 fault-injection scenarios
 //	serfi golden   -s armv7/IS/MPI-4       faultless run + gem5-style stats dump
 //	serfi inject   -s ... -n 100 -seed 7   one scenario campaign, print outcomes
-//	serfi campaign -n 100 -db results.json all scenarios, write the database
+//	serfi campaign -n 100 -db results.jsonl all scenarios, write the database
+//	serfi campaign -resume -db results.jsonl finish an interrupted matrix
 //	serfi profile  -s ...                  golden flat profile (calls/samples)
 //	serfi disasm   -s ... -f main          disassemble a guest function
 //	serfi trends                           print the Figure 1 dataset
+//
+// Campaign-shaped subcommands share the scheduler flags -workers (host
+// worker pool), -jobsize (faults per injection job) and -snapshots
+// (pre-fault checkpoints per scenario; 0 disables snapshot acceleration).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"serfi/internal/campaign"
@@ -64,31 +68,15 @@ func usage() {
 }
 
 // parseScenario accepts "armv7/IS/MPI-4".
-func parseScenario(s string) (npb.Scenario, error) {
-	parts := strings.Split(s, "/")
-	if len(parts) != 3 {
-		return npb.Scenario{}, fmt.Errorf("scenario %q: want isa/APP/MODE-cores", s)
+func parseScenario(s string) (npb.Scenario, error) { return npb.ParseID(s) }
+
+// snapshotCount maps the CLI convention (0 disables) onto the campaign
+// convention (0 = default, negative disables).
+func snapshotCount(flagVal int) int {
+	if flagVal <= 0 {
+		return -1
 	}
-	mc := strings.Split(parts[2], "-")
-	if len(mc) != 2 {
-		return npb.Scenario{}, fmt.Errorf("scenario %q: want MODE-cores", s)
-	}
-	cores, err := strconv.Atoi(mc[1])
-	if err != nil {
-		return npb.Scenario{}, err
-	}
-	var mode npb.Mode
-	switch mc[0] {
-	case "SER":
-		mode = npb.Serial
-	case "OMP":
-		mode = npb.OMP
-	case "MPI":
-		mode = npb.MPI
-	default:
-		return npb.Scenario{}, fmt.Errorf("unknown mode %q", mc[0])
-	}
-	return npb.Scenario{App: parts[1], Mode: mode, ISA: parts[0], Cores: cores}, nil
+	return flagVal
 }
 
 func cmdScenarios(args []string) error {
@@ -129,12 +117,18 @@ func cmdInject(args []string) error {
 	n := fs.Int("n", 50, "faults")
 	seed := fs.Int64("seed", 1, "fault-list seed")
 	verbose := fs.Bool("v", false, "print each run")
+	workers := fs.Int("workers", 0, "host worker pool size (0 = all cores)")
+	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
+	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints (0 = run every fault from reset)")
 	fs.Parse(args)
 	sc, err := parseScenario(*scid)
 	if err != nil {
 		return err
 	}
-	r, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: *n, Seed: *seed})
+	r, err := campaign.Run(campaign.Spec{
+		Scenario: sc, Faults: *n, Seed: *seed,
+		Workers: *workers, JobSize: *jobSize, Snapshots: snapshotCount(*snapshots),
+	})
 	if err != nil {
 		return err
 	}
@@ -153,23 +147,78 @@ func cmdCampaign(args []string) error {
 	seed := fs.Int64("seed", 2018, "base seed")
 	db := fs.String("db", "results.jsonl", "output database path")
 	only := fs.String("only", "", "substring filter on scenario ids")
+	workers := fs.Int("workers", 0, "host worker pool size (0 = all cores)")
+	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
+	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints per scenario (0 = run every fault from reset)")
+	resume := fs.Bool("resume", false, "skip scenarios already recorded in -db and append the rest")
 	fs.Parse(args)
-	var scs []npb.Scenario
-	for _, sc := range npb.Scenarios() {
+
+	// The full scenario list fixes per-scenario seeds (seed + index), so a
+	// filtered or resumed campaign reproduces the full matrix's results.
+	var jobs []campaign.ScenarioJob
+	for i, sc := range npb.Scenarios() {
 		if *only == "" || strings.Contains(sc.ID(), *only) {
-			scs = append(scs, sc)
+			jobs = append(jobs, campaign.ScenarioJob{Scenario: sc, Seed: *seed + int64(i)})
 		}
 	}
-	results, err := campaign.RunAll(scs, *n, *seed, func(r *campaign.Result) {
-		fmt.Printf("%-20s %s\n", r.Scenario.ID(), r.Counts)
+
+	skip := map[string]*campaign.Result{}
+	if *resume {
+		var err error
+		if skip, err = campaign.LoadDB(*db); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		// Refuse to mix sample sizes or fault lists in one database:
+		// resumed rate comparisons across scenarios would silently use
+		// different n, and a changed base seed would make the matrix
+		// irreproducible from any single seed.
+		for _, job := range jobs {
+			r, ok := skip[job.Scenario.ID()]
+			if !ok {
+				continue
+			}
+			if r.Faults != *n {
+				return fmt.Errorf("resume: %s has %d faults in %s, current run uses -n %d (match -n or start a fresh -db)",
+					job.Scenario.ID(), r.Faults, *db, *n)
+			}
+			if r.Seed != job.Seed {
+				return fmt.Errorf("resume: %s was drawn with seed %d in %s, current run uses seed %d (match -seed or start a fresh -db)",
+					job.Scenario.ID(), r.Seed, *db, job.Seed)
+			}
+		}
+	}
+	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if *resume {
+		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(*db, mode, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	fresh := 0 // progress calls are serialized by the scheduler
+	_, err = campaign.RunMatrix(campaign.MatrixSpec{
+		Jobs:      jobs,
+		Faults:    *n,
+		Workers:   *workers,
+		JobSize:   *jobSize,
+		Snapshots: snapshotCount(*snapshots),
+		DB:        f,
+		Skip:      skip,
+		Progress: func(r *campaign.Result) {
+			fresh++
+			fmt.Printf("%-20s %s\n", r.Scenario.ID(), r.Counts)
+		},
 	})
 	if err != nil {
 		return err
 	}
-	if err := campaign.SaveDB(*db, results); err != nil {
-		return err
+	if *resume {
+		fmt.Printf("resumed: %d scenarios already in %s, %d added\n", len(jobs)-fresh, *db, fresh)
+	} else {
+		fmt.Printf("wrote %d scenario records to %s\n", fresh, *db)
 	}
-	fmt.Printf("wrote %d scenario records to %s\n", len(results), *db)
 	return nil
 }
 

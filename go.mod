@@ -1,0 +1,3 @@
+module serfi
+
+go 1.24

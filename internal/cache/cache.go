@@ -10,7 +10,10 @@
 // hit/miss ratios), not as a fault target.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Config describes one cache.
 type Config struct {
@@ -222,6 +225,94 @@ func NewHierarchy(cfg HierConfig, cores int, ramSize uint32) *Hierarchy {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// cacheState is a copy of one cache's mutable state.
+type cacheState struct {
+	lines []line
+	tick  uint64
+	stats Stats
+}
+
+func (c *Cache) state() cacheState {
+	return cacheState{lines: append([]line(nil), c.lines...), tick: c.tick, stats: c.Stats}
+}
+
+func (c *Cache) setState(s cacheState) {
+	copy(c.lines, s.lines)
+	c.tick = s.tick
+	c.Stats = s.stats
+}
+
+// HierState is an opaque copy of a Hierarchy's mutable state (line tags, LRU
+// clocks, statistics and the coherence directory). Cache state shapes timing,
+// and timing shapes interrupt interleaving, so deterministic restore of a
+// simulated machine must include it. A HierState is immutable once captured
+// and safe to share across goroutines.
+type HierState struct {
+	l1i, l1d []cacheState
+	l2       cacheState
+	dir      []uint8
+	inval    uint64
+}
+
+// State captures the hierarchy's current contents and counters.
+func (h *Hierarchy) State() *HierState {
+	s := &HierState{
+		l2:    h.l2.state(),
+		dir:   append([]uint8(nil), h.dir...),
+		inval: h.Invalidations,
+	}
+	for _, c := range h.l1i {
+		s.l1i = append(s.l1i, c.state())
+	}
+	for _, c := range h.l1d {
+		s.l1d = append(s.l1d, c.state())
+	}
+	return s
+}
+
+// Equals reports whether a hierarchy's current state — line tags, LRU
+// clocks, statistics, directory and coherence counters — is bit-identical to
+// the captured state. Used by the fault injector's convergence pruning:
+// cache state shapes timing, so "the machine has rejoined the golden path"
+// must include it.
+func (s *HierState) Equals(h *Hierarchy) bool {
+	if len(s.l1i) != len(h.l1i) || len(s.l1d) != len(h.l1d) {
+		return false
+	}
+	eq := func(c *Cache, st cacheState) bool {
+		return c.tick == st.tick && c.Stats == st.stats && slices.Equal(c.lines, st.lines)
+	}
+	for i := range h.l1i {
+		if !eq(h.l1i[i], s.l1i[i]) || !eq(h.l1d[i], s.l1d[i]) {
+			return false
+		}
+	}
+	return eq(h.l2, s.l2) && h.Invalidations == s.inval && slices.Equal(h.dir, s.dir)
+}
+
+// SetState restores a previously captured state. The hierarchy must have the
+// same geometry and core count as the one the state was captured from.
+func (h *Hierarchy) SetState(s *HierState) {
+	if len(s.l1i) != len(h.l1i) || len(s.l1d) != len(h.l1d) ||
+		len(s.dir) != len(h.dir) || len(s.l2.lines) != len(h.l2.lines) {
+		panic("cache: SetState geometry mismatch")
+	}
+	for i := range h.l1i {
+		if len(s.l1i[i].lines) != len(h.l1i[i].lines) || len(s.l1d[i].lines) != len(h.l1d[i].lines) {
+			panic("cache: SetState geometry mismatch")
+		}
+	}
+	for i := range h.l1i {
+		h.l1i[i].setState(s.l1i[i])
+	}
+	for i := range h.l1d {
+		h.l1d[i].setState(s.l1d[i])
+	}
+	h.l2.setState(s.l2)
+	copy(h.dir, s.dir)
+	h.Invalidations = s.inval
+}
 
 // L1IStats, L1DStats and L2Stats expose per-cache counters.
 func (h *Hierarchy) L1IStats(core int) Stats { return h.l1i[core].Stats }

@@ -2,17 +2,18 @@
 // distributed/parallel phase-3 execution of the paper (§3.2.4), with faults
 // batched into jobs that run on a host worker pool (standing in for the
 // 5000-core HPC cluster), and phase-4 report assembly into a results
-// database.
+// database. The matrix scheduler (scheduler.go) interleaves golden runs,
+// checkpoint fast-forwards and injection jobs across scenarios; snapshots
+// (internal/fi checkpoints) let each injection resume from the nearest
+// pre-fault machine state instead of reset.
 package campaign
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"sync"
-	"time"
 
 	"serfi/internal/fi"
 	"serfi/internal/npb"
@@ -29,6 +30,10 @@ type Spec struct {
 	JobSize int
 	// Workers bounds parallel jobs; 0 = GOMAXPROCS.
 	Workers int
+	// Snapshots is the checkpoint count for snapshot-accelerated injection:
+	// 0 picks fi.DefaultCheckpoints, negative runs every fault from reset.
+	// Outcome counts are bit-identical in both modes.
+	Snapshots int
 	// SamplePeriod for the golden profiling run.
 	SamplePeriod uint64
 }
@@ -38,6 +43,7 @@ type Spec struct {
 type Result struct {
 	Scenario npb.Scenario
 	Faults   int
+	Seed     int64 // fault-list seed the runs were drawn from
 	Counts   fi.Counts
 	Golden   GoldenSummary
 	Features profile.Features
@@ -56,134 +62,77 @@ type GoldenSummary struct {
 	Cycles   uint64
 }
 
-// Run executes all four workflow phases for one scenario.
+// Run executes all four workflow phases for one scenario on the shared
+// matrix scheduler.
 func Run(spec Spec) (*Result, error) {
-	img, cfg, err := npb.BuildScenario(spec.Scenario)
+	results, err := RunMatrix(MatrixSpec{
+		Jobs:         []ScenarioJob{{Scenario: spec.Scenario, Seed: spec.Seed}},
+		Faults:       spec.Faults,
+		Workers:      spec.Workers,
+		JobSize:      spec.JobSize,
+		Snapshots:    spec.Snapshots,
+		SamplePeriod: spec.SamplePeriod,
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Phase 1: golden execution, with profiling enabled.
-	gcfg := cfg
-	gcfg.Profile = true
-	gcfg.SamplePeriod = spec.SamplePeriod
-	if gcfg.SamplePeriod == 0 {
-		gcfg.SamplePeriod = 97
-	}
-	t0 := time.Now()
-	g, err := fi.RunGolden(img, gcfg, 0)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", spec.Scenario.ID(), err)
-	}
-	goldenWall := time.Since(t0).Seconds()
-	feat := cfg.ISA.Feat()
-
-	// Phase 2: fault list.
-	faults := fi.FaultList(spec.Seed, spec.Faults, g, feat, cfg.Cores)
-
-	// Phase 3: batched parallel injection runs.
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	jobSize := spec.JobSize
-	if jobSize <= 0 {
-		jobSize = 8
-	}
-	type job struct{ lo, hi int }
-	jobs := make(chan job)
-	results := make([]fi.Result, len(faults))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				for i := j.lo; i < j.hi; i++ {
-					results[i] = fi.Inject(img, cfg, g, faults[i])
-				}
-			}
-		}()
-	}
-	for lo := 0; lo < len(faults); lo += jobSize {
-		hi := lo + jobSize
-		if hi > len(faults) {
-			hi = len(faults)
-		}
-		jobs <- job{lo, hi}
-	}
-	close(jobs)
-	wg.Wait()
-
-	// Phase 4: assemble the report.
-	res := &Result{
-		GoldenWallSec:   goldenWall,
-		CampaignWallSec: time.Since(t0).Seconds(),
-		Scenario:        spec.Scenario,
-		Faults:          spec.Faults,
-		Golden: GoldenSummary{
-			AppStart: g.AppStart,
-			AppEnd:   g.AppEnd,
-			Retired:  g.Retired,
-			Cycles:   g.Cycles,
-		},
-		Features: profile.Extract(img, g.Machine),
-		Runs:     results,
-	}
-	p := profile.Build(img, g.Machine)
-	res.APICalls = p.CallsTo(profile.RuntimePrefixes...)
-	for _, r := range results {
-		res.Counts.Add(r.Outcome)
-	}
-	return res, nil
+	return results[0], nil
 }
 
-// RunAll executes campaigns for several scenarios sequentially (each one
-// already saturates the worker pool internally).
+// RunAll executes campaigns for several scenarios on the shared scheduler,
+// interleaving golden runs and injection jobs across scenarios. Scenario i
+// draws its fault list from seed+i, matching the historical sequential
+// behavior; results come back in input order.
 func RunAll(scs []npb.Scenario, faults int, seed int64, progress func(*Result)) ([]*Result, error) {
-	var out []*Result
+	jobs := make([]ScenarioJob, len(scs))
 	for i, sc := range scs {
-		r, err := Run(Spec{Scenario: sc, Faults: faults, Seed: seed + int64(i)})
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-		if progress != nil {
-			progress(r)
-		}
+		jobs[i] = ScenarioJob{Scenario: sc, Seed: seed + int64(i)}
 	}
-	return out, nil
+	return RunMatrix(MatrixSpec{Jobs: jobs, Faults: faults, Progress: progress})
 }
 
 // record is the JSON row stored in the database file.
 type record struct {
 	Scenario string             `json:"scenario"`
 	Faults   int                `json:"faults"`
+	Seed     int64              `json:"seed"`
 	Counts   map[string]int     `json:"counts"`
 	Golden   GoldenSummary      `json:"golden"`
 	Features map[string]float64 `json:"features"`
 	APICalls uint64             `json:"api_calls"`
 }
 
+// recordOf flattens a scenario result into its database row.
+func recordOf(r *Result) record {
+	return record{
+		Scenario: r.Scenario.ID(),
+		Faults:   r.Faults,
+		Seed:     r.Seed,
+		Counts: map[string]int{
+			"vanished": r.Counts[fi.Vanished],
+			"ona":      r.Counts[fi.ONA],
+			"omm":      r.Counts[fi.OMM],
+			"ut":       r.Counts[fi.UT],
+			"hang":     r.Counts[fi.Hang],
+		},
+		Golden:   r.Golden,
+		Features: r.Features.Map(),
+		APICalls: r.APICalls,
+	}
+}
+
+// writeRecord appends one scenario's JSONL row (the streaming-write path of
+// the matrix scheduler).
+func writeRecord(w io.Writer, r *Result) error {
+	rec := recordOf(r)
+	return json.NewEncoder(w).Encode(&rec)
+}
+
 // WriteDB streams scenario records as JSON lines (the single database of
 // workflow phase 4).
 func WriteDB(w io.Writer, results []*Result) error {
-	enc := json.NewEncoder(w)
 	for _, r := range results {
-		rec := record{
-			Scenario: r.Scenario.ID(),
-			Faults:   r.Faults,
-			Counts: map[string]int{
-				"vanished": r.Counts[fi.Vanished],
-				"ona":      r.Counts[fi.ONA],
-				"omm":      r.Counts[fi.OMM],
-				"ut":       r.Counts[fi.UT],
-				"hang":     r.Counts[fi.Hang],
-			},
-			Golden:   r.Golden,
-			Features: r.Features.Map(),
-			APICalls: r.APICalls,
-		}
-		if err := enc.Encode(&rec); err != nil {
+		if err := writeRecord(w, r); err != nil {
 			return err
 		}
 	}
@@ -198,4 +147,60 @@ func SaveDB(path string, results []*Result) error {
 	}
 	defer f.Close()
 	return WriteDB(f, results)
+}
+
+// ReadDB parses a JSONL database back into per-scenario results, keyed by
+// scenario ID. Per-run records are not stored in the database, so Runs is
+// empty on reloaded results; counts, golden summary and features round-trip.
+func ReadDB(r io.Reader) (map[string]*Result, error) {
+	out := make(map[string]*Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("campaign db line %d: %w", line, err)
+		}
+		scen, err := npb.ParseID(rec.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("campaign db line %d: %w", line, err)
+		}
+		res := &Result{
+			Scenario: scen,
+			Faults:   rec.Faults,
+			Seed:     rec.Seed,
+			Golden:   rec.Golden,
+			Features: profile.FeaturesFromMap(rec.Features),
+			APICalls: rec.APICalls,
+		}
+		res.Counts[fi.Vanished] = rec.Counts["vanished"]
+		res.Counts[fi.ONA] = rec.Counts["ona"]
+		res.Counts[fi.OMM] = rec.Counts["omm"]
+		res.Counts[fi.UT] = rec.Counts["ut"]
+		res.Counts[fi.Hang] = rec.Counts["hang"]
+		out[rec.Scenario] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadDB reads a database file for -resume; a missing file is not an error
+// and yields an empty map.
+func LoadDB(path string) (map[string]*Result, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]*Result{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDB(f)
 }

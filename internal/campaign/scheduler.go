@@ -1,0 +1,260 @@
+// The matrix scheduler: one shared worker pool executes every phase of a
+// multi-scenario campaign — golden runs, checkpoint fast-forwards and batched
+// injection jobs — as interleavable tasks. While one scenario's injections
+// drain, the next scenario's golden run already executes on another worker,
+// so the pool never idles between scenarios the way the old sequential
+// matrix loop did. Finished scenarios stream to the JSONL database
+// immediately, which is what makes -resume of an interrupted matrix
+// possible.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"serfi/internal/fi"
+	"serfi/internal/npb"
+	"serfi/internal/profile"
+)
+
+// DefaultJobSize groups this many faults into one injection task (the paper
+// batches simulations per HPC job to amortize scheduling).
+const DefaultJobSize = 8
+
+// ScenarioJob pairs one scenario with its fault-list seed. Seeds are the
+// caller's responsibility so that a subset run, a resumed run and a full
+// matrix all draw identical fault lists for the same scenario.
+type ScenarioJob struct {
+	Scenario npb.Scenario
+	Seed     int64
+}
+
+// MatrixSpec configures a multi-scenario campaign on the shared scheduler.
+type MatrixSpec struct {
+	Jobs   []ScenarioJob
+	Faults int
+	// Workers bounds the host worker pool; 0 = GOMAXPROCS.
+	Workers int
+	// JobSize groups faults into injection tasks; 0 = DefaultJobSize.
+	JobSize int
+	// Snapshots is the per-scenario checkpoint count: 0 picks
+	// fi.DefaultCheckpoints, negative disables snapshots (every injection
+	// re-executes from reset). Outcome counts are bit-identical either way.
+	Snapshots int
+	// MaxOpen bounds how many scenarios may hold golden state and
+	// checkpoints at once (memory backpressure); 0 picks a default.
+	MaxOpen int
+	// SamplePeriod for the golden profiling runs; 0 picks a default.
+	SamplePeriod uint64
+	// DB, when set, receives one JSONL record per finished scenario, in
+	// completion order, each line written atomically.
+	DB io.Writer
+	// Skip maps scenario IDs to already-completed results (loaded from an
+	// interrupted run's database); matching scenarios are not re-executed
+	// and their prior results are returned in place.
+	Skip map[string]*Result
+	// Progress, when set, is called once per freshly completed scenario
+	// (not for skipped ones). Calls are serialized by the scheduler, so
+	// the callback may mutate caller state without locking.
+	Progress func(*Result)
+}
+
+// scenarioState tracks one open scenario across its scheduler tasks.
+type scenarioState struct {
+	idx    int
+	job    ScenarioJob
+	g      *fi.Golden
+	cs     *fi.CheckpointSet
+	faults []fi.Fault
+	runs   []fi.Result
+
+	remaining  atomic.Int64
+	t0         time.Time
+	goldenWall float64
+	apiCalls   uint64
+	features   profile.Features
+}
+
+// RunMatrix executes every scenario job through the shared scheduler and
+// returns results in job order. On error the first failure (in job order) is
+// reported; unaffected scenarios still complete and are returned.
+func RunMatrix(spec MatrixSpec) ([]*Result, error) {
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobSize := spec.JobSize
+	if jobSize <= 0 {
+		jobSize = DefaultJobSize
+	}
+	snapshots := spec.Snapshots
+	if snapshots == 0 {
+		snapshots = fi.DefaultCheckpoints
+	}
+	if snapshots < 0 {
+		snapshots = 0
+	}
+	maxOpen := spec.MaxOpen
+	if maxOpen <= 0 {
+		maxOpen = workers
+		if maxOpen > 8 {
+			maxOpen = 8
+		}
+	}
+	samplePeriod := spec.SamplePeriod
+	if samplePeriod == 0 {
+		samplePeriod = 97
+	}
+
+	n := len(spec.Jobs)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+
+	injJobs := (spec.Faults + jobSize - 1) / jobSize
+	if injJobs < 1 {
+		injJobs = 1
+	}
+	// The task queue is sized for every task the matrix can ever enqueue,
+	// so no producer — worker or feeder — ever blocks on it.
+	tasks := make(chan func(), n*(injJobs+1))
+	sem := make(chan struct{}, maxOpen) // open-scenario slots
+	var open sync.WaitGroup             // fresh scenarios still in flight
+	var dbMu sync.Mutex
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for t := range tasks {
+				t()
+			}
+		}()
+	}
+
+	// close retires an open scenario, with or without a result.
+	finish := func(st *scenarioState, err error) {
+		if err != nil {
+			errs[st.idx] = fmt.Errorf("%s: %w", st.job.Scenario.ID(), err)
+		}
+		st.cs = nil // drop checkpoint RAM before releasing the slot
+		<-sem
+		open.Done()
+	}
+
+	assemble := func(st *scenarioState) {
+		res := &Result{
+			Scenario:        st.job.Scenario,
+			Faults:          spec.Faults,
+			Seed:            st.job.Seed,
+			GoldenWallSec:   st.goldenWall,
+			CampaignWallSec: time.Since(st.t0).Seconds(),
+			Golden: GoldenSummary{
+				AppStart: st.g.AppStart,
+				AppEnd:   st.g.AppEnd,
+				Retired:  st.g.Retired,
+				Cycles:   st.g.Cycles,
+			},
+			Features: st.features,
+			APICalls: st.apiCalls,
+			Runs:     st.runs,
+		}
+		for _, r := range st.runs {
+			res.Counts.Add(r.Outcome)
+		}
+		results[st.idx] = res
+		if spec.DB != nil || spec.Progress != nil {
+			// One mutex serializes both the database stream and the
+			// progress callback across completing workers.
+			dbMu.Lock()
+			var err error
+			if spec.DB != nil {
+				err = writeRecord(spec.DB, res)
+			}
+			if err == nil && spec.Progress != nil {
+				spec.Progress(res)
+			}
+			dbMu.Unlock()
+			if err != nil {
+				finish(st, fmt.Errorf("stream record: %w", err))
+				return
+			}
+		}
+		finish(st, nil)
+	}
+
+	golden := func(st *scenarioState) {
+		st.t0 = time.Now()
+		img, cfg, err := npb.BuildScenario(st.job.Scenario)
+		if err != nil {
+			finish(st, err)
+			return
+		}
+		gcfg := cfg
+		gcfg.Profile = true
+		gcfg.SamplePeriod = samplePeriod
+		st.g, err = fi.RunGolden(img, gcfg, 0)
+		if err != nil {
+			finish(st, err)
+			return
+		}
+		st.goldenWall = time.Since(st.t0).Seconds()
+		st.features = profile.Extract(img, st.g.Machine)
+		st.apiCalls = profile.Build(img, st.g.Machine).CallsTo(profile.RuntimePrefixes...)
+
+		st.faults = fi.FaultList(st.job.Seed, spec.Faults, st.g, cfg.ISA.Feat(), cfg.Cores)
+		st.cs, err = fi.BuildCheckpoints(img, cfg, st.g, snapshots)
+		if err != nil {
+			finish(st, err)
+			return
+		}
+		st.runs = make([]fi.Result, len(st.faults))
+		if len(st.faults) == 0 {
+			assemble(st)
+			return
+		}
+		st.remaining.Store(int64(len(st.faults)))
+		for lo := 0; lo < len(st.faults); lo += jobSize {
+			hi := lo + jobSize
+			if hi > len(st.faults) {
+				hi = len(st.faults)
+			}
+			lo, hi := lo, hi
+			tasks <- func() {
+				for i := lo; i < hi; i++ {
+					st.runs[i] = st.cs.Inject(st.g, st.faults[i])
+				}
+				if st.remaining.Add(int64(lo-hi)) == 0 {
+					assemble(st)
+				}
+			}
+		}
+	}
+
+	// Feed scenarios in order; the semaphore provides memory backpressure
+	// while the buffered queue keeps workers from ever blocking.
+	for i, job := range spec.Jobs {
+		if r, ok := spec.Skip[job.Scenario.ID()]; ok {
+			results[i] = r
+			continue
+		}
+		st := &scenarioState{idx: i, job: job}
+		open.Add(1)
+		sem <- struct{}{}
+		tasks <- func() { golden(st) }
+	}
+	open.Wait()
+	close(tasks)
+	workerWG.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -24,6 +24,16 @@ type Config struct {
 	Faults   int
 	Seed     int64
 	Progress io.Writer
+	// Workers bounds the scheduler's host worker pool; 0 = GOMAXPROCS.
+	Workers int
+	// Snapshots is the per-scenario checkpoint count (0 = default on,
+	// negative = from-reset mode); see campaign.MatrixSpec.
+	Snapshots int
+	// DB, when set, receives streamed scenario records as they complete.
+	DB io.Writer
+	// Skip holds already-completed results from an interrupted matrix
+	// (campaign.LoadDB); matching scenarios are not re-executed.
+	Skip map[string]*campaign.Result
 }
 
 // DefaultConfig uses a small per-scenario fault count suitable for a
@@ -40,39 +50,56 @@ type Matrix struct {
 	Results map[string]*campaign.Result
 }
 
-// RunMatrix executes the 130-scenario campaign.
+// RunMatrix executes the 130-scenario campaign on the shared matrix
+// scheduler, interleaving golden runs and injection jobs across scenarios.
 func RunMatrix(cfg Config) (*Matrix, error) {
-	m := &Matrix{Cfg: cfg, Results: make(map[string]*campaign.Result)}
-	scs := npb.Scenarios()
-	m.Order = scs
-	for i, sc := range scs {
-		r, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: cfg.Faults, Seed: cfg.Seed + int64(i)})
-		if err != nil {
-			return nil, err
-		}
-		m.Results[sc.ID()] = r
-		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "[%3d/%3d] %-18s %s golden=%.2fs wall=%.1fs\n",
-				i+1, len(scs), sc.ID(), r.Counts, r.GoldenWallSec, r.CampaignWallSec)
-		}
-	}
-	return m, nil
+	return runScenarios(cfg, func(npb.Scenario) bool { return true })
 }
 
 // RunSubset executes campaigns only for the scenarios that pass keep
-// (used by per-table benchmarks that don't need the full matrix).
+// (used by per-table benchmarks that don't need the full matrix). Scenario
+// seeds depend on the position in the full scenario list, so a subset run
+// reproduces the exact per-scenario results of the full matrix.
 func RunSubset(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
+	return runScenarios(cfg, keep)
+}
+
+// runScenarios assembles seeds, runs the scheduler and indexes the results.
+func runScenarios(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
 	m := &Matrix{Cfg: cfg, Results: make(map[string]*campaign.Result)}
+	var jobs []campaign.ScenarioJob
 	for i, sc := range npb.Scenarios() {
 		if !keep(sc) {
 			continue
 		}
-		r, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: cfg.Faults, Seed: cfg.Seed + int64(i)})
-		if err != nil {
-			return nil, err
-		}
 		m.Order = append(m.Order, sc)
-		m.Results[sc.ID()] = r
+		jobs = append(jobs, campaign.ScenarioJob{Scenario: sc, Seed: cfg.Seed + int64(i)})
+	}
+	var progress func(*campaign.Result)
+	if cfg.Progress != nil {
+		done := 0 // progress calls are serialized by the scheduler
+		progress = func(r *campaign.Result) {
+			done++
+			fmt.Fprintf(cfg.Progress, "[%3d/%3d] %-18s %s golden=%.2fs wall=%.1fs\n",
+				done, len(jobs), r.Scenario.ID(), r.Counts, r.GoldenWallSec, r.CampaignWallSec)
+		}
+	}
+	results, err := campaign.RunMatrix(campaign.MatrixSpec{
+		Jobs:      jobs,
+		Faults:    cfg.Faults,
+		Workers:   cfg.Workers,
+		Snapshots: cfg.Snapshots,
+		DB:        cfg.DB,
+		Skip:      cfg.Skip,
+		Progress:  progress,
+	})
+	for i, r := range results {
+		if r != nil {
+			m.Results[jobs[i].Scenario.ID()] = r
+		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -1,0 +1,165 @@
+// Checkpoint-accelerated injection: instead of re-executing every faulty
+// machine from reset, a CheckpointSet fast-forwards one fault-free machine
+// through the application lifespan once, capturing snapshots at evenly
+// spaced committed-instruction boundaries. Each injection run then restores
+// the nearest snapshot strictly below its fault index and simulates only the
+// remaining suffix. Because a snapshot restores the complete machine state
+// (registers, RAM, caches, console, counters), the suffix interleaves and
+// classifies bit-for-bit like a from-reset run: campaigns with checkpoints
+// on and off produce identical Counts.
+package fi
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"serfi/internal/cc"
+	"serfi/internal/mach"
+)
+
+// DefaultCheckpoints is the per-scenario snapshot count campaigns use when
+// the caller does not choose one. More checkpoints shorten the average
+// restored suffix but cost memory (one sparse RAM copy each).
+const DefaultCheckpoints = 8
+
+// CheckpointSet holds the pre-fault snapshots of one scenario, plus the
+// image and configuration needed to stamp out machines. It is safe for
+// concurrent use by any number of injection workers.
+type CheckpointSet struct {
+	img   *cc.Image
+	cfg   mach.Config
+	snaps []*mach.Snapshot // ascending by Retired()
+
+	// simulated accumulates retired instructions executed by Inject calls;
+	// fromReset accumulates what those runs would have retired from reset.
+	// The ratio is the engine's amortization win (reported by benchmarks).
+	simulated atomic.Uint64
+	fromReset atomic.Uint64
+}
+
+// BuildCheckpoints executes the fault-free machine once up to the last
+// checkpoint, capturing n snapshots spread over the application lifespan
+// recorded in g. The first checkpoint sits one instruction before the
+// lifespan opens so that every possible fault index has a snapshot strictly
+// below it. n <= 0 yields an empty set (every injection runs from reset).
+func BuildCheckpoints(img *cc.Image, cfg mach.Config, g *Golden, n int) (*CheckpointSet, error) {
+	cs := &CheckpointSet{img: img, cfg: cfg}
+	if n <= 0 {
+		return cs, nil
+	}
+	m := mach.New(cfg)
+	img.InstallTo(m)
+	budget := hangBudget(g)
+	span := g.AppEnd - g.AppStart
+	last := uint64(0)
+	for k := 0; k < n; k++ {
+		target := g.AppStart - 1 + span*uint64(k)/uint64(n)
+		if target <= last && k > 0 {
+			continue // lifespan shorter than the checkpoint count
+		}
+		m.SetInstrBudget(target)
+		if stop := m.Run(budget); stop != mach.StopInstrBudget {
+			return nil, fmt.Errorf("fi: checkpoint fast-forward stopped early: %v at %d (target %d)",
+				stop, m.TotalRetired, target)
+		}
+		cs.snaps = append(cs.snaps, m.Snapshot())
+		last = target
+	}
+	return cs, nil
+}
+
+// Len returns the number of captured snapshots.
+func (cs *CheckpointSet) Len() int { return len(cs.snaps) }
+
+// MemBytes returns the total payload of all retained RAM pages (telemetry).
+func (cs *CheckpointSet) MemBytes() int {
+	n := 0
+	for _, s := range cs.snaps {
+		n += s.MemBytes()
+	}
+	return n
+}
+
+// nearest returns the latest snapshot strictly before the absolute retired-
+// instruction index at which a fault fires, or nil if none qualifies. The
+// bound is strict because the injection hook triggers while committing
+// instruction injectAt: a snapshot taken at that exact boundary has already
+// retired it, and the fault would never fire.
+func (cs *CheckpointSet) nearest(injectAt uint64) *mach.Snapshot {
+	i := sort.Search(len(cs.snaps), func(i int) bool {
+		return cs.snaps[i].Retired() >= injectAt
+	})
+	if i == 0 {
+		return nil
+	}
+	return cs.snaps[i-1]
+}
+
+// Inject runs one fault, restoring the nearest pre-fault snapshot instead of
+// booting from reset when one is available. The Result is bit-identical to
+// Inject(img, cfg, g, f).
+//
+// On top of snapshot restarts, Inject prunes converged runs: execution pauses
+// at each later checkpoint boundary, and if the faulty machine's complete
+// state is bit-identical to the fault-free snapshot there, its continuation
+// is provably the golden continuation — the run is scored Vanished with the
+// golden run's terminal numbers without simulating the remaining suffix.
+// Most masked faults (a flipped bit that is overwritten before being read)
+// converge at the first boundary after injection, which is where the bulk of
+// the engine's simulated-instruction savings comes from.
+func (cs *CheckpointSet) Inject(g *Golden, f Fault) Result {
+	m := mach.New(cs.cfg)
+	injectAt := g.AppStart + f.Index
+	if s := cs.nearest(injectAt); s != nil {
+		m.Restore(s)
+	} else {
+		cs.img.InstallTo(m)
+	}
+	start := m.TotalRetired
+	armFault(m, cs.cfg, g, f)
+	budget := hangBudget(g)
+
+	res, pruned := Result{}, false
+	stop := mach.StopInstrBudget
+	// Run in stages, pausing at each checkpoint boundary past the fault.
+	next := sort.Search(len(cs.snaps), func(i int) bool {
+		return cs.snaps[i].Retired() > injectAt
+	})
+	for ; next < len(cs.snaps); next++ {
+		m.SetInstrBudget(cs.snaps[next].Retired())
+		if stop = m.Run(budget); stop != mach.StopInstrBudget {
+			break // halted, hung or deadlocked before the boundary
+		}
+		if cs.snaps[next].StateEquals(m) {
+			// Converged: the rest of the run is the golden run.
+			res = Result{
+				Fault:    f,
+				Outcome:  Vanished,
+				Retired:  g.Retired,
+				Cycles:   g.Cycles,
+				ExitCode: g.ExitCode,
+				Signal:   g.Signal,
+			}
+			pruned = true
+			break
+		}
+	}
+	if !pruned {
+		if stop == mach.StopInstrBudget {
+			m.SetInstrBudget(0)
+			stop = m.Run(budget)
+		}
+		res = finishFault(m, g, f, stop)
+	}
+	cs.simulated.Add(m.TotalRetired - start)
+	cs.fromReset.Add(res.Retired)
+	return res
+}
+
+// SimulatedInstructions returns (executed, fromReset): retired instructions
+// actually simulated by this set's Inject calls versus what the same runs
+// would have cost from reset.
+func (cs *CheckpointSet) SimulatedInstructions() (executed, fromReset uint64) {
+	return cs.simulated.Load(), cs.fromReset.Load()
+}

@@ -1,0 +1,87 @@
+package fi_test
+
+import (
+	"testing"
+
+	"serfi/internal/fi"
+	"serfi/internal/npb"
+)
+
+// TestCheckpointInjectMatchesReset is the engine's core correctness claim:
+// for every fault, restoring from a pre-fault snapshot yields the exact
+// Result (outcome, retired count, cycle count, exit status) of a from-reset
+// run, on both a serial and a multicore OMP scenario.
+func TestCheckpointInjectMatchesReset(t *testing.T) {
+	for _, sc := range []npb.Scenario{
+		{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1},
+		{App: "EP", Mode: npb.OMP, ISA: "armv8", Cores: 2},
+	} {
+		t.Run(sc.ID(), func(t *testing.T) {
+			img, cfg, err := npb.BuildScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := fi.RunGolden(img, cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, err := fi.BuildCheckpoints(img, cfg, g, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cs.Len() == 0 {
+				t.Fatal("no checkpoints captured")
+			}
+			faults := fi.FaultList(11, 12, g, cfg.ISA.Feat(), cfg.Cores)
+			// Include the hardest edge: a fault at the first committed
+			// instruction of the lifespan and at the last.
+			faults = append(faults,
+				fi.Fault{Index: 0, Core: 0, Reg: 3, Bit: 5},
+				fi.Fault{Index: g.AppEnd - g.AppStart - 1, Core: 0, Reg: 3, Bit: 5})
+			for i, f := range faults {
+				want := fi.Inject(img, cfg, g, f)
+				got := cs.Inject(g, f)
+				if got != want {
+					t.Errorf("fault %d (%s): snapshot run %+v != reset run %+v", i, f, got, want)
+				}
+			}
+			exec, reset := cs.SimulatedInstructions()
+			if exec == 0 || reset == 0 || exec >= reset {
+				t.Errorf("no amortization: executed %d of %d from-reset instructions", exec, reset)
+			}
+		})
+	}
+}
+
+// TestBuildCheckpointsSpansLifespan checks placement: all snapshots sit
+// strictly below the end of the lifespan, the first strictly below its start.
+func TestBuildCheckpointsSpansLifespan(t *testing.T) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv7", Cores: 1}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := fi.BuildCheckpoints(img, cfg, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Len() != 4 {
+		t.Fatalf("checkpoints = %d, want 4", cs.Len())
+	}
+	if cs.MemBytes() == 0 {
+		t.Error("checkpoints retained no RAM")
+	}
+	// Zero checkpoints: valid, every injection falls back to reset.
+	empty, err := fi.BuildCheckpoints(img, cfg, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fi.Fault{Index: 1, Core: 0, Reg: 2, Bit: 9}
+	if got, want := empty.Inject(g, f), fi.Inject(img, cfg, g, f); got != want {
+		t.Errorf("empty-set inject %+v != reset %+v", got, want)
+	}
+}

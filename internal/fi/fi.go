@@ -165,11 +165,30 @@ type Result struct {
 	Signal   int
 }
 
-// Inject runs phase 3 for one fault. The image is read-only and may be
-// shared across goroutines; each run gets a fresh machine.
+// Inject runs phase 3 for one fault from machine reset. The image is
+// read-only and may be shared across goroutines; each run gets a fresh
+// machine. Campaigns that amortize the pre-fault prefix across faults use
+// CheckpointSet.Inject instead; both paths produce bit-identical Results.
 func Inject(img *cc.Image, cfg mach.Config, g *Golden, f Fault) Result {
 	m := mach.New(cfg)
 	img.InstallTo(m)
+	return runFault(m, cfg, g, f)
+}
+
+// runFault arms one single-bit upset on a prepared machine (fresh from reset
+// or restored from a pre-fault snapshot), runs it to completion under the
+// Hang budget and classifies the outcome.
+func runFault(m *mach.Machine, cfg mach.Config, g *Golden, f Fault) Result {
+	armFault(m, cfg, g, f)
+	stop := m.Run(hangBudget(g))
+	return finishFault(m, g, f, stop)
+}
+
+// hangBudget is the absolute cycle budget of one injection run.
+func hangBudget(g *Golden) uint64 { return g.Cycles*HangFactor + HangSlack }
+
+// armFault installs the single-bit-upset hook for f on the machine.
+func armFault(m *mach.Machine, cfg mach.Config, g *Golden, f Fault) {
 	m.InjectAt = g.AppStart + f.Index
 	feat := cfg.ISA.Feat()
 	m.Inject = func(mm *mach.Machine) {
@@ -187,8 +206,10 @@ func Inject(img *cc.Image, cfg mach.Config, g *Golden, f Fault) Result {
 			c.Regs[f.Reg] &= 0xffffffff
 		}
 	}
-	budget := g.Cycles*HangFactor + HangSlack
-	stop := m.Run(budget)
+}
+
+// finishFault classifies a completed injection run.
+func finishFault(m *mach.Machine, g *Golden, f Fault, stop mach.StopReason) Result {
 	res := Result{
 		Fault:    f,
 		Retired:  m.TotalRetired,

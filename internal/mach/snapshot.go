@@ -1,0 +1,140 @@
+package mach
+
+import (
+	"bytes"
+	"slices"
+
+	"serfi/internal/cache"
+	"serfi/internal/mem"
+)
+
+// Snapshot is a complete copy of a machine's mutable state at one committed
+// instruction boundary: core register files and private core state, RAM
+// (which holds all guest-kernel structures), the cache hierarchy, console
+// output, lifecycle beacons and retirement counters. Restoring it into a
+// machine built from the same Config resumes execution bit-for-bit: the
+// continuation interleaves, retires and classifies exactly as the original
+// run would have. Snapshots are immutable once captured and safe to share
+// across goroutines; Restore only reads them.
+//
+// The decoded-text cache and memory-lookup caches are derived state and are
+// rebuilt lazily after restore rather than stored.
+type Snapshot struct {
+	cores     []Core
+	mem       *mem.Snapshot
+	hier      *cache.HierState
+	console   []byte
+	textLimit uint32
+
+	halted       bool
+	exitCode     uint64
+	totalRetired uint64
+
+	appStartRetired uint64
+	appEndRetired   uint64
+	appExited       bool
+	appExitCode     int
+	appSignal       int
+
+	injected   bool
+	sampleLeft uint64
+	callCounts map[uint32]uint64
+	samples    map[uint32]uint64
+}
+
+// Retired returns the machine's total retired-instruction count at capture
+// time; checkpoint schedulers use it to pick the nearest pre-fault snapshot.
+func (s *Snapshot) Retired() uint64 { return s.totalRetired }
+
+// MemBytes returns the payload size of the sparse RAM copy (telemetry).
+func (s *Snapshot) MemBytes() int { return s.mem.Bytes() }
+
+func copyCounts(m map[uint32]uint64) map[uint32]uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[uint32]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot captures the machine's current state.
+func (m *Machine) Snapshot() *Snapshot {
+	return &Snapshot{
+		cores:           append([]Core(nil), m.Cores...),
+		mem:             m.Mem.Snapshot(),
+		hier:            m.Hier.State(),
+		console:         append([]byte(nil), m.Console.Bytes()...),
+		textLimit:       m.textLimit,
+		halted:          m.Halted,
+		exitCode:        m.ExitCode,
+		totalRetired:    m.TotalRetired,
+		appStartRetired: m.AppStartRetired,
+		appEndRetired:   m.AppEndRetired,
+		appExited:       m.AppExited,
+		appExitCode:     m.AppExitCode,
+		appSignal:       m.AppSignal,
+		injected:        m.injected,
+		sampleLeft:      m.sampleLeft,
+		callCounts:      copyCounts(m.CallCounts),
+		samples:         copyCounts(m.Samples),
+	}
+}
+
+// StateEquals reports whether the machine's current execution state is
+// bit-identical to the snapshot: cores (registers, flags, timers, cycle and
+// event counters), RAM, cache hierarchy, console and lifecycle beacons.
+// Equality implies the machine's continuation is instruction-for-instruction
+// the continuation the snapshotted machine would have taken — the basis of
+// the fault injector's convergence pruning. Injection plumbing (InjectAt,
+// the injected latch) and derived caches are deliberately excluded: a fired,
+// latched fault hook can no longer influence execution.
+func (s *Snapshot) StateEquals(m *Machine) bool {
+	if m.TotalRetired != s.totalRetired ||
+		m.Halted != s.halted || m.ExitCode != s.exitCode ||
+		m.AppStartRetired != s.appStartRetired || m.AppEndRetired != s.appEndRetired ||
+		m.AppExited != s.appExited || m.AppExitCode != s.appExitCode || m.AppSignal != s.appSignal {
+		return false
+	}
+	if !slices.Equal(m.Cores, s.cores) {
+		return false
+	}
+	if !bytes.Equal(m.Console.Bytes(), s.console) {
+		return false
+	}
+	return s.hier.Equals(m.Hier) && s.mem.EqualsMemory(m.Mem)
+}
+
+// Restore resets the machine to a snapshot taken from a machine with the
+// same Config (ISA, core count, RAM size, cache geometry). The injection
+// hook (InjectAt/Inject) is left untouched so a caller can arm a fault
+// before resuming; the injected latch is reset to the snapshot's value.
+func (m *Machine) Restore(s *Snapshot) {
+	if len(m.Cores) != len(s.cores) {
+		m.Cores = make([]Core, len(s.cores))
+	}
+	copy(m.Cores, s.cores)
+	m.Mem.Restore(s.mem)
+	m.Hier.SetState(s.hier)
+	m.Console.Reset()
+	m.Console.Write(s.console)
+	if m.textLimit != s.textLimit {
+		m.SetTextLimit(s.textLimit)
+	} else {
+		m.FlushDecoded()
+	}
+	m.Halted = s.halted
+	m.ExitCode = s.exitCode
+	m.TotalRetired = s.totalRetired
+	m.AppStartRetired = s.appStartRetired
+	m.AppEndRetired = s.appEndRetired
+	m.AppExited = s.appExited
+	m.AppExitCode = s.appExitCode
+	m.AppSignal = s.appSignal
+	m.injected = s.injected
+	m.sampleLeft = s.sampleLeft
+	m.CallCounts = copyCounts(s.callCounts)
+	m.Samples = copyCounts(s.samples)
+}

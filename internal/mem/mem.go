@@ -6,6 +6,7 @@
 package mem
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -194,6 +195,99 @@ func (m *Memory) ReadBytes(addr, n uint32) []byte {
 // WriteBytes copies b into RAM at addr.
 func (m *Memory) WriteBytes(addr uint32, b []byte) {
 	copy(m.ram[addr:], b)
+}
+
+// snapPageBytes is the chunk granularity of RAM snapshots. Untouched RAM
+// stays zero for the whole run, so chunking lets a snapshot of a mostly-empty
+// 24MB machine store only the pages the guest actually wrote.
+const snapPageBytes = 1 << 16
+
+// zeroPage is the all-zero reference chunk used to detect empty pages.
+var zeroPage [snapPageBytes]byte
+
+// snapPage is one non-zero RAM chunk captured by a Snapshot.
+type snapPage struct {
+	off  uint32
+	data []byte
+}
+
+// Snapshot is an immutable copy of the RAM contents and region table at one
+// instant. It is safe to share across goroutines; Restore never mutates it.
+type Snapshot struct {
+	size    uint32
+	pages   []snapPage
+	regions []Region
+}
+
+// Bytes returns the number of payload bytes the snapshot retains (test and
+// telemetry helper; the sparse representation skips all-zero pages).
+func (s *Snapshot) Bytes() int {
+	n := 0
+	for _, p := range s.pages {
+		n += len(p.data)
+	}
+	return n
+}
+
+// Snapshot captures the current RAM image and region table.
+func (m *Memory) Snapshot() *Snapshot {
+	s := &Snapshot{
+		size:    m.Size(),
+		regions: append([]Region(nil), m.regions...),
+	}
+	for off := uint32(0); off < s.size; off += snapPageBytes {
+		end := off + snapPageBytes
+		if end > s.size {
+			end = s.size
+		}
+		chunk := m.ram[off:end]
+		if bytes.Equal(chunk, zeroPage[:len(chunk)]) {
+			continue
+		}
+		s.pages = append(s.pages, snapPage{off: off, data: append([]byte(nil), chunk...)})
+	}
+	return s
+}
+
+// EqualsMemory reports whether a memory's current RAM contents are
+// bit-identical to the snapshot (region tables are fixed per image and not
+// compared). Comparison walks the sparse pages and requires the gaps between
+// them to still be all-zero.
+func (s *Snapshot) EqualsMemory(m *Memory) bool {
+	if m.Size() != s.size {
+		return false
+	}
+	next := 0
+	for off := uint32(0); off < s.size; off += snapPageBytes {
+		end := off + snapPageBytes
+		if end > s.size {
+			end = s.size
+		}
+		chunk := m.ram[off:end]
+		if next < len(s.pages) && s.pages[next].off == off {
+			if !bytes.Equal(chunk, s.pages[next].data) {
+				return false
+			}
+			next++
+		} else if !bytes.Equal(chunk, zeroPage[:len(chunk)]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Restore resets RAM and the region table to a snapshot's state.
+func (m *Memory) Restore(s *Snapshot) {
+	if m.Size() != s.size {
+		m.ram = make([]byte, s.size)
+	} else {
+		clear(m.ram)
+	}
+	for _, p := range s.pages {
+		copy(m.ram[p.off:], p.data)
+	}
+	m.regions = append(m.regions[:0], s.regions...)
+	m.last = 0
 }
 
 // Hash returns a 64-bit FNV-1a digest of all of RAM. The fault classifier

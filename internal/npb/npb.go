@@ -4,12 +4,14 @@
 // has them. Problem sizes are scaled to the simulator (the paper's "class"
 // concept); computational archetypes — structured grids, conjugate
 // gradients, FFTs, integer sorting, data cubes, communication graphs,
-// irregular meshes — are preserved. See DESIGN.md §5 for documented
-// substitutions (EP's Gaussian tally, DC/DT/UA miniatures).
+// irregular meshes — are preserved. See DESIGN.md §2 ("Documented
+// substitutions") for the EP Gaussian tally and DC/DT/UA miniatures.
 package npb
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"serfi/internal/cc"
 	"serfi/internal/mach"
@@ -90,6 +92,35 @@ type Scenario struct {
 // ID renders like "armv7/IS/MPI-4".
 func (s Scenario) ID() string {
 	return fmt.Sprintf("%s/%s/%s-%d", s.ISA, s.App, s.Mode, s.Cores)
+}
+
+// ParseID is the inverse of Scenario.ID: it parses "armv7/IS/MPI-4" into a
+// Scenario (used by the CLI and by campaign-database resume).
+func ParseID(s string) (Scenario, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return Scenario{}, fmt.Errorf("scenario %q: want isa/APP/MODE-cores", s)
+	}
+	mc := strings.Split(parts[2], "-")
+	if len(mc) != 2 {
+		return Scenario{}, fmt.Errorf("scenario %q: want MODE-cores", s)
+	}
+	cores, err := strconv.Atoi(mc[1])
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario %q: bad core count: %v", s, err)
+	}
+	var mode Mode
+	switch mc[0] {
+	case "SER":
+		mode = Serial
+	case "OMP":
+		mode = OMP
+	case "MPI":
+		mode = MPI
+	default:
+		return Scenario{}, fmt.Errorf("scenario %q: unknown mode %q", s, mc[0])
+	}
+	return Scenario{App: parts[1], Mode: mode, ISA: parts[0], Cores: cores}, nil
 }
 
 // Scenarios enumerates the paper's 130 fault-injection scenarios: per ISA,

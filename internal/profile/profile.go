@@ -190,6 +190,32 @@ func Extract(img *cc.Image, m *mach.Machine) Features {
 	return f
 }
 
+// FeaturesFromMap is the inverse of Map, used when reloading a campaign
+// database written by an earlier (possibly interrupted) run. Missing keys
+// read as zero.
+func FeaturesFromMap(m map[string]float64) Features {
+	return Features{
+		Instructions:     m["instructions"],
+		Cycles:           m["cycles"],
+		BranchPct:        m["branch_pct"],
+		MemInstrPct:      m["mem_pct"],
+		RdWrRatio:        m["rdwr_ratio"],
+		FPPct:            m["fp_pct"],
+		Calls:            m["calls"],
+		Branches:         m["branches"],
+		FBIndex:          m["fb_index"],
+		KernelPct:        m["kernel_pct"],
+		IdleCycles:       m["idle_cycles"],
+		CtxSwitches:      m["ctx_switches"],
+		Mispredicts:      m["mispredicts"],
+		CoreImbalance:    m["imbalance"],
+		APIWindow:        m["api_window"],
+		L1DMissPct:       m["l1d_miss_pct"],
+		L2MissPct:        m["l2_miss_pct"],
+		PowerTransitions: m["power_trans"],
+	}
+}
+
 // Map flattens the features for the mining layer.
 func (f Features) Map() map[string]float64 {
 	return map[string]float64{
