@@ -4,6 +4,8 @@
 //
 //	experiments -n 24 -seed 2018 -out EXPERIMENTS.md -db results.jsonl
 //	experiments -run table2 -n 50          (single artefact to stdout)
+//	experiments -run domains -n 24         (fault-domain comparison, IS subset)
+//	experiments -faultmodel all -n 24      (full matrix under all four domains)
 //
 // The SERFI_FAULTS environment variable overrides -n when set.
 package main
@@ -18,6 +20,7 @@ import (
 
 	"serfi/internal/campaign"
 	"serfi/internal/exp"
+	"serfi/internal/fault"
 	"serfi/internal/npb"
 )
 
@@ -26,7 +29,8 @@ func main() {
 	seed := flag.Int64("seed", 2018, "base seed")
 	out := flag.String("out", "", "write the full markdown report here (default stdout)")
 	db := flag.String("db", "", "also write the raw campaign database (JSON lines)")
-	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|fig1|fig2|fig3|macro|vulnwindow|mine")
+	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|domains|fig1|fig2|fig3|macro|vulnwindow|mine")
+	model := flag.String("faultmodel", "reg", "fault domains per scenario: reg|mem|imem|burst, or all")
 	workers := flag.Int("workers", 0, "host worker pool size (0 = all cores)")
 	snapshots := flag.Int("snapshots", 0, "pre-fault checkpoints per scenario (0 = default, negative disables)")
 	flag.Parse()
@@ -35,12 +39,30 @@ func main() {
 			*n = v
 		}
 	}
+	domains, err := fault.ParseModels(*model)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := exp.Config{Faults: *n, Seed: *seed, Progress: os.Stderr,
-		Workers: *workers, Snapshots: *snapshots}
+		Workers: *workers, Snapshots: *snapshots, Domains: domains}
 
 	if *run == "fig1" {
 		fmt.Print(exp.Figure1())
+		return
+	}
+
+	// The domain comparison needs every fault model but only a slice of
+	// the scenario matrix: IS (the paper's own case-study workload) across
+	// both ISAs, serial plus the parallel models.
+	if *run == "domains" {
+		dcfg := cfg
+		dcfg.Domains = fault.Models()
+		m, err := exp.RunSubset(dcfg, func(sc npb.Scenario) bool { return sc.App == "IS" })
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(exp.DomainTable(m))
 		return
 	}
 
@@ -109,13 +131,7 @@ func main() {
 		fatal(err)
 	}
 	if *db != "" {
-		var results []*campaign.Result
-		for _, sc := range m.Order {
-			if r := m.Results[sc.ID()]; r != nil {
-				results = append(results, r)
-			}
-		}
-		if err := campaign.SaveDB(*db, results); err != nil {
+		if err := campaign.SaveDB(*db, m.All()); err != nil {
 			fatal(err)
 		}
 	}

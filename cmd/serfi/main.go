@@ -10,8 +10,9 @@
 //	serfi trends                           print the Figure 1 dataset
 //
 // Campaign-shaped subcommands share the scheduler flags -workers (host
-// worker pool), -jobsize (faults per injection job) and -snapshots
-// (pre-fault checkpoints per scenario; 0 disables snapshot acceleration).
+// worker pool), -jobsize (faults per injection job), -snapshots (pre-fault
+// checkpoints per scenario; 0 disables snapshot acceleration) and
+// -faultmodel (fault domain: reg|mem|imem|burst, or all).
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"serfi/internal/campaign"
 	"serfi/internal/cc"
 	"serfi/internal/exp"
+	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/isa"
 	"serfi/internal/mach"
@@ -79,6 +81,34 @@ func snapshotCount(flagVal int) int {
 	return flagVal
 }
 
+// snapshotSavings returns the campaign's amortization factor (from-reset
+// instructions per simulated instruction) and its convergence-prune rate;
+// ok is false when the campaign ran without snapshot acceleration.
+func snapshotSavings(r *campaign.Result) (save, pruneRate float64, ok bool) {
+	if r.SimulatedInstr == 0 || r.FromResetInstr == 0 {
+		return 0, 0, false
+	}
+	runs := r.Faults
+	if runs < 1 {
+		runs = 1
+	}
+	return float64(r.FromResetInstr) / float64(r.SimulatedInstr),
+		float64(r.PrunedRuns) / float64(runs), true
+}
+
+// savingsLine summarizes the snapshot engine's work for one campaign:
+// simulated-instruction savings versus from-reset execution and the
+// convergence-prune rate.
+func savingsLine(r *campaign.Result) string {
+	save, prune, ok := snapshotSavings(r)
+	if !ok {
+		return "snapshots: off (every fault ran from reset)"
+	}
+	return fmt.Sprintf("snapshots: simulated %.3gM of %.3gM from-reset instructions (%.1fx saved), pruned %d/%d runs (%.1f%%)",
+		float64(r.SimulatedInstr)/1e6, float64(r.FromResetInstr)/1e6, save,
+		r.PrunedRuns, r.Faults, 100*prune)
+}
+
 func cmdScenarios(args []string) error {
 	for _, sc := range npb.Scenarios() {
 		fmt.Println(sc.ID())
@@ -116,6 +146,7 @@ func cmdInject(args []string) error {
 	scid := fs.String("s", "armv8/IS/SER-1", "scenario id")
 	n := fs.Int("n", 50, "faults")
 	seed := fs.Int64("seed", 1, "fault-list seed")
+	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst, or all")
 	verbose := fs.Bool("v", false, "print each run")
 	workers := fs.Int("workers", 0, "host worker pool size (0 = all cores)")
 	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
@@ -125,19 +156,33 @@ func cmdInject(args []string) error {
 	if err != nil {
 		return err
 	}
-	r, err := campaign.Run(campaign.Spec{
-		Scenario: sc, Faults: *n, Seed: *seed,
+	domains, err := fault.ParseModels(*model)
+	if err != nil {
+		return err
+	}
+	// One matrix call: jobs sharing the scenario+seed form one scheduler
+	// group, so the golden run and checkpoints are built once even with
+	// -faultmodel all.
+	jobs := make([]campaign.ScenarioJob, len(domains))
+	for i, d := range domains {
+		jobs[i] = campaign.ScenarioJob{Scenario: sc, Domain: d, Seed: *seed}
+	}
+	results, err := campaign.RunMatrix(campaign.MatrixSpec{
+		Jobs: jobs, Faults: *n,
 		Workers: *workers, JobSize: *jobSize, Snapshots: snapshotCount(*snapshots),
 	})
 	if err != nil {
 		return err
 	}
-	if *verbose {
-		for _, run := range r.Runs {
-			fmt.Printf("%-32s -> %s\n", run.Fault, run.Outcome)
+	for _, r := range results {
+		if *verbose {
+			for _, run := range r.Runs {
+				fmt.Printf("%-32s -> %s\n", run.Fault, run.Outcome)
+			}
 		}
+		fmt.Printf("%s faults=%d %s masking=%.1f%%\n", r.Key(), r.Faults, r.Counts, 100*r.Counts.Masking())
+		fmt.Printf("%s\n", savingsLine(r))
 	}
-	fmt.Printf("%s faults=%d %s masking=%.1f%%\n", sc.ID(), r.Faults, r.Counts, 100*r.Counts.Masking())
 	return nil
 }
 
@@ -147,18 +192,26 @@ func cmdCampaign(args []string) error {
 	seed := fs.Int64("seed", 2018, "base seed")
 	db := fs.String("db", "results.jsonl", "output database path")
 	only := fs.String("only", "", "substring filter on scenario ids")
+	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst, or all")
 	workers := fs.Int("workers", 0, "host worker pool size (0 = all cores)")
 	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints per scenario (0 = run every fault from reset)")
-	resume := fs.Bool("resume", false, "skip scenarios already recorded in -db and append the rest")
+	resume := fs.Bool("resume", false, "skip campaigns already recorded in -db and append the rest")
 	fs.Parse(args)
+	domains, err := fault.ParseModels(*model)
+	if err != nil {
+		return err
+	}
 
-	// The full scenario list fixes per-scenario seeds (seed + index), so a
-	// filtered or resumed campaign reproduces the full matrix's results.
+	// The full scenario list fixes per-scenario seeds (seed + index,
+	// shared across domains), so a filtered or resumed campaign reproduces
+	// the full matrix's results.
 	var jobs []campaign.ScenarioJob
 	for i, sc := range npb.Scenarios() {
 		if *only == "" || strings.Contains(sc.ID(), *only) {
-			jobs = append(jobs, campaign.ScenarioJob{Scenario: sc, Seed: *seed + int64(i)})
+			for _, d := range domains {
+				jobs = append(jobs, campaign.ScenarioJob{Scenario: sc, Domain: d, Seed: *seed + int64(i)})
+			}
 		}
 	}
 
@@ -173,17 +226,17 @@ func cmdCampaign(args []string) error {
 		// different n, and a changed base seed would make the matrix
 		// irreproducible from any single seed.
 		for _, job := range jobs {
-			r, ok := skip[job.Scenario.ID()]
+			r, ok := skip[job.Key()]
 			if !ok {
 				continue
 			}
 			if r.Faults != *n {
 				return fmt.Errorf("resume: %s has %d faults in %s, current run uses -n %d (match -n or start a fresh -db)",
-					job.Scenario.ID(), r.Faults, *db, *n)
+					job.Key(), r.Faults, *db, *n)
 			}
 			if r.Seed != job.Seed {
 				return fmt.Errorf("resume: %s was drawn with seed %d in %s, current run uses seed %d (match -seed or start a fresh -db)",
-					job.Scenario.ID(), r.Seed, *db, job.Seed)
+					job.Key(), r.Seed, *db, job.Seed)
 			}
 		}
 	}
@@ -208,16 +261,20 @@ func cmdCampaign(args []string) error {
 		Skip:      skip,
 		Progress: func(r *campaign.Result) {
 			fresh++
-			fmt.Printf("%-20s %s\n", r.Scenario.ID(), r.Counts)
+			saveCol := "save=off"
+			if save, prune, ok := snapshotSavings(r); ok {
+				saveCol = fmt.Sprintf("save=%.1fx prune=%.0f%%", save, 100*prune)
+			}
+			fmt.Printf("%-24s %s %s\n", r.Key(), r.Counts, saveCol)
 		},
 	})
 	if err != nil {
 		return err
 	}
 	if *resume {
-		fmt.Printf("resumed: %d scenarios already in %s, %d added\n", len(jobs)-fresh, *db, fresh)
+		fmt.Printf("resumed: %d campaigns already in %s, %d added\n", len(jobs)-fresh, *db, fresh)
 	} else {
-		fmt.Printf("wrote %d scenario records to %s\n", fresh, *db)
+		fmt.Printf("wrote %d campaign records to %s\n", fresh, *db)
 	}
 	return nil
 }

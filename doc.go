@@ -2,8 +2,9 @@
 // of Programming Models and ISAs Impact on Multicore Soft Error Reliability"
 // (DAC 2018): a deterministic multicore full-system simulator with two
 // ARM-inspired ISAs, a guest operating system and OpenMP/MPI-like runtimes,
-// an NPB-like benchmark suite, a single-bit-upset fault-injection framework
-// with the Cho et al. outcome classification, and a cross-layer data-mining
-// layer. See README.md for the architecture tour and DESIGN.md for the
-// system inventory and per-experiment index.
+// an NPB-like benchmark suite, a fault-injection framework with pluggable
+// fault domains (register, memory, instruction-stream and multi-bit-burst
+// fault spaces) and the Cho et al. outcome classification, and a
+// cross-layer data-mining layer. See README.md for the architecture tour
+// and DESIGN.md for the system inventory and per-experiment index.
 package serfi

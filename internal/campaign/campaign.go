@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/npb"
 	"serfi/internal/profile"
@@ -23,8 +25,11 @@ import (
 // Spec describes one scenario campaign.
 type Spec struct {
 	Scenario npb.Scenario
-	Faults   int
-	Seed     int64
+	// Domain selects the fault model (zero value: the paper's register
+	// single-bit-upset domain).
+	Domain fault.Model
+	Faults int
+	Seed   int64
 	// JobSize groups faults into jobs (the paper batches simulations per
 	// HPC job to amortize scheduling); 0 picks a sensible default.
 	JobSize int
@@ -42,6 +47,7 @@ type Spec struct {
 // profile features, i.e. one row of the paper's cross-layer database.
 type Result struct {
 	Scenario npb.Scenario
+	Domain   fault.Model // fault model the runs were drawn from
 	Faults   int
 	Seed     int64 // fault-list seed the runs were drawn from
 	Counts   fi.Counts
@@ -50,9 +56,47 @@ type Result struct {
 	APICalls uint64 // calls into the parallelization runtime
 	Runs     []fi.Result
 	// Host wall-clock costs (the paper's Table 1 simulation-time axis).
+	// Campaigns overlap on the shared worker pool, so wall times measure
+	// start-to-finish spans, not exclusive compute: summing them across
+	// rows overcounts. Domain campaigns of one scenario share the
+	// fault-free phases — their GoldenWallSec is the same measurement and
+	// their CampaignWallSec spans open from the shared scenario start.
 	GoldenWallSec   float64
 	CampaignWallSec float64
+	// Snapshot-engine observability: instructions actually simulated by the
+	// injection runs versus their from-reset cost, and how many runs were
+	// scored by convergence pruning (zero-valued when snapshots are off).
+	SimulatedInstr uint64
+	FromResetInstr uint64
+	PrunedRuns     int
 }
+
+// Key is the database identity of one (scenario, fault domain) campaign.
+// Register-domain keys are the bare scenario ID so that databases written
+// before the domain axis existed keep matching their scenarios.
+func Key(sc npb.Scenario, d fault.Model) string {
+	if d == fault.Reg {
+		return sc.ID()
+	}
+	return sc.ID() + "#" + d.String()
+}
+
+// ParseKey is the inverse of Key.
+func ParseKey(key string) (npb.Scenario, fault.Model, error) {
+	id, domain := key, fault.Reg
+	if i := strings.IndexByte(key, '#'); i >= 0 {
+		var err error
+		if domain, err = fault.ParseModel(key[i+1:]); err != nil {
+			return npb.Scenario{}, 0, err
+		}
+		id = key[:i]
+	}
+	sc, err := npb.ParseID(id)
+	return sc, domain, err
+}
+
+// Key returns the result's database identity.
+func (r *Result) Key() string { return Key(r.Scenario, r.Domain) }
 
 // GoldenSummary carries the reference-run headline numbers.
 type GoldenSummary struct {
@@ -66,7 +110,7 @@ type GoldenSummary struct {
 // matrix scheduler.
 func Run(spec Spec) (*Result, error) {
 	results, err := RunMatrix(MatrixSpec{
-		Jobs:         []ScenarioJob{{Scenario: spec.Scenario, Seed: spec.Seed}},
+		Jobs:         []ScenarioJob{{Scenario: spec.Scenario, Domain: spec.Domain, Seed: spec.Seed}},
 		Faults:       spec.Faults,
 		Workers:      spec.Workers,
 		JobSize:      spec.JobSize,
@@ -91,9 +135,16 @@ func RunAll(scs []npb.Scenario, faults int, seed int64, progress func(*Result)) 
 	return RunMatrix(MatrixSpec{Jobs: jobs, Faults: faults, Progress: progress})
 }
 
+// recordVersion is the current database row format. Rows written before
+// the fault-domain axis carry no "v" field and parse as the implicit
+// version 1: a register-domain campaign.
+const recordVersion = 2
+
 // record is the JSON row stored in the database file.
 type record struct {
+	Version  int                `json:"v,omitempty"` // 0 = legacy register row
 	Scenario string             `json:"scenario"`
+	Domain   string             `json:"domain,omitempty"`
 	Faults   int                `json:"faults"`
 	Seed     int64              `json:"seed"`
 	Counts   map[string]int     `json:"counts"`
@@ -105,7 +156,9 @@ type record struct {
 // recordOf flattens a scenario result into its database row.
 func recordOf(r *Result) record {
 	return record{
+		Version:  recordVersion,
 		Scenario: r.Scenario.ID(),
+		Domain:   r.Domain.String(),
 		Faults:   r.Faults,
 		Seed:     r.Seed,
 		Counts: map[string]int{
@@ -149,9 +202,13 @@ func SaveDB(path string, results []*Result) error {
 	return WriteDB(f, results)
 }
 
-// ReadDB parses a JSONL database back into per-scenario results, keyed by
-// scenario ID. Per-run records are not stored in the database, so Runs is
-// empty on reloaded results; counts, golden summary and features round-trip.
+// ReadDB parses a JSONL database back into per-campaign results, keyed by
+// Key (scenario ID, domain-qualified for non-register domains). Legacy rows
+// without a version field are accepted as register-domain campaigns;
+// unknown record versions and duplicate keys are rejected with a clear
+// error rather than silently last-write-wins. Per-run records are not
+// stored in the database, so Runs is empty on reloaded results; counts,
+// golden summary and features round-trip.
 func ReadDB(r io.Reader) (map[string]*Result, error) {
 	out := make(map[string]*Result)
 	sc := bufio.NewScanner(r)
@@ -170,8 +227,25 @@ func ReadDB(r io.Reader) (map[string]*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("campaign db line %d: %w", line, err)
 		}
+		var domain fault.Model
+		switch rec.Version {
+		case 0:
+			// Legacy pre-domain row: implicitly a register campaign.
+			if rec.Domain != "" {
+				return nil, fmt.Errorf("campaign db line %d: unversioned row carries domain %q (corrupt or hand-edited)",
+					line, rec.Domain)
+			}
+		case recordVersion:
+			if domain, err = fault.ParseModel(rec.Domain); err != nil {
+				return nil, fmt.Errorf("campaign db line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("campaign db line %d: unknown record version %d (this build reads legacy rows and v%d)",
+				line, rec.Version, recordVersion)
+		}
 		res := &Result{
 			Scenario: scen,
+			Domain:   domain,
 			Faults:   rec.Faults,
 			Seed:     rec.Seed,
 			Golden:   rec.Golden,
@@ -183,7 +257,11 @@ func ReadDB(r io.Reader) (map[string]*Result, error) {
 		res.Counts[fi.OMM] = rec.Counts["omm"]
 		res.Counts[fi.UT] = rec.Counts["ut"]
 		res.Counts[fi.Hang] = rec.Counts["hang"]
-		out[rec.Scenario] = res
+		key := res.Key()
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("campaign db line %d: duplicate record for %q", line, key)
+		}
+		out[key] = res
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"serfi/internal/campaign"
+	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/npb"
 )
@@ -31,6 +32,34 @@ func TestCampaignEndToEnd(t *testing.T) {
 	}
 	if len(r.Runs) != 16 {
 		t.Errorf("run records = %d", len(r.Runs))
+	}
+	// Golden compatibility with the pre-domain injector: the same seed
+	// must reproduce the campaign recorded before internal/fault existed
+	// (captured at PR 1), bit for bit.
+	if want := (fi.Counts{7, 7, 0, 2, 0}); r.Counts != want {
+		t.Errorf("register campaign drifted from pre-domain golden: %v, want %v", r.Counts, want)
+	}
+	if f := r.Runs[0].Fault; f.Index != 1173895 || f.Reg != 2 || f.Bit != 10 {
+		t.Errorf("fault list drifted from pre-domain golden: first fault %s", f)
+	}
+	if r.SimulatedInstr == 0 || r.FromResetInstr <= r.SimulatedInstr {
+		t.Errorf("snapshot observability empty: simulated %d of %d", r.SimulatedInstr, r.FromResetInstr)
+	}
+}
+
+// TestRegCampaignGoldenCompatV7 pins the ARMv7 register campaign against
+// the outcome distribution captured before the fault-domain subsystem.
+func TestRegCampaignGoldenCompatV7(t *testing.T) {
+	r, err := campaign.Run(campaign.Spec{
+		Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv7", Cores: 1},
+		Faults:   12,
+		Seed:     2018,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (fi.Counts{9, 0, 1, 2, 0}); r.Counts != want {
+		t.Errorf("v7 register campaign drifted from pre-domain golden: %v, want %v", r.Counts, want)
 	}
 }
 
@@ -63,6 +92,44 @@ func TestCampaignDBFormat(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("db missing %q: %s", want, s)
 		}
+	}
+}
+
+// TestMemCampaignDeterministic is the PR's acceptance property for the new
+// fault spaces: a mem-domain campaign on IS yields identical per-fault
+// results at any worker count with snapshots on or off.
+func TestMemCampaignDeterministic(t *testing.T) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	run := func(workers, snapshots int) *campaign.Result {
+		r, err := campaign.Run(campaign.Spec{
+			Scenario: sc, Domain: fault.Mem, Faults: 6, Seed: 21,
+			Workers: workers, JobSize: 2, Snapshots: snapshots,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ref := run(1, -1) // serial, from reset
+	if ref.Counts.Total() != 6 {
+		t.Fatalf("classified %d of 6", ref.Counts.Total())
+	}
+	for _, alt := range [][2]int{{3, -1}, {1, 5}, {3, 5}} {
+		got := run(alt[0], alt[1])
+		if got.Counts != ref.Counts {
+			t.Errorf("workers=%d snapshots=%d: counts %v != %v", alt[0], alt[1], got.Counts, ref.Counts)
+		}
+		for i := range ref.Runs {
+			if got.Runs[i] != ref.Runs[i] {
+				t.Errorf("workers=%d snapshots=%d: run %d %+v != %+v",
+					alt[0], alt[1], i, got.Runs[i], ref.Runs[i])
+			}
+		}
+	}
+	// All six mem faults targeted mapped words: the key and domain are
+	// recorded on the result.
+	if ref.Key() != "armv8/IS/SER-1#mem" || ref.Domain != fault.Mem {
+		t.Errorf("mem campaign key = %q domain = %v", ref.Key(), ref.Domain)
 	}
 }
 

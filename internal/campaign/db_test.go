@@ -1,0 +1,121 @@
+package campaign_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"serfi/internal/campaign"
+	"serfi/internal/fault"
+	"serfi/internal/fi"
+	"serfi/internal/npb"
+)
+
+// legacyRow is a pre-domain database line (no "v", no "domain") as PR 1
+// wrote them; it must load as a register-domain campaign keyed by the bare
+// scenario ID.
+const legacyRow = `{"scenario":"armv8/IS/SER-1","faults":4,"seed":7,` +
+	`"counts":{"vanished":2,"ona":1,"omm":0,"ut":1,"hang":0},` +
+	`"golden":{"AppStart":10,"AppEnd":20,"Retired":30,"Cycles":40},` +
+	`"features":{"branch_pct":12.5},"api_calls":3}`
+
+func TestReadDBLegacyRowsLoadAsReg(t *testing.T) {
+	got, err := campaign.ReadDB(strings.NewReader(legacyRow + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got["armv8/IS/SER-1"]
+	if r == nil {
+		t.Fatalf("legacy row not keyed by bare scenario ID: %v", got)
+	}
+	if r.Domain != fault.Reg {
+		t.Errorf("legacy row domain = %v, want reg", r.Domain)
+	}
+	if r.Counts[fi.Vanished] != 2 || r.Counts[fi.UT] != 1 || r.Seed != 7 {
+		t.Errorf("legacy row did not round-trip: %+v", r)
+	}
+}
+
+func TestReadDBRejectsDuplicates(t *testing.T) {
+	db := legacyRow + "\n" + legacyRow + "\n"
+	if _, err := campaign.ReadDB(strings.NewReader(db)); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate rows accepted: %v", err)
+	}
+	// Same scenario under different domains is NOT a duplicate.
+	mem := strings.Replace(legacyRow, `{"scenario"`, `{"v":2,"domain":"mem","scenario"`, 1)
+	got, err := campaign.ReadDB(strings.NewReader(legacyRow + "\n" + mem + "\n"))
+	if err != nil {
+		t.Fatalf("distinct domains rejected: %v", err)
+	}
+	if len(got) != 2 || got["armv8/IS/SER-1#mem"] == nil {
+		t.Errorf("domain-qualified key missing: %v", got)
+	}
+}
+
+func TestReadDBRejectsUnknownVersion(t *testing.T) {
+	row := strings.Replace(legacyRow, `{"scenario"`, `{"v":9,"scenario"`, 1)
+	if _, err := campaign.ReadDB(strings.NewReader(row + "\n")); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("unknown record version accepted: %v", err)
+	}
+}
+
+func TestReadDBRejectsUnversionedDomainRow(t *testing.T) {
+	row := strings.Replace(legacyRow, `{"scenario"`, `{"domain":"mem","scenario"`, 1)
+	if _, err := campaign.ReadDB(strings.NewReader(row + "\n")); err == nil {
+		t.Error("unversioned row with a domain field accepted")
+	}
+}
+
+func TestReadDBRejectsBadDomain(t *testing.T) {
+	row := strings.Replace(legacyRow, `{"scenario"`, `{"v":2,"domain":"cosmic","scenario"`, 1)
+	if _, err := campaign.ReadDB(strings.NewReader(row + "\n")); err == nil ||
+		!strings.Contains(err.Error(), "cosmic") {
+		t.Errorf("unknown domain accepted: %v", err)
+	}
+}
+
+// TestDomainDBRoundTrip writes a non-register result and reloads it.
+func TestDomainDBRoundTrip(t *testing.T) {
+	r := &campaign.Result{
+		Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1},
+		Domain:   fault.IMem,
+		Faults:   4,
+		Seed:     11,
+	}
+	r.Counts[fi.ONA] = 3
+	r.Counts[fi.UT] = 1
+	var buf bytes.Buffer
+	if err := campaign.WriteDB(&buf, []*campaign.Result{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"v":2`) || !strings.Contains(buf.String(), `"domain":"imem"`) {
+		t.Fatalf("record not versioned: %s", buf.String())
+	}
+	got, err := campaign.ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := got["armv8/IS/SER-1#imem"]
+	if l == nil {
+		t.Fatalf("imem key missing: %v", got)
+	}
+	if l.Domain != fault.IMem || l.Counts != r.Counts || l.Seed != 11 {
+		t.Errorf("imem row did not round-trip: %+v", l)
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	sc, d, err := campaign.ParseKey("armv7/MG/MPI-4#burst")
+	if err != nil || d != fault.Burst || sc.App != "MG" || sc.Cores != 4 {
+		t.Errorf("ParseKey = %v %v %v", sc, d, err)
+	}
+	sc, d, err = campaign.ParseKey("armv7/MG/MPI-4")
+	if err != nil || d != fault.Reg {
+		t.Errorf("bare ParseKey = %v %v %v", sc, d, err)
+	}
+	if _, _, err = campaign.ParseKey("armv7/MG/MPI-4#cosmic"); err == nil {
+		t.Error("bad domain key accepted")
+	}
+}

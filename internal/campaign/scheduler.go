@@ -3,9 +3,12 @@
 // injection jobs — as interleavable tasks. While one scenario's injections
 // drain, the next scenario's golden run already executes on another worker,
 // so the pool never idles between scenarios the way the old sequential
-// matrix loop did. Finished scenarios stream to the JSONL database
-// immediately, which is what makes -resume of an interrupted matrix
-// possible.
+// matrix loop did. Jobs for the same scenario under several fault domains
+// form one group: the fault-free work (image build, golden run, profiling,
+// checkpoint fast-forward) runs once and is shared, while each domain
+// injects through its own counter-carrying CheckpointSet clone. Finished
+// campaigns stream to the JSONL database immediately, which is what makes
+// -resume of an interrupted matrix possible.
 package campaign
 
 import (
@@ -16,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/npb"
 	"serfi/internal/profile"
@@ -25,13 +29,19 @@ import (
 // batches simulations per HPC job to amortize scheduling).
 const DefaultJobSize = 8
 
-// ScenarioJob pairs one scenario with its fault-list seed. Seeds are the
-// caller's responsibility so that a subset run, a resumed run and a full
-// matrix all draw identical fault lists for the same scenario.
+// ScenarioJob pairs one scenario with its fault domain and fault-list
+// seed. Seeds are the caller's responsibility so that a subset run, a
+// resumed run and a full matrix all draw identical fault lists for the
+// same (scenario, domain) pair; the zero Domain is the paper's register
+// single-bit-upset model.
 type ScenarioJob struct {
 	Scenario npb.Scenario
+	Domain   fault.Model
 	Seed     int64
 }
+
+// Key returns the job's database identity.
+func (j ScenarioJob) Key() string { return Key(j.Scenario, j.Domain) }
 
 // MatrixSpec configures a multi-scenario campaign on the shared scheduler.
 type MatrixSpec struct {
@@ -53,9 +63,10 @@ type MatrixSpec struct {
 	// DB, when set, receives one JSONL record per finished scenario, in
 	// completion order, each line written atomically.
 	DB io.Writer
-	// Skip maps scenario IDs to already-completed results (loaded from an
-	// interrupted run's database); matching scenarios are not re-executed
-	// and their prior results are returned in place.
+	// Skip maps campaign keys (campaign.Key: scenario ID, domain-qualified
+	// for non-register domains) to already-completed results loaded from an
+	// interrupted run's database; matching jobs are not re-executed and
+	// their prior results are returned in place.
 	Skip map[string]*Result
 	// Progress, when set, is called once per freshly completed scenario
 	// (not for skipped ones). Calls are serialized by the scheduler, so
@@ -63,20 +74,33 @@ type MatrixSpec struct {
 	Progress func(*Result)
 }
 
-// scenarioState tracks one open scenario across its scheduler tasks.
-type scenarioState struct {
-	idx    int
+// domainState tracks one (scenario, domain) campaign within its group.
+type domainState struct {
+	idx    int // index into spec.Jobs / results
 	job    ScenarioJob
-	g      *fi.Golden
-	cs     *fi.CheckpointSet
+	cs     *fi.CheckpointSet // clone sharing the group's snapshots, own counters
+	dom    fault.Domain
 	faults []fi.Fault
 	runs   []fi.Result
 
-	remaining  atomic.Int64
-	t0         time.Time
-	goldenWall float64
-	apiCalls   uint64
-	features   profile.Features
+	remaining atomic.Int64 // injection runs left
+}
+
+// scenarioState tracks one open scenario group — every domain campaign of
+// one (scenario, seed) pair — across its scheduler tasks. The fault-free
+// work (image build, golden run, profiling, checkpoint fast-forward) runs
+// once per group and is shared by all of its domains.
+type scenarioState struct {
+	job     ScenarioJob // scenario+seed of the group
+	domains []*domainState
+	g       *fi.Golden
+	cs      *fi.CheckpointSet // base set; domains inject through clones
+
+	openDomains atomic.Int64 // domain campaigns still running
+	t0          time.Time
+	goldenWall  float64
+	apiCalls    uint64
+	features    profile.Features
 }
 
 // RunMatrix executes every scenario job through the shared scheduler and
@@ -136,21 +160,44 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 		}()
 	}
 
-	// close retires an open scenario, with or without a result.
-	finish := func(st *scenarioState, err error) {
+	// closeGroup retires an open scenario group, recording err (if any) for
+	// every domain campaign in it that has no result yet.
+	closeGroup := func(st *scenarioState, err error) {
 		if err != nil {
-			errs[st.idx] = fmt.Errorf("%s: %w", st.job.Scenario.ID(), err)
+			for _, ds := range st.domains {
+				if results[ds.idx] == nil && errs[ds.idx] == nil {
+					errs[ds.idx] = fmt.Errorf("%s: %w", ds.job.Key(), err)
+				}
+			}
 		}
 		st.cs = nil // drop checkpoint RAM before releasing the slot
+		for _, ds := range st.domains {
+			ds.cs = nil
+		}
 		<-sem
 		open.Done()
 	}
 
-	assemble := func(st *scenarioState) {
+	// domainDone retires one domain campaign; the group slot is released
+	// when its last domain finishes. Sibling domains keep running after one
+	// domain fails.
+	domainDone := func(st *scenarioState, ds *domainState, err error) {
+		if err != nil {
+			errs[ds.idx] = fmt.Errorf("%s: %w", ds.job.Key(), err)
+		}
+		if st.openDomains.Add(-1) == 0 {
+			closeGroup(st, nil)
+		}
+	}
+
+	assemble := func(st *scenarioState, ds *domainState) {
+		simulated, fromReset := ds.cs.SimulatedInstructions()
+		pruned, _ := ds.cs.PruneStats()
 		res := &Result{
-			Scenario:        st.job.Scenario,
+			Scenario:        ds.job.Scenario,
+			Domain:          ds.job.Domain,
 			Faults:          spec.Faults,
-			Seed:            st.job.Seed,
+			Seed:            ds.job.Seed,
 			GoldenWallSec:   st.goldenWall,
 			CampaignWallSec: time.Since(st.t0).Seconds(),
 			Golden: GoldenSummary{
@@ -161,12 +208,19 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 			},
 			Features: st.features,
 			APICalls: st.apiCalls,
-			Runs:     st.runs,
+			Runs:     ds.runs,
 		}
-		for _, r := range st.runs {
+		if ds.cs.Len() > 0 {
+			// Meaningful only under snapshot acceleration; from-reset runs
+			// leave the observability fields zero.
+			res.SimulatedInstr = simulated
+			res.FromResetInstr = fromReset
+			res.PrunedRuns = int(pruned)
+		}
+		for _, r := range ds.runs {
 			res.Counts.Add(r.Outcome)
 		}
-		results[st.idx] = res
+		results[ds.idx] = res
 		if spec.DB != nil || spec.Progress != nil {
 			// One mutex serializes both the database stream and the
 			// progress callback across completing workers.
@@ -180,18 +234,18 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 			}
 			dbMu.Unlock()
 			if err != nil {
-				finish(st, fmt.Errorf("stream record: %w", err))
+				domainDone(st, ds, fmt.Errorf("stream record: %w", err))
 				return
 			}
 		}
-		finish(st, nil)
+		domainDone(st, ds, nil)
 	}
 
 	golden := func(st *scenarioState) {
 		st.t0 = time.Now()
 		img, cfg, err := npb.BuildScenario(st.job.Scenario)
 		if err != nil {
-			finish(st, err)
+			closeGroup(st, err)
 			return
 		}
 		gcfg := cfg
@@ -199,50 +253,76 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 		gcfg.SamplePeriod = samplePeriod
 		st.g, err = fi.RunGolden(img, gcfg, 0)
 		if err != nil {
-			finish(st, err)
+			closeGroup(st, err)
 			return
 		}
 		st.goldenWall = time.Since(st.t0).Seconds()
 		st.features = profile.Extract(img, st.g.Machine)
 		st.apiCalls = profile.Build(img, st.g.Machine).CallsTo(profile.RuntimePrefixes...)
 
-		st.faults = fi.FaultList(st.job.Seed, spec.Faults, st.g, cfg.ISA.Feat(), cfg.Cores)
 		st.cs, err = fi.BuildCheckpoints(img, cfg, st.g, snapshots)
 		if err != nil {
-			finish(st, err)
+			closeGroup(st, err)
 			return
 		}
-		st.runs = make([]fi.Result, len(st.faults))
-		if len(st.faults) == 0 {
-			assemble(st)
-			return
-		}
-		st.remaining.Store(int64(len(st.faults)))
-		for lo := 0; lo < len(st.faults); lo += jobSize {
-			hi := lo + jobSize
-			if hi > len(st.faults) {
-				hi = len(st.faults)
+		// Arm every domain campaign of the group before any finishes: all
+		// share the golden reference and the captured snapshots, each
+		// injects through its own counter-carrying clone.
+		st.openDomains.Store(int64(len(st.domains)))
+		for _, ds := range st.domains {
+			ds.dom, err = fi.NewDomain(ds.job.Domain, img, cfg, st.g)
+			if err != nil {
+				domainDone(st, ds, err)
+				continue
 			}
-			lo, hi := lo, hi
-			tasks <- func() {
-				for i := lo; i < hi; i++ {
-					st.runs[i] = st.cs.Inject(st.g, st.faults[i])
+			ds.faults = fi.List(ds.job.Seed, spec.Faults, ds.dom)
+			ds.cs = st.cs.Clone()
+			ds.runs = make([]fi.Result, len(ds.faults))
+			if len(ds.faults) == 0 {
+				assemble(st, ds)
+				continue
+			}
+			ds.remaining.Store(int64(len(ds.faults)))
+			for lo := 0; lo < len(ds.faults); lo += jobSize {
+				hi := lo + jobSize
+				if hi > len(ds.faults) {
+					hi = len(ds.faults)
 				}
-				if st.remaining.Add(int64(lo-hi)) == 0 {
-					assemble(st)
+				ds, lo, hi := ds, lo, hi
+				tasks <- func() {
+					for i := lo; i < hi; i++ {
+						ds.runs[i] = ds.cs.InjectPoint(ds.dom, st.g, ds.faults[i])
+					}
+					if ds.remaining.Add(int64(lo-hi)) == 0 {
+						assemble(st, ds)
+					}
 				}
 			}
 		}
 	}
 
-	// Feed scenarios in order; the semaphore provides memory backpressure
-	// while the buffered queue keeps workers from ever blocking.
+	// Feed scenario groups in order: jobs sharing a (scenario, seed) pair —
+	// the same scenario under several fault domains — run their fault-free
+	// phases once. The semaphore provides memory backpressure while the
+	// buffered queue keeps workers from ever blocking.
+	groups := make(map[string]*scenarioState, n)
+	var order []*scenarioState
 	for i, job := range spec.Jobs {
-		if r, ok := spec.Skip[job.Scenario.ID()]; ok {
+		if r, ok := spec.Skip[job.Key()]; ok {
 			results[i] = r
 			continue
 		}
-		st := &scenarioState{idx: i, job: job}
+		gkey := fmt.Sprintf("%s/%d", job.Scenario.ID(), job.Seed)
+		st := groups[gkey]
+		if st == nil {
+			st = &scenarioState{job: job}
+			groups[gkey] = st
+			order = append(order, st)
+		}
+		st.domains = append(st.domains, &domainState{idx: i, job: job})
+	}
+	for _, st := range order {
+		st := st
 		open.Add(1)
 		sem <- struct{}{}
 		tasks <- func() { golden(st) }

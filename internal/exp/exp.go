@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"serfi/internal/campaign"
+	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/mining"
 	"serfi/internal/npb"
@@ -29,10 +30,14 @@ type Config struct {
 	// Snapshots is the per-scenario checkpoint count (0 = default on,
 	// negative = from-reset mode); see campaign.MatrixSpec.
 	Snapshots int
+	// Domains lists the fault models each scenario runs under (nil: the
+	// paper's register domain only). The paper's tables and figures always
+	// format the register campaigns; extra domains feed DomainTable.
+	Domains []fault.Model
 	// DB, when set, receives streamed scenario records as they complete.
 	DB io.Writer
 	// Skip holds already-completed results from an interrupted matrix
-	// (campaign.LoadDB); matching scenarios are not re-executed.
+	// (campaign.LoadDB); matching campaigns are not re-executed.
 	Skip map[string]*campaign.Result
 }
 
@@ -42,12 +47,14 @@ func DefaultConfig() Config {
 	return Config{Faults: 24, Seed: 2018}
 }
 
-// Matrix holds one campaign result per scenario — the full evaluation run
-// every artefact formats from.
+// Matrix holds one campaign result per (scenario, fault domain) — the full
+// evaluation run every artefact formats from. The paper's tables and
+// figures read the register-domain results; DomainTable compares domains.
 type Matrix struct {
 	Cfg     Config
 	Order   []npb.Scenario
-	Results map[string]*campaign.Result
+	Domains []fault.Model
+	Results map[string]*campaign.Result // keyed by campaign.Key
 }
 
 // RunMatrix executes the 130-scenario campaign on the shared matrix
@@ -58,22 +65,29 @@ func RunMatrix(cfg Config) (*Matrix, error) {
 
 // RunSubset executes campaigns only for the scenarios that pass keep
 // (used by per-table benchmarks that don't need the full matrix). Scenario
-// seeds depend on the position in the full scenario list, so a subset run
-// reproduces the exact per-scenario results of the full matrix.
+// seeds depend on the position in the full scenario list (and are shared
+// across domains), so a subset run reproduces the exact per-campaign
+// results of the full matrix.
 func RunSubset(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
 	return runScenarios(cfg, keep)
 }
 
 // runScenarios assembles seeds, runs the scheduler and indexes the results.
 func runScenarios(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
-	m := &Matrix{Cfg: cfg, Results: make(map[string]*campaign.Result)}
+	domains := cfg.Domains
+	if len(domains) == 0 {
+		domains = []fault.Model{fault.Reg}
+	}
+	m := &Matrix{Cfg: cfg, Domains: domains, Results: make(map[string]*campaign.Result)}
 	var jobs []campaign.ScenarioJob
 	for i, sc := range npb.Scenarios() {
 		if !keep(sc) {
 			continue
 		}
 		m.Order = append(m.Order, sc)
-		jobs = append(jobs, campaign.ScenarioJob{Scenario: sc, Seed: cfg.Seed + int64(i)})
+		for _, d := range domains {
+			jobs = append(jobs, campaign.ScenarioJob{Scenario: sc, Domain: d, Seed: cfg.Seed + int64(i)})
+		}
 	}
 	var progress func(*campaign.Result)
 	if cfg.Progress != nil {
@@ -81,7 +95,7 @@ func runScenarios(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
 		progress = func(r *campaign.Result) {
 			done++
 			fmt.Fprintf(cfg.Progress, "[%3d/%3d] %-18s %s golden=%.2fs wall=%.1fs\n",
-				done, len(jobs), r.Scenario.ID(), r.Counts, r.GoldenWallSec, r.CampaignWallSec)
+				done, len(jobs), r.Key(), r.Counts, r.GoldenWallSec, r.CampaignWallSec)
 		}
 	}
 	results, err := campaign.RunMatrix(campaign.MatrixSpec{
@@ -95,7 +109,7 @@ func runScenarios(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
 	})
 	for i, r := range results {
 		if r != nil {
-			m.Results[jobs[i].Scenario.ID()] = r
+			m.Results[jobs[i].Key()] = r
 		}
 	}
 	if err != nil {
@@ -104,15 +118,47 @@ func runScenarios(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
 	return m, nil
 }
 
-// Get returns a scenario's result (nil when absent).
-func (m *Matrix) Get(sc npb.Scenario) *campaign.Result { return m.Results[sc.ID()] }
+// Get returns a scenario's register-domain result (nil when absent) — the
+// rows the paper's own tables and figures are built from.
+func (m *Matrix) Get(sc npb.Scenario) *campaign.Result {
+	return m.Results[campaign.Key(sc, fault.Reg)]
+}
 
-// isaScenarios filters the matrix order.
+// GetDomain returns a scenario's result under one fault domain.
+func (m *Matrix) GetDomain(sc npb.Scenario, d fault.Model) *campaign.Result {
+	return m.Results[campaign.Key(sc, d)]
+}
+
+// All returns every campaign result in deterministic order (scenario order,
+// domains within a scenario in configured order).
+func (m *Matrix) All() []*campaign.Result {
+	var out []*campaign.Result
+	for _, sc := range m.Order {
+		for _, d := range m.Domains {
+			if r := m.GetDomain(sc, d); r != nil {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// HasDomain reports whether the matrix ran campaigns under the model.
+func (m *Matrix) HasDomain(d fault.Model) bool {
+	for _, have := range m.Domains {
+		if have == d {
+			return true
+		}
+	}
+	return false
+}
+
+// filter selects register-domain results in matrix order.
 func (m *Matrix) filter(keep func(npb.Scenario) bool) []*campaign.Result {
 	var out []*campaign.Result
 	for _, sc := range m.Order {
 		if keep(sc) {
-			if r := m.Results[sc.ID()]; r != nil {
+			if r := m.Get(sc); r != nil {
 				out = append(out, r)
 			}
 		}
@@ -276,6 +322,49 @@ func Table4(m *Matrix) string {
 	}
 	return memTable(m, "Table 4: ARMv8 memory transactions and soft-error classes",
 		rows, []string{"A", "B", "C", "D", "E", "F", "G", "H", "I"})
+}
+
+// DomainTable is the register-vs-memory counterpart of Tables 3/4: the
+// outcome distribution aggregated per fault domain per ISA. The paper
+// injects into architectural registers only; this table extends its
+// methodology along the fault-space axis (uncore/memory-path faults after
+// Cho et al., instruction-word strikes, multi-bit register bursts) so the
+// cross-domain movement of the outcome classes becomes visible.
+func DomainTable(m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Domain Table: outcome distribution by fault domain (register vs memory fault spaces)\n")
+	fmt.Fprintf(&b, "%-6s %-6s %5s %7s %6s %6s %6s %6s %6s %9s\n",
+		"ISA", "Domain", "scen", "faults", "V%", "ONA%", "OMM%", "UT%", "Hang%", "Masking%")
+	for _, isaName := range []string{"armv7", "armv8"} {
+		for _, d := range m.Domains {
+			var agg fi.Counts
+			scen := 0
+			for _, sc := range m.Order {
+				if sc.ISA != isaName {
+					continue
+				}
+				r := m.GetDomain(sc, d)
+				if r == nil {
+					continue
+				}
+				scen++
+				for o := fi.Outcome(0); o < fi.NumOutcomes; o++ {
+					agg[o] += r.Counts[o]
+				}
+			}
+			if scen == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-6s %-6s %5d %7d %6.1f %6.1f %6.1f %6.1f %6.1f %9.1f\n",
+				isaName, d, scen, agg.Total(),
+				100*agg.Rate(fi.Vanished), 100*agg.Rate(fi.ONA), 100*agg.Rate(fi.OMM),
+				100*agg.Rate(fi.UT), 100*agg.Rate(fi.Hang), 100*agg.Masking())
+		}
+	}
+	if len(m.Domains) == 1 {
+		fmt.Fprintf(&b, "(single-domain matrix; run with -faultmodel all to compare fault spaces)\n")
+	}
+	return b.String()
 }
 
 // bar renders a proportional ASCII segment bar for one outcome class mix.
@@ -442,7 +531,7 @@ func VulnWindow(m *Matrix) string {
 func Dataset(m *Matrix) *mining.DataSet {
 	d := mining.NewDataSet()
 	for _, sc := range m.Order {
-		r := m.Results[sc.ID()]
+		r := m.Get(sc)
 		if r == nil {
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"serfi/internal/fault"
 	"serfi/internal/npb"
 )
 
@@ -119,6 +120,42 @@ func TestReportAssembles(t *testing.T) {
 	} {
 		if !strings.Contains(r, want) {
 			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestDomainTableRenders runs a fresh two-ISA subset under all four fault
+// domains and checks the register-vs-memory comparison table (the PR's
+// acceptance artefact) renders one row per ISA per domain, wired through
+// Report.
+func TestDomainTableRenders(t *testing.T) {
+	cfg := Config{Faults: 2, Seed: 5, Domains: fault.Models()}
+	m, err := RunSubset(cfg, func(sc npb.Scenario) bool {
+		return sc.App == "IS" && sc.Mode == npb.Serial
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DomainTable(m)
+	for _, want := range []string{"armv7", "armv8", "reg", "mem", "imem", "burst", "Masking%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("domain table missing %q:\n%s", want, s)
+		}
+	}
+	for _, isaName := range []string{"armv7", "armv8"} {
+		if got := strings.Count(s, isaName); got != len(fault.Models()) {
+			t.Errorf("domain table has %d %s rows, want %d:\n%s", got, isaName, len(fault.Models()), s)
+		}
+	}
+	// Wiring: the full report includes the table and the cross-domain
+	// shape checks evaluated on this matrix.
+	r := Report(m, time.Second)
+	if !strings.Contains(r, "Domain Table") {
+		t.Error("report missing the domain table section")
+	}
+	for _, id := range []string{"D1", "D2"} {
+		if !strings.Contains(r, "| "+id+" |") {
+			t.Errorf("report missing cross-domain shape check %s", id)
 		}
 	}
 }

@@ -1,0 +1,393 @@
+// Package fault is the pluggable fault-space subsystem: it abstracts WHERE
+// a transient fault can strike, while internal/fi keeps owning WHEN faults
+// are injected and HOW outcomes are classified. A Domain enumerates one
+// target space (the architectural register file, data words in guest RAM,
+// instruction words, ...), draws uniform (time, location, bit) tuples from
+// a seeded stream, and applies a flip to a machine paused at the fault's
+// commit boundary.
+//
+// Four concrete domains ship with the framework:
+//
+//   - Reg: the paper's single-bit-upset model over architectural registers
+//     (bit-identical to the historical campaigns at the same seed);
+//   - Mem: single-bit upsets in data words of guest RAM, restricted to the
+//     mapped writable regions of the image (Cho et al.'s uncore/memory-path
+//     faults);
+//   - IMem: single-bit upsets in instruction words — both ISAs use fixed
+//     32-bit encodings, so a corrupted word re-decodes into a different
+//     (possibly invalid) instruction rather than desynchronizing fetch;
+//   - Burst: 2-4 adjacent-bit multi-bit upsets in one register word,
+//     modeling the MBU share of modern technology nodes.
+//
+// Sampling orders are frozen per domain (documented on each Sample) so that
+// fault lists are reproducible across releases, and the Reg order is exactly
+// the order the pre-domain injector used.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"serfi/internal/isa"
+	"serfi/internal/mach"
+	"serfi/internal/mem"
+)
+
+// Model identifies a fault domain. The zero value is Reg so that legacy
+// fault records and fault literals (which predate the domain axis) keep
+// meaning "register single-bit upset".
+type Model int
+
+// The shipped fault models.
+const (
+	Reg Model = iota
+	Mem
+	IMem
+	Burst
+	NumModels
+)
+
+// String renders the CLI/database spelling ("reg", "mem", "imem", "burst").
+func (m Model) String() string {
+	switch m {
+	case Reg:
+		return "reg"
+	case Mem:
+		return "mem"
+	case IMem:
+		return "imem"
+	case Burst:
+		return "burst"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// ParseModel is the inverse of Model.String.
+func ParseModel(s string) (Model, error) {
+	for m := Model(0); m < NumModels; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown model %q (want reg|mem|imem|burst)", s)
+}
+
+// Models returns every shipped model in display order.
+func Models() []Model { return []Model{Reg, Mem, IMem, Burst} }
+
+// ParseModels expands a -faultmodel flag value: one model name, or "all"
+// for every shipped domain.
+func ParseModels(s string) ([]Model, error) {
+	if s == "all" {
+		return Models(), nil
+	}
+	m, err := ParseModel(s)
+	if err != nil {
+		return nil, err
+	}
+	return []Model{m}, nil
+}
+
+// Point is one sampled fault: a (time, location, bit) tuple plus the domain
+// that drew it. Index counts committed instructions from the start of the
+// application lifespan; the location is Core/Reg for register-file domains
+// and Addr (a word-aligned physical address) for memory domains. Width is
+// the number of adjacent bits flipped; 0 and 1 both mean a single-bit upset
+// so that legacy Point literals behave unchanged.
+type Point struct {
+	Domain Model
+	Index  uint64
+	Core   int
+	Reg    int
+	Addr   uint32
+	Bit    int
+	Width  int
+}
+
+// Mask returns the flip mask implied by Bit and Width.
+func (p Point) Mask() uint64 {
+	w := p.Width
+	if w < 1 {
+		w = 1
+	}
+	return ((uint64(1) << uint(w)) - 1) << uint(p.Bit)
+}
+
+// String renders the tuple; the Reg form is the historical injector format.
+func (p Point) String() string {
+	switch p.Domain {
+	case Mem:
+		return fmt.Sprintf("i=%d mem[%#x] bit=%d", p.Index, p.Addr, p.Bit)
+	case IMem:
+		return fmt.Sprintf("i=%d imem[%#x] bit=%d", p.Index, p.Addr, p.Bit)
+	case Burst:
+		return fmt.Sprintf("i=%d core=%d r%d bit=%d width=%d", p.Index, p.Core, p.Reg, p.Bit, p.Width)
+	}
+	return fmt.Sprintf("i=%d core=%d r%d bit=%d", p.Index, p.Core, p.Reg, p.Bit)
+}
+
+// Env describes the scenario-derived target space a domain samples from:
+// the ISA's register-file shape, the core count, the application lifespan
+// length in committed instructions, and the image's mapped region table
+// (memory domains restrict themselves to mapped regions through it).
+type Env struct {
+	Feat    isa.Features
+	Cores   int
+	Span    uint64
+	Regions []mem.Region
+}
+
+// Domain is one pluggable fault space.
+type Domain interface {
+	// Model identifies the domain.
+	Model() Model
+	// Size returns the number of distinct (time, location, bit) tuples in
+	// the target space; fault-list deduplication stops once a campaign has
+	// exhausted it.
+	Size() uint64
+	// Sample draws one uniform point. The draw order per domain is frozen:
+	// identical seeds yield identical fault lists across releases.
+	Sample(r *rand.Rand) Point
+	// Apply flips the point's bits on a machine paused while committing the
+	// point's instruction. The injector is god-mode: it bypasses permission
+	// checks exactly like a particle strike would.
+	Apply(m *mach.Machine, p Point)
+}
+
+// New builds the domain for one model over one scenario's environment.
+func New(model Model, env Env) (Domain, error) {
+	if env.Span == 0 {
+		return nil, fmt.Errorf("fault: %s: empty application lifespan", model)
+	}
+	switch model {
+	case Reg, Burst:
+		if env.Cores < 1 || env.Feat.FaultTargets < 1 {
+			return nil, fmt.Errorf("fault: %s: no register targets (cores=%d targets=%d)",
+				model, env.Cores, env.Feat.FaultTargets)
+		}
+		bits := env.Feat.WordBytes * 8
+		if model == Burst {
+			if bits < maxBurst {
+				return nil, fmt.Errorf("fault: burst: %d-bit words too narrow", bits)
+			}
+			return &BurstDomain{regSpace: regSpace{feat: env.Feat, cores: env.Cores, span: env.Span}}, nil
+		}
+		return &RegDomain{regSpace: regSpace{feat: env.Feat, cores: env.Cores, span: env.Span}}, nil
+	case Mem:
+		words := wordRanges(env.Regions, mem.PermW)
+		if len(words) == 0 {
+			return nil, fmt.Errorf("fault: mem: no mapped writable regions")
+		}
+		return &MemDomain{memSpace: memSpace{span: env.Span, words: words}}, nil
+	case IMem:
+		words := wordRanges(env.Regions, mem.PermX)
+		if len(words) == 0 {
+			return nil, fmt.Errorf("fault: imem: no mapped executable regions")
+		}
+		return &IMemDomain{memSpace: memSpace{span: env.Span, words: words}}, nil
+	}
+	return nil, fmt.Errorf("fault: unknown model %d", int(model))
+}
+
+// regSpace is the shared target space of the register-file domains.
+type regSpace struct {
+	feat  isa.Features
+	cores int
+	span  uint64
+}
+
+// flip xors mask into the point's register, honoring the v7 PC-as-r15
+// special case and the ISA word width.
+func (s *regSpace) flip(m *mach.Machine, p Point, mask uint64) {
+	c := &m.Cores[p.Core]
+	if s.feat.PCTarget && p.Reg == s.feat.NumGPR-1 {
+		c.PC ^= mask
+		if s.feat.WordBytes == 4 {
+			c.PC &= 0xffffffff
+		}
+		return
+	}
+	c.Regs[p.Reg] ^= mask
+	if s.feat.WordBytes == 4 {
+		c.Regs[p.Reg] &= 0xffffffff
+	}
+}
+
+// RegDomain is the paper's register single-bit-upset model. Its sampling
+// order (instruction index, core, register, bit) and flip semantics are
+// bit-identical to the pre-domain injector.
+type RegDomain struct{ regSpace }
+
+// Model identifies the domain.
+func (d *RegDomain) Model() Model { return Reg }
+
+// Size counts span x cores x registers x word bits.
+func (d *RegDomain) Size() uint64 {
+	return d.span * uint64(d.cores) * uint64(d.feat.FaultTargets) * uint64(d.feat.WordBytes*8)
+}
+
+// Sample draws index, core, register, bit — the frozen legacy order.
+func (d *RegDomain) Sample(r *rand.Rand) Point {
+	return Point{
+		Index: uint64(r.Int63n(int64(d.span))),
+		Core:  r.Intn(d.cores),
+		Reg:   r.Intn(d.feat.FaultTargets),
+		Bit:   r.Intn(d.feat.WordBytes * 8),
+	}
+}
+
+// Apply flips one register bit.
+func (d *RegDomain) Apply(m *mach.Machine, p Point) { d.flip(m, p, p.Mask()) }
+
+// Burst widths: 2 to maxBurst adjacent bits.
+const (
+	minBurst = 2
+	maxBurst = 4
+)
+
+// BurstDomain flips 2-4 adjacent bits of one register word — the multi-bit
+// upset mix of modern technology nodes, where a single strike upsets
+// neighboring cells.
+type BurstDomain struct{ regSpace }
+
+// Model identifies the domain.
+func (d *BurstDomain) Model() Model { return Burst }
+
+// Size counts the distinct (index, core, register, start bit, width)
+// tuples: a width-w burst can start at bits-w+1 positions.
+func (d *BurstDomain) Size() uint64 {
+	bits := d.feat.WordBytes * 8
+	starts := 0
+	for w := minBurst; w <= maxBurst; w++ {
+		starts += bits - w + 1
+	}
+	return d.span * uint64(d.cores) * uint64(d.feat.FaultTargets) * uint64(starts)
+}
+
+// Sample draws index, core, register, width, start bit (frozen order). The
+// start bit is bounded so the whole burst stays inside the register word.
+func (d *BurstDomain) Sample(r *rand.Rand) Point {
+	bits := d.feat.WordBytes * 8
+	w := minBurst + r.Intn(maxBurst-minBurst+1)
+	return Point{
+		Domain: Burst,
+		Index:  uint64(r.Int63n(int64(d.span))),
+		Core:   r.Intn(d.cores),
+		Reg:    r.Intn(d.feat.FaultTargets),
+		Width:  w,
+		Bit:    r.Intn(bits - w + 1),
+	}
+}
+
+// Apply flips the burst's adjacent bits in one register.
+func (d *BurstDomain) Apply(m *mach.Machine, p Point) { d.flip(m, p, p.Mask()) }
+
+// wordRange is one run of 32-bit words inside a mapped region.
+type wordRange struct {
+	start uint32 // word-aligned first byte
+	words uint64
+}
+
+// wordRanges collects the word-aligned spans of every region carrying perm.
+func wordRanges(regions []mem.Region, perm mem.Perm) []wordRange {
+	var out []wordRange
+	for _, r := range regions {
+		if r.Perm&perm == 0 {
+			continue
+		}
+		start := (r.Start + 3) &^ 3
+		end := r.End &^ 3
+		if end > start {
+			out = append(out, wordRange{start: start, words: uint64(end-start) / 4})
+		}
+	}
+	return out
+}
+
+// memSpace is the shared target space of the memory domains: 32-bit words
+// across the selected region spans. Memory is byte-addressed on both ISAs,
+// so a fixed 32-bit word granularity keeps the space ISA-independent.
+type memSpace struct {
+	span  uint64
+	words []wordRange
+}
+
+// totalWords sums the selected spans.
+func (s *memSpace) totalWords() uint64 {
+	var n uint64
+	for _, wr := range s.words {
+		n += wr.words
+	}
+	return n
+}
+
+// addrOf maps a uniform word ordinal onto its physical address.
+func (s *memSpace) addrOf(ordinal uint64) uint32 {
+	for _, wr := range s.words {
+		if ordinal < wr.words {
+			return wr.start + uint32(ordinal)*4
+		}
+		ordinal -= wr.words
+	}
+	// Unreachable for ordinals < totalWords.
+	panic("fault: word ordinal outside target space")
+}
+
+// sample draws index, word ordinal, bit (frozen order shared by Mem/IMem).
+func (s *memSpace) sample(r *rand.Rand, model Model) Point {
+	return Point{
+		Domain: model,
+		Index:  uint64(r.Int63n(int64(s.span))),
+		Addr:   s.addrOf(uint64(r.Int63n(int64(s.totalWords())))),
+		Bit:    r.Intn(32),
+	}
+}
+
+// size counts span x words x 32 bits.
+func (s *memSpace) size() uint64 { return s.span * s.totalWords() * 32 }
+
+// MemDomain strikes data words in guest RAM: the mapped writable regions
+// (kernel data, user data, heap, stacks). The flip lands in physical RAM
+// directly — the cache hierarchy is a timing model, architectural data
+// always flows through RAM — so a corrupted word is visible to the next
+// load exactly like an uncore fault that escaped ECC.
+type MemDomain struct{ memSpace }
+
+// Model identifies the domain.
+func (d *MemDomain) Model() Model { return Mem }
+
+// Size counts span x data words x 32 bits.
+func (d *MemDomain) Size() uint64 { return d.size() }
+
+// Sample draws index, word, bit (frozen order).
+func (d *MemDomain) Sample(r *rand.Rand) Point { return d.sample(r, Mem) }
+
+// Apply flips the addressed data word.
+func (d *MemDomain) Apply(m *mach.Machine, p Point) {
+	m.Mem.WriteU32(p.Addr, m.Mem.ReadU32(p.Addr)^uint32(p.Mask()))
+}
+
+// IMemDomain strikes instruction words in the mapped executable regions
+// (kernel and user text). Both ISAs use fixed 32-bit encodings, so the
+// corrupted word simply re-decodes — into a neighboring opcode, a different
+// operand, or an invalid instruction that traps — without desynchronizing
+// the fetch stream. Text is read-only to the guest, so the flip persists
+// for the rest of the run: an IMem fault can change architectural state
+// forever even when it never alters the output.
+type IMemDomain struct{ memSpace }
+
+// Model identifies the domain.
+func (d *IMemDomain) Model() Model { return IMem }
+
+// Size counts span x instruction words x 32 bits.
+func (d *IMemDomain) Size() uint64 { return d.size() }
+
+// Sample draws index, word, bit (frozen order).
+func (d *IMemDomain) Sample(r *rand.Rand) Point { return d.sample(r, IMem) }
+
+// Apply flips the instruction word and drops its cached decode so the next
+// fetch re-decodes the corrupted encoding.
+func (d *IMemDomain) Apply(m *mach.Machine, p Point) {
+	m.Mem.WriteU32(p.Addr, m.Mem.ReadU32(p.Addr)^uint32(p.Mask()))
+	m.InvalidateText(p.Addr, 4)
+}

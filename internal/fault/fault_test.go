@@ -1,0 +1,232 @@
+package fault_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"serfi/internal/fault"
+	"serfi/internal/mach"
+	"serfi/internal/mem"
+	"serfi/internal/npb"
+)
+
+func testEnv(t *testing.T) (fault.Env, *mach.Machine) {
+	t.Helper()
+	img, cfg, err := npb.BuildScenario(npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mach.New(cfg)
+	img.InstallTo(m)
+	return fault.Env{
+		Feat:    cfg.ISA.Feat(),
+		Cores:   cfg.Cores,
+		Span:    100_000,
+		Regions: img.Regions,
+	}, m
+}
+
+func TestModelParseRoundTrip(t *testing.T) {
+	for _, m := range fault.Models() {
+		got, err := fault.ParseModel(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := fault.ParseModel("cosmic"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if fault.Model(0) != fault.Reg {
+		t.Error("zero model must be the legacy register domain")
+	}
+}
+
+// TestRegSampleMatchesLegacyOrder freezes the Reg draw order to the exact
+// sequence the pre-domain injector used: index, core, register, bit from
+// one shared stream.
+func TestRegSampleMatchesLegacyOrder(t *testing.T) {
+	env, _ := testEnv(t)
+	env.Cores = 4
+	d, err := fault.New(fault.Reg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		got := d.Sample(a)
+		want := fault.Point{
+			Index: uint64(b.Int63n(int64(env.Span))),
+			Core:  b.Intn(env.Cores),
+			Reg:   b.Intn(env.Feat.FaultTargets),
+			Bit:   b.Intn(env.Feat.WordBytes * 8),
+		}
+		if got != want {
+			t.Fatalf("draw %d: %+v != legacy %+v", i, got, want)
+		}
+	}
+}
+
+func TestSampleRanges(t *testing.T) {
+	env, m := testEnv(t)
+	writable := func(addr uint32) bool {
+		r := m.Mem.FindRegion(addr)
+		return r != nil && r.Perm&mem.PermW != 0
+	}
+	executable := func(addr uint32) bool {
+		r := m.Mem.FindRegion(addr)
+		return r != nil && r.Perm&mem.PermX != 0
+	}
+	for _, model := range fault.Models() {
+		d, err := fault.New(model, env)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if d.Model() != model {
+			t.Fatalf("%s: Model() = %v", model, d.Model())
+		}
+		if d.Size() == 0 {
+			t.Fatalf("%s: empty target space", model)
+		}
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 2000; i++ {
+			p := d.Sample(r)
+			if p.Index >= env.Span {
+				t.Fatalf("%s: index %d outside lifespan", model, p.Index)
+			}
+			switch model {
+			case fault.Reg:
+				if p.Reg >= env.Feat.FaultTargets || p.Bit >= env.Feat.WordBytes*8 {
+					t.Fatalf("reg target out of range: %+v", p)
+				}
+			case fault.Burst:
+				if p.Width < 2 || p.Width > 4 {
+					t.Fatalf("burst width %d", p.Width)
+				}
+				if p.Bit+p.Width > env.Feat.WordBytes*8 {
+					t.Fatalf("burst overflows the word: %+v", p)
+				}
+			case fault.Mem:
+				if p.Addr%4 != 0 || !writable(p.Addr) || p.Bit >= 32 {
+					t.Fatalf("mem target outside writable regions: %+v", p)
+				}
+			case fault.IMem:
+				if p.Addr%4 != 0 || !executable(p.Addr) || p.Bit >= 32 {
+					t.Fatalf("imem target outside executable regions: %+v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyFlipsExactBits(t *testing.T) {
+	env, m := testEnv(t)
+
+	// Reg: one bit of r5.
+	reg, _ := fault.New(fault.Reg, env)
+	before := m.Cores[0].Regs[5]
+	reg.Apply(m, fault.Point{Core: 0, Reg: 5, Bit: 17})
+	if m.Cores[0].Regs[5] != before^(1<<17) {
+		t.Error("reg apply did not flip bit 17")
+	}
+
+	// Burst: three adjacent bits.
+	burst, _ := fault.New(fault.Burst, env)
+	before = m.Cores[0].Regs[9]
+	burst.Apply(m, fault.Point{Domain: fault.Burst, Core: 0, Reg: 9, Bit: 4, Width: 3})
+	if m.Cores[0].Regs[9] != before^(0b111<<4) {
+		t.Error("burst apply did not flip bits [4,7)")
+	}
+
+	// Mem: one bit of a heap word.
+	memd, _ := fault.New(fault.Mem, env)
+	var heap *mem.Region
+	for i := range env.Regions {
+		if env.Regions[i].Name == "heap" {
+			heap = &env.Regions[i]
+		}
+	}
+	if heap == nil {
+		t.Fatal("image has no heap region")
+	}
+	addr := heap.Start
+	beforeW := m.Mem.ReadU32(addr)
+	memd.Apply(m, fault.Point{Domain: fault.Mem, Addr: addr, Bit: 9})
+	if m.Mem.ReadU32(addr) != beforeW^(1<<9) {
+		t.Error("mem apply did not flip heap word bit 9")
+	}
+
+	// IMem: flips the instruction word and the next decode sees it.
+	imem, _ := fault.New(fault.IMem, env)
+	var text *mem.Region
+	for i := range env.Regions {
+		if env.Regions[i].Name == "utext" {
+			text = &env.Regions[i]
+		}
+	}
+	if text == nil {
+		t.Fatal("image has no utext region")
+	}
+	beforeW = m.Mem.ReadU32(text.Start)
+	imem.Apply(m, fault.Point{Domain: fault.IMem, Addr: text.Start, Bit: 0})
+	if m.Mem.ReadU32(text.Start) != beforeW^1 {
+		t.Error("imem apply did not flip the instruction word")
+	}
+}
+
+// TestApplyV7PCTarget covers the v7 special case: register 15 is the PC.
+func TestApplyV7PCTarget(t *testing.T) {
+	img, cfg, err := npb.BuildScenario(npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv7", Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mach.New(cfg)
+	img.InstallTo(m)
+	env := fault.Env{Feat: cfg.ISA.Feat(), Cores: 1, Span: 1000, Regions: img.Regions}
+	d, err := fault.New(fault.Reg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Cores[0].PC
+	d.Apply(m, fault.Point{Core: 0, Reg: 15, Bit: 8})
+	if m.Cores[0].PC != (before^(1<<8))&0xffffffff {
+		t.Errorf("v7 r15 flip did not hit the PC: %#x -> %#x", before, m.Cores[0].PC)
+	}
+}
+
+func TestSizeCountsTargetSpace(t *testing.T) {
+	env, _ := testEnv(t)
+	env.Span = 10
+	env.Cores = 2
+	reg, _ := fault.New(fault.Reg, env)
+	bits := uint64(env.Feat.WordBytes * 8)
+	if want := 10 * 2 * uint64(env.Feat.FaultTargets) * bits; reg.Size() != want {
+		t.Errorf("reg size = %d, want %d", reg.Size(), want)
+	}
+	burst, _ := fault.New(fault.Burst, env)
+	starts := (bits - 1) + (bits - 2) + (bits - 3)
+	if want := 10 * 2 * uint64(env.Feat.FaultTargets) * starts; burst.Size() != want {
+		t.Errorf("burst size = %d, want %d", burst.Size(), want)
+	}
+	memd, _ := fault.New(fault.Mem, env)
+	if memd.Size()%(10*32) != 0 {
+		t.Errorf("mem size %d is not span x words x 32", memd.Size())
+	}
+}
+
+func TestNewRejectsEmptySpaces(t *testing.T) {
+	env, _ := testEnv(t)
+	bad := env
+	bad.Span = 0
+	if _, err := fault.New(fault.Reg, bad); err == nil {
+		t.Error("zero lifespan accepted")
+	}
+	bad = env
+	bad.Regions = nil
+	if _, err := fault.New(fault.Mem, bad); err == nil {
+		t.Error("mem domain without regions accepted")
+	}
+	if _, err := fault.New(fault.IMem, bad); err == nil {
+		t.Error("imem domain without regions accepted")
+	}
+}

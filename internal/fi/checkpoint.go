@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"serfi/internal/cc"
+	"serfi/internal/fault"
 	"serfi/internal/mach"
 )
 
@@ -36,6 +37,10 @@ type CheckpointSet struct {
 	// The ratio is the engine's amortization win (reported by benchmarks).
 	simulated atomic.Uint64
 	fromReset atomic.Uint64
+	// pruned/total count convergence-pruned versus all injection runs (the
+	// per-scenario prune rate of campaign summaries).
+	pruned atomic.Uint64
+	total  atomic.Uint64
 }
 
 // BuildCheckpoints executes the fault-free machine once up to the last
@@ -69,6 +74,14 @@ func BuildCheckpoints(img *cc.Image, cfg mach.Config, g *Golden, n int) (*Checkp
 	return cs, nil
 }
 
+// Clone returns a set sharing this set's snapshots — immutable and safe to
+// share — but with fresh savings/prune counters, so concurrent campaigns
+// over the same scenario (one per fault domain) pay the checkpoint
+// fast-forward once yet attribute their telemetry separately.
+func (cs *CheckpointSet) Clone() *CheckpointSet {
+	return &CheckpointSet{img: cs.img, cfg: cs.cfg, snaps: cs.snaps}
+}
+
 // Len returns the number of captured snapshots.
 func (cs *CheckpointSet) Len() int { return len(cs.snaps) }
 
@@ -96,28 +109,31 @@ func (cs *CheckpointSet) nearest(injectAt uint64) *mach.Snapshot {
 	return cs.snaps[i-1]
 }
 
-// Inject runs one fault, restoring the nearest pre-fault snapshot instead of
-// booting from reset when one is available. The Result is bit-identical to
-// Inject(img, cfg, g, f).
+// InjectPoint runs one fault of any domain, restoring the nearest pre-fault
+// snapshot instead of booting from reset when one is available. The Result
+// is bit-identical to InjectDomain(img, cfg, g, d, p).
 //
-// On top of snapshot restarts, Inject prunes converged runs: execution pauses
-// at each later checkpoint boundary, and if the faulty machine's complete
-// state is bit-identical to the fault-free snapshot there, its continuation
-// is provably the golden continuation — the run is scored Vanished with the
-// golden run's terminal numbers without simulating the remaining suffix.
-// Most masked faults (a flipped bit that is overwritten before being read)
-// converge at the first boundary after injection, which is where the bulk of
-// the engine's simulated-instruction savings comes from.
-func (cs *CheckpointSet) Inject(g *Golden, f Fault) Result {
+// On top of snapshot restarts, InjectPoint prunes converged runs: execution
+// pauses at each later checkpoint boundary, and if the faulty machine's
+// complete state is bit-identical to the fault-free snapshot there, its
+// continuation is provably the golden continuation — the run is scored
+// Vanished with the golden run's terminal numbers without simulating the
+// remaining suffix. Most masked register faults (a flipped bit that is
+// overwritten before being read) converge at the first boundary after
+// injection, which is where the bulk of the engine's simulated-instruction
+// savings comes from. Faults whose flip persists in RAM (an instruction
+// word, a data word the program never rewrites) can never converge and run
+// to completion.
+func (cs *CheckpointSet) InjectPoint(d fault.Domain, g *Golden, p Fault) Result {
 	m := mach.New(cs.cfg)
-	injectAt := g.AppStart + f.Index
+	injectAt := g.AppStart + p.Index
 	if s := cs.nearest(injectAt); s != nil {
 		m.Restore(s)
 	} else {
 		cs.img.InstallTo(m)
 	}
 	start := m.TotalRetired
-	armFault(m, cs.cfg, g, f)
+	armFault(m, d, g, p)
 	budget := hangBudget(g)
 
 	res, pruned := Result{}, false
@@ -134,7 +150,7 @@ func (cs *CheckpointSet) Inject(g *Golden, f Fault) Result {
 		if cs.snaps[next].StateEquals(m) {
 			// Converged: the rest of the run is the golden run.
 			res = Result{
-				Fault:    f,
+				Fault:    p,
 				Outcome:  Vanished,
 				Retired:  g.Retired,
 				Cycles:   g.Cycles,
@@ -150,11 +166,21 @@ func (cs *CheckpointSet) Inject(g *Golden, f Fault) Result {
 			m.SetInstrBudget(0)
 			stop = m.Run(budget)
 		}
-		res = finishFault(m, g, f, stop)
+		res = finishFault(m, g, p, stop)
 	}
 	cs.simulated.Add(m.TotalRetired - start)
 	cs.fromReset.Add(res.Retired)
+	cs.total.Add(1)
+	if pruned {
+		cs.pruned.Add(1)
+	}
 	return res
+}
+
+// Inject runs one register fault (legacy entry point; equivalent to
+// InjectPoint with the fault.Reg domain).
+func (cs *CheckpointSet) Inject(g *Golden, f Fault) Result {
+	return cs.InjectPoint(regDomain(g, cs.cfg.ISA.Feat(), cs.cfg.Cores), g, f)
 }
 
 // SimulatedInstructions returns (executed, fromReset): retired instructions
@@ -162,4 +188,10 @@ func (cs *CheckpointSet) Inject(g *Golden, f Fault) Result {
 // would have cost from reset.
 func (cs *CheckpointSet) SimulatedInstructions() (executed, fromReset uint64) {
 	return cs.simulated.Load(), cs.fromReset.Load()
+}
+
+// PruneStats returns (pruned, total): injection runs scored by convergence
+// pruning versus all runs injected through this set.
+func (cs *CheckpointSet) PruneStats() (pruned, total uint64) {
+	return cs.pruned.Load(), cs.total.Load()
 }

@@ -1,8 +1,13 @@
 // Package fi implements the paper's fault-injection methodology (§3.2):
-// the single-bit-upset fault model over architectural registers, the
-// four-phase workflow (golden execution, fault-list generation, injection
-// runs, report assembly) and the Cho et al. outcome classification
-// (Vanished / ONA / OMM / UT / Hang).
+// the four-phase workflow (golden execution, fault-list generation,
+// injection runs, report assembly) and the Cho et al. outcome
+// classification (Vanished / ONA / OMM / UT / Hang). The fault model
+// itself is pluggable: every phase is generic over a fault.Domain — the
+// register single-bit-upset space of the paper, data words in guest RAM,
+// instruction words, or register bit bursts (internal/fault). The legacy
+// register-only entry points (RandomFault, FaultList, Inject) are thin
+// wrappers over the fault.Reg domain and remain bit-identical to the
+// pre-domain injector at the same seed.
 package fi
 
 import (
@@ -10,6 +15,7 @@ import (
 	"math/rand"
 
 	"serfi/internal/cc"
+	"serfi/internal/fault"
 	"serfi/internal/isa"
 	"serfi/internal/mach"
 )
@@ -90,40 +96,66 @@ func RunGolden(img *cc.Image, cfg mach.Config, budget uint64) (*Golden, error) {
 	return g, nil
 }
 
-// Fault is one single-bit upset: at committed-instruction `Index` within
-// the application lifespan, flip `Bit` of register `Reg` on `Core`.
-type Fault struct {
-	Index uint64
-	Core  int
-	Reg   int
-	Bit   int
+// Fault is one sampled fault point. The zero Domain is the register
+// single-bit-upset model, so legacy literals (Index/Core/Reg/Bit) keep
+// their historical meaning.
+type Fault = fault.Point
+
+// NewDomain builds the fault domain of one model over one scenario: the
+// register-file shape and core count come from the machine configuration,
+// the injectable time window from the golden run, and the memory target
+// space from the image's mapped region table.
+func NewDomain(model fault.Model, img *cc.Image, cfg mach.Config, g *Golden) (fault.Domain, error) {
+	return fault.New(model, fault.Env{
+		Feat:    cfg.ISA.Feat(),
+		Cores:   cfg.Cores,
+		Span:    g.AppEnd - g.AppStart,
+		Regions: img.Regions,
+	})
 }
 
-// String renders like "i=1234 core=0 r7 bit=13".
-func (f Fault) String() string {
-	return fmt.Sprintf("i=%d core=%d r%d bit=%d", f.Index, f.Core, f.Reg, f.Bit)
-}
-
-// RandomFault draws a uniform fault (§3.2.1: uniform random bit location
-// and injection time across the register file and app lifespan).
-func RandomFault(r *rand.Rand, g *Golden, feat isa.Features, cores int) Fault {
-	span := g.AppEnd - g.AppStart
-	return Fault{
-		Index: uint64(r.Int63n(int64(span))),
-		Core:  r.Intn(cores),
-		Reg:   r.Intn(feat.FaultTargets),
-		Bit:   r.Intn(feat.WordBytes * 8),
+// regDomain builds the legacy register domain (panic-free by construction:
+// RunGolden guarantees a non-empty lifespan and configs have >= 1 core).
+func regDomain(g *Golden, feat isa.Features, cores int) fault.Domain {
+	d, err := fault.New(fault.Reg, fault.Env{Feat: feat, Cores: cores, Span: g.AppEnd - g.AppStart})
+	if err != nil {
+		panic(err)
 	}
+	return d
 }
 
-// FaultList is phase 2: n seeded faults.
-func FaultList(seed int64, n int, g *Golden, feat isa.Features, cores int) []Fault {
+// RandomFault draws a uniform register fault (§3.2.1: uniform random bit
+// location and injection time across the register file and app lifespan).
+func RandomFault(r *rand.Rand, g *Golden, feat isa.Features, cores int) Fault {
+	return regDomain(g, feat, cores).Sample(r)
+}
+
+// List is phase 2, domain-generic: n seeded faults drawn from the domain's
+// stream. Duplicate (time, location, bit) tuples are deduplicated by
+// deterministic resampling — a colliding draw is discarded and the next
+// tuple comes from the same stream, so the non-colliding prefix of a list
+// is unchanged by the dedup and identical seeds still yield identical
+// lists. Once a list has exhausted the domain's whole target space,
+// further draws may repeat (a campaign larger than its fault space).
+func List(seed int64, n int, d fault.Domain) []Fault {
 	r := rand.New(rand.NewSource(seed))
-	out := make([]Fault, n)
-	for i := range out {
-		out[i] = RandomFault(r, g, feat, cores)
+	out := make([]Fault, 0, n)
+	seen := make(map[Fault]struct{}, n)
+	space := d.Size()
+	for len(out) < n {
+		p := d.Sample(r)
+		if _, dup := seen[p]; dup && uint64(len(seen)) < space {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
 	}
 	return out
+}
+
+// FaultList is the legacy register-domain fault list (phase 2).
+func FaultList(seed int64, n int, g *Golden, feat isa.Features, cores int) []Fault {
+	return List(seed, n, regDomain(g, feat, cores))
 }
 
 // Outcome is the Cho et al. classification (§3.2.2).
@@ -165,47 +197,33 @@ type Result struct {
 	Signal   int
 }
 
-// Inject runs phase 3 for one fault from machine reset. The image is
-// read-only and may be shared across goroutines; each run gets a fresh
-// machine. Campaigns that amortize the pre-fault prefix across faults use
-// CheckpointSet.Inject instead; both paths produce bit-identical Results.
-func Inject(img *cc.Image, cfg mach.Config, g *Golden, f Fault) Result {
+// InjectDomain runs phase 3 for one fault point of any domain from machine
+// reset. The image is read-only and may be shared across goroutines; each
+// run gets a fresh machine. Campaigns that amortize the pre-fault prefix
+// across faults use CheckpointSet.InjectPoint instead; both paths produce
+// bit-identical Results.
+func InjectDomain(img *cc.Image, cfg mach.Config, g *Golden, d fault.Domain, p Fault) Result {
 	m := mach.New(cfg)
 	img.InstallTo(m)
-	return runFault(m, cfg, g, f)
+	armFault(m, d, g, p)
+	stop := m.Run(hangBudget(g))
+	return finishFault(m, g, p, stop)
 }
 
-// runFault arms one single-bit upset on a prepared machine (fresh from reset
-// or restored from a pre-fault snapshot), runs it to completion under the
-// Hang budget and classifies the outcome.
-func runFault(m *mach.Machine, cfg mach.Config, g *Golden, f Fault) Result {
-	armFault(m, cfg, g, f)
-	stop := m.Run(hangBudget(g))
-	return finishFault(m, g, f, stop)
+// Inject runs phase 3 for one register fault from machine reset (legacy
+// entry point; equivalent to InjectDomain with the fault.Reg domain).
+func Inject(img *cc.Image, cfg mach.Config, g *Golden, f Fault) Result {
+	return InjectDomain(img, cfg, g, regDomain(g, cfg.ISA.Feat(), cfg.Cores), f)
 }
 
 // hangBudget is the absolute cycle budget of one injection run.
 func hangBudget(g *Golden) uint64 { return g.Cycles*HangFactor + HangSlack }
 
-// armFault installs the single-bit-upset hook for f on the machine.
-func armFault(m *mach.Machine, cfg mach.Config, g *Golden, f Fault) {
-	m.InjectAt = g.AppStart + f.Index
-	feat := cfg.ISA.Feat()
-	m.Inject = func(mm *mach.Machine) {
-		c := &mm.Cores[f.Core]
-		mask := uint64(1) << uint(f.Bit)
-		if feat.PCTarget && f.Reg == feat.NumGPR-1 {
-			c.PC ^= mask
-			if feat.WordBytes == 4 {
-				c.PC &= 0xffffffff
-			}
-			return
-		}
-		c.Regs[f.Reg] ^= mask
-		if feat.WordBytes == 4 {
-			c.Regs[f.Reg] &= 0xffffffff
-		}
-	}
+// armFault installs the injection hook for one fault point: when the
+// machine commits instruction AppStart+Index, the domain applies the flip.
+func armFault(m *mach.Machine, d fault.Domain, g *Golden, p Fault) {
+	m.InjectAt = g.AppStart + p.Index
+	m.Inject = func(mm *mach.Machine) { d.Apply(mm, p) }
 }
 
 // finishFault classifies a completed injection run.

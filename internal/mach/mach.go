@@ -417,6 +417,11 @@ func (m *Machine) invalidateDecoded(addr, size uint32) {
 	}
 }
 
+// InvalidateText drops cached decodes for a text range written from outside
+// the store path (the instruction-memory fault injector writes RAM directly,
+// bypassing the invalidation that guest stores trigger).
+func (m *Machine) InvalidateText(addr, size uint32) { m.invalidateDecoded(addr, size) }
+
 // FlushDecoded invalidates the whole decoded-text cache (used by the fault
 // injector after direct memory writes).
 func (m *Machine) FlushDecoded() {
