@@ -6,14 +6,21 @@
 //	experiments -run table2 -n 50          (single artefact to stdout)
 //	experiments -run domains -n 24         (fault-domain comparison, IS subset)
 //	experiments -faultmodel all -n 24      (full matrix under all four domains)
+//	experiments -from results.jsonl        (offline report from a recorded database)
 //
-// The SERFI_FAULTS environment variable overrides -n when set.
+// The SERFI_FAULTS environment variable overrides -n when set. With -db
+// the campaign records stream to the JSONL store as they complete, so an
+// interrupted (SIGINT) matrix loses nothing; -resume skips the recorded
+// campaigns and finishes the rest.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -28,11 +35,13 @@ func main() {
 	n := flag.Int("n", 24, "faults per scenario")
 	seed := flag.Int64("seed", 2018, "base seed")
 	out := flag.String("out", "", "write the full markdown report here (default stdout)")
-	db := flag.String("db", "", "also write the raw campaign database (JSON lines)")
+	db := flag.String("db", "", "stream the raw campaign database here (JSON lines)")
+	from := flag.String("from", "", "format the report offline from this recorded database (no simulation)")
 	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|domains|fig1|fig2|fig3|macro|vulnwindow|mine")
 	model := flag.String("faultmodel", "reg", "fault domains per scenario: reg|mem|imem|burst, or all")
 	workers := flag.Int("workers", 0, "host worker pool size (0 = all cores)")
 	snapshots := flag.Int("snapshots", 0, "pre-fault checkpoints per scenario (0 = default, negative disables)")
+	resume := flag.Bool("resume", false, "skip campaigns already recorded in -db and append the rest")
 	flag.Parse()
 	if env := os.Getenv("SERFI_FAULTS"); env != "" {
 		if v, err := strconv.Atoi(env); err == nil {
@@ -44,6 +53,13 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() { // second SIGINT kills the process the default way
+		<-ctx.Done()
+		stop()
+	}()
+
 	cfg := exp.Config{Faults: *n, Seed: *seed, Progress: os.Stderr,
 		Workers: *workers, Snapshots: *snapshots, Domains: domains}
 
@@ -51,23 +67,67 @@ func main() {
 		fmt.Print(exp.Figure1())
 		return
 	}
+	if *run != "all" && artefacts[*run] == nil {
+		fatal(fmt.Errorf("unknown artefact %q", *run))
+	}
 
-	// The domain comparison needs every fault model but only a slice of
-	// the scenario matrix: IS (the paper's own case-study workload) across
-	// both ISAs, serial plus the parallel models.
+	// The domain comparison runs every fault model regardless of the
+	// -faultmodel flag; everything downstream (resume validation, the
+	// campaign run) must agree on the domain set actually used.
+	runDomains := domains
 	if *run == "domains" {
-		dcfg := cfg
-		dcfg.Domains = fault.Models()
-		m, err := exp.RunSubset(dcfg, func(sc npb.Scenario) bool { return sc.App == "IS" })
+		runDomains = fault.Models()
+	}
+
+	// Offline mode: rebuild the matrix from a recorded store and format
+	// the requested artefact (or the full report) without simulating
+	// anything. The header scale (faults/seed) comes from the recorded
+	// rows, not from this invocation's flags.
+	if *from != "" {
+		st, err := campaign.OpenFileStore(*from)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(exp.DomainTable(m))
+		defer st.Close()
+		m := exp.MatrixFromStore(st, cfg)
+		if len(m.Order) == 0 {
+			fatal(fmt.Errorf("%s holds no campaign records", *from))
+		}
+		if *run == "all" {
+			writeReport(exp.Report(m, 0), *out)
+			return
+		}
+		fmt.Print(artefacts[*run](m))
 		return
 	}
 
-	// Single-table runs use the smallest sufficient scenario subset.
+	if *db != "" {
+		if !*resume {
+			if err := os.Remove(*db); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
+		st, err := campaign.OpenFileStore(*db)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		// Any recorded campaign this run could touch must match its fault
+		// count and seed (campaign.ValidateResume's mixing guard; the
+		// engine re-checks at skip time as the backstop).
+		jobs := campaign.New(campaign.Models(runDomains...)).JobsFor(npb.Scenarios(), *seed)
+		if err := campaign.ValidateResume(st, jobs, *n); err != nil {
+			fatal(fmt.Errorf("resume %s: %w", *db, err))
+		}
+		cfg.Store = st
+	}
+
+	// Single-artefact runs use the smallest sufficient scenario subset:
+	// the domain comparison needs IS (the paper's own case-study workload)
+	// across both ISAs under every fault model; the tables and figures
+	// need their own scenario slices under the configured models.
 	subset := map[string]func(npb.Scenario) bool{
+		"domains": func(sc npb.Scenario) bool { return sc.App == "IS" },
 		"table2": func(sc npb.Scenario) bool {
 			return sc.App == "IS" && sc.Mode != npb.Serial
 		},
@@ -82,64 +142,79 @@ func main() {
 		"fig3": func(sc npb.Scenario) bool { return sc.ISA == "armv8" },
 	}
 	if keep, ok := subset[*run]; ok {
-		m, err := exp.RunSubset(cfg, keep)
+		scfg := cfg
+		scfg.Domains = runDomains
+		m, err := exp.RunSubsetContext(ctx, scfg, keep)
 		if err != nil {
+			interrupted(err, *db, *n, *seed, *model)
 			fatal(err)
 		}
-		switch *run {
-		case "table2":
-			fmt.Print(exp.Table2(m))
-		case "table3":
-			fmt.Print(exp.Table3(m))
-		case "table4":
-			fmt.Print(exp.Table4(m))
-		case "fig2":
-			fmt.Print(exp.Figure2(m))
-		case "fig3":
-			fmt.Print(exp.Figure3(m))
-		}
+		fmt.Print(artefacts[*run](m))
 		return
 	}
 
 	start := time.Now()
-	m, err := exp.RunMatrix(cfg)
+	m, err := exp.RunMatrixContext(ctx, cfg)
 	if err != nil {
+		interrupted(err, *db, *n, *seed, *model)
 		fatal(err)
 	}
-	switch *run {
-	case "table1":
-		fmt.Print(exp.Table1(m))
+	if f := artefacts[*run]; f != nil { // table1|macro|vulnwindow|mine over the full matrix
+		fmt.Print(f(m))
 		return
-	case "macro":
-		fmt.Print(exp.MacroStats(m))
-		return
-	case "vulnwindow":
-		fmt.Print(exp.VulnWindow(m))
-		return
-	case "mine":
-		fmt.Print(exp.MineReport(m))
-		return
-	case "all":
-	default:
-		fatal(fmt.Errorf("unknown artefact %q", *run))
 	}
 
 	report := exp.Report(m, time.Since(start))
-	if *out == "" {
-		fmt.Print(report)
-	} else if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
-		fatal(err)
-	}
-	if *db != "" {
-		if err := campaign.SaveDB(*db, m.All()); err != nil {
-			fatal(err)
-		}
-	}
+	writeReport(report, *out)
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios, %d faults each) in %v\n",
 			*out, len(m.Order), *n, time.Since(start).Round(time.Second))
 	}
 	_ = strings.TrimSpace
+}
+
+// artefacts maps -run names to their formatter — the single dispatch table
+// shared by the live and offline (-from) paths. "all" (the full report)
+// and "fig1" (static) are handled separately.
+var artefacts = map[string]func(*exp.Matrix) string{
+	"table1":     exp.Table1,
+	"table2":     exp.Table2,
+	"table3":     exp.Table3,
+	"table4":     exp.Table4,
+	"domains":    exp.DomainTable,
+	"fig2":       exp.Figure2,
+	"fig3":       exp.Figure3,
+	"macro":      exp.MacroStats,
+	"vulnwindow": exp.VulnWindow,
+	"mine":       exp.MineReport,
+}
+
+// writeReport prints the report to stdout or the -out path.
+func writeReport(report, out string) {
+	if out == "" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(out, []byte(report), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// interrupted handles a SIGINT-cancelled campaign on any run path: print
+// what survived and the resume command, exit 130. Non-cancellation errors
+// return to the caller.
+func interrupted(err error, db string, n int, seed int64, model string) {
+	if !errors.Is(err, context.Canceled) {
+		return
+	}
+	if db != "" {
+		fmt.Fprintf(os.Stderr, "interrupted: completed campaigns are recorded in %s\n", db)
+		fmt.Fprintf(os.Stderr, "resume with: experiments -resume -db %s -n %d -seed %d -faultmodel %s\n",
+			db, n, seed, model)
+	} else {
+		fmt.Fprintln(os.Stderr, "interrupted: no -db was set, so nothing was recorded")
+	}
+	os.Exit(130)
 }
 
 func fatal(err error) {

@@ -13,12 +13,20 @@
 // worker pool), -jobsize (faults per injection job), -snapshots (pre-fault
 // checkpoints per scenario; 0 disables snapshot acceleration) and
 // -faultmodel (fault domain: reg|mem|imem|burst, or all).
+//
+// A SIGINT (Ctrl-C) cancels the campaign engine gracefully: in-flight
+// injection jobs stop at the next run slice, every completed campaign is
+// already durable in the -db JSONL store, and the CLI prints the -resume
+// command that finishes the matrix. A second SIGINT kills the process.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"serfi/internal/campaign"
@@ -81,32 +89,30 @@ func snapshotCount(flagVal int) int {
 	return flagVal
 }
 
-// snapshotSavings returns the campaign's amortization factor (from-reset
-// instructions per simulated instruction) and its convergence-prune rate;
-// ok is false when the campaign ran without snapshot acceleration.
-func snapshotSavings(r *campaign.Result) (save, pruneRate float64, ok bool) {
-	if r.SimulatedInstr == 0 || r.FromResetInstr == 0 {
-		return 0, 0, false
-	}
-	runs := r.Faults
-	if runs < 1 {
-		runs = 1
-	}
-	return float64(r.FromResetInstr) / float64(r.SimulatedInstr),
-		float64(r.PrunedRuns) / float64(runs), true
-}
-
 // savingsLine summarizes the snapshot engine's work for one campaign:
 // simulated-instruction savings versus from-reset execution and the
 // convergence-prune rate.
 func savingsLine(r *campaign.Result) string {
-	save, prune, ok := snapshotSavings(r)
+	save, prune, ok := r.SnapshotSavings()
 	if !ok {
 		return "snapshots: off (every fault ran from reset)"
 	}
 	return fmt.Sprintf("snapshots: simulated %.3gM of %.3gM from-reset instructions (%.1fx saved), pruned %d/%d runs (%.1f%%)",
 		float64(r.SimulatedInstr)/1e6, float64(r.FromResetInstr)/1e6, save,
 		r.PrunedRuns, r.Faults, 100*prune)
+}
+
+// interruptContext returns a context cancelled by the first SIGINT; a
+// second SIGINT kills the process the default way (the handler is
+// uninstalled the moment the context fires, restoring the default
+// disposition for the graceful-shutdown window).
+func interruptContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
 }
 
 func cmdScenarios(args []string) error {
@@ -160,17 +166,22 @@ func cmdInject(args []string) error {
 	if err != nil {
 		return err
 	}
-	// One matrix call: jobs sharing the scenario+seed form one scheduler
+	ctx, stop := interruptContext()
+	defer stop()
+	// One engine run: jobs sharing the scenario+seed form one scheduler
 	// group, so the golden run and checkpoints are built once even with
 	// -faultmodel all.
 	jobs := make([]campaign.ScenarioJob, len(domains))
 	for i, d := range domains {
 		jobs[i] = campaign.ScenarioJob{Scenario: sc, Domain: d, Seed: *seed}
 	}
-	results, err := campaign.RunMatrix(campaign.MatrixSpec{
-		Jobs: jobs, Faults: *n,
-		Workers: *workers, JobSize: *jobSize, Snapshots: snapshotCount(*snapshots),
-	})
+	eng := campaign.New(
+		campaign.Faults(*n),
+		campaign.Workers(*workers),
+		campaign.JobSize(*jobSize),
+		campaign.Snapshots(snapshotCount(*snapshots)),
+	)
+	results, err := eng.RunMatrix(ctx, jobs)
 	if err != nil {
 		return err
 	}
@@ -202,81 +213,86 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx, stop := interruptContext()
+	defer stop()
+
+	// The results database is a campaign.Store: a fresh run starts from an
+	// empty file, a -resume run loads the recorded campaigns and the
+	// engine skips them.
+	if !*resume {
+		if err := os.Remove(*db); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	st, err := campaign.OpenFileStore(*db)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	defer st.Close()
+
+	events := make(chan campaign.Event, 64)
+	eng := campaign.New(
+		campaign.Faults(*n),
+		campaign.Workers(*workers),
+		campaign.JobSize(*jobSize),
+		campaign.Snapshots(snapshotCount(*snapshots)),
+		campaign.Models(domains...),
+		campaign.WithStore(st),
+		campaign.WithEvents(events),
+	)
 
 	// The full scenario list fixes per-scenario seeds (seed + index,
-	// shared across domains), so a filtered or resumed campaign reproduces
-	// the full matrix's results.
-	var jobs []campaign.ScenarioJob
-	for i, sc := range npb.Scenarios() {
+	// shared across domains; Engine.JobsFor), so a filtered or resumed
+	// campaign reproduces the full matrix's results.
+	var scs []npb.Scenario
+	for _, sc := range npb.Scenarios() {
 		if *only == "" || strings.Contains(sc.ID(), *only) {
-			for _, d := range domains {
-				jobs = append(jobs, campaign.ScenarioJob{Scenario: sc, Domain: d, Seed: *seed + int64(i)})
-			}
+			scs = append(scs, sc)
 		}
+	}
+	jobs := eng.JobsFor(scs, *seed)
+
+	if err := campaign.ValidateResume(st, jobs, *n); err != nil {
+		return fmt.Errorf("resume %s: %w", *db, err)
 	}
 
-	skip := map[string]*campaign.Result{}
-	if *resume {
-		var err error
-		if skip, err = campaign.LoadDB(*db); err != nil {
-			return fmt.Errorf("resume: %w", err)
+	col := campaign.NewCollector(os.Stdout, len(jobs))
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		col.Consume(events)
+	}()
+	_, err = eng.RunMatrix(ctx, jobs)
+	<-consumed
+	if errors.Is(err, context.Canceled) {
+		// Graceful shutdown: every completed campaign already streamed to
+		// the store; close it and hand the user the resume command.
+		if cerr := st.Close(); cerr != nil {
+			return cerr
 		}
-		// Refuse to mix sample sizes or fault lists in one database:
-		// resumed rate comparisons across scenarios would silently use
-		// different n, and a changed base seed would make the matrix
-		// irreproducible from any single seed.
-		for _, job := range jobs {
-			r, ok := skip[job.Key()]
-			if !ok {
-				continue
-			}
-			if r.Faults != *n {
-				return fmt.Errorf("resume: %s has %d faults in %s, current run uses -n %d (match -n or start a fresh -db)",
-					job.Key(), r.Faults, *db, *n)
-			}
-			if r.Seed != job.Seed {
-				return fmt.Errorf("resume: %s was drawn with seed %d in %s, current run uses seed %d (match -seed or start a fresh -db)",
-					job.Key(), r.Seed, *db, job.Seed)
-			}
-		}
+		fmt.Printf("interrupted: %d of %d campaigns recorded in %s (%d finished this run)\n",
+			len(st.Keys()), len(jobs), *db, col.Completed())
+		fmt.Printf("resume with: serfi campaign -resume -db %s -n %d -seed %d%s%s\n",
+			*db, *n, *seed, flagIf("-only", *only), flagIf("-faultmodel", *model))
+		return nil
 	}
-	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
-	if *resume {
-		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
-	}
-	f, err := os.OpenFile(*db, mode, 0o644)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
-	fresh := 0 // progress calls are serialized by the scheduler
-	_, err = campaign.RunMatrix(campaign.MatrixSpec{
-		Jobs:      jobs,
-		Faults:    *n,
-		Workers:   *workers,
-		JobSize:   *jobSize,
-		Snapshots: snapshotCount(*snapshots),
-		DB:        f,
-		Skip:      skip,
-		Progress: func(r *campaign.Result) {
-			fresh++
-			saveCol := "save=off"
-			if save, prune, ok := snapshotSavings(r); ok {
-				saveCol = fmt.Sprintf("save=%.1fx prune=%.0f%%", save, 100*prune)
-			}
-			fmt.Printf("%-24s %s %s\n", r.Key(), r.Counts, saveCol)
-		},
-	})
 	if err != nil {
 		return err
 	}
 	if *resume {
-		fmt.Printf("resumed: %d campaigns already in %s, %d added\n", len(jobs)-fresh, *db, fresh)
+		fmt.Printf("resumed: %d campaigns already in %s, %d added\n", col.Skipped(), *db, col.Completed())
 	} else {
-		fmt.Printf("wrote %d campaign records to %s\n", fresh, *db)
+		fmt.Printf("wrote %d campaign records to %s\n", col.Completed(), *db)
 	}
-	return nil
+	return st.Close()
+}
+
+// flagIf renders an optional flag for the printed resume command.
+func flagIf(flag, val string) string {
+	if val == "" {
+		return ""
+	}
+	return fmt.Sprintf(" %s %s", flag, val)
 }
 
 func cmdProfile(args []string) error {

@@ -4,12 +4,20 @@
 // software-FP blowup), register-file fault-target sizes and the resulting
 // outcome distributions.
 //
+// Orchestration-wise it shows the Engine reused across runs with a
+// cancellable context, and campaign results landing in a queryable Store:
+// the per-ISA rows come back out of the store with a Query instead of
+// hand-kept slices.
+//
 //	go run ./examples/isacompare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"serfi/internal/campaign"
 	"serfi/internal/npb"
@@ -19,14 +27,37 @@ import (
 func main() {
 	fmt.Println("EP (Monte-Carlo, FP heavy) on both processor models")
 	fmt.Println()
-	var rows []*campaign.Result
+
+	// Ctrl-C cancels the engine mid-campaign; completed campaigns are
+	// already in the store.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// One reusable engine, one store for every campaign it runs.
+	st := campaign.NewMemStore()
+	eng := campaign.New(campaign.Faults(30), campaign.WithStore(st))
+
+	var jobs []campaign.ScenarioJob
 	for _, isaName := range []string{"armv7", "armv8"} {
-		sc := npb.Scenario{App: "EP", Mode: npb.Serial, ISA: isaName, Cores: 1}
-		res, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: 30, Seed: 11})
-		if err != nil {
-			log.Fatal(err)
+		jobs = append(jobs, campaign.ScenarioJob{
+			Scenario: npb.Scenario{App: "EP", Mode: npb.Serial, ISA: isaName, Cores: 1},
+			Seed:     11,
+		})
+	}
+	if _, err := eng.RunMatrix(ctx, jobs); err != nil {
+		log.Fatal(err)
+	}
+
+	var retired [2]uint64
+	for i, isaName := range []string{"armv7", "armv8"} {
+		// The store is queryable by scenario axes; one predicate pulls the
+		// ISA's rows back out.
+		rows := st.Query(campaign.Query{ISAs: []string{isaName}})
+		if len(rows) != 1 {
+			log.Fatalf("store query for %s returned %d rows", isaName, len(rows))
 		}
-		rows = append(rows, res)
+		res := rows[0]
+		retired[i] = res.Golden.Retired
 		cfg, _ := soc.Config(isaName, 1)
 		feat := cfg.ISA.Feat()
 		fmt.Printf("%s (%s)\n", isaName, cfg.Timing.Name)
@@ -38,7 +69,7 @@ func main() {
 		fmt.Printf("  outcomes              %s\n", res.Counts)
 		fmt.Println()
 	}
-	ratio := float64(rows[0].Golden.Retired) / float64(rows[1].Golden.Retired)
+	ratio := float64(retired[0]) / float64(retired[1])
 	fmt.Printf("ARMv7 executes %.1fx the instructions of ARMv8 for the same program\n", ratio)
 	fmt.Println("(the paper reports up to ~10x speedups moving to ARMv8, §4.1.1);")
 	fmt.Println("a shorter run means a smaller exposure window per particle fluence.")

@@ -1,13 +1,17 @@
-// Quickstart: run one golden execution and a small fault-injection campaign
-// on the integer-sort benchmark, then print the outcome distribution — the
-// smallest end-to-end tour of the public workflow.
+// Quickstart: run a small fault-injection campaign on the integer-sort
+// benchmark through the campaign Engine — the smallest end-to-end tour of
+// the orchestration API: a cancellable context, the typed event stream,
+// and the classified outcome report.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"serfi/internal/campaign"
 	"serfi/internal/fi"
@@ -17,19 +21,47 @@ import (
 func main() {
 	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
 
-	// Phase 1+2+3+4 in one call: golden reference, seeded fault list,
-	// parallel injection runs, classified report.
-	res, err := campaign.Run(campaign.Spec{Scenario: sc, Faults: 40, Seed: 7})
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Ctrl-C cancels the engine: in-flight injection jobs stop at the next
+	// run slice and RunMatrix returns the partial results plus ctx.Err().
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	fmt.Printf("scenario            %s\n", sc.ID())
-	fmt.Printf("application window  [%d, %d] committed instructions\n",
-		res.Golden.AppStart, res.Golden.AppEnd)
-	fmt.Printf("golden instructions %d (%.2fs host)\n", res.Golden.Retired, res.GoldenWallSec)
+	// The engine is constructed once and reusable; the event stream
+	// publishes every phase transition as a typed value.
+	events := make(chan campaign.Event, 16)
+	eng := campaign.New(
+		campaign.Faults(40),
+		campaign.JobSize(8),
+		campaign.WithEvents(events),
+	)
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for ev := range events {
+			switch ev := ev.(type) {
+			case campaign.GoldenDone:
+				fmt.Printf("golden run done    [%d, %d] committed instructions, %d checkpoints (%.2fs host)\n",
+					ev.Golden.AppStart, ev.Golden.AppEnd, ev.Checkpoints, ev.WallSec)
+			case campaign.JobDone:
+				fmt.Printf("injection job done %3d/%3d faults (%.3fs host)\n", ev.Done, ev.Total, ev.WallSec)
+			case campaign.MatrixDone:
+				return // always the last event of a run
+			}
+		}
+	}()
+
+	results, err := eng.RunMatrix(ctx, []campaign.ScenarioJob{{Scenario: sc, Seed: 7}})
+	<-consumed
+	if err != nil {
+		log.Fatal(err) // context.Canceled here if Ctrl-C interrupted the run
+	}
+	res := results[0]
+
+	fmt.Printf("\nscenario            %s\n", sc.ID())
+	fmt.Printf("golden instructions %d\n", res.Golden.Retired)
 	fmt.Printf("branch share        %.1f%%   memory share %.1f%%\n",
 		res.Features.BranchPct, res.Features.MemInstrPct)
+	fmt.Printf("exclusive compute   %.2fs host (golden + injection jobs)\n", res.ExclusiveCompute())
 	fmt.Println()
 	fmt.Printf("injected %d single-bit upsets into the register file:\n", res.Faults)
 	for o := fi.Outcome(0); o < fi.NumOutcomes; o++ {
@@ -42,7 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := fi.RunGolden(img, cfg, 0)
+	g, err := fi.RunGoldenContext(ctx, img, cfg, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

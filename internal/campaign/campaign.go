@@ -2,10 +2,19 @@
 // distributed/parallel phase-3 execution of the paper (§3.2.4), with faults
 // batched into jobs that run on a host worker pool (standing in for the
 // 5000-core HPC cluster), and phase-4 report assembly into a results
-// database. The matrix scheduler (scheduler.go) interleaves golden runs,
-// checkpoint fast-forwards and injection jobs across scenarios; snapshots
-// (internal/fi checkpoints) let each injection resume from the nearest
-// pre-fault machine state instead of reset.
+// database.
+//
+// The public orchestration API has three pillars. The Engine (engine.go)
+// is a constructed, reusable orchestrator: New(opts...) fixes the tuning,
+// RunMatrix(ctx, jobs) interleaves golden runs, checkpoint fast-forwards
+// and injection jobs across scenarios on one shared worker pool, cancels
+// promptly at job granularity and returns partial results plus ctx.Err().
+// Progress is a typed event stream (events.go) consumed live by CLIs or
+// folded into summaries by a Collector. Completed campaigns land in a
+// Store (store.go) — a queryable results database whose pre-loaded keys
+// double as the resume set; the JSONL file is the first backend. The flat
+// entry points (Run, RunAll, RunMatrix(MatrixSpec), ReadDB/LoadDB/SaveDB)
+// predate the Engine and remain as thin shims over it.
 package campaign
 
 import (
@@ -56,13 +65,19 @@ type Result struct {
 	APICalls uint64 // calls into the parallelization runtime
 	Runs     []fi.Result
 	// Host wall-clock costs (the paper's Table 1 simulation-time axis).
-	// Campaigns overlap on the shared worker pool, so wall times measure
-	// start-to-finish spans, not exclusive compute: summing them across
-	// rows overcounts. Domain campaigns of one scenario share the
-	// fault-free phases — their GoldenWallSec is the same measurement and
-	// their CampaignWallSec spans open from the shared scenario start.
+	// Campaigns overlap on the shared worker pool, so GoldenWallSec and
+	// CampaignWallSec measure start-to-finish spans, not exclusive
+	// compute: summing CampaignWallSec across rows overcounts, sometimes
+	// wildly — use ExclusiveCompute for anything additive. Domain
+	// campaigns of one scenario share the fault-free phases — their
+	// GoldenWallSec is the same measurement and their CampaignWallSec
+	// spans open from the shared scenario start. JobWallSec sums the
+	// per-job spans emitted as JobDone events: each injection job runs on
+	// one worker, so these spans nest within worker occupancy and stay
+	// additive across campaigns.
 	GoldenWallSec   float64
 	CampaignWallSec float64
+	JobWallSec      float64
 	// Snapshot-engine observability: instructions actually simulated by the
 	// injection runs versus their from-reset cost, and how many runs were
 	// scored by convergence pruning (zero-valued when snapshots are off).
@@ -97,6 +112,34 @@ func ParseKey(key string) (npb.Scenario, fault.Model, error) {
 
 // Key returns the result's database identity.
 func (r *Result) Key() string { return Key(r.Scenario, r.Domain) }
+
+// ExclusiveCompute returns the host compute attributable to this campaign
+// alone: the golden-phase span plus the summed spans of its injection jobs
+// (JobWallSec, derived from the per-job JobDone events). Unlike
+// CampaignWallSec — an open-to-close span over the shared worker pool —
+// these components occupy one worker each, so summing ExclusiveCompute
+// across campaigns approximates total pool busy time. Domain campaigns of
+// one scenario share a single golden phase, so a cross-domain sum counts
+// that phase once per domain. Zero on results reloaded from a database,
+// which stores no wall-clock columns.
+func (r *Result) ExclusiveCompute() float64 { return r.GoldenWallSec + r.JobWallSec }
+
+// SnapshotSavings returns the snapshot engine's amortization factor
+// (from-reset instructions per simulated instruction) and the
+// convergence-prune rate; ok is false when the campaign ran without
+// snapshot acceleration (or was reloaded from a database, which stores no
+// engine telemetry).
+func (r *Result) SnapshotSavings() (save, pruneRate float64, ok bool) {
+	if r.SimulatedInstr == 0 || r.FromResetInstr == 0 {
+		return 0, 0, false
+	}
+	runs := r.Faults
+	if runs < 1 {
+		runs = 1
+	}
+	return float64(r.FromResetInstr) / float64(r.SimulatedInstr),
+		float64(r.PrunedRuns) / float64(runs), true
+}
 
 // GoldenSummary carries the reference-run headline numbers.
 type GoldenSummary struct {

@@ -2,6 +2,8 @@ package campaign_test
 
 import (
 	"bytes"
+	"os"
+	"sort"
 	"strings"
 	"testing"
 
@@ -103,6 +105,148 @@ func TestDomainDBRoundTrip(t *testing.T) {
 	}
 	if l.Domain != fault.IMem || l.Counts != r.Counts || l.Seed != 11 {
 		t.Errorf("imem row did not round-trip: %+v", l)
+	}
+}
+
+// storeImpls builds one empty instance of every Store implementation.
+func storeImpls(t *testing.T) map[string]campaign.Store {
+	t.Helper()
+	fs, err := campaign.OpenFileStore(t.TempDir() + "/db.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return map[string]campaign.Store{
+		"mem":    campaign.NewMemStore(),
+		"file":   fs,
+		"stream": campaign.StreamStore(&bytes.Buffer{}, nil),
+	}
+}
+
+func storeResult(app string, d fault.Model, faults int) *campaign.Result {
+	r := &campaign.Result{
+		Scenario: npb.Scenario{App: app, Mode: npb.Serial, ISA: "armv8", Cores: 1},
+		Domain:   d,
+		Faults:   faults,
+		Seed:     5,
+	}
+	r.Counts[fi.Vanished] = faults
+	return r
+}
+
+// TestStoreRejectsDuplicateAppend: a key already present must be rejected
+// by every backend — campaign identities are immutable and resume skips
+// them instead of rewriting.
+func TestStoreRejectsDuplicateAppend(t *testing.T) {
+	for name, st := range storeImpls(t) {
+		r := storeResult("IS", fault.Reg, 4)
+		if err := st.Put(r); err != nil {
+			t.Fatalf("%s: first Put: %v", name, err)
+		}
+		if err := st.Put(storeResult("IS", fault.Reg, 4)); err == nil ||
+			!strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("%s: duplicate Put accepted: %v", name, err)
+		}
+		// The same scenario under another domain is a distinct campaign.
+		if err := st.Put(storeResult("IS", fault.Mem, 4)); err != nil {
+			t.Errorf("%s: distinct-domain Put rejected: %v", name, err)
+		}
+		got, ok := st.Get(r.Key())
+		if !ok || got.Faults != 4 {
+			t.Errorf("%s: Get after duplicate rejection = %v %v", name, got, ok)
+		}
+	}
+}
+
+// TestStoreQueryEmptyPredicateSet: the zero Query selects the whole store
+// in sorted key order.
+func TestStoreQueryEmptyPredicateSet(t *testing.T) {
+	for name, st := range storeImpls(t) {
+		for _, r := range []*campaign.Result{
+			storeResult("MG", fault.Reg, 2),
+			storeResult("IS", fault.Reg, 2),
+			storeResult("IS", fault.IMem, 2),
+		} {
+			if err := st.Put(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		all := st.Query(campaign.Query{})
+		if len(all) != 3 {
+			t.Fatalf("%s: empty query returned %d of 3 rows", name, len(all))
+		}
+		keys := st.Keys()
+		for i, r := range all {
+			if r.Key() != keys[i] {
+				t.Errorf("%s: query order %q != sorted key order %q", name, r.Key(), keys[i])
+			}
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Errorf("%s: Keys not sorted: %v", name, keys)
+		}
+	}
+}
+
+// TestStoreQueryPredicates exercises the per-axis constraints and the
+// arbitrary Match predicate.
+func TestStoreQueryPredicates(t *testing.T) {
+	st := campaign.NewMemStore()
+	put := func(app, isaName string, mode npb.Mode, cores int, d fault.Model) {
+		r := &campaign.Result{
+			Scenario: npb.Scenario{App: app, Mode: mode, ISA: isaName, Cores: cores},
+			Domain:   d, Faults: 1,
+		}
+		if err := st.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("IS", "armv8", npb.Serial, 1, fault.Reg)
+	put("IS", "armv8", npb.MPI, 4, fault.Reg)
+	put("IS", "armv7", npb.MPI, 4, fault.Mem)
+	put("EP", "armv8", npb.OMP, 2, fault.Reg)
+
+	if got := st.Query(campaign.Query{Apps: []string{"EP"}}); len(got) != 1 || got[0].Scenario.App != "EP" {
+		t.Errorf("app query = %v", got)
+	}
+	if got := st.Query(campaign.Query{ISAs: []string{"armv7"}}); len(got) != 1 || got[0].Domain != fault.Mem {
+		t.Errorf("isa query = %v", got)
+	}
+	if got := st.Query(campaign.Query{Modes: []npb.Mode{npb.MPI}}); len(got) != 2 {
+		t.Errorf("mode query returned %d rows", len(got))
+	}
+	if got := st.Query(campaign.Query{Domains: []fault.Model{fault.Mem}}); len(got) != 1 {
+		t.Errorf("domain query returned %d rows", len(got))
+	}
+	if got := st.Query(campaign.Query{
+		ISAs:  []string{"armv8"},
+		Match: func(sc npb.Scenario, _ fault.Model) bool { return sc.Cores > 1 },
+	}); len(got) != 2 {
+		t.Errorf("combined query returned %d rows", len(got))
+	}
+	if got := st.Query(campaign.Query{Cores: []int{8}}); len(got) != 0 {
+		t.Errorf("no-match query returned %d rows", len(got))
+	}
+}
+
+// TestFileStoreRejectsTruncatedLine: a JSONL line cut mid-record (torn
+// write, disk-full interruption) must fail loudly at open, not load as a
+// shorter database.
+func TestFileStoreRejectsTruncatedLine(t *testing.T) {
+	full := legacyRow + "\n"
+	// Cut inside the second record's JSON.
+	second := strings.Replace(legacyRow, "armv8/IS/SER-1", "armv8/MG/SER-1", 1)
+	torn := full + second[:len(second)/2]
+	path := t.TempDir() + "/torn.jsonl"
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.OpenFileStore(path); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Errorf("torn database accepted: %v", err)
+	}
+	// The same torn stream through the reader path.
+	if _, err := campaign.ReadDB(strings.NewReader(torn)); err == nil {
+		t.Error("ReadDB accepted a truncated trailing record")
 	}
 }
 

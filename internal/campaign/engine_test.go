@@ -1,0 +1,298 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"serfi/internal/campaign"
+	"serfi/internal/fi"
+	"serfi/internal/npb"
+)
+
+// TestEngineEventTaxonomy runs one campaign with an attached event stream
+// and checks the full phase sequence arrives: ScenarioStarted, GoldenDone,
+// one JobDone per injection job carrying the per-job spans, ScenarioDone
+// with the result, and a terminal MatrixDone.
+func TestEngineEventTaxonomy(t *testing.T) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	events := make(chan campaign.Event, 64)
+	eng := campaign.New(
+		campaign.Faults(10),
+		campaign.JobSize(4),
+		campaign.WithEvents(events),
+	)
+	results, err := eng.RunMatrix(context.Background(), []campaign.ScenarioJob{{Scenario: sc, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(events)
+
+	var started, goldens, jobs, dones, matrix int
+	var jobSpanSum float64
+	var lastDone int
+	for ev := range events {
+		switch ev := ev.(type) {
+		case campaign.ScenarioStarted:
+			started++
+			if ev.Scenario != sc || ev.Seed != 3 || len(ev.Domains) != 1 {
+				t.Errorf("ScenarioStarted = %+v", ev)
+			}
+		case campaign.GoldenDone:
+			goldens++
+			if ev.Golden.Retired == 0 || ev.Checkpoints == 0 || ev.WallSec <= 0 {
+				t.Errorf("GoldenDone = %+v", ev)
+			}
+		case campaign.JobDone:
+			jobs++
+			jobSpanSum += ev.WallSec
+			if ev.Total != 10 || ev.Hi <= ev.Lo || ev.Key() != sc.ID() {
+				t.Errorf("JobDone = %+v", ev)
+			}
+			if ev.Done > lastDone {
+				lastDone = ev.Done
+			}
+		case campaign.ScenarioDone:
+			dones++
+			if ev.Err != nil || ev.Result == nil || ev.Key != sc.ID() {
+				t.Fatalf("ScenarioDone = %+v", ev)
+			}
+			if ev.Result.Counts.Total() != 10 {
+				t.Errorf("result classified %d of 10", ev.Result.Counts.Total())
+			}
+		case campaign.MatrixDone:
+			matrix++
+			if ev.Completed != 1 || ev.Failed != 0 || ev.Skipped != 0 || ev.Err != nil {
+				t.Errorf("MatrixDone = %+v", ev)
+			}
+		}
+	}
+	if started != 1 || goldens != 1 || dones != 1 || matrix != 1 {
+		t.Errorf("event counts: started=%d goldens=%d dones=%d matrix=%d", started, goldens, dones, matrix)
+	}
+	if want := (10 + 3) / 4; jobs != want {
+		t.Errorf("JobDone events = %d, want %d", jobs, want)
+	}
+	if lastDone != 10 {
+		t.Errorf("JobDone progress peaked at %d, want 10", lastDone)
+	}
+	// The per-job spans are what ExclusiveCompute sums on top of the
+	// golden phase.
+	r := results[0]
+	if r.JobWallSec <= 0 || r.ExclusiveCompute() < r.JobWallSec {
+		t.Errorf("exclusive compute: job=%f excl=%f", r.JobWallSec, r.ExclusiveCompute())
+	}
+	if diff := r.JobWallSec - jobSpanSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("JobWallSec %f != summed JobDone spans %f", r.JobWallSec, jobSpanSum)
+	}
+	if r.CampaignWallSec < r.GoldenWallSec {
+		t.Errorf("campaign span %f below golden span %f", r.CampaignWallSec, r.GoldenWallSec)
+	}
+}
+
+// TestEngineCancelThenResumeBitIdentical is the PR's acceptance property:
+// a matrix cancelled mid-flight and resumed over the same store yields
+// outcome counts bit-identical to an uninterrupted run at the same seed.
+func TestEngineCancelThenResumeBitIdentical(t *testing.T) {
+	jobs := []campaign.ScenarioJob{
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Seed: 41},
+		{Scenario: npb.Scenario{App: "EP", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Seed: 42},
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.OMP, ISA: "armv8", Cores: 2}, Seed: 43},
+	}
+	opts := func(extra ...campaign.Option) []campaign.Option {
+		return append([]campaign.Option{
+			campaign.Faults(8),
+			campaign.JobSize(2),
+			// One worker and one open-scenario slot make the cancellation
+			// point deterministic: the first campaign completes, the
+			// feeder is still blocked on the slot for the second.
+			campaign.Workers(1),
+			campaign.MaxOpen(1),
+		}, extra...)
+	}
+
+	// Reference: the uninterrupted matrix.
+	ref, err := campaign.New(opts()...).RunMatrix(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: cancel as soon as the first campaign lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st := campaign.NewMemStore()
+	events := make(chan campaign.Event, 64)
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for ev := range events {
+			switch ev.(type) {
+			case campaign.ScenarioDone:
+				cancel()
+			case campaign.MatrixDone:
+				return
+			}
+		}
+	}()
+	partial, err := campaign.New(opts(campaign.WithStore(st), campaign.WithEvents(events))...).RunMatrix(ctx, jobs)
+	<-consumed
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled", err)
+	}
+	done := len(st.Keys())
+	if done == 0 || done == len(jobs) {
+		t.Fatalf("cancelled run completed %d of %d campaigns, want a strict subset", done, len(jobs))
+	}
+	for i, r := range partial {
+		if r == nil {
+			continue // abandoned by cancellation
+		}
+		if r.Counts != ref[i].Counts {
+			t.Errorf("partial result %d drifted: %v != %v", i, r.Counts, ref[i].Counts)
+		}
+	}
+
+	// Resumed: the same store skips the recorded campaigns; the rest run
+	// fresh and must land exactly on the reference.
+	resumed, err := campaign.New(opts(campaign.WithStore(st))...).RunMatrix(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if resumed[i] == nil {
+			t.Fatalf("resumed run left campaign %d unfinished", i)
+		}
+		if resumed[i].Counts != ref[i].Counts {
+			t.Errorf("resume drifted: %s counts %v != %v",
+				jobs[i].Key(), resumed[i].Counts, ref[i].Counts)
+		}
+		if resumed[i].Seed != ref[i].Seed || resumed[i].Faults != ref[i].Faults {
+			t.Errorf("resume identity drifted: %+v vs %+v", resumed[i], ref[i])
+		}
+	}
+	// Campaigns resumed fresh carry per-run records; they must match the
+	// uninterrupted run per fault, not just in aggregate.
+	for i := range jobs {
+		if len(resumed[i].Runs) == 0 {
+			continue // answered from the store, which keeps no run records
+		}
+		if !reflect.DeepEqual(resumed[i].Runs, ref[i].Runs) {
+			t.Errorf("resume per-run records differ for %s", jobs[i].Key())
+		}
+	}
+	if len(st.Keys()) != len(jobs) {
+		t.Errorf("store holds %d campaigns after resume, want %d", len(st.Keys()), len(jobs))
+	}
+}
+
+// TestEngineCancelledBeforeStart returns promptly with no results and
+// ctx.Err() when the context is already cancelled.
+func TestEngineCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := campaign.New(campaign.Faults(4))
+	results, err := eng.RunMatrix(ctx, matrixJobs())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Errorf("result %d produced despite pre-cancelled context", i)
+		}
+	}
+}
+
+// TestEngineStoreSkipMatchesLegacySkip: an engine with a pre-loaded
+// FileStore behaves exactly like the legacy Skip map — stored campaigns
+// come back in place, fresh ones append to the file.
+func TestEngineFileStoreResume(t *testing.T) {
+	jobs := matrixJobs()
+	path := t.TempDir() + "/db.jsonl"
+
+	st, err := campaign.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := campaign.New(campaign.Faults(6), campaign.WithStore(st))
+	first, err := eng.RunMatrix(context.Background(), jobs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := campaign.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := len(st2.Keys()); got != 1 {
+		t.Fatalf("reopened store holds %d campaigns, want 1", got)
+	}
+	eng2 := campaign.New(campaign.Faults(6), campaign.WithStore(st2))
+	all, err := eng2.RunMatrix(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[0].Counts != first[0].Counts {
+		t.Errorf("stored campaign drifted on resume: %v != %v", all[0].Counts, first[0].Counts)
+	}
+	if len(all[0].Runs) != 0 {
+		t.Errorf("store-answered campaign carries %d run records, want none", len(all[0].Runs))
+	}
+	if all[1] == nil || all[1].Counts.Total() != 6 {
+		t.Error("fresh campaign did not complete alongside the skip")
+	}
+	if got := len(st2.Keys()); got != len(jobs) {
+		t.Errorf("store holds %d campaigns, want %d", got, len(jobs))
+	}
+}
+
+// TestEngineReusable runs two matrices through one Engine and checks the
+// second run is unaffected by the first (no per-run state leaks).
+func TestEngineReusable(t *testing.T) {
+	eng := campaign.New(campaign.Faults(6), campaign.JobSize(3))
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	a, err := eng.RunMatrix(context.Background(), []campaign.ScenarioJob{{Scenario: sc, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.RunMatrix(context.Background(), []campaign.ScenarioJob{{Scenario: sc, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Counts != b[0].Counts || !reflect.DeepEqual(a[0].Runs, b[0].Runs) {
+		t.Error("reused engine produced different results for the same job")
+	}
+}
+
+// TestCollectorFoldsEvents drives a Collector by hand and checks the
+// summary accessors and progress output.
+func TestCollectorFoldsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	col := campaign.NewCollector(&buf, 2)
+	r := &campaign.Result{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Faults: 4}
+	r.Counts[fi.Vanished] = 4
+	if col.Handle(campaign.ScenarioDone{Key: r.Key(), Result: r}) {
+		t.Error("ScenarioDone reported as terminal")
+	}
+	if !col.Handle(campaign.MatrixDone{Completed: 1, Skipped: 1}) {
+		t.Error("MatrixDone not reported as terminal")
+	}
+	if col.Completed() != 1 || col.Skipped() != 1 || col.Failed() != 0 || col.Err() != nil {
+		t.Errorf("collector summary: completed=%d skipped=%d failed=%d err=%v",
+			col.Completed(), col.Skipped(), col.Failed(), col.Err())
+	}
+	out := buf.String()
+	for _, want := range []string{"[  1/  2]", "armv8/IS/SER-1", "V=100.0%", "save=off"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("progress line missing %q: %q", want, out)
+		}
+	}
+	if got := col.Results(); len(got) != 1 || got[0] != r {
+		t.Errorf("collector results = %v", got)
+	}
+}

@@ -1,0 +1,189 @@
+// The typed event stream of an Engine run. Every phase transition of every
+// campaign is published as one Event value on the engine's Events channel:
+// CLIs consume it for live progress, the Collector folds it into summaries,
+// and tests assert on the taxonomy directly — replacing the func(*Result) /
+// func(string) callback zoo the schedulers grew before the Engine existed.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"serfi/internal/fault"
+	"serfi/internal/npb"
+)
+
+// Event is one typed progress notification from an Engine run. The concrete
+// types are ScenarioStarted, GoldenDone, JobDone, ScenarioDone and
+// MatrixDone; MatrixDone is always the last event of a run, so a consumer
+// may stop after it without waiting for the channel to close.
+type Event interface{ event() }
+
+// ScenarioStarted opens one scenario group: the fault-free phases (image
+// build, golden run, profiling, checkpoint fast-forward) are about to run
+// once for every fault-domain campaign listed in Domains.
+type ScenarioStarted struct {
+	Scenario npb.Scenario
+	Seed     int64
+	Domains  []fault.Model
+}
+
+// GoldenDone reports the completed fault-free phases of one scenario group:
+// the reference-run headline numbers plus the snapshot capture stats.
+type GoldenDone struct {
+	Scenario npb.Scenario
+	Seed     int64
+	Golden   GoldenSummary
+	WallSec  float64 // host wall clock of the golden phase
+	// Snapshot capture stats of the checkpoint fast-forward.
+	Checkpoints     int
+	CheckpointBytes int
+}
+
+// JobDone reports one completed injection job (a batch of faults). WallSec
+// is the host wall-clock span of this job alone — the per-job spans that
+// Result.ExclusiveCompute sums — and Done/Total track the campaign's
+// injection progress.
+type JobDone struct {
+	Scenario npb.Scenario
+	Domain   fault.Model
+	Lo, Hi   int     // fault-index range [Lo, Hi) of the job
+	WallSec  float64 // host wall clock of this job
+	Done     int     // injection runs finished for this campaign so far
+	Total    int     // injection runs the campaign will execute
+}
+
+// Key returns the campaign's database identity.
+func (e JobDone) Key() string { return Key(e.Scenario, e.Domain) }
+
+// ScenarioDone retires one (scenario, domain) campaign: Result is set on
+// success, Err on failure. Campaigns abandoned by context cancellation
+// produce no ScenarioDone — MatrixDone carries the tally.
+type ScenarioDone struct {
+	Key    string
+	Result *Result // nil when Err is set
+	Err    error
+}
+
+// MatrixDone is the final event of every Engine run: how many campaigns
+// completed fresh, were skipped via the store, or failed (including those
+// abandoned on cancellation), plus the run's first error in job order (the
+// context error when the run was cancelled).
+type MatrixDone struct {
+	Completed int
+	Skipped   int
+	Failed    int
+	WallSec   float64
+	Err       error
+}
+
+func (ScenarioStarted) event() {}
+func (GoldenDone) event()      {}
+func (JobDone) event()         {}
+func (ScenarioDone) event()    {}
+func (MatrixDone) event()      {}
+
+// Collector folds an Engine event stream into live progress lines and an
+// end-of-run summary — the one consumer both CLIs share instead of bespoke
+// printing. It is safe for use from one consuming goroutine while other
+// goroutines read the summary accessors.
+type Collector struct {
+	w     io.Writer
+	total int
+
+	mu        sync.Mutex
+	completed int
+	failed    int
+	skipped   int
+	results   []*Result
+	err       error
+}
+
+// NewCollector returns a collector writing progress lines to w (nil
+// discards them). total is the expected campaign count, used only for the
+// [done/total] progress prefix; 0 leaves the prefix out.
+func NewCollector(w io.Writer, total int) *Collector {
+	return &Collector{w: w, total: total}
+}
+
+// Consume folds events until the stream ends: either MatrixDone arrives or
+// the channel is closed. It is the goroutine body callers pair with an
+// Engine run.
+func (c *Collector) Consume(events <-chan Event) {
+	for ev := range events {
+		if c.Handle(ev) {
+			return
+		}
+	}
+}
+
+// Handle folds one event and reports whether it was the final MatrixDone.
+func (c *Collector) Handle(ev Event) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev := ev.(type) {
+	case ScenarioDone:
+		if ev.Err != nil {
+			c.failed++
+			c.printf("%s%-24s FAILED: %v\n", c.prefix(), ev.Key, ev.Err)
+			return false
+		}
+		c.completed++
+		c.results = append(c.results, ev.Result)
+		c.printf("%s%-24s %s %s\n", c.prefix(), ev.Key, ev.Result.Counts, savingsTag(ev.Result))
+	case MatrixDone:
+		c.skipped, c.err = ev.Skipped, ev.Err
+		// Count failures the engine saw but never announced per campaign
+		// (cancellation abandons campaigns without a ScenarioDone each).
+		if ev.Failed > c.failed {
+			c.failed = ev.Failed
+		}
+		return true
+	}
+	return false
+}
+
+// prefix renders the [done/total] progress column.
+func (c *Collector) prefix() string {
+	if c.total <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("[%3d/%3d] ", c.completed+c.failed, c.total)
+}
+
+func (c *Collector) printf(format string, args ...any) {
+	if c.w != nil {
+		fmt.Fprintf(c.w, format, args...)
+	}
+}
+
+// Completed returns how many campaigns finished fresh.
+func (c *Collector) Completed() int { c.mu.Lock(); defer c.mu.Unlock(); return c.completed }
+
+// Skipped returns how many campaigns the store already held.
+func (c *Collector) Skipped() int { c.mu.Lock(); defer c.mu.Unlock(); return c.skipped }
+
+// Failed returns how many campaigns failed or were abandoned.
+func (c *Collector) Failed() int { c.mu.Lock(); defer c.mu.Unlock(); return c.failed }
+
+// Err returns the run error announced by MatrixDone.
+func (c *Collector) Err() error { c.mu.Lock(); defer c.mu.Unlock(); return c.err }
+
+// Results returns the freshly completed campaigns in completion order.
+func (c *Collector) Results() []*Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Result(nil), c.results...)
+}
+
+// savingsTag compresses a campaign's snapshot-engine telemetry into the
+// progress-line column ("save=2.3x prune=12%", or "save=off" when the
+// campaign ran from reset).
+func savingsTag(r *Result) string {
+	save, prune, ok := r.SnapshotSavings()
+	if !ok {
+		return "save=off"
+	}
+	return fmt.Sprintf("save=%.1fx prune=%.0f%%", save, 100*prune)
+}

@@ -1,21 +1,13 @@
-// The matrix scheduler: one shared worker pool executes every phase of a
-// multi-scenario campaign — golden runs, checkpoint fast-forwards and batched
-// injection jobs — as interleavable tasks. While one scenario's injections
-// drain, the next scenario's golden run already executes on another worker,
-// so the pool never idles between scenarios the way the old sequential
-// matrix loop did. Jobs for the same scenario under several fault domains
-// form one group: the fault-free work (image build, golden run, profiling,
-// checkpoint fast-forward) runs once and is shared, while each domain
-// injects through its own counter-carrying CheckpointSet clone. Finished
-// campaigns stream to the JSONL database immediately, which is what makes
-// -resume of an interrupted matrix possible.
+// Legacy matrix-scheduler entry points, kept as thin shims over the Engine
+// (engine.go) so pre-Engine callers and the golden-compat/determinism
+// tests keep their exact behavior: RunMatrix(MatrixSpec) is New(opts...).
+// RunMatrix(context.Background(), jobs) with the spec's DB/Skip/Progress
+// trio adapted onto the Store interface.
 package campaign
 
 import (
-	"fmt"
+	"context"
 	"io"
-	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,8 +24,8 @@ const DefaultJobSize = 8
 // ScenarioJob pairs one scenario with its fault domain and fault-list
 // seed. Seeds are the caller's responsibility so that a subset run, a
 // resumed run and a full matrix all draw identical fault lists for the
-// same (scenario, domain) pair; the zero Domain is the paper's register
-// single-bit-upset model.
+// same (scenario, domain) pair (Engine.JobsFor encodes the convention);
+// the zero Domain is the paper's register single-bit-upset model.
 type ScenarioJob struct {
 	Scenario npb.Scenario
 	Domain   fault.Model
@@ -43,7 +35,11 @@ type ScenarioJob struct {
 // Key returns the job's database identity.
 func (j ScenarioJob) Key() string { return Key(j.Scenario, j.Domain) }
 
-// MatrixSpec configures a multi-scenario campaign on the shared scheduler.
+// MatrixSpec configures a multi-scenario campaign for the legacy RunMatrix
+// entry point. New code should construct an Engine instead: every field
+// maps onto an Engine option (Workers, JobSize, Snapshots, MaxOpen,
+// SamplePeriod, Faults), DB+Skip onto WithStore, and Progress onto the
+// typed event stream.
 type MatrixSpec struct {
 	Jobs   []ScenarioJob
 	Faults int
@@ -74,9 +70,31 @@ type MatrixSpec struct {
 	Progress func(*Result)
 }
 
+// RunMatrix executes every scenario job through the shared scheduler and
+// returns results in job order. On error the first failure (in job order) is
+// reported; unaffected scenarios still complete and are returned.
+//
+// Deprecated-style shim: this is Engine.RunMatrix with a background
+// context; build an Engine for cancellation, typed events and Store-backed
+// resume.
+func RunMatrix(spec MatrixSpec) ([]*Result, error) {
+	eng := New(
+		Workers(spec.Workers),
+		JobSize(spec.JobSize),
+		Snapshots(spec.Snapshots),
+		MaxOpen(spec.MaxOpen),
+		SamplePeriod(spec.SamplePeriod),
+		Faults(spec.Faults),
+	)
+	if spec.DB != nil || spec.Skip != nil || spec.Progress != nil {
+		eng.store = &streamStore{w: spec.DB, skip: spec.Skip, progress: spec.Progress}
+	}
+	return eng.RunMatrix(context.Background(), spec.Jobs)
+}
+
 // domainState tracks one (scenario, domain) campaign within its group.
 type domainState struct {
-	idx    int // index into spec.Jobs / results
+	idx    int // index into the jobs / results slices
 	job    ScenarioJob
 	cs     *fi.CheckpointSet // clone sharing the group's snapshots, own counters
 	dom    fault.Domain
@@ -84,6 +102,9 @@ type domainState struct {
 	runs   []fi.Result
 
 	remaining atomic.Int64 // injection runs left
+	done      atomic.Int64 // injection runs finished (JobDone progress)
+	jobNanos  atomic.Int64 // summed host wall clock of completed jobs
+	cancelled atomic.Bool  // some injection job was abandoned by ctx
 }
 
 // scenarioState tracks one open scenario group — every domain campaign of
@@ -101,240 +122,4 @@ type scenarioState struct {
 	goldenWall  float64
 	apiCalls    uint64
 	features    profile.Features
-}
-
-// RunMatrix executes every scenario job through the shared scheduler and
-// returns results in job order. On error the first failure (in job order) is
-// reported; unaffected scenarios still complete and are returned.
-func RunMatrix(spec MatrixSpec) ([]*Result, error) {
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	jobSize := spec.JobSize
-	if jobSize <= 0 {
-		jobSize = DefaultJobSize
-	}
-	snapshots := spec.Snapshots
-	if snapshots == 0 {
-		snapshots = fi.DefaultCheckpoints
-	}
-	if snapshots < 0 {
-		snapshots = 0
-	}
-	maxOpen := spec.MaxOpen
-	if maxOpen <= 0 {
-		maxOpen = workers
-		if maxOpen > 8 {
-			maxOpen = 8
-		}
-	}
-	samplePeriod := spec.SamplePeriod
-	if samplePeriod == 0 {
-		samplePeriod = 97
-	}
-
-	n := len(spec.Jobs)
-	results := make([]*Result, n)
-	errs := make([]error, n)
-
-	injJobs := (spec.Faults + jobSize - 1) / jobSize
-	if injJobs < 1 {
-		injJobs = 1
-	}
-	// The task queue is sized for every task the matrix can ever enqueue,
-	// so no producer — worker or feeder — ever blocks on it.
-	tasks := make(chan func(), n*(injJobs+1))
-	sem := make(chan struct{}, maxOpen) // open-scenario slots
-	var open sync.WaitGroup             // fresh scenarios still in flight
-	var dbMu sync.Mutex
-
-	var workerWG sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		workerWG.Add(1)
-		go func() {
-			defer workerWG.Done()
-			for t := range tasks {
-				t()
-			}
-		}()
-	}
-
-	// closeGroup retires an open scenario group, recording err (if any) for
-	// every domain campaign in it that has no result yet.
-	closeGroup := func(st *scenarioState, err error) {
-		if err != nil {
-			for _, ds := range st.domains {
-				if results[ds.idx] == nil && errs[ds.idx] == nil {
-					errs[ds.idx] = fmt.Errorf("%s: %w", ds.job.Key(), err)
-				}
-			}
-		}
-		st.cs = nil // drop checkpoint RAM before releasing the slot
-		for _, ds := range st.domains {
-			ds.cs = nil
-		}
-		<-sem
-		open.Done()
-	}
-
-	// domainDone retires one domain campaign; the group slot is released
-	// when its last domain finishes. Sibling domains keep running after one
-	// domain fails.
-	domainDone := func(st *scenarioState, ds *domainState, err error) {
-		if err != nil {
-			errs[ds.idx] = fmt.Errorf("%s: %w", ds.job.Key(), err)
-		}
-		if st.openDomains.Add(-1) == 0 {
-			closeGroup(st, nil)
-		}
-	}
-
-	assemble := func(st *scenarioState, ds *domainState) {
-		simulated, fromReset := ds.cs.SimulatedInstructions()
-		pruned, _ := ds.cs.PruneStats()
-		res := &Result{
-			Scenario:        ds.job.Scenario,
-			Domain:          ds.job.Domain,
-			Faults:          spec.Faults,
-			Seed:            ds.job.Seed,
-			GoldenWallSec:   st.goldenWall,
-			CampaignWallSec: time.Since(st.t0).Seconds(),
-			Golden: GoldenSummary{
-				AppStart: st.g.AppStart,
-				AppEnd:   st.g.AppEnd,
-				Retired:  st.g.Retired,
-				Cycles:   st.g.Cycles,
-			},
-			Features: st.features,
-			APICalls: st.apiCalls,
-			Runs:     ds.runs,
-		}
-		if ds.cs.Len() > 0 {
-			// Meaningful only under snapshot acceleration; from-reset runs
-			// leave the observability fields zero.
-			res.SimulatedInstr = simulated
-			res.FromResetInstr = fromReset
-			res.PrunedRuns = int(pruned)
-		}
-		for _, r := range ds.runs {
-			res.Counts.Add(r.Outcome)
-		}
-		results[ds.idx] = res
-		if spec.DB != nil || spec.Progress != nil {
-			// One mutex serializes both the database stream and the
-			// progress callback across completing workers.
-			dbMu.Lock()
-			var err error
-			if spec.DB != nil {
-				err = writeRecord(spec.DB, res)
-			}
-			if err == nil && spec.Progress != nil {
-				spec.Progress(res)
-			}
-			dbMu.Unlock()
-			if err != nil {
-				domainDone(st, ds, fmt.Errorf("stream record: %w", err))
-				return
-			}
-		}
-		domainDone(st, ds, nil)
-	}
-
-	golden := func(st *scenarioState) {
-		st.t0 = time.Now()
-		img, cfg, err := npb.BuildScenario(st.job.Scenario)
-		if err != nil {
-			closeGroup(st, err)
-			return
-		}
-		gcfg := cfg
-		gcfg.Profile = true
-		gcfg.SamplePeriod = samplePeriod
-		st.g, err = fi.RunGolden(img, gcfg, 0)
-		if err != nil {
-			closeGroup(st, err)
-			return
-		}
-		st.goldenWall = time.Since(st.t0).Seconds()
-		st.features = profile.Extract(img, st.g.Machine)
-		st.apiCalls = profile.Build(img, st.g.Machine).CallsTo(profile.RuntimePrefixes...)
-
-		st.cs, err = fi.BuildCheckpoints(img, cfg, st.g, snapshots)
-		if err != nil {
-			closeGroup(st, err)
-			return
-		}
-		// Arm every domain campaign of the group before any finishes: all
-		// share the golden reference and the captured snapshots, each
-		// injects through its own counter-carrying clone.
-		st.openDomains.Store(int64(len(st.domains)))
-		for _, ds := range st.domains {
-			ds.dom, err = fi.NewDomain(ds.job.Domain, img, cfg, st.g)
-			if err != nil {
-				domainDone(st, ds, err)
-				continue
-			}
-			ds.faults = fi.List(ds.job.Seed, spec.Faults, ds.dom)
-			ds.cs = st.cs.Clone()
-			ds.runs = make([]fi.Result, len(ds.faults))
-			if len(ds.faults) == 0 {
-				assemble(st, ds)
-				continue
-			}
-			ds.remaining.Store(int64(len(ds.faults)))
-			for lo := 0; lo < len(ds.faults); lo += jobSize {
-				hi := lo + jobSize
-				if hi > len(ds.faults) {
-					hi = len(ds.faults)
-				}
-				ds, lo, hi := ds, lo, hi
-				tasks <- func() {
-					for i := lo; i < hi; i++ {
-						ds.runs[i] = ds.cs.InjectPoint(ds.dom, st.g, ds.faults[i])
-					}
-					if ds.remaining.Add(int64(lo-hi)) == 0 {
-						assemble(st, ds)
-					}
-				}
-			}
-		}
-	}
-
-	// Feed scenario groups in order: jobs sharing a (scenario, seed) pair —
-	// the same scenario under several fault domains — run their fault-free
-	// phases once. The semaphore provides memory backpressure while the
-	// buffered queue keeps workers from ever blocking.
-	groups := make(map[string]*scenarioState, n)
-	var order []*scenarioState
-	for i, job := range spec.Jobs {
-		if r, ok := spec.Skip[job.Key()]; ok {
-			results[i] = r
-			continue
-		}
-		gkey := fmt.Sprintf("%s/%d", job.Scenario.ID(), job.Seed)
-		st := groups[gkey]
-		if st == nil {
-			st = &scenarioState{job: job}
-			groups[gkey] = st
-			order = append(order, st)
-		}
-		st.domains = append(st.domains, &domainState{idx: i, job: job})
-	}
-	for _, st := range order {
-		st := st
-		open.Add(1)
-		sem <- struct{}{}
-		tasks <- func() { golden(st) }
-	}
-	open.Wait()
-	close(tasks)
-	workerWG.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
 }

@@ -1,0 +1,257 @@
+// The queryable results database of campaign orchestration. A Store is
+// where Engine runs land and where resume, report generation and ad-hoc
+// analysis read from — the phase-4 cross-layer database of the paper as an
+// interface instead of a raw map[string]*Result. The JSONL file that
+// campaigns have always streamed to is the first backend (FileStore);
+// MemStore serves tests and in-process pipelines, and StreamStore adapts
+// the legacy MatrixSpec.DB/Skip pair.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"serfi/internal/fault"
+	"serfi/internal/npb"
+)
+
+// Store is a campaign results database keyed by Key (scenario ID,
+// domain-qualified for non-register domains). Put is a streaming append:
+// Engine calls it once per freshly completed campaign, in completion
+// order, so an interrupted run leaves every completed campaign durable.
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Put appends one campaign record. A key already present is rejected
+	// with an error (campaign identities are immutable; resume skips them
+	// instead of rewriting them).
+	Put(*Result) error
+	// Get returns the campaign stored under key.
+	Get(key string) (*Result, bool)
+	// Keys returns every stored campaign key in sorted order.
+	Keys() []string
+	// Query returns the campaigns matching q in sorted key order.
+	Query(Query) []*Result
+}
+
+// Query selects campaigns by conjunctive predicates. Each field constrains
+// one axis when non-empty and matches everything when empty, so the zero
+// Query selects the whole store.
+type Query struct {
+	Apps    []string      // benchmark names ("IS", "MG", ...)
+	ISAs    []string      // "armv7" / "armv8"
+	Modes   []npb.Mode    // programming models
+	Cores   []int         // core counts
+	Domains []fault.Model // fault domains
+	// Match, when set, is an arbitrary extra predicate ANDed with the
+	// field constraints.
+	Match func(npb.Scenario, fault.Model) bool
+}
+
+// Matches reports whether one (scenario, domain) campaign satisfies q.
+func (q Query) Matches(sc npb.Scenario, d fault.Model) bool {
+	if len(q.Apps) > 0 && !contains(q.Apps, sc.App) {
+		return false
+	}
+	if len(q.ISAs) > 0 && !contains(q.ISAs, sc.ISA) {
+		return false
+	}
+	if len(q.Modes) > 0 && !contains(q.Modes, sc.Mode) {
+		return false
+	}
+	if len(q.Cores) > 0 && !contains(q.Cores, sc.Cores) {
+		return false
+	}
+	if len(q.Domains) > 0 && !contains(q.Domains, d) {
+		return false
+	}
+	return q.Match == nil || q.Match(sc, d)
+}
+
+func contains[T comparable](xs []T, x T) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateResume checks that every job already recorded in st was drawn
+// with the same fault count and fault-list seed the current run would
+// use. Resuming across a changed fault count would silently mix sample
+// sizes in one database (rate comparisons over unequal n), and a changed
+// base seed would make the matrix irreproducible from any single seed —
+// both are refused up front instead.
+func ValidateResume(st Store, jobs []ScenarioJob, faults int) error {
+	for _, job := range jobs {
+		r, ok := st.Get(job.Key())
+		if !ok {
+			continue
+		}
+		if r.Faults != faults {
+			return fmt.Errorf("%s has %d faults recorded, current run uses %d (match the fault count or start a fresh database)",
+				job.Key(), r.Faults, faults)
+		}
+		if r.Seed != job.Seed {
+			return fmt.Errorf("%s was drawn with seed %d, current run uses seed %d (match the base seed or start a fresh database)",
+				job.Key(), r.Seed, job.Seed)
+		}
+	}
+	return nil
+}
+
+// memIndex is the shared in-memory map behind every Store implementation.
+type memIndex struct {
+	mu sync.RWMutex
+	m  map[string]*Result
+}
+
+func (s *memIndex) put(r *Result) error {
+	key := r.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*Result)
+	}
+	if _, dup := s.m[key]; dup {
+		return fmt.Errorf("campaign store: duplicate record for %q", key)
+	}
+	s.m[key] = r
+	return nil
+}
+
+func (s *memIndex) Get(key string) (*Result, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.m[key]
+	return r, ok
+}
+
+func (s *memIndex) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (s *memIndex) Query(q Query) []*Result {
+	var out []*Result
+	for _, k := range s.Keys() {
+		r, _ := s.Get(k)
+		if r != nil && q.Matches(r.Scenario, r.Domain) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MemStore is the in-memory Store: tests, examples and in-process
+// pipelines that never touch disk.
+type MemStore struct{ memIndex }
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Put appends one campaign record, rejecting duplicate keys.
+func (s *MemStore) Put(r *Result) error { return s.put(r) }
+
+// FileStore is the JSONL-file Store: existing rows load at open (so an
+// Engine run over the same store resumes where the interrupted one
+// stopped), and every Put appends one JSONL row immediately — the
+// streaming write that makes mid-matrix interruption safe.
+type FileStore struct {
+	memIndex
+	path string
+
+	wmu sync.Mutex
+	f   *os.File
+}
+
+// OpenFileStore opens (or creates) the JSONL database at path. Existing
+// rows are loaded and served by Get/Keys/Query; subsequent Puts append.
+// A missing file is an empty store, matching LoadDB's resume convention.
+func OpenFileStore(path string) (*FileStore, error) {
+	loaded, err := LoadDB(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{memIndex: memIndex{m: loaded}, path: path, f: f}, nil
+}
+
+// Path returns the database file path.
+func (s *FileStore) Path() string { return s.path }
+
+// Put appends one campaign record to the file and the in-memory index.
+func (s *FileStore) Put(r *Result) error {
+	if err := s.put(r); err != nil {
+		return err
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := writeRecord(s.f, r); err != nil {
+		// Roll the index back so the store stays consistent with the file.
+		s.mu.Lock()
+		delete(s.m, r.Key())
+		s.mu.Unlock()
+		return fmt.Errorf("campaign store %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the backing file. The in-memory index stays
+// readable; further Puts fail.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// streamStore adapts the legacy MatrixSpec trio — a raw JSONL writer, a
+// pre-loaded skip map and a serialized progress callback — to the Store
+// interface, so the deprecated entry points run on the Engine unchanged.
+type streamStore struct {
+	memIndex
+	w        io.Writer
+	skip     map[string]*Result
+	progress func(*Result)
+}
+
+// StreamStore wraps a raw JSONL stream plus an optional pre-loaded skip
+// set as a Store. Put appends to w (when non-nil); Get consults skip
+// first, then fresh Puts. Callers that own their database file should use
+// OpenFileStore instead.
+func StreamStore(w io.Writer, skip map[string]*Result) Store {
+	return &streamStore{w: w, skip: skip}
+}
+
+func (s *streamStore) Put(r *Result) error {
+	if err := s.put(r); err != nil {
+		return err
+	}
+	if s.w != nil {
+		if err := writeRecord(s.w, r); err != nil {
+			s.mu.Lock()
+			delete(s.m, r.Key())
+			s.mu.Unlock()
+			return err
+		}
+	}
+	if s.progress != nil {
+		s.progress(r)
+	}
+	return nil
+}
+
+func (s *streamStore) Get(key string) (*Result, bool) {
+	if r, ok := s.skip[key]; ok {
+		return r, true
+	}
+	return s.memIndex.Get(key)
+}

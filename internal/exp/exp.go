@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -28,16 +29,22 @@ type Config struct {
 	// Workers bounds the scheduler's host worker pool; 0 = GOMAXPROCS.
 	Workers int
 	// Snapshots is the per-scenario checkpoint count (0 = default on,
-	// negative = from-reset mode); see campaign.MatrixSpec.
+	// negative = from-reset mode); see campaign.Snapshots.
 	Snapshots int
 	// Domains lists the fault models each scenario runs under (nil: the
 	// paper's register domain only). The paper's tables and figures always
 	// format the register campaigns; extra domains feed DomainTable.
 	Domains []fault.Model
+	// Store, when set, receives streamed scenario records as they complete
+	// and supplies already-recorded campaigns for resume (matching
+	// campaigns are not re-executed). It takes precedence over DB/Skip.
+	Store campaign.Store
 	// DB, when set, receives streamed scenario records as they complete.
+	// Legacy: prefer Store.
 	DB io.Writer
 	// Skip holds already-completed results from an interrupted matrix
 	// (campaign.LoadDB); matching campaigns are not re-executed.
+	// Legacy: prefer Store.
 	Skip map[string]*campaign.Result
 }
 
@@ -60,7 +67,15 @@ type Matrix struct {
 // RunMatrix executes the 130-scenario campaign on the shared matrix
 // scheduler, interleaving golden runs and injection jobs across scenarios.
 func RunMatrix(cfg Config) (*Matrix, error) {
-	return runScenarios(cfg, func(npb.Scenario) bool { return true })
+	return RunMatrixContext(context.Background(), cfg)
+}
+
+// RunMatrixContext is RunMatrix with cancellation: the campaign engine
+// stops at job granularity when ctx is cancelled and the error is
+// ctx.Err(). Campaigns already streamed to cfg.Store stay durable, so a
+// rerun over the same store resumes where the cancelled run stopped.
+func RunMatrixContext(ctx context.Context, cfg Config) (*Matrix, error) {
+	return runScenarios(ctx, cfg, func(npb.Scenario) bool { return true })
 }
 
 // RunSubset executes campaigns only for the scenarios that pass keep
@@ -69,44 +84,57 @@ func RunMatrix(cfg Config) (*Matrix, error) {
 // across domains), so a subset run reproduces the exact per-campaign
 // results of the full matrix.
 func RunSubset(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
-	return runScenarios(cfg, keep)
+	return RunSubsetContext(context.Background(), cfg, keep)
 }
 
-// runScenarios assembles seeds, runs the scheduler and indexes the results.
-func runScenarios(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
+// RunSubsetContext is RunSubset with cancellation; see RunMatrixContext.
+func RunSubsetContext(ctx context.Context, cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
+	return runScenarios(ctx, cfg, keep)
+}
+
+// runScenarios assembles jobs, runs the campaign engine and indexes the
+// results into a Matrix.
+func runScenarios(ctx context.Context, cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
 	domains := cfg.Domains
 	if len(domains) == 0 {
 		domains = []fault.Model{fault.Reg}
 	}
 	m := &Matrix{Cfg: cfg, Domains: domains, Results: make(map[string]*campaign.Result)}
-	var jobs []campaign.ScenarioJob
-	for i, sc := range npb.Scenarios() {
-		if !keep(sc) {
-			continue
-		}
-		m.Order = append(m.Order, sc)
-		for _, d := range domains {
-			jobs = append(jobs, campaign.ScenarioJob{Scenario: sc, Domain: d, Seed: cfg.Seed + int64(i)})
+	for _, sc := range npb.Scenarios() {
+		if keep(sc) {
+			m.Order = append(m.Order, sc)
 		}
 	}
-	var progress func(*campaign.Result)
+	st := cfg.Store
+	if st == nil && (cfg.DB != nil || cfg.Skip != nil) {
+		st = campaign.StreamStore(cfg.DB, cfg.Skip)
+	}
+	opts := []campaign.Option{
+		campaign.Faults(cfg.Faults),
+		campaign.Workers(cfg.Workers),
+		campaign.Snapshots(cfg.Snapshots),
+		campaign.Models(domains...),
+		campaign.WithStore(st),
+	}
+	// Live progress rides the typed event stream: one Collector goroutine
+	// prints per-campaign lines until the engine's MatrixDone.
+	var done chan struct{}
 	if cfg.Progress != nil {
-		done := 0 // progress calls are serialized by the scheduler
-		progress = func(r *campaign.Result) {
-			done++
-			fmt.Fprintf(cfg.Progress, "[%3d/%3d] %-18s %s golden=%.2fs wall=%.1fs\n",
-				done, len(jobs), r.Key(), r.Counts, r.GoldenWallSec, r.CampaignWallSec)
-		}
+		events := make(chan campaign.Event, 64)
+		col := campaign.NewCollector(cfg.Progress, len(m.Order)*len(domains))
+		opts = append(opts, campaign.WithEvents(events))
+		done = make(chan struct{})
+		go func() {
+			defer close(done)
+			col.Consume(events)
+		}()
 	}
-	results, err := campaign.RunMatrix(campaign.MatrixSpec{
-		Jobs:      jobs,
-		Faults:    cfg.Faults,
-		Workers:   cfg.Workers,
-		Snapshots: cfg.Snapshots,
-		DB:        cfg.DB,
-		Skip:      cfg.Skip,
-		Progress:  progress,
-	})
+	eng := campaign.New(opts...)
+	jobs := eng.JobsFor(m.Order, cfg.Seed)
+	results, err := eng.RunMatrix(ctx, jobs)
+	if done != nil {
+		<-done
+	}
 	for i, r := range results {
 		if r != nil {
 			m.Results[jobs[i].Key()] = r
@@ -116,6 +144,51 @@ func runScenarios(cfg Config, keep func(npb.Scenario) bool) (*Matrix, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// MatrixFromStore assembles a Matrix from already-recorded campaigns
+// without running anything — the offline path of the report generators.
+// Scenario order follows the npb catalog, domains the fault.Models order,
+// and the matrix's Cfg.Faults/Seed report what the rows were actually
+// recorded with (not what the caller's cfg says); only artefacts over
+// stored columns are meaningful (wall-clock spans and per-run records are
+// not persisted).
+func MatrixFromStore(st campaign.Store, cfg Config) *Matrix {
+	m := &Matrix{Cfg: cfg, Results: make(map[string]*campaign.Result)}
+	for _, r := range st.Query(campaign.Query{}) {
+		m.Results[r.Key()] = r
+	}
+	haveDomain := make(map[fault.Model]bool)
+	scale := false
+	for i, sc := range npb.Scenarios() {
+		inMatrix := false
+		for _, d := range fault.Models() {
+			r, ok := m.Results[campaign.Key(sc, d)]
+			if !ok {
+				continue
+			}
+			inMatrix = true
+			haveDomain[d] = true
+			if !scale {
+				// The recorded scale (uniform across rows — resume
+				// validation refuses mixed databases): fault count as
+				// stored, base seed back-derived from the catalog
+				// position per the JobsFor convention.
+				m.Cfg.Faults = r.Faults
+				m.Cfg.Seed = r.Seed - int64(i)
+				scale = true
+			}
+		}
+		if inMatrix {
+			m.Order = append(m.Order, sc)
+		}
+	}
+	for _, d := range fault.Models() {
+		if haveDomain[d] {
+			m.Domains = append(m.Domains, d)
+		}
+	}
+	return m
 }
 
 // Get returns a scenario's register-domain result (nil when absent) — the
@@ -211,12 +284,15 @@ func Table1(m *Matrix) string {
 				row.fmtv(a.min), row.fmtv(a.sum/float64(a.n)), row.fmtv(a.max))
 		}
 	}
+	// The campaign total sums ExclusiveCompute, not CampaignWallSec:
+	// campaigns overlap on the shared worker pool, so their open-to-close
+	// spans double-count pool time when added.
 	for _, isaName := range []string{"armv8", "armv7"} {
 		total := 0.0
 		for _, r := range m.filter(func(sc npb.Scenario) bool { return sc.ISA == isaName }) {
-			total += r.CampaignWallSec
+			total += r.ExclusiveCompute()
 		}
-		fmt.Fprintf(&b, "%-28s %-6s %12s\n", "Total Fault Campaign", isaName, fmt.Sprintf("%.0fs", total))
+		fmt.Fprintf(&b, "%-28s %-6s %12s\n", "Total Fault Campaign (compute)", isaName, fmt.Sprintf("%.0fs", total))
 	}
 	// The paper's headline ratio: average v7 instructions / average v8.
 	var s7, s8 float64

@@ -10,6 +10,7 @@
 package fi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -49,6 +50,14 @@ type CheckpointSet struct {
 // lifespan opens so that every possible fault index has a snapshot strictly
 // below it. n <= 0 yields an empty set (every injection runs from reset).
 func BuildCheckpoints(img *cc.Image, cfg mach.Config, g *Golden, n int) (*CheckpointSet, error) {
+	return BuildCheckpointsContext(context.Background(), img, cfg, g, n)
+}
+
+// BuildCheckpointsContext is BuildCheckpoints with cancellation: the
+// fast-forward polls ctx between run slices and between snapshot captures,
+// returning ctx.Err() when cancelled. Captured snapshots are bit-identical
+// to BuildCheckpoints.
+func BuildCheckpointsContext(ctx context.Context, img *cc.Image, cfg mach.Config, g *Golden, n int) (*CheckpointSet, error) {
 	cs := &CheckpointSet{img: img, cfg: cfg}
 	if n <= 0 {
 		return cs, nil
@@ -63,8 +72,11 @@ func BuildCheckpoints(img *cc.Image, cfg mach.Config, g *Golden, n int) (*Checkp
 		if target <= last && k > 0 {
 			continue // lifespan shorter than the checkpoint count
 		}
-		m.SetInstrBudget(target)
-		if stop := m.Run(budget); stop != mach.StopInstrBudget {
+		stop, err := runCtx(ctx, m, target, budget)
+		if err != nil {
+			return nil, err
+		}
+		if stop != mach.StopInstrBudget {
 			return nil, fmt.Errorf("fi: checkpoint fast-forward stopped early: %v at %d (target %d)",
 				stop, m.TotalRetired, target)
 		}
@@ -125,6 +137,16 @@ func (cs *CheckpointSet) nearest(injectAt uint64) *mach.Snapshot {
 // word, a data word the program never rewrites) can never converge and run
 // to completion.
 func (cs *CheckpointSet) InjectPoint(d fault.Domain, g *Golden, p Fault) Result {
+	res, _ := cs.InjectPointContext(context.Background(), d, g, p)
+	return res
+}
+
+// InjectPointContext is InjectPoint with cancellation: the run polls ctx
+// between checkpoint-boundary stages and between suffix run slices. A
+// cancelled run returns ctx.Err() with a zero Result and leaves the set's
+// telemetry counters untouched (an aborted run never counts); a completed
+// run is bit-identical to InjectPoint.
+func (cs *CheckpointSet) InjectPointContext(ctx context.Context, d fault.Domain, g *Golden, p Fault) (Result, error) {
 	m := mach.New(cs.cfg)
 	injectAt := g.AppStart + p.Index
 	if s := cs.nearest(injectAt); s != nil {
@@ -143,8 +165,11 @@ func (cs *CheckpointSet) InjectPoint(d fault.Domain, g *Golden, p Fault) Result 
 		return cs.snaps[i].Retired() > injectAt
 	})
 	for ; next < len(cs.snaps); next++ {
-		m.SetInstrBudget(cs.snaps[next].Retired())
-		if stop = m.Run(budget); stop != mach.StopInstrBudget {
+		var err error
+		if stop, err = runCtx(ctx, m, cs.snaps[next].Retired(), budget); err != nil {
+			return Result{}, err
+		}
+		if stop != mach.StopInstrBudget {
 			break // halted, hung or deadlocked before the boundary
 		}
 		if cs.snaps[next].StateEquals(m) {
@@ -163,8 +188,10 @@ func (cs *CheckpointSet) InjectPoint(d fault.Domain, g *Golden, p Fault) Result 
 	}
 	if !pruned {
 		if stop == mach.StopInstrBudget {
-			m.SetInstrBudget(0)
-			stop = m.Run(budget)
+			var err error
+			if stop, err = runCtx(ctx, m, 0, budget); err != nil {
+				return Result{}, err
+			}
 		}
 		res = finishFault(m, g, p, stop)
 	}
@@ -174,7 +201,7 @@ func (cs *CheckpointSet) InjectPoint(d fault.Domain, g *Golden, p Fault) Result 
 	if pruned {
 		cs.pruned.Add(1)
 	}
-	return res
+	return res, nil
 }
 
 // Inject runs one register fault (legacy entry point; equivalent to

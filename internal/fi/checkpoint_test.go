@@ -1,8 +1,11 @@
 package fi_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
+	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/npb"
 )
@@ -83,5 +86,61 @@ func TestBuildCheckpointsSpansLifespan(t *testing.T) {
 	f := fi.Fault{Index: 1, Core: 0, Reg: 2, Bit: 9}
 	if got, want := empty.Inject(g, f), fi.Inject(img, cfg, g, f); got != want {
 		t.Errorf("empty-set inject %+v != reset %+v", got, want)
+	}
+}
+
+// TestContextCancellation: every context-aware fi entry point returns
+// ctx.Err() promptly when the context is already cancelled, and the
+// Background-context wrappers stay bit-identical to the originals.
+func TestContextCancellation(t *testing.T) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := fi.RunGoldenContext(cancelled, img, cfg, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunGoldenContext err = %v, want context.Canceled", err)
+	}
+	if _, err := fi.BuildCheckpointsContext(cancelled, img, cfg, g, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("BuildCheckpointsContext err = %v, want context.Canceled", err)
+	}
+	cs, err := fi.BuildCheckpointsContext(context.Background(), img, cfg, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fi.NewDomain(fault.Reg, img, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fi.Fault{Index: 7, Core: 0, Reg: 2, Bit: 3}
+	if _, err := cs.InjectPointContext(cancelled, d, g, f); !errors.Is(err, context.Canceled) {
+		t.Errorf("InjectPointContext err = %v, want context.Canceled", err)
+	}
+	// An aborted run never counts toward the set's telemetry.
+	if _, total := cs.PruneStats(); total != 0 {
+		t.Errorf("aborted run counted: total = %d", total)
+	}
+
+	// The live-context path is the plain path, bit for bit.
+	got, err := cs.InjectPointContext(context.Background(), d, g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fi.Inject(img, cfg, g, f); got != want {
+		t.Errorf("ctx inject %+v != legacy inject %+v", got, want)
+	}
+	g2, err := fi.RunGoldenContext(context.Background(), img, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Retired != g.Retired || g2.Cycles != g.Cycles || g2.MemHash != g.MemHash || g2.RegHash != g.RegHash {
+		t.Errorf("ctx golden diverged: %+v vs %+v", g2, g)
 	}
 }

@@ -11,6 +11,7 @@
 package fi
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -46,14 +47,57 @@ type Golden struct {
 	Machine *mach.Machine // retained for profiling inspection
 }
 
+// ctxCheckInterval is how many committed instructions a context-aware run
+// executes between cancellation polls. Pausing at a retired-instruction
+// boundary and resuming is state-preserving (the checkpoint stage loop
+// depends on the same property), so the interval only trades cancellation
+// latency against polling overhead.
+const ctxCheckInterval = 8 << 20
+
+// runCtx drives m.Run in committed-instruction slices, polling ctx between
+// slices. target, when non-zero, is an absolute retired-instruction bound
+// (the machine stops with StopInstrBudget on reaching it, exactly like
+// SetInstrBudget(target) + Run); zero means run until a non-budget stop.
+// The returned error is ctx.Err() and the StopReason is meaningless then.
+func runCtx(ctx context.Context, m *mach.Machine, target, budget uint64) (mach.StopReason, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		next := m.TotalRetired + ctxCheckInterval
+		if target != 0 && next > target {
+			next = target
+		}
+		m.SetInstrBudget(next)
+		stop := m.Run(budget)
+		if stop != mach.StopInstrBudget {
+			return stop, nil
+		}
+		if target != 0 && m.TotalRetired >= target {
+			return stop, nil
+		}
+	}
+}
+
 // RunGolden executes the faultless reference for an image/config pair.
 func RunGolden(img *cc.Image, cfg mach.Config, budget uint64) (*Golden, error) {
+	return RunGoldenContext(context.Background(), img, cfg, budget)
+}
+
+// RunGoldenContext is RunGolden with cancellation: the reference run polls
+// ctx every few million committed instructions and returns ctx.Err() when
+// cancelled. The machine evolution is bit-identical to RunGolden.
+func RunGoldenContext(ctx context.Context, img *cc.Image, cfg mach.Config, budget uint64) (*Golden, error) {
 	m := mach.New(cfg)
 	img.InstallTo(m)
 	if budget == 0 {
 		budget = 30_000_000_000
 	}
-	stop := m.Run(budget)
+	stop, err := runCtx(ctx, m, 0, budget)
+	if err != nil {
+		return nil, err
+	}
+	m.SetInstrBudget(0) // clear the polling slice bound on the retained machine
 	if stop != mach.StopHalted {
 		return nil, fmt.Errorf("fi: golden run did not halt: %v (retired %d)", stop, m.TotalRetired)
 	}
