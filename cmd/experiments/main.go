@@ -7,6 +7,8 @@
 //	experiments -run domains -n 24         (fault-domain comparison, IS subset)
 //	experiments -faultmodel all -n 24      (full matrix under all four domains)
 //	experiments -from results.jsonl        (offline report from a recorded database)
+//	experiments -join :8340 -db results.jsonl (serve the matrix to `serfi worker -join`
+//	                                        processes and report from the folded store)
 //
 // The SERFI_FAULTS environment variable overrides -n when set. With -db
 // the campaign records stream to the JSONL store as they complete, so an
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"serfi/internal/campaign"
+	"serfi/internal/dist"
 	"serfi/internal/exp"
 	"serfi/internal/fault"
 	"serfi/internal/npb"
@@ -39,6 +42,7 @@ func main() {
 	from := flag.String("from", "", "format the report offline from this recorded database (no simulation)")
 	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|domains|fig1|fig2|fig3|macro|vulnwindow|mine")
 	model := flag.String("faultmodel", "reg", "fault domains per scenario: reg|mem|imem|burst, or all")
+	join := flag.String("join", "", "drive the matrix through a cluster: serve shards at this address for `serfi worker -join` processes instead of simulating locally")
 	workers := flag.Int("workers", 0, "host worker pool size (0 = all cores)")
 	snapshots := flag.Int("snapshots", 0, "pre-fault checkpoints per scenario (0 = default, negative disables)")
 	resume := flag.Bool("resume", false, "skip campaigns already recorded in -db and append the rest")
@@ -107,7 +111,13 @@ func main() {
 				fatal(err)
 			}
 		}
-		st, err := campaign.OpenFileStore(*db)
+		// A cluster-driven store is fsynced: a coordinator crash must not
+		// lose campaigns already acknowledged to workers.
+		var fsOpts []campaign.FileStoreOption
+		if *join != "" {
+			fsOpts = append(fsOpts, campaign.Fsync())
+		}
+		st, err := campaign.OpenFileStore(*db, fsOpts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -141,6 +151,56 @@ func main() {
 		"fig2": func(sc npb.Scenario) bool { return sc.ISA == "armv7" },
 		"fig3": func(sc npb.Scenario) bool { return sc.ISA == "armv8" },
 	}
+	// Cluster mode: instead of simulating locally, shard the exact same
+	// matrix over the distributed fabric and format the artefacts from the
+	// folded store once every `serfi worker -join` has drained it. The
+	// seed convention is shared (Engine.JobsFor), so the cluster-produced
+	// report is bit-identical to a local run.
+	if *join != "" {
+		clusterStart := time.Now()
+		st := cfg.Store
+		if st == nil {
+			st = campaign.NewMemStore()
+		}
+		keep := func(npb.Scenario) bool { return true }
+		if k, ok := subset[*run]; ok {
+			keep = k
+		}
+		var scs []npb.Scenario
+		for _, sc := range npb.Scenarios() {
+			if keep(sc) {
+				scs = append(scs, sc)
+			}
+		}
+		jobs := campaign.New(campaign.Models(runDomains...)).JobsFor(scs, *seed)
+		events := make(chan campaign.Event, 64)
+		coord, err := dist.NewCoordinator(jobs, *n, dist.WithStore(st), dist.WithEvents(events))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving %d campaigns at %s; join workers with: serfi worker -join <host:port>\n",
+			len(jobs), *join)
+		col := campaign.NewCollector(os.Stderr, len(jobs))
+		consumed := make(chan struct{})
+		go func() {
+			defer close(consumed)
+			col.Consume(events)
+		}()
+		_, err = coord.Serve(ctx, *join)
+		<-consumed
+		if err != nil {
+			interrupted(err, *db, *n, *seed, *model)
+			fatal(err)
+		}
+		m := exp.MatrixFromStore(st, cfg)
+		if f := artefacts[*run]; f != nil {
+			fmt.Print(f(m))
+			return
+		}
+		writeReport(exp.Report(m, time.Since(clusterStart)), *out)
+		return
+	}
+
 	if keep, ok := subset[*run]; ok {
 		scfg := cfg
 		scfg.Domains = runDomains

@@ -2,12 +2,22 @@
 //
 //	serfi scenarios                        list the 130 fault-injection scenarios
 //	serfi golden   -s armv7/IS/MPI-4       faultless run + gem5-style stats dump
+//	serfi stats    -s armv7/IS/MPI-4       gem5-style counter dump only (machine-readable)
 //	serfi inject   -s ... -n 100 -seed 7   one scenario campaign, print outcomes
 //	serfi campaign -n 100 -db results.jsonl all scenarios, write the database
 //	serfi campaign -resume -db results.jsonl finish an interrupted matrix
+//	serfi serve    -addr :8340 -n 100 -db results.jsonl   distributed coordinator
+//	serfi worker   -join host:8340         pull and execute shards for a coordinator
 //	serfi profile  -s ...                  golden flat profile (calls/samples)
 //	serfi disasm   -s ... -f main          disassemble a guest function
 //	serfi trends                           print the Figure 1 dataset
+//
+// serve/worker are the distributed campaign fabric (internal/dist): serve
+// shards the same matrix `serfi campaign` runs locally and hands lease-based
+// shards to any number of `serfi worker -join` processes over a versioned
+// HTTP+JSON protocol; results fold into the same JSONL store, bit-identical
+// to a local run at the same seed. The coordinator's status page is plain
+// text at http://addr/ (JSON at /v1/status).
 //
 // Campaign-shaped subcommands share the scheduler flags -workers (host
 // worker pool), -jobsize (faults per injection job), -snapshots (pre-fault
@@ -29,8 +39,11 @@ import (
 	"os/signal"
 	"strings"
 
+	"runtime"
+
 	"serfi/internal/campaign"
 	"serfi/internal/cc"
+	"serfi/internal/dist"
 	"serfi/internal/exp"
 	"serfi/internal/fault"
 	"serfi/internal/fi"
@@ -57,6 +70,12 @@ func main() {
 		err = cmdInject(args)
 	case "campaign":
 		err = cmdCampaign(args)
+	case "serve":
+		err = cmdServe(args)
+	case "worker":
+		err = cmdWorker(args)
+	case "stats":
+		err = cmdStats(args)
 	case "profile":
 		err = cmdProfile(args)
 	case "disasm":
@@ -74,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: serfi {scenarios|golden|inject|campaign|profile|disasm|trends} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: serfi {scenarios|golden|stats|inject|campaign|serve|worker|profile|disasm|trends} [flags]")
 }
 
 // parseScenario accepts "armv7/IS/MPI-4".
@@ -293,6 +312,170 @@ func flagIf(flag, val string) string {
 		return ""
 	}
 	return fmt.Sprintf(" %s %s", flag, val)
+}
+
+// cmdServe runs the distributed campaign coordinator: the same matrix
+// `serfi campaign` executes locally, sharded into leases and served to
+// `serfi worker -join` processes. The JSONL store is opened with fsync so a
+// coordinator host crash never loses an acknowledged campaign.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8340", "listen address for workers and the status page")
+	n := fs.Int("n", 50, "faults per scenario")
+	seed := fs.Int64("seed", 2018, "base seed")
+	db := fs.String("db", "results.jsonl", "output database path")
+	only := fs.String("only", "", "substring filter on scenario ids")
+	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst, or all")
+	shardSize := fs.Int("shardsize", dist.DefaultShardSize, "faults per lease shard")
+	leaseTTL := fs.Duration("lease", dist.DefaultLeaseTTL, "lease TTL before a shard is re-issued")
+	resume := fs.Bool("resume", false, "skip campaigns already recorded in -db and serve the rest")
+	fs.Parse(args)
+	domains, err := fault.ParseModels(*model)
+	if err != nil {
+		return err
+	}
+	ctx, stop := interruptContext()
+	defer stop()
+
+	if !*resume {
+		if err := os.Remove(*db); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	st, err := campaign.OpenFileStore(*db, campaign.Fsync())
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	defer st.Close()
+
+	var scs []npb.Scenario
+	for _, sc := range npb.Scenarios() {
+		if *only == "" || strings.Contains(sc.ID(), *only) {
+			scs = append(scs, sc)
+		}
+	}
+	jobs := campaign.New(campaign.Models(domains...)).JobsFor(scs, *seed)
+	if err := campaign.ValidateResume(st, jobs, *n); err != nil {
+		return fmt.Errorf("resume %s: %w", *db, err)
+	}
+
+	events := make(chan campaign.Event, 64)
+	coord, err := dist.NewCoordinator(jobs, *n,
+		dist.ShardSize(*shardSize),
+		dist.LeaseTTL(*leaseTTL),
+		dist.WithStore(st),
+		dist.WithEvents(events),
+	)
+	if err != nil {
+		return err
+	}
+	status := coord.Status()
+	fmt.Printf("serving %d campaigns (%d shards of <=%d faults, %d already recorded) at %s\n",
+		status.Campaigns-status.Skipped, status.Shards, *shardSize, status.Skipped, *addr)
+	fmt.Printf("join workers with: serfi worker -join <host>%s\n", portSuffix(*addr))
+
+	col := campaign.NewCollector(os.Stdout, len(jobs))
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		col.Consume(events)
+	}()
+	_, err = coord.Serve(ctx, *addr)
+	<-consumed
+	if errors.Is(err, context.Canceled) {
+		if cerr := st.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Printf("interrupted: %d of %d campaigns recorded in %s\n", len(st.Keys()), len(jobs), *db)
+		fmt.Printf("resume with: serfi serve -resume -addr %s -db %s -n %d -seed %d%s%s\n",
+			*addr, *db, *n, *seed, flagIf("-only", *only), flagIf("-faultmodel", *model))
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("matrix complete: %d campaigns in %s (%d served fresh, %d resumed)\n",
+		len(st.Keys()), *db, col.Completed(), col.Skipped())
+	return st.Close()
+}
+
+// portSuffix extracts the ":port" part of a listen address for the printed
+// join hint ("" when addr carries none).
+func portSuffix(addr string) string {
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		return addr[i:]
+	}
+	return ""
+}
+
+// cmdWorker joins a coordinator and executes shards until the matrix is
+// done (the worker exits 0) or the process is interrupted.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	join := fs.String("join", "", "coordinator address (host:port), required")
+	workers := fs.Int("workers", 0, "concurrent shard executions (0 = all cores)")
+	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints per scenario (0 = run every fault from reset)")
+	name := fs.String("name", "", "worker name on the coordinator status page (default host-pid)")
+	fs.Parse(args)
+	if *join == "" {
+		return fmt.Errorf("worker: -join <host:port> is required")
+	}
+	parallel := *workers
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	ctx, stop := interruptContext()
+	defer stop()
+	opts := []dist.WorkerOption{
+		dist.Parallel(parallel),
+		dist.Snapshots(snapshotCount(*snapshots)),
+	}
+	if *name != "" {
+		opts = append(opts, dist.Name(*name))
+	}
+	w := dist.NewWorker(dist.NewClient(*join), opts...)
+	fmt.Printf("worker joined %s (%d slots)\n", *join, parallel)
+	if err := w.Run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("interrupted: in-flight leases will expire and be re-issued")
+			return nil
+		}
+		return err
+	}
+	fmt.Println("matrix complete, worker exiting")
+	return nil
+}
+
+// cmdStats dumps the gem5-style counter file for a golden run of one
+// scenario — the machine-readable slice of `serfi golden`.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	scid := fs.String("s", "armv8/IS/SER-1", "scenario id")
+	out := fs.String("o", "", "write the dump here (default stdout)")
+	fs.Parse(args)
+	sc, err := parseScenario(*scid)
+	if err != nil {
+		return err
+	}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		return err
+	}
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	stats.Dump(w, stats.Collect(g.Machine))
+	return nil
 }
 
 func cmdProfile(args []string) error {

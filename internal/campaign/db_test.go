@@ -3,6 +3,7 @@ package campaign_test
 import (
 	"bytes"
 	"os"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -261,5 +262,62 @@ func TestParseKey(t *testing.T) {
 	}
 	if _, _, err = campaign.ParseKey("armv7/MG/MPI-4#cosmic"); err == nil {
 		t.Error("bad domain key accepted")
+	}
+}
+
+// TestFileStoreFsyncDurability: a store opened with Fsync appends and
+// flushes each record at Put — reopening the path (the crash-recovery
+// read) sees every acknowledged campaign, and rejects duplicates exactly
+// like the unsynced store.
+func TestFileStoreFsyncDurability(t *testing.T) {
+	path := t.TempDir() + "/sync.jsonl"
+	st, err := campaign.OpenFileStore(path, campaign.Fsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(storeResult("IS", fault.Reg, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(storeResult("MG", fault.Mem, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen WITHOUT closing: the fsynced rows must already be on disk.
+	re, err := campaign.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := len(re.Keys()); got != 2 {
+		t.Fatalf("reopened fsync store holds %d campaigns, want 2", got)
+	}
+	if err := st.Put(storeResult("IS", fault.Reg, 3)); err == nil {
+		t.Error("fsync store accepted a duplicate key")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreKeysDeterministic: Keys is sorted on every backend regardless
+// of insertion order, so status output and record diffs are stable.
+func TestStoreKeysDeterministic(t *testing.T) {
+	for name, st := range storeImpls(t) {
+		for _, r := range []*campaign.Result{
+			storeResult("UA", fault.Reg, 1),
+			storeResult("BT", fault.IMem, 1),
+			storeResult("MG", fault.Burst, 1),
+			storeResult("BT", fault.Reg, 1),
+		} {
+			if err := st.Put(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := append([]string(nil), st.Keys()...)
+		sort.Strings(want)
+		for trial := 0; trial < 3; trial++ {
+			if got := st.Keys(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: Keys() unstable: %v != %v", name, got, want)
+			}
+		}
 	}
 }

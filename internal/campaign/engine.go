@@ -70,7 +70,14 @@ func MaxOpen(n int) Option { return func(e *Engine) { e.maxOpen = n } }
 // Faults sets the per-campaign fault count.
 func Faults(n int) Option { return func(e *Engine) { e.faults = n } }
 
-// SamplePeriod sets the golden profiling sample period; 0 picks a default.
+// DefaultSamplePeriod is the golden profiling sample period campaigns use
+// when the caller does not choose one. The distributed fabric's workers
+// share it, so a remote golden run profiles — and therefore records
+// Features — exactly like a local Engine run.
+const DefaultSamplePeriod = 97
+
+// SamplePeriod sets the golden profiling sample period; 0 picks
+// DefaultSamplePeriod.
 func SamplePeriod(p uint64) Option { return func(e *Engine) { e.samplePeriod = p } }
 
 // Models sets the fault domains JobsFor expands each scenario into; empty
@@ -183,7 +190,7 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 	}
 	samplePeriod := e.samplePeriod
 	if samplePeriod == 0 {
-		samplePeriod = 97
+		samplePeriod = DefaultSamplePeriod
 	}
 	faults := e.faults
 

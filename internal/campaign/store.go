@@ -165,19 +165,33 @@ func (s *MemStore) Put(r *Result) error { return s.put(r) }
 // FileStore is the JSONL-file Store: existing rows load at open (so an
 // Engine run over the same store resumes where the interrupted one
 // stopped), and every Put appends one JSONL row immediately — the
-// streaming write that makes mid-matrix interruption safe.
+// streaming write that makes mid-matrix interruption safe. Keys (like
+// every Store) returns sorted order, so status output and record diffs are
+// stable across runs and across backends.
 type FileStore struct {
 	memIndex
-	path string
+	path  string
+	fsync bool
 
 	wmu sync.Mutex
 	f   *os.File
 }
 
+// FileStoreOption configures OpenFileStore.
+type FileStoreOption func(*FileStore)
+
+// Fsync makes every Put fsync the file before returning. With it, a
+// campaign acknowledged to the caller — and, in the distributed fabric, a
+// shard acknowledged to a worker via its assembled campaign — survives a
+// coordinator host crash, not merely a process exit; without it the write
+// sits in the page cache at the OS's mercy. Costs one disk flush per
+// campaign record, which campaign-scale streams never notice.
+func Fsync() FileStoreOption { return func(s *FileStore) { s.fsync = true } }
+
 // OpenFileStore opens (or creates) the JSONL database at path. Existing
 // rows are loaded and served by Get/Keys/Query; subsequent Puts append.
 // A missing file is an empty store, matching LoadDB's resume convention.
-func OpenFileStore(path string) (*FileStore, error) {
+func OpenFileStore(path string, opts ...FileStoreOption) (*FileStore, error) {
 	loaded, err := LoadDB(path)
 	if err != nil {
 		return nil, err
@@ -186,20 +200,29 @@ func OpenFileStore(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FileStore{memIndex: memIndex{m: loaded}, path: path, f: f}, nil
+	s := &FileStore{memIndex: memIndex{m: loaded}, path: path, f: f}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
 }
 
 // Path returns the database file path.
 func (s *FileStore) Path() string { return s.path }
 
-// Put appends one campaign record to the file and the in-memory index.
+// Put appends one campaign record to the file and the in-memory index,
+// fsyncing when the store was opened with Fsync.
 func (s *FileStore) Put(r *Result) error {
 	if err := s.put(r); err != nil {
 		return err
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	if err := writeRecord(s.f, r); err != nil {
+	err := writeRecord(s.f, r)
+	if err == nil && s.fsync {
+		err = s.f.Sync()
+	}
+	if err != nil {
 		// Roll the index back so the store stays consistent with the file.
 		s.mu.Lock()
 		delete(s.m, r.Key())

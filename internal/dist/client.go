@@ -1,0 +1,158 @@
+// The worker side of the wire: a small JSON POST client with two
+// transports — real HTTP for cluster deployments, and a loopback transport
+// that drives a coordinator's http.Handler in-process through the full
+// request/response marshal path (no sockets), which is what the
+// golden-compat tests, the CI smoke cluster and the examples use.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the coordinator protocol. Construct with NewClient (HTTP)
+// or NewLoopbackClient (in-process). Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a coordinator at addr ("host:8340" or a
+// full "http://host:8340" base URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base: strings.TrimRight(addr, "/"),
+		hc:   &http.Client{Timeout: 2 * time.Minute},
+	}
+}
+
+// NewLoopbackClient returns a client that serves every request directly
+// from h — the coordinator's Handler — in the calling goroutine. The full
+// wire path (routing, JSON encode/decode, protocol version checks, status
+// codes) is exercised; only the TCP socket is elided.
+func NewLoopbackClient(h http.Handler) *Client {
+	return &Client{
+		base: "http://loopback",
+		hc:   &http.Client{Transport: loopbackTransport{h: h}},
+	}
+}
+
+// post sends one JSON request and decodes the JSON reply into out. Non-200
+// answers surface the coordinator's error body.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorReply
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return fmt.Errorf("dist: %s: %s", path, er.Error)
+		}
+		return fmt.Errorf("dist: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Lease asks the coordinator for one shard.
+func (c *Client) Lease(ctx context.Context, worker string) (LeaseReply, error) {
+	var reply LeaseReply
+	err := c.post(ctx, PathLease, LeaseRequest{Proto: ProtoVersion, Worker: worker}, &reply)
+	return reply, err
+}
+
+// Complete posts one executed shard.
+func (c *Client) Complete(ctx context.Context, req CompleteRequest) (CompleteReply, error) {
+	req.Proto = ProtoVersion
+	var reply CompleteReply
+	err := c.post(ctx, PathComplete, req, &reply)
+	return reply, err
+}
+
+// Event streams one progress beat (best-effort; callers may ignore errors).
+func (c *Client) Event(ctx context.Context, req EventRequest) error {
+	req.Proto = ProtoVersion
+	var reply EventReply
+	return c.post(ctx, PathEvents, req, &reply)
+}
+
+// Status fetches the coordinator's aggregate state.
+func (c *Client) Status(ctx context.Context) (StatusReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathStatus, nil)
+	if err != nil {
+		return StatusReply{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return StatusReply{}, err
+	}
+	defer resp.Body.Close()
+	var st StatusReply
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("dist: %s: HTTP %d", PathStatus, resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// loopbackTransport serves requests synchronously from an http.Handler.
+type loopbackTransport struct {
+	h http.Handler
+}
+
+func (t loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header), code: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		StatusCode: rec.code,
+		Header:     rec.header,
+		Body:       io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		Request:    req,
+	}, nil
+}
+
+// responseRecorder is the minimal in-memory http.ResponseWriter behind the
+// loopback transport (httptest.ResponseRecorder without the test-only
+// dependencies).
+type responseRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+	wrote  bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.body.Write(p)
+}

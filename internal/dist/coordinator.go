@@ -1,0 +1,592 @@
+// The coordinator half of the fabric: shard bookkeeping, the HTTP+JSON
+// protocol handlers, result folding into the canonical campaign.Store and
+// event stream, and the status page.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"serfi/internal/campaign"
+	"serfi/internal/fi"
+	"serfi/internal/profile"
+)
+
+// Defaults for the tunables every coordinator option can override.
+const (
+	// DefaultShardSize is how many faults one lease covers. It matches the
+	// local scheduler's injection job size: a shard is the distributed
+	// analogue of an injection job.
+	DefaultShardSize = campaign.DefaultJobSize
+	// DefaultLeaseTTL is how long a worker may sit on a shard before the
+	// coordinator re-issues it. Generous on purpose: a shard's cost is
+	// dominated by the first shard of a scenario (golden run + checkpoint
+	// fast-forward), and a premature re-issue only wastes work, never
+	// corrupts results.
+	DefaultLeaseTTL = 5 * time.Minute
+	// defaultRetryMs is the back-off hint handed to workers when every
+	// remaining shard is leased.
+	defaultRetryMs = 200
+)
+
+// campState is one (scenario, domain) campaign's folding state on the
+// coordinator: the identity it was sharded from, the per-fault results
+// collected so far, the scenario-level metadata reported by the first
+// completed shard, and the aggregated telemetry.
+type campState struct {
+	idx    int // position in the jobs / results slices
+	job    campaign.ScenarioJob
+	key    string
+	faults int
+
+	shardsLeft int // shards not yet folded
+	started    bool
+	t0         time.Time // first lease grant (campaign wall span opens)
+
+	runs     []fi.Result
+	haveMeta bool
+	golden   campaign.GoldenSummary
+	features map[string]float64
+	apiCalls uint64
+
+	simulated, fromReset uint64
+	pruned               int
+	jobWall              float64
+	beats                int // injection runs reported via progress events
+
+	done bool
+	err  error
+}
+
+// workerInfo is the per-worker telemetry behind the status page.
+type workerInfo struct {
+	shards   int
+	runs     int
+	lastSeen time.Time
+}
+
+// Coordinator shards a campaign matrix and serves it to workers. Construct
+// with NewCoordinator, mount Handler on a server (or hand it to loopback
+// clients), then Wait for the folded results; Serve does listen+wait in one
+// call. A Coordinator is single-use: one matrix per instance.
+type Coordinator struct {
+	shardSize int
+	ttl       time.Duration
+	store     campaign.Store
+	events    chan<- campaign.Event
+	now       func() time.Time
+
+	mu        sync.Mutex
+	camps     []*campState
+	table     *leaseTable
+	results   []*campaign.Result
+	errs      []error
+	campsLeft int
+	skipped   int
+	failed    int
+	workers   map[string]*workerInfo
+	t0        time.Time
+	muted     bool // terminal MatrixDone announced; drop late handler events
+
+	finished chan struct{}
+	finOnce  sync.Once
+}
+
+// CoordOption configures a Coordinator.
+type CoordOption func(*Coordinator)
+
+// ShardSize sets how many faults one lease covers; 0 picks
+// DefaultShardSize. Shard size never affects results — only lease
+// granularity (how much a dead worker can lose) and protocol overhead.
+func ShardSize(n int) CoordOption { return func(c *Coordinator) { c.shardSize = n } }
+
+// LeaseTTL sets how long a lease may stay unacknowledged before the shard
+// is re-issued; 0 picks DefaultLeaseTTL.
+func LeaseTTL(d time.Duration) CoordOption { return func(c *Coordinator) { c.ttl = d } }
+
+// WithStore attaches the canonical results store: campaigns whose key the
+// store already holds are answered from it (the resume path, exactly like
+// the local Engine), and every freshly assembled campaign is Put in
+// completion order.
+func WithStore(st campaign.Store) CoordOption { return func(c *Coordinator) { c.store = st } }
+
+// WithEvents attaches a typed campaign event stream. The coordinator sends
+// JobDone beats as workers report progress, ScenarioDone as campaigns
+// assemble (or fail) and exactly one terminal MatrixDone from Wait; the
+// same consumer contract as campaign.Engine applies (one live consumer per
+// run, draining until MatrixDone).
+func WithEvents(ch chan<- campaign.Event) CoordOption { return func(c *Coordinator) { c.events = ch } }
+
+// withNow overrides the coordinator clock (lease-expiry tests).
+func withNow(f func() time.Time) CoordOption { return func(c *Coordinator) { c.now = f } }
+
+// NewCoordinator shards one matrix: the same jobs and per-campaign fault
+// count a local Engine.RunMatrix would take. Jobs already recorded in the
+// store must match their fault count and seed (the campaign.ValidateResume
+// rule) and are answered without sharding; everything else becomes pending
+// shards. The fabric inherits the Engine's seed convention unchanged, so a
+// distributed run reproduces a local run bit for bit.
+func NewCoordinator(jobs []campaign.ScenarioJob, faults int, opts ...CoordOption) (*Coordinator, error) {
+	if faults < 0 {
+		return nil, fmt.Errorf("dist: negative fault count %d", faults)
+	}
+	c := &Coordinator{
+		shardSize: DefaultShardSize,
+		ttl:       DefaultLeaseTTL,
+		now:       time.Now,
+		workers:   make(map[string]*workerInfo),
+		finished:  make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.shardSize <= 0 {
+		c.shardSize = DefaultShardSize
+	}
+	if c.ttl <= 0 {
+		c.ttl = DefaultLeaseTTL
+	}
+	c.results = make([]*campaign.Result, len(jobs))
+	c.errs = make([]error, len(jobs))
+	seen := make(map[string]bool, len(jobs))
+	for i, job := range jobs {
+		key := job.Key()
+		if seen[key] {
+			return nil, fmt.Errorf("dist: duplicate campaign %s in matrix", key)
+		}
+		seen[key] = true
+		st := &campState{idx: i, job: job, key: key, faults: faults, runs: make([]fi.Result, faults)}
+		if c.store != nil {
+			if r, ok := c.store.Get(key); ok {
+				if r.Faults != faults || r.Seed != job.Seed {
+					return nil, fmt.Errorf("dist: %s recorded with (faults=%d seed=%d), this matrix uses (faults=%d seed=%d)",
+						key, r.Faults, r.Seed, faults, job.Seed)
+				}
+				c.results[i] = r
+				st.done = true
+				c.skipped++
+			}
+		}
+		c.camps = append(c.camps, st)
+		if !st.done {
+			c.campsLeft++
+		}
+	}
+	c.table = newLeaseTable(c.camps, c.shardSize, c.ttl, c.now)
+	c.t0 = c.now()
+	if c.campsLeft == 0 {
+		close(c.finished)
+	}
+	return c, nil
+}
+
+// emit publishes one campaign event when a stream is attached. Handlers
+// call it under c.mu; after the terminal MatrixDone has been announced
+// (muted, set under the same mutex) late handler events are dropped, so
+// MatrixDone is always the stream's last event and no handler can block on
+// a channel whose consumer already detached.
+func (c *Coordinator) emit(ev campaign.Event) {
+	if c.events != nil && !c.muted {
+		c.events <- ev
+	}
+}
+
+// finish announces the terminal MatrixDone exactly once and mutes further
+// handler events. Safe to call from Wait and from Serve's error path.
+func (c *Coordinator) finish(ev campaign.MatrixDone) {
+	c.finOnce.Do(func() {
+		// Taking the mutex serializes with any handler mid-emit: its send
+		// completes (the consumer is still draining — MatrixDone has not
+		// been sent yet), then muted flips, then MatrixDone goes out last.
+		c.mu.Lock()
+		c.muted = true
+		c.mu.Unlock()
+		if c.events != nil {
+			c.events <- ev
+		}
+	})
+}
+
+// Wait blocks until every campaign is assembled (or failed), or until ctx
+// cancels, then emits the terminal MatrixDone and returns results in job
+// order — the same contract as Engine.RunMatrix. On cancellation the
+// partial results plus ctx.Err() are returned; campaigns already assembled
+// are durable in the store, and a new coordinator over the same store
+// resumes where this one stopped.
+func (c *Coordinator) Wait(ctx context.Context) ([]*campaign.Result, error) {
+	var cause error
+	select {
+	case <-c.finished:
+	case <-ctx.Done():
+		cause = ctx.Err()
+	}
+	c.mu.Lock()
+	results := append([]*campaign.Result(nil), c.results...)
+	var first error
+	if cause != nil {
+		first = cause
+	} else {
+		for _, err := range c.errs {
+			if err != nil {
+				first = err
+				break
+			}
+		}
+	}
+	completed := 0
+	for _, r := range results {
+		if r != nil {
+			completed++
+		}
+	}
+	completed -= c.skipped
+	skipped, failed := c.skipped, len(results)-completed-c.skipped
+	wall := c.now().Sub(c.t0).Seconds()
+	c.mu.Unlock()
+	c.finish(campaign.MatrixDone{
+		Completed: completed,
+		Skipped:   skipped,
+		Failed:    failed,
+		WallSec:   wall,
+		Err:       first,
+	})
+	return results, first
+}
+
+// doneLinger is how long Serve keeps answering the protocol after the
+// matrix finishes, so workers sitting in their retry-poll loop observe the
+// Done reply and exit cleanly instead of finding a closed port. (The worker
+// that folds the final shard learns Done from its CompleteReply and needs
+// no linger at all.)
+const doneLinger = 1500 * time.Millisecond
+
+// Serve listens on addr, serves the wire protocol plus the status page, and
+// waits for the matrix (see Wait). After completion the server lingers
+// briefly (doneLinger) so polling workers see the Done signal, then the
+// listener closes.
+func (c *Coordinator) Serve(ctx context.Context, addr string) ([]*campaign.Result, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		// Announce the terminal event even when the run never starts, so an
+		// attached Collector goroutine unblocks instead of hanging its CLI.
+		c.finish(campaign.MatrixDone{Skipped: c.skipped, Err: err})
+		return nil, err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go srv.Serve(ln)
+	results, werr := c.Wait(ctx)
+	if ctx.Err() == nil {
+		time.Sleep(doneLinger)
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		srv.Close()
+	}
+	return results, werr
+}
+
+// Handler returns the coordinator's HTTP handler: the /v1 wire protocol
+// plus a human-readable status page at /.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathLease, c.handleLease)
+	mux.HandleFunc(PathComplete, c.handleComplete)
+	mux.HandleFunc(PathEvents, c.handleEvents)
+	mux.HandleFunc(PathStatus, c.handleStatus)
+	mux.HandleFunc("/", c.handlePage)
+	return mux
+}
+
+// decode parses one JSON request body and enforces the protocol version.
+func decode(w http.ResponseWriter, r *http.Request, proto *int, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return false
+	}
+	if *proto != ProtoVersion {
+		writeJSON(w, http.StatusBadRequest, errorReply{
+			Error: fmt.Sprintf("protocol version %d, coordinator speaks %d", *proto, ProtoVersion)})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// touch refreshes one worker's liveness row. Caller holds c.mu.
+func (c *Coordinator) touch(name string) *workerInfo {
+	wi := c.workers[name]
+	if wi == nil {
+		wi = &workerInfo{}
+		c.workers[name] = wi
+	}
+	wi.lastSeen = c.now()
+	return wi
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decode(w, r, &req.Proto, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	sh, done := c.table.acquire(req.Worker)
+	if done {
+		writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, Done: true})
+		return
+	}
+	if sh == nil {
+		writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, RetryMs: defaultRetryMs})
+		return
+	}
+	camp := sh.camp
+	if !camp.started {
+		camp.started = true
+		camp.t0 = c.now()
+	}
+	writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, Lease: &Lease{
+		ID:       sh.leaseID,
+		Key:      camp.key,
+		Scenario: camp.job.Scenario.ID(),
+		Domain:   camp.job.Domain.String(),
+		Seed:     camp.job.Seed,
+		Faults:   camp.faults,
+		Lo:       sh.lo,
+		Hi:       sh.hi,
+		TTLMs:    int(c.ttl / time.Millisecond),
+	}})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decode(w, r, &req.Proto, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wi := c.touch(req.Worker)
+	sh, stale := c.table.complete(req.LeaseID, req.Key, req.Lo, req.Hi)
+	if stale {
+		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Stale: true, Done: c.campsLeft == 0})
+		return
+	}
+	camp := sh.camp
+	if req.Err != "" {
+		c.failCampaign(camp, errors.New(req.Err))
+		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
+		return
+	}
+	if len(req.Runs) != sh.hi-sh.lo {
+		c.failCampaign(camp, fmt.Errorf("shard [%d,%d) returned %d runs", sh.lo, sh.hi, len(req.Runs)))
+		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
+		return
+	}
+	copy(camp.runs[sh.lo:sh.hi], req.Runs)
+	if !camp.haveMeta {
+		camp.haveMeta = true
+		camp.golden = req.Golden
+		camp.features = req.Features
+		camp.apiCalls = req.APICalls
+	}
+	camp.simulated += req.SimulatedInstr
+	camp.fromReset += req.FromResetInstr
+	camp.pruned += req.PrunedRuns
+	camp.jobWall += req.WallSec
+	wi.shards++
+	wi.runs += len(req.Runs)
+	camp.shardsLeft--
+	if camp.shardsLeft == 0 && !camp.done {
+		c.assemble(camp)
+	}
+	writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var req EventRequest
+	if !decode(w, r, &req.Proto, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	sh := c.table.holder(req.LeaseID)
+	if sh == nil || sh.camp.key != req.Key {
+		// Stale beat from an expired lease: acknowledge and drop.
+		writeJSON(w, http.StatusOK, EventReply{Proto: ProtoVersion})
+		return
+	}
+	camp := sh.camp
+	sh.beats += req.Hi - req.Lo
+	camp.beats += req.Hi - req.Lo
+	c.emit(campaign.JobDone{
+		Scenario: camp.job.Scenario,
+		Domain:   camp.job.Domain,
+		Lo:       req.Lo,
+		Hi:       req.Hi,
+		WallSec:  req.WallSec,
+		Done:     camp.beats,
+		Total:    camp.faults,
+	})
+	writeJSON(w, http.StatusOK, EventReply{Proto: ProtoVersion})
+}
+
+// assemble folds one fully sharded campaign into its canonical Result, puts
+// it in the store and announces it — the distributed analogue of the
+// Engine's assemble step. Caller holds c.mu.
+func (c *Coordinator) assemble(camp *campState) {
+	res := &campaign.Result{
+		Scenario:        camp.job.Scenario,
+		Domain:          camp.job.Domain,
+		Faults:          camp.faults,
+		Seed:            camp.job.Seed,
+		Golden:          camp.golden,
+		Features:        profile.FeaturesFromMap(camp.features),
+		APICalls:        camp.apiCalls,
+		Runs:            camp.runs,
+		CampaignWallSec: c.now().Sub(camp.t0).Seconds(),
+		JobWallSec:      camp.jobWall,
+		SimulatedInstr:  camp.simulated,
+		FromResetInstr:  camp.fromReset,
+		PrunedRuns:      camp.pruned,
+	}
+	for _, r := range camp.runs {
+		res.Counts.Add(r.Outcome)
+	}
+	if c.store != nil {
+		if err := c.store.Put(res); err != nil {
+			c.failCampaign(camp, fmt.Errorf("stream record: %w", err))
+			return
+		}
+	}
+	c.results[camp.idx] = res
+	camp.done = true
+	c.emit(campaign.ScenarioDone{Key: camp.key, Result: res})
+	c.campDone()
+}
+
+// failCampaign retires a campaign with an error, dropping its remaining
+// shards so the lease table still drains. Caller holds c.mu.
+func (c *Coordinator) failCampaign(camp *campState, err error) {
+	if camp.done {
+		return
+	}
+	camp.done = true
+	camp.err = fmt.Errorf("%s: %w", camp.key, err)
+	c.errs[camp.idx] = camp.err
+	c.failed++
+	c.table.retireCampaign(camp)
+	c.emit(campaign.ScenarioDone{Key: camp.key, Err: camp.err})
+	c.campDone()
+}
+
+// campDone retires one campaign slot; the matrix finishes when none remain.
+// Caller holds c.mu.
+func (c *Coordinator) campDone() {
+	c.campsLeft--
+	if c.campsLeft == 0 {
+		close(c.finished)
+	}
+}
+
+// Status snapshots the coordinator's aggregate state (also served at
+// /v1/status).
+func (c *Coordinator) Status() StatusReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.table.expire()
+	now := c.now()
+	st := StatusReply{
+		Proto:        ProtoVersion,
+		Done:         c.campsLeft == 0,
+		Campaigns:    len(c.camps),
+		Skipped:      c.skipped,
+		Failed:       c.failed,
+		Shards:       len(c.table.shards),
+		ShardsDone:   c.table.done,
+		ShardsLeased: c.table.leased,
+		Reissued:     c.table.reissued,
+		ElapsedSec:   now.Sub(c.t0).Seconds(),
+	}
+	for _, camp := range c.camps {
+		st.Injections += camp.faults
+		if camp.done {
+			st.CampaignsDone++
+		}
+	}
+	for _, sh := range c.table.shards {
+		if sh.state == shardDone {
+			st.Injected += sh.hi - sh.lo
+		}
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		wi := c.workers[name]
+		live := 0
+		for _, sh := range c.table.shards {
+			if sh.state == shardLeased && sh.worker == name {
+				live++
+			}
+		}
+		st.Workers = append(st.Workers, WorkerStatus{
+			Name:        name,
+			Live:        live,
+			Shards:      wi.shards,
+			Runs:        wi.runs,
+			LastSeenSec: now.Sub(wi.lastSeen).Seconds(),
+		})
+	}
+	return st
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// handlePage renders the plain-text status page at /.
+func (c *Coordinator) handlePage(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	st := c.Status()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "serfi distributed campaign coordinator (protocol v%d)\n\n", st.Proto)
+	fmt.Fprintf(w, "campaigns  %d/%d done (%d skipped, %d failed)\n",
+		st.CampaignsDone, st.Campaigns, st.Skipped, st.Failed)
+	fmt.Fprintf(w, "shards     %d/%d done, %d leased, %d re-issued\n",
+		st.ShardsDone, st.Shards, st.ShardsLeased, st.Reissued)
+	fmt.Fprintf(w, "injections %d/%d classified\n", st.Injected, st.Injections)
+	fmt.Fprintf(w, "elapsed    %.1fs\n", st.ElapsedSec)
+	if len(st.Workers) > 0 {
+		fmt.Fprintf(w, "\n%-24s %6s %8s %8s %10s\n", "worker", "live", "shards", "runs", "last seen")
+		for _, ws := range st.Workers {
+			fmt.Fprintf(w, "%-24s %6d %8d %8d %9.1fs\n", ws.Name, ws.Live, ws.Shards, ws.Runs, ws.LastSeenSec)
+		}
+	}
+	if st.Done {
+		fmt.Fprintln(w, "\nmatrix complete")
+	}
+}

@@ -1,0 +1,177 @@
+// The coordinator's lease table: every shard of every campaign, its lease
+// state and its deadline. The table is the single source of truth for what
+// is pending, in flight and done; expiry is lazy (checked under the lock on
+// every acquire), so the fabric needs no background timer goroutine and
+// tests can drive time explicitly.
+package dist
+
+import (
+	"time"
+)
+
+// shardState is the lifecycle of one shard: pending (no live lease),
+// leased (granted, deadline armed), done (results folded, or the owning
+// campaign retired another way).
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+// shard is one unit of distributable work: a contiguous fault index range
+// of one campaign.
+type shard struct {
+	camp   *campState
+	lo, hi int
+
+	state    shardState
+	leaseID  int64
+	worker   string
+	deadline time.Time
+	beats    int // injection runs reported by the current lease holder
+}
+
+// leaseTable tracks every shard. It is not self-locking: the coordinator
+// serializes access under its own mutex, which also covers campaign state.
+type leaseTable struct {
+	shards   []*shard
+	nextID   int64
+	ttl      time.Duration
+	now      func() time.Time
+	reissued int // expired leases returned to pending
+
+	pending int // shards with no live lease
+	leased  int // shards in flight
+	done    int // shards retired
+}
+
+// newLeaseTable shards every open campaign into [lo, hi) ranges of at most
+// shardSize faults, in campaign order. Campaigns already answered from the
+// store contribute no shards.
+func newLeaseTable(camps []*campState, shardSize int, ttl time.Duration, now func() time.Time) *leaseTable {
+	t := &leaseTable{ttl: ttl, now: now}
+	for _, c := range camps {
+		if c.done {
+			continue
+		}
+		for lo := 0; lo < c.faults; lo += shardSize {
+			hi := lo + shardSize
+			if hi > c.faults {
+				hi = c.faults
+			}
+			s := &shard{camp: c, lo: lo, hi: hi}
+			t.shards = append(t.shards, s)
+			c.shardsLeft++
+		}
+		// A zero-fault campaign still needs one (empty) shard so that some
+		// worker reports its golden metadata and the campaign can assemble.
+		if c.faults == 0 {
+			s := &shard{camp: c}
+			t.shards = append(t.shards, s)
+			c.shardsLeft++
+		}
+	}
+	t.pending = len(t.shards)
+	return t
+}
+
+// expire returns every overdue lease to pending. Called under the
+// coordinator lock before any grant or status read.
+func (t *leaseTable) expire() {
+	now := t.now()
+	for _, s := range t.shards {
+		if s.state == shardLeased && now.After(s.deadline) {
+			s.state = shardPending
+			s.leaseID = 0
+			s.worker = ""
+			// The dead holder's progress beats are retracted so the next
+			// holder's beats don't double-count (Done must never exceed
+			// Total on the campaign progress line).
+			s.camp.beats -= s.beats
+			s.beats = 0
+			t.reissued++
+			t.leased--
+			t.pending++
+		}
+	}
+}
+
+// acquire grants the first pending shard to worker, arming its deadline.
+// done reports that every shard is retired (the worker may exit); a nil
+// shard with done false means everything left is currently leased — retry.
+func (t *leaseTable) acquire(worker string) (s *shard, done bool) {
+	t.expire()
+	if t.done == len(t.shards) {
+		return nil, true
+	}
+	for _, sh := range t.shards {
+		if sh.state != shardPending {
+			continue
+		}
+		t.nextID++
+		sh.state = shardLeased
+		sh.leaseID = t.nextID
+		sh.worker = worker
+		sh.deadline = t.now().Add(t.ttl)
+		t.pending--
+		t.leased++
+		return sh, false
+	}
+	return nil, false
+}
+
+// complete retires the shard held under leaseID, or reports it stale: the
+// lease expired and was re-issued, the shard was already completed by
+// another holder, or the ID was never granted. Stale completions are
+// discarded without touching campaign state — a re-executed shard produces
+// bit-identical results, so dropping either copy is sound and dropping the
+// stale one guarantees no result is folded twice.
+func (t *leaseTable) complete(leaseID int64, key string, lo, hi int) (s *shard, stale bool) {
+	for _, sh := range t.shards {
+		if sh.state == shardLeased && sh.leaseID == leaseID {
+			if sh.camp.key != key || sh.lo != lo || sh.hi != hi {
+				return nil, true // malformed echo of a live lease
+			}
+			t.retire(sh)
+			return sh, false
+		}
+	}
+	return nil, true
+}
+
+// holder returns the live shard granted under leaseID, if any (used to
+// validate progress events).
+func (t *leaseTable) holder(leaseID int64) *shard {
+	for _, sh := range t.shards {
+		if sh.state == shardLeased && sh.leaseID == leaseID {
+			return sh
+		}
+	}
+	return nil
+}
+
+// retire marks one shard done, whatever state it was in.
+func (t *leaseTable) retire(sh *shard) {
+	switch sh.state {
+	case shardDone:
+		return
+	case shardLeased:
+		t.leased--
+	case shardPending:
+		t.pending--
+	}
+	sh.state = shardDone
+	t.done++
+}
+
+// retireCampaign drops every remaining shard of a failed campaign so the
+// table still drains to completion.
+func (t *leaseTable) retireCampaign(c *campState) {
+	for _, sh := range t.shards {
+		if sh.camp == c {
+			t.retire(sh)
+		}
+	}
+}

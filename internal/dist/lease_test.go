@@ -1,0 +1,200 @@
+package dist
+
+// Failure-model tests: a worker killed mid-shard loses only its leased
+// shards — the coordinator re-issues them after the TTL, no duplicate rows
+// reach the store, and the final campaign is bit-identical to an
+// uninterrupted run. Time is driven explicitly through the coordinator's
+// injected clock, so nothing here sleeps or flakes.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"serfi/internal/campaign"
+	"serfi/internal/fault"
+	"serfi/internal/npb"
+)
+
+// fakeClock is a hand-advanced coordinator clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLeaseExpiryReissuesKilledWorkersShard(t *testing.T) {
+	jobs := []campaign.ScenarioJob{
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.Reg, Seed: 21},
+	}
+	const faults = 4
+
+	// Reference: the uninterrupted single-process campaign.
+	ref, err := campaign.New(campaign.Faults(faults)).RunMatrix(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	path := t.TempDir() + "/dist.jsonl"
+	st, err := campaign.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(jobs, faults,
+		ShardSize(2), // two shards
+		LeaseTTL(time.Minute),
+		WithStore(st),
+		withNow(clock.now),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewLoopbackClient(coord.Handler())
+	ctx := context.Background()
+
+	// The doomed worker leases the first shard and is killed mid-shard: the
+	// lease is held, no completion ever arrives.
+	doomed, err := cl.Lease(ctx, "doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doomed.Lease == nil {
+		t.Fatalf("doomed worker got no lease: %+v", doomed)
+	}
+
+	// Before the TTL passes, the shard must NOT be re-issued: a second
+	// worker sees only the other shard, then a retry hint.
+	if r, err := cl.Lease(ctx, "probe"); err != nil || r.Lease == nil || r.Lease.ID == doomed.Lease.ID {
+		t.Fatalf("probe lease = %+v, %v (want the second shard)", r, err)
+	}
+	if r, err := cl.Lease(ctx, "probe"); err != nil || r.Lease != nil || r.Done {
+		t.Fatalf("probe lease = %+v, %v (want a retry hint while both shards are leased)", r, err)
+	}
+	// The probe abandons its shard too; both now expire together.
+	clock.advance(time.Minute + time.Second)
+
+	// A healthy worker drains the re-issued shards to completion.
+	w := NewWorker(cl, Name("healthy"))
+	werr := make(chan error, 1)
+	go func() { werr <- w.Run(ctx) }()
+	results, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-werr; err != nil {
+		t.Fatal(err)
+	}
+
+	status := coord.Status()
+	if status.Reissued < 2 {
+		t.Errorf("reissued = %d, want >= 2 (both expired leases)", status.Reissued)
+	}
+
+	// The doomed worker's completion arrives late — after its lease was
+	// re-issued and executed. It must be reported stale and change nothing.
+	stale, err := cl.Complete(ctx, CompleteRequest{
+		Worker:  "doomed",
+		LeaseID: doomed.Lease.ID,
+		Key:     doomed.Lease.Key,
+		Lo:      doomed.Lease.Lo,
+		Hi:      doomed.Lease.Hi,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale.Stale || stale.Accepted {
+		t.Errorf("late completion reply = %+v, want stale", stale)
+	}
+
+	// No duplicate rows: exactly one JSONL record, and the campaign matches
+	// the uninterrupted reference bit for bit.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := sortedRecords(t, path)
+	if len(lines) != 1 {
+		t.Fatalf("store holds %d JSONL rows, want 1:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if results[0] == nil || results[0].Counts != ref[0].Counts {
+		t.Errorf("interrupted-then-reissued counts %v != reference %v", results[0].Counts, ref[0].Counts)
+	}
+	if results[0].Counts.Total() != faults {
+		t.Errorf("classified %d of %d faults", results[0].Counts.Total(), faults)
+	}
+}
+
+// TestShardErrorFailsCampaign: a worker that cannot execute a shard reports
+// the error, the campaign fails like a local engine failure, remaining
+// shards drain, and the matrix still terminates.
+func TestShardErrorFailsCampaign(t *testing.T) {
+	jobs := []campaign.ScenarioJob{
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.Reg, Seed: 31},
+	}
+	coord, err := NewCoordinator(jobs, 4, ShardSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewLoopbackClient(coord.Handler())
+	ctx := context.Background()
+	r, err := cl.Lease(ctx, "w")
+	if err != nil || r.Lease == nil {
+		t.Fatalf("lease: %+v, %v", r, err)
+	}
+	if _, err := cl.Complete(ctx, CompleteRequest{
+		Worker: "w", LeaseID: r.Lease.ID, Key: r.Lease.Key,
+		Lo: r.Lease.Lo, Hi: r.Lease.Hi, Err: "scenario build exploded",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := coord.Wait(ctx)
+	if err == nil || !strings.Contains(err.Error(), "scenario build exploded") {
+		t.Errorf("matrix error = %v, want the shard failure", err)
+	}
+	if results[0] != nil {
+		t.Error("failed campaign produced a result")
+	}
+	if s := coord.Status(); !s.Done || s.Failed != 1 || s.ShardsDone != s.Shards {
+		t.Errorf("status after failure = %+v", s)
+	}
+}
+
+// TestLeaseTableShardMath pins the sharding arithmetic, including the
+// zero-fault edge (one empty shard so metadata still flows).
+func TestLeaseTableShardMath(t *testing.T) {
+	mk := func(faults, shardSize int) *leaseTable {
+		c := &campState{faults: faults}
+		return newLeaseTable([]*campState{c}, shardSize, time.Minute, time.Now)
+	}
+	for _, tc := range []struct {
+		faults, shardSize, wantShards int
+	}{
+		{10, 4, 3}, {8, 4, 2}, {1, 4, 1}, {0, 4, 1}, {4, 1, 4},
+	} {
+		tab := mk(tc.faults, tc.shardSize)
+		if len(tab.shards) != tc.wantShards {
+			t.Errorf("faults=%d shard=%d: %d shards, want %d", tc.faults, tc.shardSize, len(tab.shards), tc.wantShards)
+			continue
+		}
+		covered := 0
+		for _, sh := range tab.shards {
+			covered += sh.hi - sh.lo
+		}
+		if covered != tc.faults {
+			t.Errorf("faults=%d shard=%d: shards cover %d", tc.faults, tc.shardSize, covered)
+		}
+	}
+}

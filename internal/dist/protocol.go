@@ -1,0 +1,172 @@
+// Package dist is the distributed campaign fabric: a coordinator/worker
+// subsystem that shards a campaign matrix across processes and machines.
+//
+// The coordinator takes the same []campaign.ScenarioJob the local Engine
+// does, splits each campaign's fault list into lease-based shards (a shard
+// is a campaign key plus a fault index range plus the campaign's seed),
+// serves the shards over a small versioned HTTP+JSON wire protocol, re-issues
+// leases whose deadline passes (so a killed worker loses at most the shards
+// it held), and folds completed shard results into the canonical
+// campaign.Store and event stream. A worker pulls leases, rebuilds the
+// scenario locally (image, golden reference, checkpoints, fault list — all
+// deterministic functions of the scenario and seed), injects exactly the
+// leased index range through the checkpointed fi path, and posts the results
+// back.
+//
+// Determinism is the contract: because fault domains freeze their draw
+// orders (internal/fault) and the seed convention is centralized
+// (campaign.Engine.JobsFor), a sharded distributed run is bit-identical —
+// same JSONL records, same outcome counts — to a single-process
+// Engine.RunMatrix at the same seed, for any worker count and any shard
+// size. The golden-compat tests in this package pin that equivalence.
+package dist
+
+import (
+	"serfi/internal/campaign"
+	"serfi/internal/fi"
+)
+
+// ProtoVersion is the wire protocol version. Every request carries it and
+// the coordinator rejects mismatches up front, so a stale worker fails
+// loudly instead of corrupting a campaign.
+const ProtoVersion = 1
+
+// Wire endpoints. All are POST JSON except PathStatus, which also answers
+// GET (the status page reads it).
+const (
+	PathLease    = "/v1/lease"
+	PathComplete = "/v1/complete"
+	PathEvents   = "/v1/events"
+	PathStatus   = "/v1/status"
+)
+
+// LeaseRequest asks the coordinator for one shard.
+type LeaseRequest struct {
+	Proto  int    `json:"proto"`
+	Worker string `json:"worker"` // stable worker name, for status/telemetry
+}
+
+// LeaseReply answers a lease request: exactly one of Lease set (work to
+// do), Done true (the whole matrix is finished — the worker may exit), or
+// RetryMs > 0 (every remaining shard is currently leased; ask again later).
+type LeaseReply struct {
+	Proto   int    `json:"proto"`
+	Done    bool   `json:"done,omitempty"`
+	RetryMs int    `json:"retry_ms,omitempty"`
+	Lease   *Lease `json:"lease,omitempty"`
+}
+
+// Lease is one shard grant: the campaign identity (key, scenario, domain,
+// seed, total fault count — everything a worker needs to rebuild the exact
+// fault list) plus the half-open index range [Lo, Hi) this lease covers and
+// the TTL after which the coordinator may re-issue it.
+type Lease struct {
+	ID       int64  `json:"id"`
+	Key      string `json:"key"`      // campaign.Key (scenario ID, domain-qualified)
+	Scenario string `json:"scenario"` // npb scenario ID, e.g. "armv8/IS/SER-1"
+	Domain   string `json:"domain"`   // fault.Model spelling, e.g. "reg"
+	Seed     int64  `json:"seed"`     // fault-list seed of the campaign
+	Faults   int    `json:"faults"`   // total campaign fault count (list length)
+	Lo       int    `json:"lo"`
+	Hi       int    `json:"hi"`
+	TTLMs    int    `json:"ttl_ms"`
+}
+
+// CompleteRequest posts one executed shard back. Runs holds the per-fault
+// results of exactly [Lo, Hi) in index order. The scenario-level metadata
+// (golden summary, profile features, API-call count) is a deterministic
+// function of the scenario, so every shard of a campaign reports identical
+// values; the coordinator takes them from whichever shard completes first.
+// Err, when non-empty, reports that the worker could not execute the shard
+// (the scenario failed to build or the golden run failed) — the coordinator
+// fails the whole campaign, exactly like a local Engine run would.
+type CompleteRequest struct {
+	Proto   int    `json:"proto"`
+	Worker  string `json:"worker"`
+	LeaseID int64  `json:"lease_id"`
+	Key     string `json:"key"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	Err     string `json:"err,omitempty"`
+
+	Runs     []fi.Result            `json:"runs,omitempty"`
+	Golden   campaign.GoldenSummary `json:"golden"`
+	Features map[string]float64     `json:"features,omitempty"`
+	APICalls uint64                 `json:"api_calls"`
+
+	// Shard telemetry, folded into the campaign Result's observability
+	// fields and the status page.
+	SimulatedInstr uint64  `json:"simulated_instr,omitempty"`
+	FromResetInstr uint64  `json:"from_reset_instr,omitempty"`
+	PrunedRuns     int     `json:"pruned_runs,omitempty"`
+	WallSec        float64 `json:"wall_sec,omitempty"`
+}
+
+// CompleteReply acknowledges a shard. Stale means the lease was no longer
+// current — it expired and the shard was re-issued (or already completed by
+// another worker); the results were discarded, which is harmless because a
+// re-executed shard produces bit-identical results. Done piggybacks the
+// matrix-finished signal so the worker that folds the last shard exits
+// without another lease round trip (the coordinator may be gone by then).
+type CompleteReply struct {
+	Proto    int  `json:"proto"`
+	Accepted bool `json:"accepted"`
+	Stale    bool `json:"stale,omitempty"`
+	Done     bool `json:"done,omitempty"`
+}
+
+// EventRequest streams one fine-grained progress beat — a completed
+// injection batch inside a leased shard — so the coordinator's event stream
+// and status page show live progress before the shard completes. Delivery
+// is best-effort: a lost event costs nothing but display granularity.
+type EventRequest struct {
+	Proto    int     `json:"proto"`
+	Worker   string  `json:"worker"`
+	LeaseID  int64   `json:"lease_id"`
+	Key      string  `json:"key"`
+	Lo       int     `json:"lo"` // batch range within the shard
+	Hi       int     `json:"hi"`
+	WallSec  float64 `json:"wall_sec"`
+	Scenario string  `json:"scenario"`
+	Domain   string  `json:"domain"`
+}
+
+// EventReply acknowledges a progress beat.
+type EventReply struct {
+	Proto int `json:"proto"`
+}
+
+// StatusReply is the coordinator's aggregate state: campaign and shard
+// progress, lease health and per-worker activity. Workers are sorted by
+// name, so status output is stable across polls.
+type StatusReply struct {
+	Proto         int     `json:"proto"`
+	Done          bool    `json:"done"`
+	Campaigns     int     `json:"campaigns"`
+	CampaignsDone int     `json:"campaigns_done"`
+	Skipped       int     `json:"skipped"` // answered from the store at startup
+	Failed        int     `json:"failed"`
+	Shards        int     `json:"shards"`
+	ShardsDone    int     `json:"shards_done"`
+	ShardsLeased  int     `json:"shards_leased"`
+	Reissued      int     `json:"reissued"` // expired leases handed out again
+	Injected      int     `json:"injected"` // faults classified so far
+	Injections    int     `json:"injections"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
+// WorkerStatus is one worker's row on the status page.
+type WorkerStatus struct {
+	Name        string  `json:"name"`
+	Live        int     `json:"live"`   // leases currently held
+	Shards      int     `json:"shards"` // shards completed
+	Runs        int     `json:"runs"`   // faults classified
+	LastSeenSec float64 `json:"last_seen_sec"`
+}
+
+// errorReply is the JSON body of every non-200 protocol answer.
+type errorReply struct {
+	Error string `json:"error"`
+}

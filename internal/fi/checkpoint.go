@@ -204,6 +204,30 @@ func (cs *CheckpointSet) InjectPointContext(ctx context.Context, d fault.Domain,
 	return res, nil
 }
 
+// InjectRangeContext runs the contiguous fault sublist faults[lo:hi]
+// through the set in index order and returns one Result per fault. This is
+// the shard execution primitive of the distributed fabric (internal/dist):
+// a worker that holds a lease on the index range [lo, hi) of a campaign's
+// fault list replays exactly that slice over its local CheckpointSet, and
+// because every run is independent and bit-identical to InjectPoint, the
+// concatenation of shard results equals a single-process campaign over the
+// whole list. A cancelled range returns ctx.Err() with a nil slice; the
+// set's telemetry counters record only the completed runs.
+func (cs *CheckpointSet) InjectRangeContext(ctx context.Context, d fault.Domain, g *Golden, faults []Fault, lo, hi int) ([]Result, error) {
+	if lo < 0 || hi > len(faults) || lo > hi {
+		return nil, fmt.Errorf("fi: fault range [%d, %d) outside list of %d", lo, hi, len(faults))
+	}
+	out := make([]Result, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		r, err := cs.InjectPointContext(ctx, d, g, faults[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // Inject runs one register fault (legacy entry point; equivalent to
 // InjectPoint with the fault.Reg domain).
 func (cs *CheckpointSet) Inject(g *Golden, f Fault) Result {
