@@ -17,6 +17,7 @@ import (
 	"serfi/internal/fi"
 	"serfi/internal/isa/armv7"
 	"serfi/internal/isa/armv8"
+	"serfi/internal/mach"
 	"serfi/internal/npb"
 )
 
@@ -260,6 +261,61 @@ func BenchmarkDecode(b *testing.B) {
 			_ = codec.Decode(words[i%len(words)])
 		}
 	})
+}
+
+// BenchmarkExecHot measures raw execute-loop cost in ns per retired guest
+// instruction on the IS and MG hot loops — the paper's simulation-rate
+// bottleneck — across both parallel modes and both ISAs. The slowpath
+// sub-benchmarks drive the retained reference interpreter (the `-slowpath`
+// escape hatch); the fast sub-benchmarks drive the block-cached dispatch
+// path. Both must retire the same instruction count (the determinism
+// contract); the benchmark fails if they ever disagree.
+func BenchmarkExecHot(b *testing.B) {
+	type combo struct {
+		app  string
+		mode npb.Mode
+	}
+	combos := []combo{{"IS", npb.OMP}, {"IS", npb.MPI}, {"MG", npb.OMP}, {"MG", npb.MPI}}
+	for _, isaName := range []string{"armv7", "armv8"} {
+		for _, cb := range combos {
+			sc := npb.Scenario{App: cb.app, Mode: cb.mode, ISA: isaName, Cores: 2}
+			var fastRetired, slowRetired uint64
+			for _, path := range []string{"fast", "slowpath"} {
+				b.Run(fmt.Sprintf("%s/%s-%s/%s", isaName, cb.app, cb.mode, path), func(b *testing.B) {
+					img, cfg, err := npb.BuildScenario(sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg.SlowPath = path == "slowpath"
+					var retired uint64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						// Machine construction (RAM allocation + image
+						// install) is excluded: the metric is the execute
+						// loop's cost per retired instruction.
+						b.StopTimer()
+						m := mach.New(cfg)
+						img.InstallTo(m)
+						b.StartTimer()
+						if stop := m.Run(20_000_000_000); stop != mach.StopHalted {
+							b.Fatalf("stop = %v", stop)
+						}
+						retired = m.TotalRetired
+					}
+					b.StopTimer()
+					b.ReportMetric(b.Elapsed().Seconds()*1e9/(float64(retired)*float64(b.N)), "ns/instr")
+					if path == "fast" {
+						fastRetired = retired
+					} else {
+						slowRetired = retired
+					}
+				})
+			}
+			if fastRetired != 0 && slowRetired != 0 && fastRetired != slowRetired {
+				b.Fatalf("%s %s: fast retired %d, slowpath retired %d", sc.ID(), "paths diverged", fastRetired, slowRetired)
+			}
+		}
+	}
 }
 
 // BenchmarkCampaignThroughput reports faults/second for a small campaign

@@ -99,6 +99,15 @@ func usage() {
 // parseScenario accepts "armv7/IS/MPI-4".
 func parseScenario(s string) (npb.Scenario, error) { return npb.ParseID(s) }
 
+// slowPathFlag registers the -slowpath escape hatch: it selects the
+// retained per-instruction reference interpreter instead of the
+// block-cached fast path for every machine this process builds. Both
+// engines are bit-identical (the lockstep differential tests pin it); the
+// flag exists for debugging and for the CI differential jobs.
+func slowPathFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("slowpath", false, "use the reference interpreter instead of the block-cached fast path (bit-identical, slower)")
+}
+
 // snapshotCount maps the CLI convention (0 disables) onto the campaign
 // convention (0 = default, negative disables).
 func snapshotCount(flagVal int) int {
@@ -144,7 +153,9 @@ func cmdScenarios(args []string) error {
 func cmdGolden(args []string) error {
 	fs := flag.NewFlagSet("golden", flag.ExitOnError)
 	scid := fs.String("s", "armv8/IS/SER-1", "scenario id")
+	slow := slowPathFlag(fs)
 	fs.Parse(args)
+	mach.ForceSlowPath = *slow
 	sc, err := parseScenario(*scid)
 	if err != nil {
 		return err
@@ -176,7 +187,9 @@ func cmdInject(args []string) error {
 	workers := fs.Int("workers", 0, "host worker pool size (0 = all cores)")
 	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints (0 = run every fault from reset)")
+	slow := slowPathFlag(fs)
 	fs.Parse(args)
+	mach.ForceSlowPath = *slow
 	sc, err := parseScenario(*scid)
 	if err != nil {
 		return err
@@ -227,7 +240,9 @@ func cmdCampaign(args []string) error {
 	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints per scenario (0 = run every fault from reset)")
 	resume := fs.Bool("resume", false, "skip campaigns already recorded in -db and append the rest")
+	slow := slowPathFlag(fs)
 	fs.Parse(args)
+	mach.ForceSlowPath = *slow
 	domains, err := fault.ParseModels(*model)
 	if err != nil {
 		return err
@@ -416,7 +431,9 @@ func cmdWorker(args []string) error {
 	workers := fs.Int("workers", 0, "concurrent shard executions (0 = all cores)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints per scenario (0 = run every fault from reset)")
 	name := fs.String("name", "", "worker name on the coordinator status page (default host-pid)")
+	slow := slowPathFlag(fs)
 	fs.Parse(args)
+	mach.ForceSlowPath = *slow
 	if *join == "" {
 		return fmt.Errorf("worker: -join <host:port> is required")
 	}
@@ -452,7 +469,9 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	scid := fs.String("s", "armv8/IS/SER-1", "scenario id")
 	out := fs.String("o", "", "write the dump here (default stdout)")
+	slow := slowPathFlag(fs)
 	fs.Parse(args)
+	mach.ForceSlowPath = *slow
 	sc, err := parseScenario(*scid)
 	if err != nil {
 		return err

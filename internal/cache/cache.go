@@ -104,10 +104,12 @@ func (c *Cache) Access(addr uint32, write bool) (hit bool, evicted int64) {
 	c.tick++
 	lineAddr := addr >> c.setShift
 	set := lineAddr & c.setMask
-	tag := lineAddr >> 0 // full line address as tag (set bits redundant but harmless)
+	tag := lineAddr // full line address as tag (set bits redundant but harmless)
 	base := set * c.cfg.Ways
 	ways := c.lines[base : base+c.cfg.Ways]
-	victim := 0
+	// Hit scan first, victim bookkeeping only on the miss path: the choice
+	// is identical to a single fused scan (same visit order, same
+	// comparisons), but the common hit pays no victim accounting.
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].lru = c.tick
@@ -117,6 +119,9 @@ func (c *Cache) Access(addr uint32, write bool) (hit bool, evicted int64) {
 			c.Stats.Hits++
 			return true, -1
 		}
+	}
+	victim := 0
+	for i := range ways {
 		if !ways[i].valid {
 			victim = i
 		} else if ways[victim].valid && ways[i].lru < ways[victim].lru {

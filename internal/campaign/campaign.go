@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"serfi/internal/fault"
@@ -78,6 +79,12 @@ type Result struct {
 	GoldenWallSec   float64
 	CampaignWallSec float64
 	JobWallSec      float64
+	// JobSpans are the per-job spans behind JobWallSec, tagged with the
+	// fault-index range each job covered. ExclusiveCompute merges them by
+	// range so that duplicated work — a re-issued distributed shard, a
+	// job re-executed across a cancel/resume — is counted once. Sorted by
+	// (Lo, Hi); empty on results reloaded from a database.
+	JobSpans []JobSpan
 	// Snapshot-engine observability: instructions actually simulated by the
 	// injection runs versus their from-reset cost, and how many runs were
 	// scored by convergence pruning (zero-valued when snapshots are off).
@@ -113,16 +120,98 @@ func ParseKey(key string) (npb.Scenario, fault.Model, error) {
 // Key returns the result's database identity.
 func (r *Result) Key() string { return Key(r.Scenario, r.Domain) }
 
+// JobSpan is one injection job's host wall-clock span, tagged with the
+// fault-index range [Lo, Hi) the job executed.
+type JobSpan struct {
+	Lo, Hi  int
+	WallSec float64
+}
+
 // ExclusiveCompute returns the host compute attributable to this campaign
-// alone: the golden-phase span plus the summed spans of its injection jobs
-// (JobWallSec, derived from the per-job JobDone events). Unlike
-// CampaignWallSec — an open-to-close span over the shared worker pool —
-// these components occupy one worker each, so summing ExclusiveCompute
-// across campaigns approximates total pool busy time. Domain campaigns of
-// one scenario share a single golden phase, so a cross-domain sum counts
-// that phase once per domain. Zero on results reloaded from a database,
-// which stores no wall-clock columns.
-func (r *Result) ExclusiveCompute() float64 { return r.GoldenWallSec + r.JobWallSec }
+// alone: the golden-phase span plus the merged spans of its injection
+// jobs. The merge is by fault-index interval: when two spans overlap —
+// the same faults executed twice by a re-issued distributed shard or a
+// cancelled-then-resumed matrix — only the first execution's share
+// counts, and zero-length spans (the empty shard of a zero-fault
+// campaign) count nothing, so summing ExclusiveCompute across campaigns
+// approximates total pool busy time without double-counting duplicated
+// work. Unlike CampaignWallSec — an open-to-close span over the shared
+// worker pool — every counted span occupies one worker. Domain campaigns
+// of one scenario share a single golden phase, so a cross-domain sum
+// counts that phase once per domain. Results without span records fall
+// back to the raw JobWallSec sum; results reloaded from a database store
+// no wall-clock columns and report zero.
+func (r *Result) ExclusiveCompute() float64 {
+	if len(r.JobSpans) == 0 {
+		return r.GoldenWallSec + r.JobWallSec
+	}
+	return r.GoldenWallSec + MergeJobSpans(r.JobSpans)
+}
+
+// SortJobSpans orders spans by fault-index range — the Result.JobSpans
+// contract, shared by the engine and the distributed coordinator.
+func SortJobSpans(spans []JobSpan) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Lo != spans[j].Lo {
+			return spans[i].Lo < spans[j].Lo
+		}
+		return spans[i].Hi < spans[j].Hi
+	})
+}
+
+// CoverageCount returns how many distinct fault indices a span set covers
+// (overlaps counted once) — the unit behind every "injections classified"
+// surface. The input need not be sorted and is not modified.
+func CoverageCount(spans []JobSpan) int {
+	ss := append([]JobSpan(nil), spans...)
+	SortJobSpans(ss)
+	total, maxHi := 0, 0
+	first := true
+	for _, s := range ss {
+		if s.Hi <= s.Lo {
+			continue
+		}
+		if first || s.Lo > maxHi {
+			total += s.Hi - s.Lo
+		} else if s.Hi > maxHi {
+			total += s.Hi - maxHi
+		}
+		if first || s.Hi > maxHi {
+			maxHi = s.Hi
+		}
+		first = false
+	}
+	return total
+}
+
+// MergeJobSpans returns the total seconds of a span set with overlapping
+// fault-index ranges counted once: each span contributes the fraction of
+// its range not already covered by an earlier span. The input need not be
+// sorted and is not modified.
+func MergeJobSpans(spans []JobSpan) float64 {
+	ss := append([]JobSpan(nil), spans...)
+	SortJobSpans(ss)
+	total := 0.0
+	maxHi := 0
+	for _, s := range ss {
+		if s.Hi <= s.Lo {
+			continue // zero-length span: no compute to attribute
+		}
+		// Sorted by Lo, so coverage at or above s.Lo is exactly [s.Lo, maxHi).
+		uncovered := 0
+		switch {
+		case maxHi <= s.Lo:
+			uncovered = s.Hi - s.Lo
+		case maxHi < s.Hi:
+			uncovered = s.Hi - maxHi
+		}
+		total += s.WallSec * float64(uncovered) / float64(s.Hi-s.Lo)
+		if s.Hi > maxHi {
+			maxHi = s.Hi
+		}
+	}
+	return total
+}
 
 // SnapshotSavings returns the snapshot engine's amortization factor
 // (from-reset instructions per simulated instruction) and the

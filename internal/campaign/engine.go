@@ -273,6 +273,7 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 			GoldenWallSec:   st.goldenWall,
 			CampaignWallSec: time.Since(st.t0).Seconds(),
 			JobWallSec:      time.Duration(ds.jobNanos.Load()).Seconds(),
+			JobSpans:        ds.takeSpans(),
 			Golden: GoldenSummary{
 				AppStart: st.g.AppStart,
 				AppEnd:   st.g.AppEnd,
@@ -411,8 +412,12 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 							ds.runs[i] = r
 						}
 						span := time.Since(jt0)
-						ds.jobNanos.Add(span.Nanoseconds())
 						if !aborted {
+							// Aborted jobs record no span: the campaign
+							// carries no result, and a resumed matrix
+							// re-executes (and re-counts) the whole range.
+							ds.jobNanos.Add(span.Nanoseconds())
+							ds.addSpan(lo, hi, span.Seconds())
 							e.emit(JobDone{
 								Scenario: ds.job.Scenario,
 								Domain:   ds.job.Domain,

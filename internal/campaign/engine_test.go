@@ -296,3 +296,101 @@ func TestCollectorFoldsEvents(t *testing.T) {
 		t.Errorf("collector results = %v", got)
 	}
 }
+
+// TestMergeJobSpans pins the interval merge behind ExclusiveCompute:
+// overlapping fault ranges (a re-issued shard, a job re-run across a
+// cancel/resume) count once, zero-length spans count nothing, and partial
+// overlaps contribute only their uncovered share.
+func TestMergeJobSpans(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		spans []campaign.JobSpan
+		want  float64
+	}{
+		{"disjoint", []campaign.JobSpan{{Lo: 0, Hi: 4, WallSec: 2}, {Lo: 4, Hi: 8, WallSec: 3}}, 5},
+		{"duplicate", []campaign.JobSpan{{Lo: 0, Hi: 4, WallSec: 2}, {Lo: 0, Hi: 4, WallSec: 9}}, 2},
+		{"zero-length", []campaign.JobSpan{{Lo: 3, Hi: 3, WallSec: 7}, {Lo: 0, Hi: 2, WallSec: 1}}, 1},
+		{"half-overlap", []campaign.JobSpan{{Lo: 0, Hi: 4, WallSec: 4}, {Lo: 2, Hi: 6, WallSec: 4}}, 6},
+		{"unsorted-hole", []campaign.JobSpan{{Lo: 8, Hi: 12, WallSec: 4}, {Lo: 0, Hi: 4, WallSec: 4}, {Lo: 2, Hi: 10, WallSec: 8}}, 12},
+		{"empty", nil, 0},
+	} {
+		if got := campaign.MergeJobSpans(tc.spans); got != tc.want {
+			t.Errorf("%s: MergeJobSpans = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestResumeComputeNotDoubleCounted is the cancel/resume pin for
+// ExclusiveCompute: campaigns assembled by the resumed run carry job spans
+// that tile the fault list exactly once (no overlap from the work the
+// cancelled run had already executed and threw away), so the merged
+// compute equals the plain span sum and every fault is attributed once.
+func TestResumeComputeNotDoubleCounted(t *testing.T) {
+	jobs := []campaign.ScenarioJob{
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Seed: 51},
+		{Scenario: npb.Scenario{App: "EP", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Seed: 52},
+	}
+	const faults = 8
+	opts := func(extra ...campaign.Option) []campaign.Option {
+		return append([]campaign.Option{
+			campaign.Faults(faults),
+			campaign.JobSize(2),
+			campaign.Workers(1),
+			campaign.MaxOpen(1),
+		}, extra...)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st := campaign.NewMemStore()
+	events := make(chan campaign.Event, 64)
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for ev := range events {
+			switch ev.(type) {
+			case campaign.ScenarioDone:
+				cancel()
+			case campaign.MatrixDone:
+				return
+			}
+		}
+	}()
+	if _, err := campaign.New(opts(campaign.WithStore(st), campaign.WithEvents(events))...).RunMatrix(ctx, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled", err)
+	}
+	<-consumed
+	resumed, err := campaign.New(opts(campaign.WithStore(st))...).RunMatrix(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := 0
+	for i, r := range resumed {
+		if r == nil {
+			t.Fatalf("campaign %d unfinished after resume", i)
+		}
+		if len(r.JobSpans) == 0 {
+			continue // answered from the store: spans are not persisted
+		}
+		fresh++
+		covered := 0
+		for j, sp := range r.JobSpans {
+			covered += sp.Hi - sp.Lo
+			if j > 0 && sp.Lo < r.JobSpans[j-1].Hi {
+				t.Errorf("campaign %d: span %d overlaps predecessor: %+v", i, j, r.JobSpans)
+			}
+		}
+		if covered != faults {
+			t.Errorf("campaign %d: spans cover %d of %d faults: %+v", i, covered, faults, r.JobSpans)
+		}
+		sum := 0.0
+		for _, sp := range r.JobSpans {
+			sum += sp.WallSec
+		}
+		if got, want := r.ExclusiveCompute(), r.GoldenWallSec+sum; got != want {
+			t.Errorf("campaign %d: ExclusiveCompute = %v, want %v (disjoint spans)", i, got, want)
+		}
+	}
+	if fresh == 0 {
+		t.Fatal("resume ran no campaign fresh; the cancel fired too late to pin anything")
+	}
+}

@@ -97,6 +97,7 @@ type Collector struct {
 	failed    int
 	skipped   int
 	results   []*Result
+	cover     map[string][]JobSpan // per-campaign fault ranges seen via JobDone
 	err       error
 }
 
@@ -123,6 +124,19 @@ func (c *Collector) Handle(ev Event) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch ev := ev.(type) {
+	case JobDone:
+		// Fold the job's fault range into the campaign's coverage. Ranges
+		// are merged, not summed: a re-issued distributed shard (or any
+		// other duplicated beat) reports the same [Lo, Hi) twice, and the
+		// progress accounting must count each fault once — the same rule
+		// the coordinator's status page applies to its Injected total.
+		if c.cover == nil {
+			c.cover = make(map[string][]JobSpan)
+		}
+		if ev.Hi > ev.Lo {
+			key := ev.Key()
+			c.cover[key] = append(c.cover[key], JobSpan{Lo: ev.Lo, Hi: ev.Hi})
+		}
 	case ScenarioDone:
 		if ev.Err != nil {
 			c.failed++
@@ -156,6 +170,21 @@ func (c *Collector) printf(format string, args ...any) {
 	if c.w != nil {
 		fmt.Fprintf(c.w, format, args...)
 	}
+}
+
+// Injected returns the number of distinct injection runs reported via
+// JobDone events so far, with overlapping fault ranges counted once. On a
+// distributed run this reconciles with the coordinator status page's
+// Injected total (both surfaces count every fault exactly once, however
+// many times a re-issued shard re-executed it).
+func (c *Collector) Injected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, spans := range c.cover {
+		total += CoverageCount(spans)
+	}
+	return total
 }
 
 // Completed returns how many campaigns finished fresh.

@@ -8,6 +8,7 @@ package campaign
 import (
 	"context"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,6 +106,27 @@ type domainState struct {
 	done      atomic.Int64 // injection runs finished (JobDone progress)
 	jobNanos  atomic.Int64 // summed host wall clock of completed jobs
 	cancelled atomic.Bool  // some injection job was abandoned by ctx
+
+	spanMu sync.Mutex
+	spans  []JobSpan // per-job spans of completed jobs (behind JobWallSec)
+}
+
+// addSpan records one completed job's span (workers run concurrently).
+func (ds *domainState) addSpan(lo, hi int, sec float64) {
+	ds.spanMu.Lock()
+	ds.spans = append(ds.spans, JobSpan{Lo: lo, Hi: hi, WallSec: sec})
+	ds.spanMu.Unlock()
+}
+
+// takeSpans returns the recorded spans sorted by fault-index range (the
+// order Result.JobSpans documents).
+func (ds *domainState) takeSpans() []JobSpan {
+	ds.spanMu.Lock()
+	spans := ds.spans
+	ds.spans = nil
+	ds.spanMu.Unlock()
+	SortJobSpans(spans)
+	return spans
 }
 
 // scenarioState tracks one open scenario group — every domain campaign of

@@ -47,7 +47,8 @@ type campState struct {
 	key    string
 	faults int
 
-	shardsLeft int // shards not yet folded
+	shardsLeft int  // shards not yet folded
+	skipped    bool // answered from the store at startup (no shards)
 	started    bool
 	t0         time.Time // first lease grant (campaign wall span opens)
 
@@ -60,7 +61,9 @@ type campState struct {
 	simulated, fromReset uint64
 	pruned               int
 	jobWall              float64
-	beats                int // injection runs reported via progress events
+	spans                []campaign.JobSpan // accepted shard spans (fault-index tagged)
+	runsDone             int                // injection results folded (each fault once)
+	beats                int                // injection runs reported via progress events
 
 	done bool
 	err  error
@@ -172,6 +175,7 @@ func NewCoordinator(jobs []campaign.ScenarioJob, faults int, opts ...CoordOption
 				}
 				c.results[i] = r
 				st.done = true
+				st.skipped = true
 				c.skipped++
 			}
 		}
@@ -411,6 +415,14 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	camp.fromReset += req.FromResetInstr
 	camp.pruned += req.PrunedRuns
 	camp.jobWall += req.WallSec
+	if sh.hi > sh.lo {
+		// The zero-fault campaign's one empty shard records no span: its
+		// wall clock (the worker's golden/scenario build) flows through
+		// JobWallSec, which ExclusiveCompute falls back to when a result
+		// carries no spans.
+		camp.spans = append(camp.spans, campaign.JobSpan{Lo: sh.lo, Hi: sh.hi, WallSec: req.WallSec})
+	}
+	camp.runsDone += len(req.Runs)
 	wi.shards++
 	wi.runs += len(req.Runs)
 	camp.shardsLeft--
@@ -428,6 +440,11 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touch(req.Worker)
+	// Reap overdue leases first: a beat from a lease that is already past
+	// its deadline must be dropped here, not counted now and retracted at
+	// the next acquire — that window double-counted re-issued work on the
+	// progress stream (Done briefly exceeding the shard's true progress).
+	c.table.expire()
 	sh := c.table.holder(req.LeaseID)
 	if sh == nil || sh.camp.key != req.Key {
 		// Stale beat from an expired lease: acknowledge and drop.
@@ -464,6 +481,7 @@ func (c *Coordinator) assemble(camp *campState) {
 		Runs:            camp.runs,
 		CampaignWallSec: c.now().Sub(camp.t0).Seconds(),
 		JobWallSec:      camp.jobWall,
+		JobSpans:        camp.spans,
 		SimulatedInstr:  camp.simulated,
 		FromResetInstr:  camp.fromReset,
 		PrunedRuns:      camp.pruned,
@@ -515,27 +533,27 @@ func (c *Coordinator) Status() StatusReply {
 	c.table.expire()
 	now := c.now()
 	st := StatusReply{
-		Proto:        ProtoVersion,
-		Done:         c.campsLeft == 0,
-		Campaigns:    len(c.camps),
-		Skipped:      c.skipped,
-		Failed:       c.failed,
-		Shards:       len(c.table.shards),
-		ShardsDone:   c.table.done,
-		ShardsLeased: c.table.leased,
-		Reissued:     c.table.reissued,
-		ElapsedSec:   now.Sub(c.t0).Seconds(),
+		Proto:         ProtoVersion,
+		Done:          c.campsLeft == 0,
+		Campaigns:     len(c.camps),
+		Skipped:       c.skipped,
+		Failed:        c.failed,
+		Shards:        len(c.table.shards),
+		ShardsDone:    c.table.done,
+		ShardsLeased:  c.table.leased,
+		ShardsPending: c.table.pending,
+		Reissued:      c.table.reissued,
+		ElapsedSec:    now.Sub(c.t0).Seconds(),
 	}
 	for _, camp := range c.camps {
-		st.Injections += camp.faults
 		if camp.done {
 			st.CampaignsDone++
 		}
-	}
-	for _, sh := range c.table.shards {
-		if sh.state == shardDone {
-			st.Injected += sh.hi - sh.lo
+		if camp.skipped {
+			continue // answered from the store: counted in Skipped, not here
 		}
+		st.Injections += camp.faults
+		st.Injected += camp.runsDone
 	}
 	names := make([]string, 0, len(c.workers))
 	for name := range c.workers {
@@ -576,8 +594,8 @@ func (c *Coordinator) handlePage(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "serfi distributed campaign coordinator (protocol v%d)\n\n", st.Proto)
 	fmt.Fprintf(w, "campaigns  %d/%d done (%d skipped, %d failed)\n",
 		st.CampaignsDone, st.Campaigns, st.Skipped, st.Failed)
-	fmt.Fprintf(w, "shards     %d/%d done, %d leased, %d re-issued\n",
-		st.ShardsDone, st.Shards, st.ShardsLeased, st.Reissued)
+	fmt.Fprintf(w, "shards     %d/%d done, %d leased, %d pending, %d re-issued\n",
+		st.ShardsDone, st.Shards, st.ShardsLeased, st.ShardsPending, st.Reissued)
 	fmt.Fprintf(w, "injections %d/%d classified\n", st.Injected, st.Injections)
 	fmt.Fprintf(w, "elapsed    %.1fs\n", st.ElapsedSec)
 	if len(st.Workers) > 0 {

@@ -54,10 +54,18 @@ func TestLeaseExpiryReissuesKilledWorkersShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	events := make(chan campaign.Event, 64)
+	col := campaign.NewCollector(nil, len(jobs))
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		col.Consume(events)
+	}()
 	coord, err := NewCoordinator(jobs, faults,
 		ShardSize(2), // two shards
 		LeaseTTL(time.Minute),
 		WithStore(st),
+		WithEvents(events),
 		withNow(clock.now),
 	)
 	if err != nil {
@@ -67,13 +75,21 @@ func TestLeaseExpiryReissuesKilledWorkersShard(t *testing.T) {
 	ctx := context.Background()
 
 	// The doomed worker leases the first shard and is killed mid-shard: the
-	// lease is held, no completion ever arrives.
+	// lease is held, no completion ever arrives. It reports one progress
+	// beat first — work the healthy worker will redo after the re-issue,
+	// which the progress accounting must not count twice.
 	doomed, err := cl.Lease(ctx, "doomed")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if doomed.Lease == nil {
 		t.Fatalf("doomed worker got no lease: %+v", doomed)
+	}
+	if err := cl.Event(ctx, EventRequest{
+		Worker: "doomed", LeaseID: doomed.Lease.ID, Key: doomed.Lease.Key,
+		Lo: doomed.Lease.Lo, Hi: doomed.Lease.Lo + 1, WallSec: 0.25,
+	}); err != nil {
+		t.Fatal(err)
 	}
 
 	// Before the TTL passes, the shard must NOT be re-issued: a second
@@ -86,6 +102,20 @@ func TestLeaseExpiryReissuesKilledWorkersShard(t *testing.T) {
 	}
 	// The probe abandons its shard too; both now expire together.
 	clock.advance(time.Minute + time.Second)
+
+	// A beat arriving after the deadline must be dropped outright (the
+	// lease is overdue even though no acquire has reaped it yet), not
+	// counted now and retracted later.
+	if err := cl.Event(ctx, EventRequest{
+		Worker: "doomed", LeaseID: doomed.Lease.ID, Key: doomed.Lease.Key,
+		Lo: doomed.Lease.Lo + 1, Hi: doomed.Lease.Hi, WallSec: 0.25,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := coord.Status(); s.ShardsLeased != 0 || s.ShardsPending != s.Shards {
+		t.Errorf("status after expiry = leased %d pending %d (want all %d pending)",
+			s.ShardsLeased, s.ShardsPending, s.Shards)
+	}
 
 	// A healthy worker drains the re-issued shards to completion.
 	w := NewWorker(cl, Name("healthy"))
@@ -102,6 +132,16 @@ func TestLeaseExpiryReissuesKilledWorkersShard(t *testing.T) {
 	status := coord.Status()
 	if status.Reissued < 2 {
 		t.Errorf("reissued = %d, want >= 2 (both expired leases)", status.Reissued)
+	}
+	// Status totals after the re-issue: every shard retired exactly once,
+	// nothing in flight, and every fault classified exactly once — the
+	// re-executed shard is not counted twice.
+	if status.Shards != 2 || status.ShardsDone != 2 || status.ShardsLeased != 0 || status.ShardsPending != 0 {
+		t.Errorf("shard totals = %d done / %d leased / %d pending of %d, want 2/0/0 of 2",
+			status.ShardsDone, status.ShardsLeased, status.ShardsPending, status.Shards)
+	}
+	if status.Injected != faults || status.Injections != faults {
+		t.Errorf("status injections = %d/%d classified, want %d/%d", status.Injected, status.Injections, faults, faults)
 	}
 
 	// The doomed worker's completion arrives late — after its lease was
@@ -134,6 +174,30 @@ func TestLeaseExpiryReissuesKilledWorkersShard(t *testing.T) {
 	}
 	if results[0].Counts.Total() != faults {
 		t.Errorf("classified %d of %d faults", results[0].Counts.Total(), faults)
+	}
+
+	// The Collector's JobDone-derived run count reconciles with the status
+	// page: the doomed worker's beat covered faults the healthy worker
+	// re-reported, and both surfaces count each fault once.
+	<-consumed
+	if got := col.Injected(); got != faults {
+		t.Errorf("collector injected = %d, want %d (re-issued beats double-counted)", got, faults)
+	}
+	// The folded result's job spans tile the fault list without overlap,
+	// so ExclusiveCompute attributes each fault's compute exactly once.
+	spans := results[0].JobSpans
+	covered := 0
+	for i, sp := range spans {
+		covered += sp.Hi - sp.Lo
+		if i > 0 && sp.Lo < spans[i-1].Hi {
+			t.Errorf("span %d overlaps its predecessor: %+v", i, spans)
+		}
+	}
+	if covered != faults {
+		t.Errorf("job spans cover %d faults, want %d: %+v", covered, faults, spans)
+	}
+	if got, want := results[0].ExclusiveCompute(), results[0].GoldenWallSec+campaign.MergeJobSpans(spans); got != want {
+		t.Errorf("ExclusiveCompute = %v, want %v", got, want)
 	}
 }
 

@@ -140,19 +140,26 @@ type EventReply struct {
 // progress, lease health and per-worker activity. Workers are sorted by
 // name, so status output is stable across polls.
 type StatusReply struct {
-	Proto         int     `json:"proto"`
-	Done          bool    `json:"done"`
-	Campaigns     int     `json:"campaigns"`
-	CampaignsDone int     `json:"campaigns_done"`
-	Skipped       int     `json:"skipped"` // answered from the store at startup
-	Failed        int     `json:"failed"`
-	Shards        int     `json:"shards"`
-	ShardsDone    int     `json:"shards_done"`
-	ShardsLeased  int     `json:"shards_leased"`
-	Reissued      int     `json:"reissued"` // expired leases handed out again
-	Injected      int     `json:"injected"` // faults classified so far
-	Injections    int     `json:"injections"`
-	ElapsedSec    float64 `json:"elapsed_sec"`
+	Proto         int  `json:"proto"`
+	Done          bool `json:"done"`
+	Campaigns     int  `json:"campaigns"`
+	CampaignsDone int  `json:"campaigns_done"`
+	Skipped       int  `json:"skipped"` // answered from the store at startup
+	Failed        int  `json:"failed"`
+	Shards        int  `json:"shards"`
+	ShardsDone    int  `json:"shards_done"`
+	ShardsLeased  int  `json:"shards_leased"`
+	ShardsPending int  `json:"shards_pending"` // no live lease (pending+leased+done = shards)
+	Reissued      int  `json:"reissued"`       // expired leases handed out again
+	// Injected counts injection results folded into campaign state —
+	// every fault exactly once, re-issued shards never twice — and
+	// reconciles with the run counts a Collector derives from JobDone
+	// events. Injections is the matrix total over campaigns this
+	// coordinator actually runs (store-answered campaigns appear in
+	// Skipped, not here).
+	Injected   int     `json:"injected"`
+	Injections int     `json:"injections"`
+	ElapsedSec float64 `json:"elapsed_sec"`
 
 	Workers []WorkerStatus `json:"workers,omitempty"`
 }

@@ -362,9 +362,14 @@ func (d *MemDomain) Size() uint64 { return d.size() }
 // Sample draws index, word, bit (frozen order).
 func (d *MemDomain) Sample(r *rand.Rand) Point { return d.sample(r, Mem) }
 
-// Apply flips the addressed data word.
+// Apply flips the addressed data word. The flip also drops any cached
+// decode covering the word: real images map text read-only so a data-word
+// strike never lands there, but a region mapped both writable and
+// executable (self-hosted test kernels do this) makes the data word an
+// instruction word too, and the next fetch must see the corruption.
 func (d *MemDomain) Apply(m *mach.Machine, p Point) {
 	m.Mem.WriteU32(p.Addr, m.Mem.ReadU32(p.Addr)^uint32(p.Mask()))
+	m.InvalidateText(p.Addr, 4)
 }
 
 // IMemDomain strikes instruction words in the mapped executable regions

@@ -4,7 +4,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"serfi/internal/cache"
 	"serfi/internal/fault"
+	"serfi/internal/isa"
+	"serfi/internal/isa/armv8"
 	"serfi/internal/mach"
 	"serfi/internal/mem"
 	"serfi/internal/npb"
@@ -228,5 +231,160 @@ func TestNewRejectsEmptySpaces(t *testing.T) {
 	}
 	if _, err := fault.New(fault.IMem, bad); err == nil {
 		t.Error("imem domain without regions accepted")
+	}
+}
+
+// flipBit returns the single differing bit position of two encodings,
+// failing the test if they differ in more than one bit.
+func flipBit(t *testing.T, a, b uint32) int {
+	t.Helper()
+	x := a ^ b
+	if x == 0 || x&(x-1) != 0 {
+		t.Fatalf("encodings %#x and %#x do not differ in exactly one bit", a, b)
+	}
+	bit := 0
+	for x>>1 != 0 {
+		x >>= 1
+		bit++
+	}
+	return bit
+}
+
+// TestIMemApplyFirstAndLastTextWord is the regression test for the
+// unaligned/off-end edges of IMemDomain.Apply's decode invalidation: a
+// flip at the very first and at the very last cached text word — with a
+// warm decode/block cache, and with text limits that exercise the
+// limit/4+1 slot rounding — must re-decode on the next fetch (never
+// dispatch the stale pre-flip instruction) and must not index out of
+// range. Ground truth is a cold machine whose RAM carried the flipped
+// words from the start.
+func TestIMemApplyFirstAndLastTextWord(t *testing.T) {
+	codec := armv8.New()
+	al := func(ins isa.Instr) isa.Instr { ins.Cond = isa.CondAL; return ins }
+	enc := func(ins isa.Instr) uint32 {
+		w, err := codec.Encode(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	// 16-word program: 15 increments then a halt in the last text word.
+	var words []uint32
+	for i := 0; i < 15; i++ {
+		words = append(words, enc(al(isa.Instr{Op: isa.OpADDI, Rd: 1, Rn: 1, Imm: 1})))
+	}
+	words = append(words, enc(al(isa.Instr{Op: isa.OpHALT})))
+	progEnd := uint32(len(words) * 4)
+
+	// The flip turns the first ADDI's immediate from 1 into 3: a stale
+	// decode keeps adding 1, the re-decoded word adds 3.
+	firstBit := flipBit(t, words[0], enc(al(isa.Instr{Op: isa.OpADDI, Rd: 1, Rn: 1, Imm: 3})))
+	// The flip in the last word turns HALT into whatever the corrupted
+	// encoding decodes to; both machines must agree on the outcome.
+	lastBit := 3
+
+	build := func(flipped bool, limit uint32) *mach.Machine {
+		m := mach.New(mach.Config{ISA: codec, Cores: 1, RAMBytes: 1 << 20, Cache: cache.DefaultConfig()})
+		m.Map(mem.Region{Name: "text", Start: 0, End: 0x1000, Perm: mem.PermR | mem.PermW | mem.PermX})
+		m.Map(mem.Region{Name: "data", Start: 0x1000, End: 0x2000, Perm: mem.PermR | mem.PermW})
+		for i, w := range words {
+			m.Mem.WriteU32(uint32(i*4), w)
+		}
+		if flipped {
+			m.Mem.WriteU32(0, words[0]^uint32(1)<<firstBit)
+			m.Mem.WriteU32(progEnd-4, words[len(words)-1]^uint32(1)<<lastBit)
+		}
+		m.SetTextLimit(limit)
+		m.SetEntry(0)
+		return m
+	}
+
+	dom, err := fault.New(fault.IMem, fault.Env{
+		Feat: codec.Feat(), Cores: 1, Span: 1,
+		Regions: []mem.Region{{Name: "text", Start: 0, End: 0x1000, Perm: mem.PermR | mem.PermX}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Text limits: exactly the program, program+2 (odd tail slot), and the
+	// whole region (flips land mid-cache).
+	for _, limit := range []uint32{progEnd, progEnd + 2, 0x1000} {
+		// Warm every decode and block run, then strike first + last words.
+		warm := build(false, limit)
+		if r := warm.Run(0); r != mach.StopHalted {
+			t.Fatalf("limit %#x: warm run stop = %v", limit, r)
+		}
+		dom.Apply(warm, fault.Point{Domain: fault.IMem, Addr: 0, Bit: firstBit})
+		dom.Apply(warm, fault.Point{Domain: fault.IMem, Addr: progEnd - 4, Bit: lastBit})
+		// The very last cached slot (limit/4+1 rounding): applying at the
+		// final word below the limit must stay in bounds even when that
+		// word is past the program.
+		dom.Apply(warm, fault.Point{Domain: fault.IMem, Addr: (limit - 1) &^ 3, Bit: 0})
+		dom.Apply(warm, fault.Point{Domain: fault.IMem, Addr: (limit - 1) &^ 3, Bit: 0}) // flip back
+		warm.Cores[0].Regs[1] = 0
+		warm.SetEntry(0)
+		warm.Halted = false
+		wr := warm.Run(200_000)
+
+		cold := build(true, limit)
+		cr := cold.Run(200_000)
+		if wr != cr {
+			t.Fatalf("limit %#x: stop warm=%v cold=%v", limit, wr, cr)
+		}
+		if got, want := warm.Cores[0].Regs[1], cold.Cores[0].Regs[1]; got != want {
+			t.Errorf("limit %#x: r1 warm=%d cold=%d (stale decode after imem flip)", limit, got, want)
+		}
+		if warm.Halted != cold.Halted || warm.Cores[0].PC != cold.Cores[0].PC {
+			t.Errorf("limit %#x: end state diverged (halted %v/%v pc %#x/%#x)",
+				limit, warm.Halted, cold.Halted, warm.Cores[0].PC, cold.Cores[0].PC)
+		}
+	}
+}
+
+// TestMemApplyInvalidatesWritableText pins the companion fix: a data-word
+// strike (Mem domain) landing in a region mapped writable+executable must
+// also drop the cached decode, exactly like a guest store there would.
+func TestMemApplyInvalidatesWritableText(t *testing.T) {
+	codec := armv8.New()
+	al := func(ins isa.Instr) isa.Instr { ins.Cond = isa.CondAL; return ins }
+	enc := func(ins isa.Instr) uint32 {
+		w, err := codec.Encode(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	words := []uint32{
+		enc(al(isa.Instr{Op: isa.OpADDI, Rd: 1, Rn: 1, Imm: 1})),
+		enc(al(isa.Instr{Op: isa.OpHALT})),
+	}
+	bit := flipBit(t, words[0], enc(al(isa.Instr{Op: isa.OpADDI, Rd: 1, Rn: 1, Imm: 3})))
+	m := mach.New(mach.Config{ISA: codec, Cores: 1, RAMBytes: 1 << 20, Cache: cache.DefaultConfig()})
+	m.Map(mem.Region{Name: "rwx", Start: 0, End: 0x1000, Perm: mem.PermR | mem.PermW | mem.PermX})
+	for i, w := range words {
+		m.Mem.WriteU32(uint32(i*4), w)
+	}
+	m.SetTextLimit(0x1000)
+	m.SetEntry(0)
+	if r := m.Run(0); r != mach.StopHalted {
+		t.Fatalf("warm run stop = %v", r)
+	}
+	dom, err := fault.New(fault.Mem, fault.Env{
+		Feat: codec.Feat(), Cores: 1, Span: 1,
+		Regions: []mem.Region{{Name: "rwx", Start: 0, End: 0x1000, Perm: mem.PermR | mem.PermW | mem.PermX}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom.Apply(m, fault.Point{Domain: fault.Mem, Addr: 0, Bit: bit})
+	m.Cores[0].Regs[1] = 0
+	m.SetEntry(0)
+	m.Halted = false
+	if r := m.Run(200_000); r != mach.StopHalted {
+		t.Fatalf("post-flip run stop = %v", r)
+	}
+	if got := m.Cores[0].Regs[1]; got != 3 {
+		t.Errorf("r1 = %d after mem-domain flip in rwx text, want 3 (stale decode)", got)
 	}
 }

@@ -245,6 +245,15 @@ func (m *Machine) step(c *Core) {
 	if !ok {
 		return
 	}
+	m.execute(c, &ins)
+}
+
+// execute commits one fetched instruction: predication, the op dispatch,
+// pc advance and retirement. It returns true exactly when execution fell
+// through sequentially — the pc advanced by 4 with no exception, branch or
+// pc-writing side effect — which is the condition under which the block
+// fast path may keep dispatching from a cached straight-line run.
+func (m *Machine) execute(c *Core, ins *isa.Instr) bool {
 	t := &m.Cfg.Timing
 
 	// v7 predication: any non-branch instruction whose condition fails is
@@ -259,7 +268,7 @@ func (m *Machine) step(c *Core) {
 				c.Cycles += uint64(t.IntALU)
 				c.PC += 4
 				m.retire(c)
-				return
+				return true
 			}
 		}
 	}
@@ -455,7 +464,7 @@ func (m *Machine) step(c *Core) {
 		c.Cycles += uint64(t.LdSt)
 		v, lok := m.load(c, addr, size)
 		if !lok {
-			return
+			return false
 		}
 		adv = !m.wreg(c, ins.Rd, v)
 	case isa.OpSTR, isa.OpSTRW, isa.OpSTRB:
@@ -468,7 +477,7 @@ func (m *Machine) step(c *Core) {
 		addr := (m.rreg(c, ins.Rn) + uint64(ins.Imm)) & m.wmask
 		c.Cycles += uint64(t.LdSt)
 		if !m.store(c, addr, size, m.rreg(c, ins.Rd)) {
-			return
+			return false
 		}
 
 	case isa.OpFLDR:
@@ -476,7 +485,7 @@ func (m *Machine) step(c *Core) {
 		c.Cycles += uint64(t.LdSt)
 		v, lok := m.load(c, addr, 8)
 		if !lok {
-			return
+			return false
 		}
 		c.F[ins.Rd&31] = v
 		c.Stats.FPOps++
@@ -484,7 +493,7 @@ func (m *Machine) step(c *Core) {
 		addr := (m.rreg(c, ins.Rn) + uint64(ins.Imm)) & m.wmask
 		c.Cycles += uint64(t.LdSt)
 		if !m.store(c, addr, 8, c.F[ins.Rd&31]) {
-			return
+			return false
 		}
 		c.Stats.FPOps++
 
@@ -574,11 +583,11 @@ func (m *Machine) step(c *Core) {
 		c.Cycles += uint64(t.LdSt)
 		old, lok := m.load(c, addr, m.wbytes)
 		if !lok {
-			return
+			return false
 		}
 		if old == m.rreg(c, ins.Ra) {
 			if !m.store(c, addr, m.wbytes, m.rreg(c, ins.Rm)) {
-				return
+				return false
 			}
 		}
 		adv = !m.wreg(c, ins.Rd, old)
@@ -588,19 +597,19 @@ func (m *Machine) step(c *Core) {
 		c.Stats.Svcs++
 		m.exception(c, isa.ExcSVC, c.PC+4, 0)
 		m.retire(c)
-		return
+		return false
 
 	case isa.OpERET:
 		if !c.Kernel {
 			m.exception(c, isa.ExcUndef, c.PC, 0)
-			return
+			return false
 		}
 		unpackPstate(c, c.Sys[isa.SysSPSR])
 		c.PC = c.Sys[isa.SysELR] & m.wmask &^ 3
 		c.Cycles += uint64(t.ExcEntry)
 		c.lastLine = 0
 		m.retire(c)
-		return
+		return false
 
 	case isa.OpMRS:
 		var v uint64
@@ -619,7 +628,7 @@ func (m *Machine) step(c *Core) {
 	case isa.OpMSR:
 		if !c.Kernel {
 			m.exception(c, isa.ExcUndef, c.PC, 0)
-			return
+			return false
 		}
 		v := m.rreg(c, ins.Rn)
 		switch ins.Imm {
@@ -644,19 +653,19 @@ func (m *Machine) step(c *Core) {
 	case isa.OpSAVECTX:
 		if !c.Kernel {
 			m.exception(c, isa.ExcUndef, c.PC, 0)
-			return
+			return false
 		}
 		if !m.saveCtx(c) {
-			return
+			return false
 		}
 		c.Cycles += uint64(m.Feat.NumGPR)
 	case isa.OpRESTCTX:
 		if !c.Kernel {
 			m.exception(c, isa.ExcUndef, c.PC, 0)
-			return
+			return false
 		}
 		if !m.restCtx(c) {
-			return
+			return false
 		}
 		c.Stats.CtxRestores++
 		c.Cycles += uint64(m.Feat.NumGPR)
@@ -664,7 +673,7 @@ func (m *Machine) step(c *Core) {
 	case isa.OpWFI:
 		if !c.Kernel {
 			m.exception(c, isa.ExcUndef, c.PC, 0)
-			return
+			return false
 		}
 		if !c.pending {
 			c.wfi = true
@@ -674,20 +683,21 @@ func (m *Machine) step(c *Core) {
 	case isa.OpHALT:
 		if !c.Kernel {
 			m.exception(c, isa.ExcUndef, c.PC, 0)
-			return
+			return false
 		}
 		m.Halted = true
 		c.Cycles += uint64(t.IntALU)
 
 	default: // OpINVALID and anything unhandled
 		m.exception(c, isa.ExcUndef, c.PC, 0)
-		return
+		return false
 	}
 
 	if adv {
 		c.PC += 4
 	}
 	m.retire(c)
+	return adv
 }
 
 // ctxAddr validates and returns the context block pointer.

@@ -63,6 +63,13 @@ type Config struct {
 	Profile bool
 	// SamplePeriod is the PC-sampling period in committed instructions.
 	SamplePeriod uint64
+	// SlowPath selects the retained reference interpreter (per-instruction
+	// fetch/decode/dispatch with a full scheduler rescan each step) instead
+	// of the block-cached fast path. Both paths are bit-identical in
+	// architectural state and cycle/stat counters at every retirement
+	// boundary; the slow path exists as a differential-testing reference
+	// and as the `-slowpath` CLI escape hatch.
+	SlowPath bool
 }
 
 // StopReason reports why Run returned.
@@ -149,6 +156,17 @@ type Machine struct {
 	decValid  []bool
 	textLimit uint32
 
+	// Block cache (fast path, fastpath.go): straight-line runs over the
+	// decoded text. blockOf maps a word index to its covering run (-1 =
+	// none); freed runs are recycled through blockFree. curs is the
+	// cursor-loop scratch space, one slot per core.
+	blocks    []blockRun
+	blockOf   []int32
+	blockFree []int32
+	curs      []cursor
+	groupH    uint64 // parked-core wake horizon of the current cursor group
+	groupHIdx int32  // core index of the earliest waker
+
 	Console bytes.Buffer
 
 	Halted   bool
@@ -180,6 +198,7 @@ type Machine struct {
 	spIndex  int
 	pcIsR15  bool
 	hasPred  bool
+	slow     bool // reference interpreter selected (Config.SlowPath / ForceSlowPath)
 	stopWhy  StopReason
 	maxInstr uint64
 }
@@ -209,6 +228,7 @@ func New(cfg Config) *Machine {
 		hasPred:  f.HasPred,
 		InjectAt: math.MaxUint64,
 		maxInstr: math.MaxUint64,
+		slow:     cfg.SlowPath || ForceSlowPath,
 	}
 	if f.WordBytes == 4 {
 		m.wmask = 0xffffffff
@@ -216,6 +236,7 @@ func New(cfg Config) *Machine {
 	for i := range m.Cores {
 		m.Cores[i].ID = i
 	}
+	m.curs = make([]cursor, cfg.Cores)
 	if cfg.Profile {
 		m.CallCounts = make(map[uint32]uint64, 256)
 		m.Samples = make(map[uint32]uint64, 4096)
@@ -235,6 +256,12 @@ func (m *Machine) SetTextLimit(limit uint32) {
 	m.textLimit = limit
 	m.decoded = make([]isa.Instr, limit/4+1)
 	m.decValid = make([]bool, limit/4+1)
+	m.blockOf = make([]int32, limit/4+1)
+	m.blocks = m.blocks[:0]
+	m.blockFree = m.blockFree[:0]
+	for i := range m.blockOf {
+		m.blockOf[i] = -1
+	}
 }
 
 // SetEntry points every core at the boot entry in kernel mode with
@@ -304,10 +331,24 @@ func (m *Machine) pickCore() *Core {
 
 // Run executes until the guest halts, the cycle budget (per-core) is
 // exceeded, every core deadlocks, or the instruction budget is exhausted.
+// The block-cached fast path (fastpath.go) is the default engine; the
+// retained per-instruction reference interpreter (Config.SlowPath, or the
+// process-wide ForceSlowPath escape hatch) evolves the machine
+// bit-identically — same architectural state and same cycle/stat counters
+// at every retirement boundary.
 func (m *Machine) Run(maxCycles uint64) StopReason {
 	if maxCycles == 0 {
 		maxCycles = math.MaxUint64
 	}
+	if m.slow {
+		return m.runSlow(maxCycles)
+	}
+	return m.runFast(maxCycles)
+}
+
+// runSlow is the reference interpreter's main loop: rescan every core,
+// step one instruction, repeat.
+func (m *Machine) runSlow(maxCycles uint64) StopReason {
 	for !m.Halted {
 		c := m.pickCore()
 		if c == nil {
@@ -405,15 +446,25 @@ func (m *Machine) mmioRead(c *Core, addr uint32) uint64 {
 	return 0
 }
 
-// invalidateDecoded drops cached decodes for a store into text.
+// invalidateDecoded drops cached decodes — and any block runs covering
+// them — for a store into text. The word range is computed defensively:
+// unaligned addresses and sizes round outward to whole words, a zero size
+// is a no-op, and address arithmetic that would wrap past the top of the
+// 32-bit space clamps to the end of the cache instead of missing words.
 func (m *Machine) invalidateDecoded(addr, size uint32) {
-	if addr >= m.textLimit {
+	if addr >= m.textLimit || size == 0 {
 		return
 	}
 	first := addr / 4
 	last := (addr + size - 1) / 4
+	if last < first { // addr+size wrapped past 2^32
+		last = uint32(len(m.decValid) - 1)
+	}
 	for i := first; i <= last && int(i) < len(m.decValid); i++ {
 		m.decValid[i] = false
+		if b := m.blockOf[i]; b >= 0 {
+			m.dropBlock(b)
+		}
 	}
 }
 
@@ -422,12 +473,15 @@ func (m *Machine) invalidateDecoded(addr, size uint32) {
 // bypassing the invalidation that guest stores trigger).
 func (m *Machine) InvalidateText(addr, size uint32) { m.invalidateDecoded(addr, size) }
 
-// FlushDecoded invalidates the whole decoded-text cache (used by the fault
-// injector after direct memory writes).
+// FlushDecoded invalidates the whole decoded-text cache and every cached
+// block run (used by the fault injector after direct memory writes, and by
+// Restore: a snapshot stores no derived decode state, so the continuation
+// re-decodes — and re-builds block runs — lazily).
 func (m *Machine) FlushDecoded() {
 	for i := range m.decValid {
 		m.decValid[i] = false
 	}
+	m.resetBlocks()
 }
 
 // ConsoleString returns the console output so far.

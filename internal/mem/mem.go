@@ -84,7 +84,10 @@ func (f *Fault) Error() string {
 type Memory struct {
 	ram     []byte
 	regions []Region // sorted by Start
-	last    int      // index of most recently hit region (locality cache)
+	// Two-entry locality cache over region lookups: data accesses
+	// typically alternate between two regions (e.g. heap and stack), so a
+	// single slot thrashes exactly on the hottest pattern.
+	last, last2 int
 }
 
 // New allocates size bytes of zeroed RAM with no mapped regions.
@@ -108,7 +111,7 @@ func (m *Memory) Map(r Region) {
 	}
 	m.regions = append(m.regions, r)
 	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Start < m.regions[j].Start })
-	m.last = 0
+	m.last, m.last2 = 0, 0
 }
 
 // Regions returns the region table (shared slice; callers must not modify).
@@ -117,6 +120,10 @@ func (m *Memory) Regions() []Region { return m.regions }
 // FindRegion returns the region containing addr, or nil.
 func (m *Memory) FindRegion(addr uint32) *Region {
 	if m.last < len(m.regions) && m.regions[m.last].Contains(addr) {
+		return &m.regions[m.last]
+	}
+	if m.last2 < len(m.regions) && m.regions[m.last2].Contains(addr) {
+		m.last, m.last2 = m.last2, m.last
 		return &m.regions[m.last]
 	}
 	lo, hi := 0, len(m.regions)
@@ -132,7 +139,7 @@ func (m *Memory) FindRegion(addr uint32) *Region {
 		return nil
 	}
 	if r := &m.regions[lo-1]; r.Contains(addr) {
-		m.last = lo - 1
+		m.last, m.last2 = lo-1, m.last
 		return r
 	}
 	return nil
@@ -287,7 +294,7 @@ func (m *Memory) Restore(s *Snapshot) {
 		copy(m.ram[p.off:], p.data)
 	}
 	m.regions = append(m.regions[:0], s.regions...)
-	m.last = 0
+	m.last, m.last2 = 0, 0
 }
 
 // Hash returns a 64-bit FNV-1a digest of all of RAM. The fault classifier
