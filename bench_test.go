@@ -7,6 +7,7 @@ package serfi
 // full-size path and honours the same variable).
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -226,6 +227,88 @@ func BenchmarkInjectSnapshot(b *testing.B) {
 	b.ReportMetric(float64(executed)/float64(b.N), "instrs/inject")
 	if executed > 0 {
 		b.ReportMetric(float64(fromReset)/float64(executed), "amortization-x")
+	}
+	b.ReportMetric(float64(cs.MemBytes()), "resident-B")
+}
+
+// BenchmarkInjectSnapshotFullCopy is BenchmarkInjectSnapshot on the
+// retained full-copy checkpoint engine (fi.CheckpointOptions.FullCopy) —
+// the "before" side of the copy-on-write comparison. instrs/inject must
+// match BenchmarkInjectSnapshot exactly: the delta encoding changes
+// restore cost and resident bytes, never what gets simulated.
+func BenchmarkInjectSnapshotFullCopy(b *testing.B) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fi.FaultList(3, 64, g, cfg.ISA.Feat(), cfg.Cores)
+	cs, err := fi.BuildCheckpointsOpt(context.Background(), img, cfg, g,
+		fi.CheckpointOptions{N: fi.DefaultCheckpoints, FullCopy: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cs.Inject(g, faults[i%len(faults)])
+	}
+	b.StopTimer()
+	executed, _ := cs.SimulatedInstructions()
+	b.ReportMetric(float64(executed)/float64(b.N), "instrs/inject")
+	b.ReportMetric(float64(cs.MemBytes()), "resident-B")
+}
+
+// BenchmarkCheckpointRestore isolates mach.Restore itself on the same two
+// machine states captured both ways. The cow sub-benchmark alternates
+// between a root snapshot and its delta on a live machine — the pooled
+// injection path — so each restore rewrites only the pages on the chain
+// between them. The fullcopy sub-benchmark alternates between two
+// independent full snapshots of the same states, forcing the full
+// materialize + decode-cache flush every time (the pre-PR engine's cost).
+func BenchmarkCheckpointRestore(b *testing.B) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	capture := func(delta bool) (*mach.Machine, *mach.Snapshot, *mach.Snapshot) {
+		m := mach.New(cfg)
+		img.InstallTo(m)
+		m.SetInstrBudget(1_000_000) // budget is total retired instructions
+		m.Run(20_000_000_000)
+		a := m.Snapshot()
+		m.SetInstrBudget(2_000_000)
+		m.Run(20_000_000_000)
+		if delta {
+			return m, a, m.DeltaSnapshot()
+		}
+		return m, a, m.Snapshot()
+	}
+	for _, bc := range []struct {
+		name  string
+		delta bool
+	}{{"cow", true}, {"fullcopy", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			m, a, z := capture(bc.delta)
+			if a.Retired() == z.Retired() {
+				b.Fatal("snapshots coincide; nothing to restore between")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					m.Restore(a)
+				} else {
+					m.Restore(z)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(a.MemBytes()+z.MemBytes()), "snap-B")
+		})
 	}
 }
 

@@ -187,6 +187,7 @@ func cmdInject(args []string) error {
 	workers := fs.Int("workers", 0, "host worker pool size (0 = all cores)")
 	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints (0 = run every fault from reset)")
+	ckptspill := fs.Bool("ckptspill", false, "spill checkpoint RAM to an unlinked temp file, reloading pages lazily")
 	slow := slowPathFlag(fs)
 	fs.Parse(args)
 	mach.ForceSlowPath = *slow
@@ -207,15 +208,41 @@ func cmdInject(args []string) error {
 	for i, d := range domains {
 		jobs[i] = campaign.ScenarioJob{Scenario: sc, Domain: d, Seed: *seed}
 	}
-	eng := campaign.New(
+	// The event stream carries the per-scenario checkpoint telemetry
+	// (count, delta-chain bytes, spill bytes) that has no column in the
+	// campaign record; fold it into one line per golden phase.
+	events := make(chan campaign.Event, 64)
+	var ckptLines []string
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for ev := range events {
+			switch ev := ev.(type) {
+			case campaign.GoldenDone:
+				ckptLines = append(ckptLines, fmt.Sprintf("%s %s", ev.Scenario.ID(), ev.CheckpointTag()))
+			case campaign.MatrixDone:
+				return
+			}
+		}
+	}()
+	opts := []campaign.Option{
 		campaign.Faults(*n),
 		campaign.Workers(*workers),
 		campaign.JobSize(*jobSize),
 		campaign.Snapshots(snapshotCount(*snapshots)),
-	)
+		campaign.WithEvents(events),
+	}
+	if *ckptspill {
+		opts = append(opts, campaign.CheckpointSpill(os.TempDir()))
+	}
+	eng := campaign.New(opts...)
 	results, err := eng.RunMatrix(ctx, jobs)
+	<-consumed
 	if err != nil {
 		return err
+	}
+	for _, l := range ckptLines {
+		fmt.Println(l)
 	}
 	for _, r := range results {
 		if *verbose {
@@ -239,6 +266,7 @@ func cmdCampaign(args []string) error {
 	workers := fs.Int("workers", 0, "host worker pool size (0 = all cores)")
 	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints per scenario (0 = run every fault from reset)")
+	ckptspill := fs.Bool("ckptspill", false, "spill checkpoint RAM to an unlinked temp file, reloading pages lazily")
 	resume := fs.Bool("resume", false, "skip campaigns already recorded in -db and append the rest")
 	slow := slowPathFlag(fs)
 	fs.Parse(args)
@@ -265,7 +293,7 @@ func cmdCampaign(args []string) error {
 	defer st.Close()
 
 	events := make(chan campaign.Event, 64)
-	eng := campaign.New(
+	opts := []campaign.Option{
 		campaign.Faults(*n),
 		campaign.Workers(*workers),
 		campaign.JobSize(*jobSize),
@@ -273,7 +301,11 @@ func cmdCampaign(args []string) error {
 		campaign.Models(domains...),
 		campaign.WithStore(st),
 		campaign.WithEvents(events),
-	)
+	}
+	if *ckptspill {
+		opts = append(opts, campaign.CheckpointSpill(os.TempDir()))
+	}
+	eng := campaign.New(opts...)
 
 	// The full scenario list fixes per-scenario seeds (seed + index,
 	// shared across domains; Engine.JobsFor), so a filtered or resumed
@@ -430,6 +462,7 @@ func cmdWorker(args []string) error {
 	join := fs.String("join", "", "coordinator address (host:port), required")
 	workers := fs.Int("workers", 0, "concurrent shard executions (0 = all cores)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints per scenario (0 = run every fault from reset)")
+	ckptspill := fs.Bool("ckptspill", false, "spill checkpoint RAM to an unlinked temp file, reloading pages lazily")
 	name := fs.String("name", "", "worker name on the coordinator status page (default host-pid)")
 	slow := slowPathFlag(fs)
 	fs.Parse(args)
@@ -446,6 +479,9 @@ func cmdWorker(args []string) error {
 	opts := []dist.WorkerOption{
 		dist.Parallel(parallel),
 		dist.Snapshots(snapshotCount(*snapshots)),
+	}
+	if *ckptspill {
+		opts = append(opts, dist.CheckpointSpill(os.TempDir()))
 	}
 	if *name != "" {
 		opts = append(opts, dist.Name(*name))

@@ -45,6 +45,8 @@ type Engine struct {
 	models       []fault.Model
 	store        Store
 	events       chan<- Event
+	ckptSpill    string
+	fullCopy     bool
 }
 
 // Option configures an Engine.
@@ -85,6 +87,21 @@ func SamplePeriod(p uint64) Option { return func(e *Engine) { e.samplePeriod = p
 func Models(ms ...fault.Model) Option {
 	return func(e *Engine) { e.models = append([]fault.Model(nil), ms...) }
 }
+
+// CheckpointSpill moves every scenario's checkpoint RAM payload into an
+// unlinked temp file under dir right after the checkpoint fast-forward;
+// injection restores reload pages lazily. This trades restore latency for
+// resident memory, which is what makes large checkpoint counts viable.
+// "" (the default) keeps checkpoints in RAM. Results are bit-identical
+// either way.
+func CheckpointSpill(dir string) Option { return func(e *Engine) { e.ckptSpill = dir } }
+
+// FullCopySnapshots selects the pre-delta checkpoint engine: every
+// checkpoint is a complete sparse RAM copy and every injection runs on a
+// fresh machine. Retained as a differential-testing reference (the
+// COW-vs-full-copy analogue of the fast-path/slow-path interpreter split);
+// campaigns are bit-identical either way.
+func FullCopySnapshots() Option { return func(e *Engine) { e.fullCopy = true } }
 
 // WithStore attaches a results store: campaigns whose key the store
 // already holds are skipped (their stored results returned in place — the
@@ -242,6 +259,9 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 				}
 			}
 		}
+		if st.cs != nil {
+			st.cs.Close() // release the spill file, if any
+		}
 		st.cs = nil // drop checkpoint RAM before releasing the slot
 		for _, ds := range st.domains {
 			ds.cs = nil
@@ -354,7 +374,11 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 		st.features = profile.Extract(img, st.g.Machine)
 		st.apiCalls = profile.Build(img, st.g.Machine).CallsTo(profile.RuntimePrefixes...)
 
-		st.cs, err = fi.BuildCheckpointsContext(ctx, img, cfg, st.g, snapshots)
+		st.cs, err = fi.BuildCheckpointsOpt(ctx, img, cfg, st.g, fi.CheckpointOptions{
+			N:        snapshots,
+			SpillDir: e.ckptSpill,
+			FullCopy: e.fullCopy,
+		})
 		if err != nil {
 			closeGroup(st, err)
 			return
@@ -368,9 +392,10 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 				Retired:  st.g.Retired,
 				Cycles:   st.g.Cycles,
 			},
-			WallSec:         st.goldenWall,
-			Checkpoints:     st.cs.Len(),
-			CheckpointBytes: st.cs.MemBytes(),
+			WallSec:                st.goldenWall,
+			Checkpoints:            st.cs.Len(),
+			CheckpointBytes:        st.cs.MemBytes(),
+			CheckpointSpilledBytes: st.cs.SpilledBytes(),
 		})
 		// Arm every domain campaign of the group before any finishes: all
 		// share the golden reference and the captured snapshots, each

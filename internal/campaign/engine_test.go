@@ -45,6 +45,9 @@ func TestEngineEventTaxonomy(t *testing.T) {
 			if ev.Golden.Retired == 0 || ev.Checkpoints == 0 || ev.WallSec <= 0 {
 				t.Errorf("GoldenDone = %+v", ev)
 			}
+			if ev.CheckpointBytes == 0 || ev.CheckpointSpilledBytes != 0 {
+				t.Errorf("GoldenDone checkpoint telemetry = %+v (unspilled run)", ev)
+			}
 		case campaign.JobDone:
 			jobs++
 			jobSpanSum += ev.WallSec
@@ -392,5 +395,62 @@ func TestResumeComputeNotDoubleCounted(t *testing.T) {
 	}
 	if fresh == 0 {
 		t.Fatal("resume ran no campaign fresh; the cancel fired too late to pin anything")
+	}
+}
+
+// TestCheckpointTelemetryReported pins the checkpoint telemetry surfaces on
+// a known small scenario: a spilled engine run reports the default
+// checkpoint count with all payload on disk, the CheckpointTag progress
+// column renders every mode, and the Collector prints one golden line per
+// scenario carrying the tag.
+func TestCheckpointTelemetryReported(t *testing.T) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	events := make(chan campaign.Event, 64)
+	eng := campaign.New(
+		campaign.Faults(2),
+		campaign.CheckpointSpill(t.TempDir()),
+		campaign.WithEvents(events),
+	)
+	if _, err := eng.RunMatrix(context.Background(), []campaign.ScenarioJob{{Scenario: sc, Seed: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	close(events)
+	var golden *campaign.GoldenDone
+	for ev := range events {
+		if g, ok := ev.(campaign.GoldenDone); ok {
+			golden = &g
+		}
+	}
+	if golden == nil {
+		t.Fatal("no GoldenDone event")
+	}
+	if golden.Checkpoints != fi.DefaultCheckpoints {
+		t.Errorf("checkpoints = %d, want the default %d", golden.Checkpoints, fi.DefaultCheckpoints)
+	}
+	if golden.CheckpointBytes != 0 {
+		t.Errorf("spilled run still reports %d in-RAM bytes", golden.CheckpointBytes)
+	}
+	if golden.CheckpointSpilledBytes == 0 {
+		t.Error("spilled run reports no on-disk payload")
+	}
+	tag := golden.CheckpointTag()
+	for _, want := range []string{"ckpt=8", "spill="} {
+		if !bytes.Contains([]byte(tag), []byte(want)) {
+			t.Errorf("CheckpointTag %q missing %q", tag, want)
+		}
+	}
+	if off := (campaign.GoldenDone{}).CheckpointTag(); off != "ckpt=off" {
+		t.Errorf("zero-checkpoint tag = %q", off)
+	}
+
+	// The Collector prints the tag on its per-scenario golden line.
+	var buf bytes.Buffer
+	col := campaign.NewCollector(&buf, 1)
+	col.Handle(*golden)
+	line := buf.String()
+	for _, want := range []string{"armv8/IS/SER-1", "golden", "ckpt=8", "spill="} {
+		if !bytes.Contains([]byte(line), []byte(want)) {
+			t.Errorf("collector golden line missing %q: %q", want, line)
+		}
 	}
 }

@@ -36,9 +36,39 @@ type GoldenDone struct {
 	Seed     int64
 	Golden   GoldenSummary
 	WallSec  float64 // host wall clock of the golden phase
-	// Snapshot capture stats of the checkpoint fast-forward.
-	Checkpoints     int
-	CheckpointBytes int
+	// Snapshot capture stats of the checkpoint fast-forward: the count, the
+	// in-RAM payload of the delta chain, and — when the engine runs with
+	// CheckpointSpill — the payload moved to the spill file.
+	Checkpoints            int
+	CheckpointBytes        int
+	CheckpointSpilledBytes int
+}
+
+// CheckpointTag compresses the capture stats into a progress-line column
+// ("ckpt=8 mem=1.2MiB", plus " spill=9.5MiB" on spilled runs, or
+// "ckpt=off" when snapshots are disabled). Both CLIs print it, so the
+// per-scenario checkpoint counts the telemetry tests pin appear on every
+// surface the same way.
+func (e GoldenDone) CheckpointTag() string {
+	if e.Checkpoints == 0 {
+		return "ckpt=off"
+	}
+	tag := fmt.Sprintf("ckpt=%d mem=%s", e.Checkpoints, byteSize(e.CheckpointBytes))
+	if e.CheckpointSpilledBytes > 0 {
+		tag += " spill=" + byteSize(e.CheckpointSpilledBytes)
+	}
+	return tag
+}
+
+// byteSize renders a byte count compactly ("412B", "3.5KiB", "9.1MiB").
+func byteSize(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 // JobDone reports one completed injection job (a batch of faults). WallSec
@@ -137,6 +167,8 @@ func (c *Collector) Handle(ev Event) bool {
 			key := ev.Key()
 			c.cover[key] = append(c.cover[key], JobSpan{Lo: ev.Lo, Hi: ev.Hi})
 		}
+	case GoldenDone:
+		c.printf("%s%-24s golden %.1fs %s\n", c.prefix(), ev.Scenario.ID(), ev.WallSec, ev.CheckpointTag())
 	case ScenarioDone:
 		if ev.Err != nil {
 			c.failed++

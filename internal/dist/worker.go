@@ -33,6 +33,7 @@ type Worker struct {
 	batch        int // faults per injection batch (progress-beat granularity)
 	maxOpen      int
 	samplePeriod uint64
+	spillDir     string
 
 	gmu    sync.Mutex
 	groups map[string]*group
@@ -55,6 +56,13 @@ func Parallel(n int) WorkerOption { return func(w *Worker) { w.parallel = n } }
 // convention: 0 (default) picks fi.DefaultCheckpoints, negative disables
 // snapshot acceleration. Results are bit-identical either way.
 func Snapshots(n int) WorkerOption { return func(w *Worker) { w.snapshots = n } }
+
+// CheckpointSpill moves each cached scenario group's checkpoint RAM
+// payload into an unlinked temp file under dir after the fast-forward
+// (lazy reload on restore), mirroring the engine's CheckpointSpill option;
+// "" (the default) keeps checkpoints in RAM. Results are bit-identical
+// either way.
+func CheckpointSpill(dir string) WorkerOption { return func(w *Worker) { w.spillDir = dir } }
 
 // BatchSize sets how many faults run between progress beats within one
 // shard; 0 picks campaign.DefaultJobSize.
@@ -366,6 +374,9 @@ func (w *Worker) evictLocked() {
 		if victim == nil {
 			return
 		}
+		if victim.cs != nil {
+			victim.cs.Close() // release the spill file, if any
+		}
 		delete(w.groups, victim.key)
 	}
 }
@@ -400,7 +411,7 @@ func (w *Worker) build(ctx context.Context, g *group, l *Lease) error {
 	if snapshots < 0 {
 		snapshots = 0
 	}
-	g.cs, err = fi.BuildCheckpointsContext(ctx, img, cfg, golden, snapshots)
+	g.cs, err = fi.BuildCheckpointsOpt(ctx, img, cfg, golden, fi.CheckpointOptions{N: snapshots, SpillDir: w.spillDir})
 	if err != nil {
 		return err
 	}

@@ -388,3 +388,63 @@ func TestMemApplyInvalidatesWritableText(t *testing.T) {
 		t.Errorf("r1 = %d after mem-domain flip in rwx text, want 3 (stale decode)", got)
 	}
 }
+
+// TestApplyMarksPagesDirty pins the tentpole requirement that fault-domain
+// Apply participates in dirty-page tracking: because Apply mutates RAM only
+// through the mem accessors, a delta snapshot taken right after an injection
+// captures exactly the flipped page, and restoring the pre-fault snapshot
+// reverts the flip. Without the dirty bit, a copy-on-write checkpoint taken
+// downstream of an injection would silently drop the fault.
+func TestApplyMarksPagesDirty(t *testing.T) {
+	env, m := testEnv(t)
+	var heap *mem.Region
+	for i := range env.Regions {
+		if env.Regions[i].Name == "heap" {
+			heap = &env.Regions[i]
+		}
+	}
+	if heap == nil {
+		t.Fatal("image has no heap region")
+	}
+	pre := m.Snapshot() // re-anchors dirty tracking
+
+	memd, _ := fault.New(fault.Mem, env)
+	addr := heap.Start + 3*mem.PageBytes + 128
+	want := m.Mem.ReadU32(addr) ^ (1 << 21)
+	memd.Apply(m, fault.Point{Domain: fault.Mem, Addr: addr, Bit: 21})
+
+	delta := m.DeltaSnapshot()
+	if delta.Depth() == 0 {
+		t.Fatal("delta did not chain to the pre-fault snapshot")
+	}
+	if delta.MemBytes() == 0 {
+		t.Fatal("Apply left no dirty page for the delta to capture")
+	}
+	if delta.MemBytes() > 2*mem.PageBytes {
+		t.Errorf("one injected word dirtied %d bytes of delta, want at most two pages", delta.MemBytes())
+	}
+	fresh := mach.New(testCfg(t))
+	fresh.Restore(delta)
+	if got := fresh.Mem.ReadU32(addr); got != want {
+		t.Errorf("delta lost the injected flip: %#x, want %#x", got, want)
+	}
+
+	m.Restore(pre)
+	if got := fresh.Mem.ReadU32(addr); got != want {
+		t.Errorf("restore mutated the captured delta: %#x", got)
+	}
+	if got := m.Mem.ReadU32(addr); got != want^(1<<21) {
+		t.Errorf("pre-fault restore did not revert the flip: %#x", got)
+	}
+}
+
+// testCfg rebuilds the scenario config testEnv used (Apply tests need a
+// second machine of the same shape).
+func testCfg(t *testing.T) mach.Config {
+	t.Helper()
+	_, cfg, err := npb.BuildScenario(npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}

@@ -13,16 +13,20 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"serfi/internal/cc"
 	"serfi/internal/fault"
 	"serfi/internal/mach"
+	"serfi/internal/mem"
 )
 
 // DefaultCheckpoints is the per-scenario snapshot count campaigns use when
 // the caller does not choose one. More checkpoints shorten the average
-// restored suffix but cost memory (one sparse RAM copy each).
+// restored suffix; since each checkpoint is a delta holding only the pages
+// dirtied since its predecessor, the memory cost grows with pages written,
+// not with RAM images retained.
 const DefaultCheckpoints = 8
 
 // CheckpointSet holds the pre-fault snapshots of one scenario, plus the
@@ -31,7 +35,20 @@ const DefaultCheckpoints = 8
 type CheckpointSet struct {
 	img   *cc.Image
 	cfg   mach.Config
-	snaps []*mach.Snapshot // ascending by Retired()
+	snaps []*mach.Snapshot // ascending by Retired(); a delta chain unless FullCopy
+
+	// pool recycles injection machines across InjectPoint calls (delta path
+	// only). A pooled machine's memory keeps its tracking base, so restoring
+	// the next fault's checkpoint rewrites just the pages that differ along
+	// the chain instead of the whole RAM image — the restore-cost win this
+	// engine exists for. Shared by Clone so all domains of a scenario reuse
+	// the same warm machines.
+	pool *sync.Pool
+
+	// spill owns the on-disk page store when the set was built with a
+	// SpillDir; only the originally built set holds it (clones share the
+	// snapshots, not the file's ownership).
+	spill *mem.Spill
 
 	// simulated accumulates retired instructions executed by Inject calls;
 	// fromReset accumulates what those runs would have retired from reset.
@@ -42,6 +59,22 @@ type CheckpointSet struct {
 	// per-scenario prune rate of campaign summaries).
 	pruned atomic.Uint64
 	total  atomic.Uint64
+}
+
+// CheckpointOptions configures BuildCheckpointsOpt.
+type CheckpointOptions struct {
+	// N is the checkpoint count; n <= 0 yields an empty set (every
+	// injection runs from reset).
+	N int
+	// SpillDir, when non-empty, moves every checkpoint's RAM payload into
+	// an unlinked temp file under that directory after the build; restores
+	// reload pages lazily via pread. Close releases the file.
+	SpillDir string
+	// FullCopy captures each checkpoint as a complete sparse RAM copy and
+	// runs every injection on a fresh machine — the pre-delta engine,
+	// retained as a differential reference and as the "before" side of
+	// checkpoint benchmarks. Results are bit-identical either way.
+	FullCopy bool
 }
 
 // BuildCheckpoints executes the fault-free machine once up to the last
@@ -58,8 +91,17 @@ func BuildCheckpoints(img *cc.Image, cfg mach.Config, g *Golden, n int) (*Checkp
 // returning ctx.Err() when cancelled. Captured snapshots are bit-identical
 // to BuildCheckpoints.
 func BuildCheckpointsContext(ctx context.Context, img *cc.Image, cfg mach.Config, g *Golden, n int) (*CheckpointSet, error) {
+	return BuildCheckpointsOpt(ctx, img, cfg, g, CheckpointOptions{N: n})
+}
+
+// BuildCheckpointsOpt is BuildCheckpointsContext with explicit options. By
+// default each checkpoint after the first is captured as a delta holding
+// only the pages dirtied since its predecessor — the fast-forwarding
+// machine's dirty bitmap is reset at every capture, so the chain falls out
+// of the run itself with no extra page comparisons beyond the dirty set.
+func BuildCheckpointsOpt(ctx context.Context, img *cc.Image, cfg mach.Config, g *Golden, opt CheckpointOptions) (*CheckpointSet, error) {
 	cs := &CheckpointSet{img: img, cfg: cfg}
-	if n <= 0 {
+	if opt.N <= 0 {
 		return cs, nil
 	}
 	m := mach.New(cfg)
@@ -67,8 +109,8 @@ func BuildCheckpointsContext(ctx context.Context, img *cc.Image, cfg mach.Config
 	budget := hangBudget(g)
 	span := g.AppEnd - g.AppStart
 	last := uint64(0)
-	for k := 0; k < n; k++ {
-		target := g.AppStart - 1 + span*uint64(k)/uint64(n)
+	for k := 0; k < opt.N; k++ {
+		target := g.AppStart - 1 + span*uint64(k)/uint64(opt.N)
 		if target <= last && k > 0 {
 			continue // lifespan shorter than the checkpoint count
 		}
@@ -80,8 +122,31 @@ func BuildCheckpointsContext(ctx context.Context, img *cc.Image, cfg mach.Config
 			return nil, fmt.Errorf("fi: checkpoint fast-forward stopped early: %v at %d (target %d)",
 				stop, m.TotalRetired, target)
 		}
-		cs.snaps = append(cs.snaps, m.Snapshot())
+		if opt.FullCopy {
+			cs.snaps = append(cs.snaps, m.Snapshot())
+		} else {
+			// The first capture has no base and falls back to a full copy;
+			// every later one chains to its predecessor.
+			cs.snaps = append(cs.snaps, m.DeltaSnapshot())
+		}
 		last = target
+	}
+	if opt.SpillDir != "" {
+		sp, err := mem.NewSpill(opt.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range cs.snaps {
+			if err := s.SpillTo(sp); err != nil {
+				sp.Close()
+				return nil, err
+			}
+		}
+		cs.spill = sp
+	}
+	if !opt.FullCopy {
+		cfg := cfg
+		cs.pool = &sync.Pool{New: func() any { return mach.New(cfg) }}
 	}
 	return cs, nil
 }
@@ -89,19 +154,47 @@ func BuildCheckpointsContext(ctx context.Context, img *cc.Image, cfg mach.Config
 // Clone returns a set sharing this set's snapshots — immutable and safe to
 // share — but with fresh savings/prune counters, so concurrent campaigns
 // over the same scenario (one per fault domain) pay the checkpoint
-// fast-forward once yet attribute their telemetry separately.
+// fast-forward once yet attribute their telemetry separately. The machine
+// pool is shared too (all clones restore from the same chain); spill-file
+// ownership is not — Close on a clone is a no-op.
 func (cs *CheckpointSet) Clone() *CheckpointSet {
-	return &CheckpointSet{img: cs.img, cfg: cs.cfg, snaps: cs.snaps}
+	return &CheckpointSet{img: cs.img, cfg: cs.cfg, snaps: cs.snaps, pool: cs.pool}
+}
+
+// Close releases the spill file backing this set's checkpoints, if any.
+// Only the set BuildCheckpointsOpt returned owns the file; it must not be
+// closed while any injection that could restore a spilled checkpoint — on
+// this set or any Clone — is still in flight.
+func (cs *CheckpointSet) Close() error {
+	sp := cs.spill
+	cs.spill = nil
+	if sp == nil {
+		return nil
+	}
+	return sp.Close()
 }
 
 // Len returns the number of captured snapshots.
 func (cs *CheckpointSet) Len() int { return len(cs.snaps) }
 
-// MemBytes returns the total payload of all retained RAM pages (telemetry).
+// MemBytes returns the total in-memory payload of all retained RAM pages
+// (telemetry). On the delta path this sums each checkpoint's own pages —
+// equal to the last checkpoint's ChainBytes for a linear chain — and is a
+// small fraction of the full-copy cost; after a spill it approaches zero.
 func (cs *CheckpointSet) MemBytes() int {
 	n := 0
 	for _, s := range cs.snaps {
 		n += s.MemBytes()
+	}
+	return n
+}
+
+// SpilledBytes returns the total RAM payload the set keeps on disk
+// (telemetry; zero unless built with a SpillDir).
+func (cs *CheckpointSet) SpilledBytes() int {
+	n := 0
+	for _, s := range cs.snaps {
+		n += s.SpilledBytes()
 	}
 	return n
 }
@@ -147,11 +240,24 @@ func (cs *CheckpointSet) InjectPoint(d fault.Domain, g *Golden, p Fault) Result 
 // telemetry counters untouched (an aborted run never counts); a completed
 // run is bit-identical to InjectPoint.
 func (cs *CheckpointSet) InjectPointContext(ctx context.Context, d fault.Domain, g *Golden, p Fault) (Result, error) {
-	m := mach.New(cs.cfg)
+	var m *mach.Machine
 	injectAt := g.AppStart + p.Index
 	if s := cs.nearest(injectAt); s != nil {
+		if cs.pool != nil {
+			// A recycled machine still carries its last restore as the
+			// memory's tracking base, so this Restore rewrites only the
+			// pages that differ along the chain between the two
+			// checkpoints. Restore overwrites all execution state and
+			// armFault/runCtx re-arm the injection hook and instruction
+			// budget, so no other cleaning is needed.
+			m = cs.pool.Get().(*mach.Machine)
+			defer cs.pool.Put(m)
+		} else {
+			m = mach.New(cs.cfg)
+		}
 		m.Restore(s)
 	} else {
+		m = mach.New(cs.cfg)
 		cs.img.InstallTo(m)
 	}
 	start := m.TotalRetired

@@ -56,6 +56,78 @@ func TestCheckpointInjectMatchesReset(t *testing.T) {
 	}
 }
 
+// TestCheckpointOptionsBitIdentical pins the delta-checkpoint engine
+// against its retained full-copy reference at the fi layer: the same fault
+// list injected through a default (COW) set, a FullCopy set and a spilled
+// set yields identical Results and identical savings/prune telemetry —
+// while the capture telemetry shows the delta chain actually paying pages
+// instead of RAM images.
+func TestCheckpointOptionsBitIdentical(t *testing.T) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(opt fi.CheckpointOptions) *fi.CheckpointSet {
+		opt.N = 6
+		cs, err := fi.BuildCheckpointsOpt(context.Background(), img, cfg, g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	cow := build(fi.CheckpointOptions{})
+	full := build(fi.CheckpointOptions{FullCopy: true})
+	spill := build(fi.CheckpointOptions{SpillDir: t.TempDir()})
+	defer spill.Close()
+
+	// Capture telemetry: the delta chain holds a fraction of the full-copy
+	// payload, MemBytes equals the last checkpoint's ChainBytes on a linear
+	// chain, and a spilled set keeps its payload on disk instead of in RAM.
+	if cow.MemBytes() >= full.MemBytes() {
+		t.Errorf("delta chain (%d bytes) not smaller than full copies (%d bytes)", cow.MemBytes(), full.MemBytes())
+	}
+	if cow.MemBytes() == 0 {
+		t.Error("delta chain retained no RAM")
+	}
+	if full.SpilledBytes() != 0 || cow.SpilledBytes() != 0 {
+		t.Error("unspilled sets report spilled bytes")
+	}
+	if spill.MemBytes() != 0 {
+		t.Errorf("spilled set still holds %d bytes in RAM", spill.MemBytes())
+	}
+	if spill.SpilledBytes() != cow.MemBytes() {
+		t.Errorf("spilled payload %d != in-RAM payload %d of the identical build", spill.SpilledBytes(), cow.MemBytes())
+	}
+
+	faults := fi.FaultList(17, 8, g, cfg.ISA.Feat(), cfg.Cores)
+	for i, f := range faults {
+		want := cow.Inject(g, f)
+		if got := full.Inject(g, f); got != want {
+			t.Errorf("fault %d (%s): full-copy %+v != cow %+v", i, f, got, want)
+		}
+		if got := spill.Inject(g, f); got != want {
+			t.Errorf("fault %d (%s): spilled %+v != cow %+v", i, f, got, want)
+		}
+	}
+	cowSim, cowReset := cow.SimulatedInstructions()
+	for name, cs := range map[string]*fi.CheckpointSet{"full": full, "spill": spill} {
+		sim, reset := cs.SimulatedInstructions()
+		if sim != cowSim || reset != cowReset {
+			t.Errorf("%s telemetry sim=%d reset=%d != cow sim=%d reset=%d", name, sim, reset, cowSim, cowReset)
+		}
+		p, tot := cs.PruneStats()
+		cp, ctot := cow.PruneStats()
+		if p != cp || tot != ctot {
+			t.Errorf("%s prune %d/%d != cow %d/%d", name, p, tot, cp, ctot)
+		}
+	}
+}
+
 // TestBuildCheckpointsSpansLifespan checks placement: all snapshots sit
 // strictly below the end of the lifespan, the first strictly below its start.
 func TestBuildCheckpointsSpansLifespan(t *testing.T) {

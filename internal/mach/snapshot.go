@@ -46,8 +46,25 @@ type Snapshot struct {
 // time; checkpoint schedulers use it to pick the nearest pre-fault snapshot.
 func (s *Snapshot) Retired() uint64 { return s.totalRetired }
 
-// MemBytes returns the payload size of the sparse RAM copy (telemetry).
+// MemBytes returns the in-memory payload of this snapshot's own RAM pages
+// (telemetry; for a delta that is just the pages it adds to the chain).
 func (s *Snapshot) MemBytes() int { return s.mem.Bytes() }
+
+// ChainBytes returns the in-memory RAM payload of the whole delta chain
+// this snapshot restores through (its own pages plus every ancestor's).
+func (s *Snapshot) ChainBytes() int { return s.mem.ChainBytes() }
+
+// SpilledBytes returns the RAM payload this snapshot keeps on disk.
+func (s *Snapshot) SpilledBytes() int { return s.mem.SpilledBytes() }
+
+// Depth returns the RAM delta-chain length above the root full capture
+// (0 for a full-copy snapshot).
+func (s *Snapshot) Depth() int { return s.mem.Depth() }
+
+// SpillTo moves the snapshot's RAM payload to the spill file, leaving lazy
+// on-disk references. It mutates the snapshot and must run before the
+// snapshot is shared across goroutines.
+func (s *Snapshot) SpillTo(sp *mem.Spill) error { return s.mem.SpillTo(sp) }
 
 func copyCounts(m map[uint32]uint64) map[uint32]uint64 {
 	if m == nil {
@@ -60,11 +77,25 @@ func copyCounts(m map[uint32]uint64) map[uint32]uint64 {
 	return out
 }
 
-// Snapshot captures the machine's current state.
-func (m *Machine) Snapshot() *Snapshot {
+// Snapshot captures the machine's current state with a full RAM copy.
+func (m *Machine) Snapshot() *Snapshot { return m.capture(m.Mem.Snapshot()) }
+
+// DeltaSnapshot captures the machine's current state with the RAM image
+// stored as a delta off the memory's tracking base — the snapshot most
+// recently captured from or restored into this machine — so a checkpoint
+// chain pays only for the pages dirtied since its predecessor. It falls
+// back to a full copy when no base exists. Restoring the result is
+// bit-identical to restoring a full Snapshot of the same instant.
+//
+// The cache hierarchy state (a few KB of tag/LRU metadata against MBs of
+// RAM) and the other machine fields are still captured in full; only RAM
+// is delta-encoded.
+func (m *Machine) DeltaSnapshot() *Snapshot { return m.capture(m.Mem.DeltaSnapshot()) }
+
+func (m *Machine) capture(ms *mem.Snapshot) *Snapshot {
 	return &Snapshot{
 		cores:           append([]Core(nil), m.Cores...),
-		mem:             m.Mem.Snapshot(),
+		mem:             ms,
 		hier:            m.Hier.State(),
 		console:         append([]byte(nil), m.Console.Bytes()...),
 		textLimit:       m.textLimit,
@@ -116,13 +147,22 @@ func (m *Machine) Restore(s *Snapshot) {
 		m.Cores = make([]Core, len(s.cores))
 	}
 	copy(m.Cores, s.cores)
-	m.Mem.Restore(s.mem)
+	touched, selective := m.Mem.Restore(s.mem)
 	m.Hier.SetState(s.hier)
 	m.Console.Reset()
 	m.Console.Write(s.console)
-	if m.textLimit != s.textLimit {
+	switch {
+	case m.textLimit != s.textLimit:
 		m.SetTextLimit(s.textLimit)
-	} else {
+	case selective:
+		// The selective restore rewrote only the returned pages; decoded
+		// instructions and block runs over untouched pages are still valid
+		// by the dirty-page invariant, so invalidate page by page instead
+		// of flushing a warm decode cache wholesale.
+		for _, off := range touched {
+			m.invalidateDecoded(off, mem.PageBytes)
+		}
+	default:
 		m.FlushDecoded()
 	}
 	m.Halted = s.halted

@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDeltaSnapshotCapturesOnlyDirtyPages pins the delta-chain contract at
+// the mem layer: a delta holds exactly the pages whose contents changed
+// since its parent, rewrites to identical contents are dropped, and pages
+// zeroed over a non-zero parent get explicit zero markers.
+func TestDeltaSnapshotCapturesOnlyDirtyPages(t *testing.T) {
+	m := New(8 * PageBytes)
+	m.WriteU32(0, 0x11111111)              // page 0
+	m.WriteU32(3*PageBytes, 0x22222222)    // page 3
+	m.WriteU32(5*PageBytes+40, 0x33333333) // page 5
+	root := m.Snapshot()
+	if root.Parent() != nil || root.Depth() != 0 {
+		t.Fatalf("full snapshot parent=%v depth=%d", root.Parent(), root.Depth())
+	}
+	if len(root.pages) != 3 {
+		t.Fatalf("root captured %d pages, want 3 sparse pages", len(root.pages))
+	}
+
+	// One real change, one rewrite-to-same, one page zeroed out.
+	m.WriteU32(3*PageBytes, 0x44444444) // changed
+	m.WriteU32(0, 0x11111111)           // dirtied, but same contents
+	m.WriteU32(5*PageBytes+40, 0)       // page 5 becomes all-zero
+	m.WriteU8(7*PageBytes, 0)           // dirtied a page that stays zero
+	delta := m.DeltaSnapshot()
+	if delta.Parent() != root || delta.Depth() != 1 {
+		t.Fatalf("delta parent=%p depth=%d, want chained to root", delta.Parent(), delta.Depth())
+	}
+	if len(delta.pages) != 2 {
+		t.Fatalf("delta captured %d pages, want 2 (one data, one zero marker)", len(delta.pages))
+	}
+	if p := delta.findPage(5 * PageBytes); p == nil || !p.zero {
+		t.Errorf("page 5 should carry a zero marker, got %+v", p)
+	}
+	if p := delta.findPage(3 * PageBytes); p == nil || p.zero || len(p.data) != PageBytes {
+		t.Errorf("page 3 should carry full data, got %+v", p)
+	}
+
+	// Telemetry: the delta costs one page, the chain costs root + delta.
+	if delta.Bytes() != PageBytes {
+		t.Errorf("delta Bytes = %d, want %d", delta.Bytes(), PageBytes)
+	}
+	if got, want := delta.ChainBytes(), root.Bytes()+delta.Bytes(); got != want {
+		t.Errorf("ChainBytes = %d, want %d", got, want)
+	}
+
+	// Restoring root from the delta base walks the chain difference only.
+	touched, selective := m.Restore(root)
+	if !selective {
+		t.Fatal("chain-related restore should take the selective path")
+	}
+	if len(touched) != 2 {
+		t.Errorf("selective restore touched %d pages, want 2", len(touched))
+	}
+	if got := m.ReadU32(3 * PageBytes); got != 0x22222222 {
+		t.Errorf("page 3 after restore = %#x", got)
+	}
+	if got := m.ReadU32(5*PageBytes + 40); got != 0x33333333 {
+		t.Errorf("page 5 after restore = %#x", got)
+	}
+}
+
+// TestSpillMovesPayloadToDisk checks SpillTo accounting and that spilled
+// snapshots restore bit-identically through the lazy reload path.
+func TestSpillMovesPayloadToDisk(t *testing.T) {
+	m := New(4 * PageBytes)
+	m.WriteBytes(PageBytes/2, bytes.Repeat([]byte{0xab}, PageBytes)) // straddles pages 0-1
+	root := m.Snapshot()
+	m.WriteU32(2*PageBytes, 0xdeadbeef)
+	delta := m.DeltaSnapshot()
+
+	inRAM := root.Bytes() + delta.Bytes()
+	sp, err := NewSpill(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	for _, s := range []*Snapshot{root, delta} {
+		if err := s.SpillTo(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if root.Bytes()+delta.Bytes() != 0 {
+		t.Errorf("payload left in RAM after spill: %d", root.Bytes()+delta.Bytes())
+	}
+	if got := root.SpilledBytes() + delta.SpilledBytes(); got != inRAM {
+		t.Errorf("SpilledBytes = %d, want the pre-spill payload %d", got, inRAM)
+	}
+
+	other := &Spill{}
+	if err := root.SpillTo(other); err == nil {
+		t.Error("re-spilling to a different file must be rejected")
+	}
+
+	fresh := New(4 * PageBytes)
+	fresh.Restore(delta)
+	if got := fresh.ReadU8(PageBytes / 2); got != 0xab {
+		t.Errorf("spilled root page lost: %#x", got)
+	}
+	if got := fresh.ReadU32(2 * PageBytes); got != 0xdeadbeef {
+		t.Errorf("spilled delta page lost: %#x", got)
+	}
+	if !delta.EqualsMemory(fresh) {
+		t.Error("EqualsMemory false after spilled restore")
+	}
+}

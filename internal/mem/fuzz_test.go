@@ -1,0 +1,208 @@
+package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// The fuzz harness drives a Memory and a naive full-copy oracle (a flat
+// byte slice mutated in lockstep) through random write/snapshot/restore/
+// compare sequences. Any divergence between the sparse delta-chain
+// machinery and the oracle — including after spilling every snapshot to
+// disk — is a bug in the copy-on-write engine.
+
+// oracleSnap pairs a real snapshot with the oracle's full RAM copy taken
+// at the same instant.
+type oracleSnap struct {
+	snap *Snapshot
+	ram  []byte
+}
+
+// fuzzSizes mixes odd sizes, exact page multiples, and off-by-one page
+// boundaries so short final pages and straddling writes are exercised.
+var fuzzSizes = []uint32{
+	37,
+	PageBytes - 1,
+	PageBytes,
+	PageBytes + 1,
+	2*PageBytes + 17,
+	5 * PageBytes,
+	8*PageBytes + 4093,
+}
+
+const (
+	maxScriptOps  = 256
+	maxScriptSnap = 16
+)
+
+// runSnapshotScript interprets a byte-coded op script against both the
+// Memory under test and the oracle, failing on any divergence, and returns
+// the snapshots captured along the way.
+func runSnapshotScript(t *testing.T, size uint32, script []byte) (*Memory, []oracleSnap) {
+	t.Helper()
+	m := New(size)
+	oracle := make([]byte, size)
+	var snaps []oracleSnap
+
+	rd := bytes.NewReader(script)
+	u8 := func() uint8 { b, _ := rd.ReadByte(); return b }
+	u32 := func() uint32 {
+		var raw [4]byte
+		rd.Read(raw[:])
+		return binary.LittleEndian.Uint32(raw[:])
+	}
+
+	for op := 0; rd.Len() > 0 && op < maxScriptOps; op++ {
+		switch u8() % 9 {
+		case 0: // bulk write, possibly straddling pages or clamped at the end
+			addr := u32() % size
+			n := u32()%(3*PageBytes) + 1
+			pat := u8()
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = pat + byte(i)
+			}
+			m.WriteBytes(addr, buf)
+			copy(oracle[addr:], buf)
+		case 1: // zero-fill, the path that creates zero markers in deltas
+			addr := u32() % size
+			n := u32()%(2*PageBytes) + 1
+			m.WriteBytes(addr, make([]byte, n))
+			end := uint64(addr) + uint64(n)
+			if end > uint64(size) {
+				end = uint64(size)
+			}
+			clear(oracle[addr:end])
+		case 2:
+			addr := u32() % size
+			v := u8()
+			m.WriteU8(addr, v)
+			oracle[addr] = v
+		case 3:
+			if size < 4 {
+				continue
+			}
+			addr := u32() % (size - 3)
+			v := u32()
+			m.WriteU32(addr, v)
+			binary.LittleEndian.PutUint32(oracle[addr:], v)
+		case 4:
+			if size < 8 {
+				continue
+			}
+			addr := u32() % (size - 7)
+			v := uint64(u32())<<32 | uint64(u32())
+			m.WriteU64(addr, v)
+			binary.LittleEndian.PutUint64(oracle[addr:], v)
+		case 5: // full snapshot
+			if len(snaps) >= maxScriptSnap {
+				continue
+			}
+			s := m.Snapshot()
+			snaps = append(snaps, oracleSnap{s, append([]byte(nil), oracle...)})
+			if !s.EqualsMemory(m) {
+				t.Fatalf("op %d: full snapshot does not equal its own source", op)
+			}
+		case 6: // delta snapshot
+			if len(snaps) >= maxScriptSnap {
+				continue
+			}
+			s := m.DeltaSnapshot()
+			snaps = append(snaps, oracleSnap{s, append([]byte(nil), oracle...)})
+			if !s.EqualsMemory(m) {
+				t.Fatalf("op %d: delta snapshot does not equal its own source", op)
+			}
+		case 7: // restore an arbitrary earlier snapshot
+			if len(snaps) == 0 {
+				continue
+			}
+			pick := snaps[u32()%uint32(len(snaps))]
+			m.Restore(pick.snap)
+			if !bytes.Equal(m.ram, pick.ram) {
+				t.Fatalf("op %d: restore diverged from oracle", op)
+			}
+			copy(oracle, pick.ram)
+		case 8: // EqualsMemory against live state must agree with the oracle
+			if len(snaps) == 0 {
+				continue
+			}
+			pick := snaps[u32()%uint32(len(snaps))]
+			want := bytes.Equal(oracle, pick.ram)
+			if got := pick.snap.EqualsMemory(m); got != want {
+				t.Fatalf("op %d: EqualsMemory = %v, oracle says %v", op, got, want)
+			}
+		}
+	}
+	return m, snaps
+}
+
+// verifySnapshots restores every captured snapshot into both a fresh
+// memory (no shared chain: the slow full-materialization path) and the
+// live memory (shared chain: the selective fast path) and checks each
+// against the oracle copy.
+func verifySnapshots(t *testing.T, m *Memory, size uint32, snaps []oracleSnap) {
+	t.Helper()
+	for i, pair := range snaps {
+		fresh := New(size)
+		fresh.Restore(pair.snap)
+		if !bytes.Equal(fresh.ram, pair.ram) {
+			t.Fatalf("snapshot %d: slow-path restore diverged from oracle", i)
+		}
+		m.Restore(pair.snap)
+		if !bytes.Equal(m.ram, pair.ram) {
+			t.Fatalf("snapshot %d: fast-path restore diverged from oracle", i)
+		}
+		if !pair.snap.EqualsMemory(m) {
+			t.Fatalf("snapshot %d: EqualsMemory false right after restore", i)
+		}
+	}
+}
+
+func runSnapshotOracle(t *testing.T, sizeSel uint8, script []byte) {
+	size := fuzzSizes[int(sizeSel)%len(fuzzSizes)]
+	m, snaps := runSnapshotScript(t, size, script)
+	verifySnapshots(t, m, size, snaps)
+
+	// Spill everything to disk and prove the lazy-reload representation is
+	// still bit-identical.
+	sp, err := NewSpill(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewSpill: %v", err)
+	}
+	defer sp.Close()
+	for i, pair := range snaps {
+		if err := pair.snap.SpillTo(sp); err != nil {
+			t.Fatalf("snapshot %d: SpillTo: %v", i, err)
+		}
+		if pair.snap.Bytes() != 0 {
+			t.Fatalf("snapshot %d: %d payload bytes left in memory after spill", i, pair.snap.Bytes())
+		}
+	}
+	verifySnapshots(t, m, size, snaps)
+}
+
+func FuzzSnapshotDeltaOracle(f *testing.F) {
+	for sel := range fuzzSizes {
+		rng := rand.New(rand.NewSource(int64(sel) + 7))
+		seed := make([]byte, 512)
+		rng.Read(seed)
+		f.Add(uint8(sel), seed)
+	}
+	f.Fuzz(runSnapshotOracle)
+}
+
+// TestSnapshotOracleScripts replays deterministic pseudo-random scripts
+// over every fuzz size under plain `go test`, so the oracle equivalence
+// suite runs even where the fuzz engine does not.
+func TestSnapshotOracleScripts(t *testing.T) {
+	for sel := range fuzzSizes {
+		for round := 0; round < 4; round++ {
+			rng := rand.New(rand.NewSource(int64(sel*100 + round)))
+			script := make([]byte, 2048)
+			rng.Read(script)
+			runSnapshotOracle(t, uint8(sel), script)
+		}
+	}
+}

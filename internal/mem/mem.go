@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 	"sort"
 )
 
@@ -88,11 +89,19 @@ type Memory struct {
 	// typically alternate between two regions (e.g. heap and stack), so a
 	// single slot thrashes exactly on the hottest pattern.
 	last, last2 int
+
+	// Copy-on-write tracking. dirty holds one bit per PageBytes page, set by
+	// every write accessor below. base is the snapshot this memory diverged
+	// from: the invariant, kept continuously, is that ram matches base's
+	// materialized contents at every page whose dirty bit is clear.
+	// Snapshot, DeltaSnapshot and Restore re-anchor the pair.
+	dirty []uint64
+	base  *Snapshot
 }
 
 // New allocates size bytes of zeroed RAM with no mapped regions.
 func New(size uint32) *Memory {
-	return &Memory{ram: make([]byte, size)}
+	return &Memory{ram: make([]byte, size), dirty: make([]uint64, dirtyWords(size))}
 }
 
 // Size returns the RAM size in bytes.
@@ -164,13 +173,18 @@ func (m *Memory) Check(addr uint32, size uint32, want Perm, user bool) *Fault {
 }
 
 // The raw accessors below skip permission checks; they are used by the
-// machine after Check, by loaders, and by the fault injector.
+// machine after Check, by loaders, and by the fault injector. Every mutation
+// of RAM flows through them — that is what makes the dirty-page bitmap a
+// complete record of divergence from the tracking base.
 
 // ReadU8 reads one byte.
 func (m *Memory) ReadU8(addr uint32) uint8 { return m.ram[addr] }
 
 // WriteU8 writes one byte.
-func (m *Memory) WriteU8(addr uint32, v uint8) { m.ram[addr] = v }
+func (m *Memory) WriteU8(addr uint32, v uint8) {
+	m.ram[addr] = v
+	m.markPage(addr)
+}
 
 // ReadU32 reads a little-endian 32-bit value.
 func (m *Memory) ReadU32(addr uint32) uint32 {
@@ -180,6 +194,8 @@ func (m *Memory) ReadU32(addr uint32) uint32 {
 // WriteU32 writes a little-endian 32-bit value.
 func (m *Memory) WriteU32(addr uint32, v uint32) {
 	binary.LittleEndian.PutUint32(m.ram[addr:addr+4], v)
+	m.markPage(addr)
+	m.markPage(addr + 3)
 }
 
 // ReadU64 reads a little-endian 64-bit value.
@@ -190,6 +206,8 @@ func (m *Memory) ReadU64(addr uint32) uint64 {
 // WriteU64 writes a little-endian 64-bit value.
 func (m *Memory) WriteU64(addr uint32, v uint64) {
 	binary.LittleEndian.PutUint64(m.ram[addr:addr+8], v)
+	m.markPage(addr)
+	m.markPage(addr + 7)
 }
 
 // ReadBytes copies n bytes starting at addr.
@@ -199,35 +217,110 @@ func (m *Memory) ReadBytes(addr, n uint32) []byte {
 	return out
 }
 
-// WriteBytes copies b into RAM at addr.
+// WriteBytes copies b into RAM at addr, clamping at the end of RAM.
 func (m *Memory) WriteBytes(addr uint32, b []byte) {
-	copy(m.ram[addr:], b)
+	if n := uint32(copy(m.ram[addr:], b)); n > 0 {
+		m.markRange(addr, n)
+	}
 }
 
-// snapPageBytes is the chunk granularity of RAM snapshots. Untouched RAM
-// stays zero for the whole run, so chunking lets a snapshot of a mostly-empty
-// 24MB machine store only the pages the guest actually wrote.
-const snapPageBytes = 1 << 16
+// PageBytes is the page granularity of dirty-write tracking and snapshot
+// capture. Small enough that a checkpoint delta pays for pages, not whole
+// RAM images; large enough that the per-write bitmap update and the sparse
+// page walk stay cheap.
+const (
+	PageBytes = 1 << 14
+	pageShift = 14
+)
 
 // zeroPage is the all-zero reference chunk used to detect empty pages.
-var zeroPage [snapPageBytes]byte
+var zeroPage [PageBytes]byte
 
-// snapPage is one non-zero RAM chunk captured by a Snapshot.
+func dirtyWords(size uint32) int {
+	pages := (uint64(size) + PageBytes - 1) / PageBytes
+	return int((pages + 63) / 64)
+}
+
+// markPage records a write into the page containing addr. Called after the
+// RAM write, so an out-of-range access panics before any bit is set and
+// marked pages always exist.
+func (m *Memory) markPage(addr uint32) {
+	p := addr >> pageShift
+	m.dirty[p>>6] |= 1 << (p & 63)
+}
+
+// markRange records a write spanning [addr, addr+n), n > 0.
+func (m *Memory) markRange(addr, n uint32) {
+	for p := addr >> pageShift; p <= (addr+n-1)>>pageShift; p++ {
+		m.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
+
+// eachDirtyPage calls fn with the start offset of every dirty page, in
+// ascending order.
+func (m *Memory) eachDirtyPage(fn func(off uint32)) {
+	for wi, w := range m.dirty {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			fn((uint32(wi)*64 + uint32(b)) << pageShift)
+		}
+	}
+}
+
+// pageEnd returns the end of the page starting at off in a memory of the
+// given size (the final page may be short). Written as a subtraction so a
+// page ending exactly at 1<<32 cannot overflow.
+func pageEnd(off, size uint32) uint32 {
+	if size-off < PageBytes {
+		return size
+	}
+	return off + PageBytes
+}
+
+func isZero(b []byte) bool { return bytes.Equal(b, zeroPage[:len(b)]) }
+
+// snapPage is one RAM page captured by a Snapshot. Exactly one of three
+// states holds: data carries the contents in memory; zero marks a page that
+// is all-zero (meaningful in deltas, where the parent's page may not be);
+// or data is nil with spillN > 0 and the payload lives at spillAt in the
+// owning snapshot's spill file.
 type snapPage struct {
-	off  uint32
-	data []byte
+	off     uint32
+	data    []byte
+	zero    bool
+	spillAt int64
+	spillN  int
 }
 
 // Snapshot is an immutable copy of the RAM contents and region table at one
-// instant. It is safe to share across goroutines; Restore never mutates it.
+// instant — either a full capture or a delta chained to a parent. It is safe
+// to share across goroutines once fully built (SpillTo mutates it and must
+// run before sharing); Restore and EqualsMemory only read it.
 type Snapshot struct {
 	size    uint32
-	pages   []snapPage
+	pages   []snapPage // ascending by off
 	regions []Region
+
+	// Delta chain: parent is the snapshot whose materialized image this
+	// one's pages patch (nil for a full capture); depth is the chain length
+	// above the root, used to find common ancestors in O(depth).
+	parent *Snapshot
+	depth  int
+
+	// spill backs pages whose payload has been moved to disk.
+	spill *Spill
 }
 
-// Bytes returns the number of payload bytes the snapshot retains (test and
-// telemetry helper; the sparse representation skips all-zero pages).
+// Parent returns the snapshot this delta patches, or nil for a full capture.
+func (s *Snapshot) Parent() *Snapshot { return s.parent }
+
+// Depth returns the delta-chain length above the root full capture (0 for a
+// full capture).
+func (s *Snapshot) Depth() int { return s.depth }
+
+// Bytes returns the number of payload bytes the snapshot holds in memory
+// (test and telemetry helper; zero markers and spilled pages count nothing).
 func (s *Snapshot) Bytes() int {
 	n := 0
 	for _, p := range s.pages {
@@ -236,65 +329,276 @@ func (s *Snapshot) Bytes() int {
 	return n
 }
 
-// Snapshot captures the current RAM image and region table.
+// SpilledBytes returns the number of payload bytes the snapshot keeps on
+// disk after SpillTo.
+func (s *Snapshot) SpilledBytes() int {
+	n := 0
+	for _, p := range s.pages {
+		n += p.spillN
+	}
+	return n
+}
+
+// ChainBytes returns the in-memory payload of the whole chain this snapshot
+// restores through: its own pages plus every ancestor's.
+func (s *Snapshot) ChainBytes() int {
+	n := 0
+	for c := s; c != nil; c = c.parent {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// findPage returns the snapshot's own entry for the page at off, or nil.
+func (s *Snapshot) findPage(off uint32) *snapPage {
+	lo, hi := 0, len(s.pages)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.pages[mid].off < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.pages) && s.pages[lo].off == off {
+		return &s.pages[lo]
+	}
+	return nil
+}
+
+// scratch returns a page-sized read buffer when the chain holds spilled
+// payloads (pageData needs somewhere to load them), nil otherwise.
+func (s *Snapshot) scratch() []byte {
+	for c := s; c != nil; c = c.parent {
+		if c.spill != nil {
+			return make([]byte, PageBytes)
+		}
+	}
+	return nil
+}
+
+// pageData returns the materialized contents of the page at off: the
+// nearest chain entry holding the page wins, and absence all the way past
+// the root means all-zero (nil return, matching the full capture's
+// gap-means-zero convention). Spilled payloads are read into buf, so the
+// returned slice is only valid until the next call with the same buf.
+func (s *Snapshot) pageData(off uint32, buf []byte) []byte {
+	for c := s; c != nil; c = c.parent {
+		p := c.findPage(off)
+		if p == nil {
+			continue
+		}
+		if p.zero {
+			return nil
+		}
+		if p.data != nil {
+			return p.data
+		}
+		b := buf[:p.spillN]
+		c.spill.readAt(b, p.spillAt)
+		return b
+	}
+	return nil
+}
+
+// Snapshot captures the current RAM image and region table as a full copy
+// (no parent) and re-anchors the memory's dirty tracking on it.
 func (m *Memory) Snapshot() *Snapshot {
 	s := &Snapshot{
 		size:    m.Size(),
 		regions: append([]Region(nil), m.regions...),
 	}
-	for off := uint32(0); off < s.size; off += snapPageBytes {
-		end := off + snapPageBytes
-		if end > s.size {
-			end = s.size
-		}
-		chunk := m.ram[off:end]
-		if bytes.Equal(chunk, zeroPage[:len(chunk)]) {
+	for off := uint32(0); off < s.size; off = pageEnd(off, s.size) {
+		chunk := m.ram[off:pageEnd(off, s.size)]
+		if isZero(chunk) {
 			continue
 		}
 		s.pages = append(s.pages, snapPage{off: off, data: append([]byte(nil), chunk...)})
 	}
+	m.rebase(s)
 	return s
 }
 
+// DeltaSnapshot captures the pages written since the memory's tracking base
+// — the snapshot most recently captured from or restored into it — as a
+// delta chained to that base, then re-anchors tracking on the result.
+// Dirty pages whose contents still match the base are dropped; pages that
+// became all-zero get explicit zero markers, because a delta cannot reuse
+// the full capture's gap-means-zero convention. With no usable base the
+// capture falls back to a full Snapshot. Restoring the delta is
+// bit-identical to restoring a full capture of the same instant.
+func (m *Memory) DeltaSnapshot() *Snapshot {
+	if m.base == nil || m.base.size != m.Size() {
+		return m.Snapshot()
+	}
+	s := &Snapshot{
+		size:    m.Size(),
+		regions: append([]Region(nil), m.regions...),
+		parent:  m.base,
+		depth:   m.base.depth + 1,
+	}
+	buf := m.base.scratch()
+	m.eachDirtyPage(func(off uint32) {
+		chunk := m.ram[off:pageEnd(off, s.size)]
+		was := m.base.pageData(off, buf)
+		switch {
+		case was == nil && isZero(chunk):
+			// Dirtied but back to zero over a zero base page: no change.
+		case was != nil && bytes.Equal(chunk, was):
+			// Dirtied but rewritten to the base contents: no change.
+		case isZero(chunk):
+			s.pages = append(s.pages, snapPage{off: off, zero: true})
+		default:
+			s.pages = append(s.pages, snapPage{off: off, data: append([]byte(nil), chunk...)})
+		}
+	})
+	m.rebase(s)
+	return s
+}
+
+// rebase re-anchors dirty tracking: ram now matches s everywhere.
+func (m *Memory) rebase(s *Snapshot) {
+	m.base = s
+	clear(m.dirty)
+}
+
+// commonAncestor returns the deepest snapshot present on both chains, or
+// nil when the chains share no root (snapshots of unrelated memories).
+func commonAncestor(a, b *Snapshot) *Snapshot {
+	for a != nil && b != nil && a != b {
+		if a.depth >= b.depth {
+			a = a.parent
+		} else {
+			b = b.parent
+		}
+	}
+	if a == b {
+		return a
+	}
+	return nil
+}
+
+// diffPages collects the page offsets at which m's RAM may differ from
+// target's materialization: m's dirty pages plus every page recorded on the
+// chain paths from m.base and from target down to their common ancestor.
+// All other pages are equal by the dirty-tracking invariant.
+func (m *Memory) diffPages(target, anc *Snapshot) map[uint32]struct{} {
+	set := make(map[uint32]struct{})
+	m.eachDirtyPage(func(off uint32) { set[off] = struct{}{} })
+	for c := m.base; c != anc; c = c.parent {
+		for _, p := range c.pages {
+			set[p.off] = struct{}{}
+		}
+	}
+	for c := target; c != anc; c = c.parent {
+		for _, p := range c.pages {
+			set[p.off] = struct{}{}
+		}
+	}
+	return set
+}
+
+// pageEquals compares one page of m's RAM against the snapshot's
+// materialized contents.
+func (s *Snapshot) pageEquals(m *Memory, off uint32, buf []byte) bool {
+	chunk := m.ram[off:pageEnd(off, s.size)]
+	if want := s.pageData(off, buf); want != nil {
+		return bytes.Equal(chunk, want)
+	}
+	return isZero(chunk)
+}
+
 // EqualsMemory reports whether a memory's current RAM contents are
-// bit-identical to the snapshot (region tables are fixed per image and not
-// compared). Comparison walks the sparse pages and requires the gaps between
-// them to still be all-zero.
+// bit-identical to the snapshot's materialization (region tables are fixed
+// per image and not compared). When the memory's tracking base shares a
+// chain with s, only the pages that can differ — dirty pages plus the chain
+// paths between base and s — are compared; otherwise every page is. The
+// comparison never mutates tracking state.
 func (s *Snapshot) EqualsMemory(m *Memory) bool {
 	if m.Size() != s.size {
 		return false
 	}
-	next := 0
-	for off := uint32(0); off < s.size; off += snapPageBytes {
-		end := off + snapPageBytes
-		if end > s.size {
-			end = s.size
-		}
-		chunk := m.ram[off:end]
-		if next < len(s.pages) && s.pages[next].off == off {
-			if !bytes.Equal(chunk, s.pages[next].data) {
-				return false
+	buf := s.scratch()
+	if m.base != nil {
+		if anc := commonAncestor(m.base, s); anc != nil {
+			for off := range m.diffPages(s, anc) {
+				if !s.pageEquals(m, off, buf) {
+					return false
+				}
 			}
-			next++
-		} else if !bytes.Equal(chunk, zeroPage[:len(chunk)]) {
+			return true
+		}
+	}
+	for off := uint32(0); off < s.size; off = pageEnd(off, s.size) {
+		if !s.pageEquals(m, off, buf) {
 			return false
 		}
 	}
 	return true
 }
 
-// Restore resets RAM and the region table to a snapshot's state.
-func (m *Memory) Restore(s *Snapshot) {
+// Restore resets RAM and the region table to a snapshot's materialized
+// state and re-anchors dirty tracking on it. When the memory's tracking
+// base shares a chain with s, only the pages that can differ are rewritten
+// and their start offsets are returned with selective=true, so the caller
+// can invalidate derived state (decoded text) page by page instead of
+// wholesale. Otherwise the entire image is rebuilt and selective is false.
+func (m *Memory) Restore(s *Snapshot) (touched []uint32, selective bool) {
+	if m.Size() == s.size && m.base != nil {
+		if anc := commonAncestor(m.base, s); anc != nil {
+			buf := s.scratch()
+			for off := range m.diffPages(s, anc) {
+				chunk := m.ram[off:pageEnd(off, s.size)]
+				if want := s.pageData(off, buf); want != nil {
+					copy(chunk, want)
+				} else {
+					clear(chunk)
+				}
+				touched = append(touched, off)
+			}
+			m.finishRestore(s)
+			return touched, true
+		}
+	}
 	if m.Size() != s.size {
 		m.ram = make([]byte, s.size)
+		m.dirty = make([]uint64, dirtyWords(s.size))
 	} else {
 		clear(m.ram)
 	}
-	for _, p := range s.pages {
-		copy(m.ram[p.off:], p.data)
-	}
+	s.materializeInto(m.ram)
+	m.finishRestore(s)
+	return nil, false
+}
+
+func (m *Memory) finishRestore(s *Snapshot) {
 	m.regions = append(m.regions[:0], s.regions...)
 	m.last, m.last2 = 0, 0
+	m.rebase(s)
+}
+
+// materializeInto writes the chain's full image into ram (already zeroed):
+// root pages first, then each delta in chain order, so nearer entries
+// overwrite their ancestors'.
+func (s *Snapshot) materializeInto(ram []byte) {
+	var chain []*Snapshot
+	for c := s; c != nil; c = c.parent {
+		chain = append(chain, c)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := chain[i]
+		for _, p := range c.pages {
+			dst := ram[p.off:pageEnd(p.off, s.size)]
+			switch {
+			case p.zero:
+				clear(dst)
+			case p.data != nil:
+				copy(dst, p.data)
+			default:
+				c.spill.readAt(dst[:p.spillN], p.spillAt)
+			}
+		}
+	}
 }
 
 // Hash returns a 64-bit FNV-1a digest of all of RAM. The fault classifier

@@ -1,0 +1,83 @@
+package mem
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Spill is an anonymous on-disk store for snapshot page payloads: a temp
+// file unlinked the moment it is created, so the storage lives exactly as
+// long as the descriptor and can never outlive the process. Writes happen
+// while a checkpoint set is still being built (single goroutine); reads use
+// pread and are safe from any number of concurrent restores.
+type Spill struct {
+	f *os.File
+
+	mu  sync.Mutex
+	off int64
+}
+
+// NewSpill creates a spill file in dir ("" uses the OS temp directory).
+func NewSpill(dir string) (*Spill, error) {
+	f, err := os.CreateTemp(dir, "serfi-ckpt-*.spill")
+	if err != nil {
+		return nil, err
+	}
+	// Unlink immediately: the open descriptor keeps the bytes reachable,
+	// and nothing on the filesystem can dangle after a crash.
+	os.Remove(f.Name())
+	return &Spill{f: f}, nil
+}
+
+// write appends one payload and returns its offset.
+func (sp *Spill) write(b []byte) (int64, error) {
+	sp.mu.Lock()
+	at := sp.off
+	sp.off += int64(len(b))
+	sp.mu.Unlock()
+	if _, err := sp.f.WriteAt(b, at); err != nil {
+		return 0, err
+	}
+	return at, nil
+}
+
+// readAt reloads a spilled payload. A failure here is unrecoverable
+// simulator-state corruption — the file is unlinked, so nothing outside the
+// process can have touched it — and panics rather than making every restore
+// and comparison fallible.
+func (sp *Spill) readAt(b []byte, at int64) {
+	if _, err := sp.f.ReadAt(b, at); err != nil {
+		panic(fmt.Sprintf("mem: spill read of %d bytes at %d: %v", len(b), at, err))
+	}
+}
+
+// Close releases the spill file. The caller must guarantee no snapshot
+// backed by it will be restored or compared afterwards.
+func (sp *Spill) Close() error { return sp.f.Close() }
+
+// SpillTo moves the snapshot's in-memory page payloads into sp, leaving
+// lazy on-disk references behind. It mutates the snapshot and must run
+// before the snapshot is shared across goroutines. Zero markers and pages
+// already spilled are left alone; re-spilling to a different file is
+// rejected, since already-spilled pages would keep offsets into the old
+// one.
+func (s *Snapshot) SpillTo(sp *Spill) error {
+	if s.spill != nil && s.spill != sp {
+		return fmt.Errorf("mem: snapshot already spilled to a different file")
+	}
+	for i := range s.pages {
+		p := &s.pages[i]
+		if p.data == nil {
+			continue
+		}
+		at, err := sp.write(p.data)
+		if err != nil {
+			return err
+		}
+		p.spillAt, p.spillN = at, len(p.data)
+		p.data = nil
+	}
+	s.spill = sp
+	return nil
+}
