@@ -1,0 +1,41 @@
+// Command obslint structurally lints a Prometheus text-exposition document
+// (version 0.0.4): HELP/TYPE ordering, histogram bucket monotonicity and
+// the le="+Inf"/_count reconciliation. CI pipes a live /metrics scrape
+// through it; exit status 0 means the document parses.
+//
+//	serfi-coordinator$ curl -s localhost:8340/metrics | obslint
+//	obslint: 23 families ok
+//
+// With an argument, the file is read instead of stdin.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"serfi/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obslint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	families, err := obs.Lint(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obslint:", err)
+		os.Exit(1)
+	}
+	if families == 0 {
+		fmt.Fprintln(os.Stderr, "obslint: empty exposition (no metric families)")
+		os.Exit(1)
+	}
+	fmt.Printf("obslint: %d families ok\n", families)
+}

@@ -10,19 +10,23 @@
 //	serfi worker   -join host:8340         pull and execute shards for a coordinator
 //	serfi profile  -s ...                  golden flat profile (calls/samples)
 //	serfi disasm   -s ... -f main          disassemble a guest function
+//	serfi trace    -s ... -o trace.json    campaign phase trace (Chrome trace_event JSON)
 //	serfi trends                           print the Figure 1 dataset
 //
 // serve/worker are the distributed campaign fabric (internal/dist): serve
 // shards the same matrix `serfi campaign` runs locally and hands lease-based
 // shards to any number of `serfi worker -join` processes over a versioned
 // HTTP+JSON protocol; results fold into the same JSONL store, bit-identical
-// to a local run at the same seed. The coordinator's status page is plain
-// text at http://addr/ (JSON at /v1/status).
+// to a local run at the same seed. The coordinator serves a status page at
+// http://addr/ (JSON at /v1/status), cluster-wide Prometheus metrics at
+// /metrics, a live dashboard at /dash and pprof under /debug/pprof/.
 //
 // Campaign-shaped subcommands share the scheduler flags -workers (host
 // worker pool), -jobsize (faults per injection job), -snapshots (pre-fault
 // checkpoints per scenario; 0 disables snapshot acceleration) and
-// -faultmodel (fault domain: reg|mem|imem|burst, or all).
+// -faultmodel (fault domain: reg|mem|imem|burst, or all). inject, campaign
+// and worker also take -cpuprofile/-memprofile, written on clean exit and
+// on graceful SIGINT shutdown.
 //
 // A SIGINT (Ctrl-C) cancels the campaign engine gracefully: in-flight
 // injection jobs stop at the next run slice, every completed campaign is
@@ -50,6 +54,7 @@ import (
 	"serfi/internal/isa"
 	"serfi/internal/mach"
 	"serfi/internal/npb"
+	"serfi/internal/obs"
 	"serfi/internal/profile"
 	"serfi/internal/stats"
 )
@@ -80,6 +85,8 @@ func main() {
 		err = cmdProfile(args)
 	case "disasm":
 		err = cmdDisasm(args)
+	case "trace":
+		err = cmdTrace(args)
 	case "trends":
 		fmt.Print(exp.Figure1())
 	default:
@@ -93,7 +100,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: serfi {scenarios|golden|stats|inject|campaign|serve|worker|profile|disasm|trends} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: serfi {scenarios|golden|stats|inject|campaign|serve|worker|profile|disasm|trace|trends} [flags]")
 }
 
 // parseScenario accepts "armv7/IS/MPI-4".
@@ -189,8 +196,10 @@ func cmdInject(args []string) error {
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints (0 = run every fault from reset)")
 	ckptspill := fs.Bool("ckptspill", false, "spill checkpoint RAM to an unlinked temp file, reloading pages lazily")
 	slow := slowPathFlag(fs)
+	prof := addProfFlags(fs)
 	fs.Parse(args)
 	mach.ForceSlowPath = *slow
+	defer prof.start()()
 	sc, err := parseScenario(*scid)
 	if err != nil {
 		return err
@@ -231,6 +240,7 @@ func cmdInject(args []string) error {
 		campaign.JobSize(*jobSize),
 		campaign.Snapshots(snapshotCount(*snapshots)),
 		campaign.WithEvents(events),
+		campaign.WithMetrics(obs.Default),
 	}
 	if *ckptspill {
 		opts = append(opts, campaign.CheckpointSpill(os.TempDir()))
@@ -269,8 +279,10 @@ func cmdCampaign(args []string) error {
 	ckptspill := fs.Bool("ckptspill", false, "spill checkpoint RAM to an unlinked temp file, reloading pages lazily")
 	resume := fs.Bool("resume", false, "skip campaigns already recorded in -db and append the rest")
 	slow := slowPathFlag(fs)
+	prof := addProfFlags(fs)
 	fs.Parse(args)
 	mach.ForceSlowPath = *slow
+	defer prof.start()()
 	domains, err := fault.ParseModels(*model)
 	if err != nil {
 		return err
@@ -301,6 +313,7 @@ func cmdCampaign(args []string) error {
 		campaign.Models(domains...),
 		campaign.WithStore(st),
 		campaign.WithEvents(events),
+		campaign.WithMetrics(obs.Default),
 	}
 	if *ckptspill {
 		opts = append(opts, campaign.CheckpointSpill(os.TempDir()))
@@ -465,8 +478,10 @@ func cmdWorker(args []string) error {
 	ckptspill := fs.Bool("ckptspill", false, "spill checkpoint RAM to an unlinked temp file, reloading pages lazily")
 	name := fs.String("name", "", "worker name on the coordinator status page (default host-pid)")
 	slow := slowPathFlag(fs)
+	prof := addProfFlags(fs)
 	fs.Parse(args)
 	mach.ForceSlowPath = *slow
+	defer prof.start()()
 	if *join == "" {
 		return fmt.Errorf("worker: -join <host:port> is required")
 	}

@@ -26,6 +26,7 @@ import (
 	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/npb"
+	"serfi/internal/obs"
 	"serfi/internal/profile"
 )
 
@@ -47,6 +48,8 @@ type Engine struct {
 	events       chan<- Event
 	ckptSpill    string
 	fullCopy     bool
+	metrics      *obs.Registry
+	tracer       *obs.Tracer
 }
 
 // Option configures an Engine.
@@ -183,6 +186,7 @@ func cancelledBy(ctx context.Context, err error) bool {
 // reported; unaffected scenarios still complete and are returned.
 func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, error) {
 	t0 := time.Now()
+	em := newEngineMetrics(e.metrics)
 	workers := e.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -244,6 +248,7 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 	fail := func(ds *domainState, err error) {
 		wrapped := fmt.Errorf("%s: %w", ds.job.Key(), err)
 		errs[ds.idx] = wrapped
+		em.campaigns.With("failed").Inc()
 		if !cancelledBy(ctx, err) {
 			e.emit(ScenarioDone{Key: ds.job.Key(), Err: wrapped})
 		}
@@ -261,6 +266,10 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 		}
 		if st.cs != nil {
 			st.cs.Close() // release the spill file, if any
+		}
+		if st.obsResident != 0 || st.obsSpilled != 0 {
+			em.ckptResident.Add(-float64(st.obsResident))
+			em.ckptSpilled.Add(-float64(st.obsSpilled))
 		}
 		st.cs = nil // drop checkpoint RAM before releasing the slot
 		for _, ds := range st.domains {
@@ -315,6 +324,8 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 			res.Counts.Add(r.Outcome)
 		}
 		results[ds.idx] = res
+		em.campaigns.With("completed").Inc()
+		em.prunedRuns.Add(float64(pruned))
 		if e.store != nil || e.events != nil {
 			// One mutex serializes the store stream and the event order
 			// across completing workers, and guarantees the record is
@@ -352,12 +363,16 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 			return
 		}
 		st.t0 = time.Now()
+		st.tid = e.tracer.TID(fmt.Sprintf("%s/%d", st.job.Scenario.ID(), st.job.Seed))
 		doms := make([]fault.Model, len(st.domains))
 		for i, ds := range st.domains {
 			doms[i] = ds.job.Domain
 		}
+		em.scenariosStarted.Inc()
 		e.emit(ScenarioStarted{Scenario: st.job.Scenario, Seed: st.job.Seed, Domains: doms})
+		endSpan := e.tracer.Start("build", "build", st.tid, nil)
 		img, cfg, err := npb.BuildScenario(st.job.Scenario)
+		endSpan()
 		if err != nil {
 			closeGroup(st, err)
 			return
@@ -365,24 +380,35 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 		gcfg := cfg
 		gcfg.Profile = true
 		gcfg.SamplePeriod = samplePeriod
+		endSpan = e.tracer.Start("golden", "golden", st.tid, nil)
 		st.g, err = fi.RunGoldenContext(ctx, img, gcfg, 0)
+		endSpan()
 		if err != nil {
 			closeGroup(st, err)
 			return
 		}
 		st.goldenWall = time.Since(st.t0).Seconds()
+		endSpan = e.tracer.Start("profile", "profile", st.tid, nil)
 		st.features = profile.Extract(img, st.g.Machine)
 		st.apiCalls = profile.Build(img, st.g.Machine).CallsTo(profile.RuntimePrefixes...)
+		endSpan()
 
+		endSpan = e.tracer.Start("checkpoint", "checkpoint", st.tid, nil)
 		st.cs, err = fi.BuildCheckpointsOpt(ctx, img, cfg, st.g, fi.CheckpointOptions{
 			N:        snapshots,
 			SpillDir: e.ckptSpill,
 			FullCopy: e.fullCopy,
 		})
+		endSpan()
 		if err != nil {
 			closeGroup(st, err)
 			return
 		}
+		st.obsResident = st.cs.MemBytes()
+		st.obsSpilled = st.cs.SpilledBytes()
+		em.goldensDone.Inc()
+		em.ckptResident.Add(float64(st.obsResident))
+		em.ckptSpilled.Add(float64(st.obsSpilled))
 		e.emit(GoldenDone{
 			Scenario: st.job.Scenario,
 			Seed:     st.job.Seed,
@@ -421,10 +447,14 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 					hi = len(ds.faults)
 				}
 				ds, lo, hi := ds, lo, hi
+				em.jobsQueued.Inc()
 				tasks <- func() {
 					if ctx.Err() != nil {
 						ds.cancelled.Store(true)
 					} else {
+						em.jobsRunning.Add(1)
+						endSpan := e.tracer.Start(fmt.Sprintf("inject [%d,%d)", lo, hi), "inject", st.tid,
+							map[string]string{"campaign": ds.job.Key()})
 						jt0 := time.Now()
 						aborted := false
 						for i := lo; i < hi; i++ {
@@ -437,7 +467,19 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 							ds.runs[i] = r
 						}
 						span := time.Since(jt0)
+						endSpan()
+						em.jobsRunning.Add(-1)
 						if !aborted {
+							em.jobsDone.Inc()
+							// Outcome counters update in one batch per job,
+							// tallied locally first.
+							tally := map[string]int{}
+							for i := lo; i < hi; i++ {
+								tally[ds.runs[i].Outcome.String()]++
+							}
+							for o, n := range tally {
+								em.injections.With(o).Add(float64(n))
+							}
 							// Aborted jobs record no span: the campaign
 							// carries no result, and a resumed matrix
 							// re-executes (and re-counts) the whole range.
@@ -486,6 +528,7 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 				}
 				results[i] = r
 				skipped++
+				em.campaigns.With("skipped").Inc()
 				continue
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"serfi/internal/fault"
 	"serfi/internal/npb"
@@ -128,6 +129,8 @@ type Collector struct {
 	skipped   int
 	results   []*Result
 	cover     map[string][]JobSpan // per-campaign fault ranges seen via JobDone
+	totals    map[string]int       // per-campaign injection totals (JobDone.Total)
+	firstJob  time.Time            // when the first JobDone arrived (ETA epoch)
 	err       error
 }
 
@@ -162,10 +165,15 @@ func (c *Collector) Handle(ev Event) bool {
 		// the coordinator's status page applies to its Injected total.
 		if c.cover == nil {
 			c.cover = make(map[string][]JobSpan)
+			c.totals = make(map[string]int)
+		}
+		if c.firstJob.IsZero() {
+			c.firstJob = time.Now()
 		}
 		if ev.Hi > ev.Lo {
 			key := ev.Key()
-			c.cover[key] = append(c.cover[key], JobSpan{Lo: ev.Lo, Hi: ev.Hi})
+			c.cover[key] = append(c.cover[key], JobSpan{Lo: ev.Lo, Hi: ev.Hi, WallSec: ev.WallSec})
+			c.totals[key] = ev.Total
 		}
 	case GoldenDone:
 		c.printf("%s%-24s golden %.1fs %s\n", c.prefix(), ev.Scenario.ID(), ev.WallSec, ev.CheckpointTag())
@@ -177,7 +185,7 @@ func (c *Collector) Handle(ev Event) bool {
 		}
 		c.completed++
 		c.results = append(c.results, ev.Result)
-		c.printf("%s%-24s %s %s\n", c.prefix(), ev.Key, ev.Result.Counts, savingsTag(ev.Result))
+		c.printf("%s%-24s %s %s%s\n", c.prefix(), ev.Key, ev.Result.Counts, savingsTag(ev.Result), c.rateTagLocked())
 	case MatrixDone:
 		c.skipped, c.err = ev.Skipped, ev.Err
 		// Count failures the engine saw but never announced per campaign
@@ -217,6 +225,90 @@ func (c *Collector) Injected() int {
 		total += CoverageCount(spans)
 	}
 	return total
+}
+
+// statsLocked sums distinct injections and merged pool-busy seconds across
+// campaigns. Both sides merge by fault-index range (CoverageCount /
+// MergeJobSpans), so duplicated work — a re-issued distributed shard, a job
+// re-executed across a cancel/resume — skews neither the numerator nor the
+// denominator of the derived rate.
+func (c *Collector) statsLocked() (injected int, busySec float64) {
+	for _, spans := range c.cover {
+		injected += CoverageCount(spans)
+		busySec += MergeJobSpans(spans)
+	}
+	return injected, busySec
+}
+
+// Rate returns the observed injection throughput per pool-busy second
+// (distinct injections over merged job spans — a per-worker number that is
+// stable across worker counts); ok is false before any job has completed.
+func (c *Collector) Rate() (perSec float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rateLocked()
+}
+
+func (c *Collector) rateLocked() (float64, bool) {
+	injected, busy := c.statsLocked()
+	if injected == 0 || busy <= 0 {
+		return 0, false
+	}
+	return float64(injected) / busy, true
+}
+
+// ETA estimates the wall-clock time left to finish every remaining
+// injection at the observed wall rate (distinct injections since the first
+// JobDone). Campaigns that have reported no JobDone yet are estimated at
+// the mean per-campaign total of those that have; skipped campaigns cost
+// nothing. ok is false before any job has completed. On a resumed matrix
+// only fresh work enters both the numerator and the clock, so stored
+// campaigns do not skew the estimate.
+func (c *Collector) ETA() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.etaLocked()
+}
+
+func (c *Collector) etaLocked() (time.Duration, bool) {
+	injected, _ := c.statsLocked()
+	if injected == 0 || c.firstJob.IsZero() {
+		return 0, false
+	}
+	elapsed := time.Since(c.firstJob).Seconds()
+	if elapsed <= 0 {
+		return 0, false
+	}
+	remaining, totalSum := 0, 0
+	for key, total := range c.totals {
+		if rem := total - CoverageCount(c.cover[key]); rem > 0 {
+			remaining += rem
+		}
+		totalSum += total
+	}
+	if c.total > 0 && len(c.totals) > 0 {
+		// Campaigns not yet injecting (including ones that failed before
+		// their first job — a slight overestimate) at the observed mean.
+		if unstarted := c.total - c.skipped - len(c.totals); unstarted > 0 {
+			remaining += unstarted * totalSum / len(c.totals)
+		}
+	}
+	wallRate := float64(injected) / elapsed
+	return time.Duration(float64(remaining) / wallRate * float64(time.Second)), true
+}
+
+// rateTagLocked renders the progress-line rate column (" 123 inj/s
+// eta=1m30s"), empty before the first completed job.
+func (c *Collector) rateTagLocked() string {
+	rate, ok := c.rateLocked()
+	if !ok {
+		return ""
+	}
+	tag := fmt.Sprintf(" %.1f inj/s", rate)
+	if eta, ok := c.etaLocked(); ok && eta > 0 {
+		tag += fmt.Sprintf(" eta=%s", eta.Round(time.Second))
+	}
+	return tag
 }
 
 // Completed returns how many campaigns finished fresh.

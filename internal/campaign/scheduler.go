@@ -144,4 +144,11 @@ type scenarioState struct {
 	goldenWall  float64
 	apiCalls    uint64
 	features    profile.Features
+
+	// Observability bookkeeping: the group's trace track, and the checkpoint
+	// byte counts added to the resident/spilled gauges at GoldenDone (to be
+	// subtracted again when the group closes).
+	tid         int
+	obsResident int
+	obsSpilled  int
 }

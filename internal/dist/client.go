@@ -48,7 +48,13 @@ func NewLoopbackClient(h http.Handler) *Client {
 
 // post sends one JSON request and decodes the JSON reply into out. Non-200
 // answers surface the coordinator's error body.
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
+func (c *Client) post(ctx context.Context, path string, in, out any) (err error) {
+	obsWireRequests.With(path).Inc()
+	defer func() {
+		if err != nil {
+			obsWireErrors.With(path).Inc()
+		}
+	}()
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -101,12 +107,14 @@ func (c *Client) Event(ctx context.Context, req EventRequest) error {
 
 // Status fetches the coordinator's aggregate state.
 func (c *Client) Status(ctx context.Context) (StatusReply, error) {
+	obsWireRequests.With(PathStatus).Inc()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathStatus, nil)
 	if err != nil {
 		return StatusReply{}, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		obsWireErrors.With(PathStatus).Inc()
 		return StatusReply{}, err
 	}
 	defer resp.Body.Close()

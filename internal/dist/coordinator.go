@@ -4,19 +4,23 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"html"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"serfi/internal/campaign"
 	"serfi/internal/fi"
+	"serfi/internal/obs"
 	"serfi/internal/profile"
 )
 
@@ -99,6 +103,14 @@ type Coordinator struct {
 	t0        time.Time
 	muted     bool // terminal MatrixDone announced; drop late handler events
 
+	// Observability state (obs.go, dash.go): the coordinator's private
+	// instrument registry, the latest cumulative metric snapshot per worker
+	// name, the matrix-wide outcome tally, and the dashboard's SSE hub.
+	cm         *coordMetrics
+	workerFams map[string][]obs.Family
+	outcomes   map[string]int
+	sse        *sseHub
+
 	finished chan struct{}
 	finOnce  sync.Once
 }
@@ -142,11 +154,15 @@ func NewCoordinator(jobs []campaign.ScenarioJob, faults int, opts ...CoordOption
 		return nil, fmt.Errorf("dist: negative fault count %d", faults)
 	}
 	c := &Coordinator{
-		shardSize: DefaultShardSize,
-		ttl:       DefaultLeaseTTL,
-		now:       time.Now,
-		workers:   make(map[string]*workerInfo),
-		finished:  make(chan struct{}),
+		shardSize:  DefaultShardSize,
+		ttl:        DefaultLeaseTTL,
+		now:        time.Now,
+		workers:    make(map[string]*workerInfo),
+		cm:         newCoordMetrics(),
+		workerFams: make(map[string][]obs.Family),
+		outcomes:   make(map[string]int),
+		sse:        newSSEHub(),
+		finished:   make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -177,6 +193,7 @@ func NewCoordinator(jobs []campaign.ScenarioJob, faults int, opts ...CoordOption
 				st.done = true
 				st.skipped = true
 				c.skipped++
+				c.cm.campaigns.With("skipped").Inc()
 			}
 		}
 		c.camps = append(c.camps, st)
@@ -298,14 +315,24 @@ func (c *Coordinator) Serve(ctx context.Context, addr string) ([]*campaign.Resul
 	return results, werr
 }
 
-// Handler returns the coordinator's HTTP handler: the /v1 wire protocol
-// plus a human-readable status page at /.
+// Handler returns the coordinator's HTTP handler: the /v1 wire protocol,
+// a human-readable status page at /, the cluster-wide Prometheus
+// exposition at /metrics, the live dashboard at /dash (SSE feed at
+// /dash/events), and the standard pprof endpoints under /debug/pprof/.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathLease, c.handleLease)
 	mux.HandleFunc(PathComplete, c.handleComplete)
 	mux.HandleFunc(PathEvents, c.handleEvents)
 	mux.HandleFunc(PathStatus, c.handleStatus)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/dash", c.handleDash)
+	mux.HandleFunc("/dash/events", c.handleDashEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", c.handlePage)
 	return mux
 }
@@ -355,13 +382,16 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.touch(req.Worker)
 	sh, done := c.table.acquire(req.Worker)
 	if done {
+		c.cm.leaseRequests.With("done").Inc()
 		writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, Done: true})
 		return
 	}
 	if sh == nil {
+		c.cm.leaseRequests.With("retry").Inc()
 		writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, RetryMs: defaultRetryMs})
 		return
 	}
+	c.cm.leaseRequests.With("grant").Inc()
 	camp := sh.camp
 	if !camp.started {
 		camp.started = true
@@ -388,18 +418,25 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	wi := c.touch(req.Worker)
+	if len(req.Metrics) > 0 {
+		// Latest cumulative snapshot wins; see obs.go for the merge rule.
+		c.workerFams[req.Worker] = req.Metrics
+	}
 	sh, stale := c.table.complete(req.LeaseID, req.Key, req.Lo, req.Hi)
 	if stale {
+		c.cm.shards.With("stale").Inc()
 		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Stale: true, Done: c.campsLeft == 0})
 		return
 	}
 	camp := sh.camp
 	if req.Err != "" {
+		c.cm.shards.With("failed").Inc()
 		c.failCampaign(camp, errors.New(req.Err))
 		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
 		return
 	}
 	if len(req.Runs) != sh.hi-sh.lo {
+		c.cm.shards.With("failed").Inc()
 		c.failCampaign(camp, fmt.Errorf("shard [%d,%d) returned %d runs", sh.lo, sh.hi, len(req.Runs)))
 		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
 		return
@@ -423,6 +460,13 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		camp.spans = append(camp.spans, campaign.JobSpan{Lo: sh.lo, Hi: sh.hi, WallSec: req.WallSec})
 	}
 	camp.runsDone += len(req.Runs)
+	for i := range req.Runs {
+		o := req.Runs[i].Outcome.String()
+		c.outcomes[o]++
+		c.cm.injections.With(o).Inc()
+	}
+	c.cm.shards.With("accepted").Inc()
+	c.cm.shardSeconds.Observe(req.WallSec)
 	wi.shards++
 	wi.runs += len(req.Runs)
 	camp.shardsLeft--
@@ -448,12 +492,23 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	sh := c.table.holder(req.LeaseID)
 	if sh == nil || sh.camp.key != req.Key {
 		// Stale beat from an expired lease: acknowledge and drop.
+		c.cm.beatsStale.Inc()
 		writeJSON(w, http.StatusOK, EventReply{Proto: ProtoVersion})
 		return
 	}
 	camp := sh.camp
 	sh.beats += req.Hi - req.Lo
 	camp.beats += req.Hi - req.Lo
+	c.cm.beats.Inc()
+	c.sse.publish(dashEvent{
+		Type:    "job",
+		Key:     camp.key,
+		Lo:      req.Lo,
+		Hi:      req.Hi,
+		Done:    camp.beats,
+		Total:   camp.faults,
+		WallSec: req.WallSec,
+	})
 	c.emit(campaign.JobDone{
 		Scenario: camp.job.Scenario,
 		Domain:   camp.job.Domain,
@@ -497,6 +552,8 @@ func (c *Coordinator) assemble(camp *campState) {
 	}
 	c.results[camp.idx] = res
 	camp.done = true
+	c.cm.campaigns.With("completed").Inc()
+	c.sse.publish(dashEvent{Type: "scenario", Key: camp.key, Done: camp.runsDone, Total: camp.faults})
 	c.emit(campaign.ScenarioDone{Key: camp.key, Result: res})
 	c.campDone()
 }
@@ -511,7 +568,9 @@ func (c *Coordinator) failCampaign(camp *campState, err error) {
 	camp.err = fmt.Errorf("%s: %w", camp.key, err)
 	c.errs[camp.idx] = camp.err
 	c.failed++
+	c.cm.campaigns.With("failed").Inc()
 	c.table.retireCampaign(camp)
+	c.sse.publish(dashEvent{Type: "scenario", Key: camp.key, Failed: true, Err: err.Error()})
 	c.emit(campaign.ScenarioDone{Key: camp.key, Err: camp.err})
 	c.campDone()
 }
@@ -549,11 +608,34 @@ func (c *Coordinator) Status() StatusReply {
 		if camp.done {
 			st.CampaignsDone++
 		}
+		row := CampaignStatus{
+			Key:     camp.key,
+			Faults:  camp.faults,
+			Done:    camp.done,
+			Skipped: camp.skipped,
+			Failed:  camp.err != nil,
+		}
+		if !camp.skipped {
+			// Live progress: beats lead runsDone while a shard is in flight,
+			// runsDone wins once folding catches up.
+			row.Injected = camp.runsDone
+			if camp.beats > row.Injected {
+				row.Injected = camp.beats
+			}
+		}
+		st.CampaignList = append(st.CampaignList, row)
 		if camp.skipped {
 			continue // answered from the store: counted in Skipped, not here
 		}
 		st.Injections += camp.faults
 		st.Injected += camp.runsDone
+	}
+	sort.Slice(st.CampaignList, func(i, j int) bool { return st.CampaignList[i].Key < st.CampaignList[j].Key })
+	if len(c.outcomes) > 0 {
+		st.Outcomes = make(map[string]int, len(c.outcomes))
+		for k, v := range c.outcomes {
+			st.Outcomes[k] = v
+		}
 	}
 	names := make([]string, 0, len(c.workers))
 	for name := range c.workers {
@@ -583,28 +665,45 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.Status())
 }
 
-// handlePage renders the plain-text status page at /.
+// handlePage renders the status page at /: the classic text report inside
+// an HTML shell. Worker names are caller-controlled wire strings, so every
+// dynamic value is HTML-escaped before it reaches the page.
 func (c *Coordinator) handlePage(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
 	st := c.Status()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "serfi distributed campaign coordinator (protocol v%d)\n\n", st.Proto)
-	fmt.Fprintf(w, "campaigns  %d/%d done (%d skipped, %d failed)\n",
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "serfi distributed campaign coordinator (protocol v%d)\n\n", st.Proto)
+	fmt.Fprintf(&b, "campaigns  %d/%d done (%d skipped, %d failed)\n",
 		st.CampaignsDone, st.Campaigns, st.Skipped, st.Failed)
-	fmt.Fprintf(w, "shards     %d/%d done, %d leased, %d pending, %d re-issued\n",
+	fmt.Fprintf(&b, "shards     %d/%d done, %d leased, %d pending, %d re-issued\n",
 		st.ShardsDone, st.Shards, st.ShardsLeased, st.ShardsPending, st.Reissued)
-	fmt.Fprintf(w, "injections %d/%d classified\n", st.Injected, st.Injections)
-	fmt.Fprintf(w, "elapsed    %.1fs\n", st.ElapsedSec)
+	fmt.Fprintf(&b, "injections %d/%d classified\n", st.Injected, st.Injections)
+	fmt.Fprintf(&b, "elapsed    %.1fs\n", st.ElapsedSec)
 	if len(st.Workers) > 0 {
-		fmt.Fprintf(w, "\n%-24s %6s %8s %8s %10s\n", "worker", "live", "shards", "runs", "last seen")
+		fmt.Fprintf(&b, "\n%-24s %6s %8s %8s %10s\n", "worker", "live", "shards", "runs", "last seen")
 		for _, ws := range st.Workers {
-			fmt.Fprintf(w, "%-24s %6d %8d %8d %9.1fs\n", ws.Name, ws.Live, ws.Shards, ws.Runs, ws.LastSeenSec)
+			fmt.Fprintf(&b, "%-24s %6d %8d %8d %9.1fs\n", ws.Name, ws.Live, ws.Shards, ws.Runs, ws.LastSeenSec)
+		}
+	}
+	if len(st.Outcomes) > 0 {
+		keys := make([]string, 0, len(st.Outcomes))
+		for k := range st.Outcomes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "\n%-24s %8s\n", "outcome", "count")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%-24s %8d\n", k, st.Outcomes[k])
 		}
 	}
 	if st.Done {
-		fmt.Fprintln(w, "\nmatrix complete")
+		fmt.Fprintln(&b, "\nmatrix complete")
 	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<!DOCTYPE html>\n<html><head><title>serfi coordinator</title></head><body>\n")
+	fmt.Fprintf(w, "<p><a href=\"/dash\">live dashboard</a> · <a href=\"/metrics\">metrics</a> · <a href=\"/v1/status\">status JSON</a></p>\n")
+	fmt.Fprintf(w, "<pre>%s</pre>\n</body></html>\n", html.EscapeString(b.String()))
 }

@@ -1,0 +1,210 @@
+// Fabric observability: the coordinator's metric instruments (a private
+// per-coordinator registry, so many coordinators in one process — the test
+// suites build dozens — never share mutable series), the cluster-wide
+// /metrics endpoint that merges worker-pushed registry snapshots into the
+// coordinator's own, and the Server-Sent-Events hub feeding the live
+// dashboard (dash.go).
+//
+// Worker snapshots are cumulative per worker: the coordinator keeps only
+// the latest snapshot per worker name and sums across workers at scrape
+// time, so re-pushes never double-count. (In-process loopback workers share
+// one process registry; their snapshots alias, which only the synthetic
+// loopback topology can produce.)
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"serfi/internal/obs"
+)
+
+// Client-side wire instruments, on the process registry (a worker process
+// pushes these to its coordinator like every other obs.Default family, so
+// the cluster /metrics shows per-path round-trip volume).
+var (
+	obsWireRequests = obs.Default.CounterVec("serfi_dist_wire_requests_total", "Coordinator protocol round trips issued by this process, by path.", "path")
+	obsWireErrors   = obs.Default.CounterVec("serfi_dist_wire_errors_total", "Failed coordinator protocol round trips, by path.", "path")
+)
+
+// coordMetrics is one coordinator's instrument bundle on its private
+// registry.
+type coordMetrics struct {
+	reg *obs.Registry
+
+	leaseRequests obs.CounterVec // result: grant | retry | done
+	shards        obs.CounterVec // result: accepted | stale | failed
+	shardSeconds  obs.Histogram  // wall clock of accepted shards
+	beats         obs.Counter    // progress beats folded
+	beatsStale    obs.Counter    // beats dropped from expired leases
+
+	shardsPending obs.Gauge
+	shardsLeased  obs.Gauge
+	shardsDone    obs.Gauge
+	reissued      obs.Gauge
+	workersKnown  obs.Gauge
+	campaignsDone obs.Gauge
+	injected      obs.Gauge
+
+	// Engine-level families, fed by the coordinator's fold path. The
+	// coordinator is the cluster's orchestration layer — it classifies
+	// folded runs and retires campaigns exactly where a local Engine
+	// would — so the cluster /metrics covers the engine families even
+	// though no campaign.Engine runs in the coordinator process.
+	injections obs.CounterVec // by outcome
+	campaigns  obs.CounterVec // by status
+}
+
+func newCoordMetrics() *coordMetrics {
+	r := obs.NewRegistry()
+	return &coordMetrics{
+		reg:           r,
+		leaseRequests: r.CounterVec("serfi_dist_lease_requests_total", "Lease requests answered, by result.", "result"),
+		shards:        r.CounterVec("serfi_dist_shards_total", "Shard completions posted, by result.", "result"),
+		shardSeconds:  r.Histogram("serfi_dist_shard_seconds", "Worker-reported wall clock of accepted shards.", obs.ExpBuckets(0.01, 4, 8)),
+		beats:         r.Counter("serfi_dist_beats_total", "Progress beats folded into campaign state."),
+		beatsStale:    r.Counter("serfi_dist_beats_stale_total", "Progress beats dropped because their lease had expired."),
+		shardsPending: r.Gauge("serfi_dist_shards_pending", "Shards with no live lease."),
+		shardsLeased:  r.Gauge("serfi_dist_shards_leased", "Shards currently leased."),
+		shardsDone:    r.Gauge("serfi_dist_shards_done", "Shards folded."),
+		reissued:      r.Gauge("serfi_dist_leases_reissued", "Expired leases handed out again."),
+		workersKnown:  r.Gauge("serfi_dist_workers", "Workers that have ever contacted this coordinator."),
+		campaignsDone: r.Gauge("serfi_dist_campaigns_done", "Campaigns assembled or failed."),
+		injected:      r.Gauge("serfi_dist_injected", "Injection results folded (each fault once)."),
+		injections:    r.CounterVec("serfi_campaign_injections_total", "Classified injection runs, by outcome.", "outcome"),
+		campaigns:     r.CounterVec("serfi_campaign_campaigns_total", "Retired (scenario, domain) campaigns, by status.", "status"),
+	}
+}
+
+// syncGaugesLocked refreshes the scrape-time gauges from the lease table
+// and campaign state. Caller holds c.mu.
+func (c *Coordinator) syncGaugesLocked() {
+	c.cm.shardsPending.Set(float64(c.table.pending))
+	c.cm.shardsLeased.Set(float64(c.table.leased))
+	c.cm.shardsDone.Set(float64(c.table.done))
+	c.cm.reissued.Set(float64(c.table.reissued))
+	c.cm.workersKnown.Set(float64(len(c.workers)))
+	done, injected := 0, 0
+	for _, camp := range c.camps {
+		if camp.done {
+			done++
+		}
+		if !camp.skipped {
+			injected += camp.runsDone
+		}
+	}
+	c.cm.campaignsDone.Set(float64(done))
+	c.cm.injected.Set(float64(injected))
+}
+
+// handleMetrics serves the cluster-wide Prometheus exposition: the
+// coordinator's own families merged with the latest snapshot each worker
+// pushed alongside a completed shard.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.table.expire()
+	c.syncGaugesLocked()
+	merged := c.cm.reg.Snapshot()
+	names := make([]string, 0, len(c.workerFams))
+	for name := range c.workerFams {
+		names = append(names, name)
+	}
+	// Deterministic merge order so identical state renders identically.
+	sort.Strings(names)
+	for _, name := range names {
+		merged = obs.MergeFamilies(merged, c.workerFams[name])
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", obs.ContentType)
+	obs.WriteFamilies(w, merged)
+}
+
+// dashEvent is one live-feed entry on the /dash/events SSE stream — the
+// typed campaign events re-encoded for the dashboard's JavaScript.
+type dashEvent struct {
+	Type     string  `json:"type"` // "job" | "scenario" | "matrix"
+	Key      string  `json:"key,omitempty"`
+	Lo       int     `json:"lo,omitempty"`
+	Hi       int     `json:"hi,omitempty"`
+	Done     int     `json:"done,omitempty"`
+	Total    int     `json:"total,omitempty"`
+	WallSec  float64 `json:"wall_sec,omitempty"`
+	Err      string  `json:"err,omitempty"`
+	Failed   bool    `json:"failed,omitempty"`
+	Injected int     `json:"injected,omitempty"` // matrix-wide, on "job" events
+}
+
+// sseHub fans dashboard events out to any number of SSE subscribers.
+// Publishing never blocks: a subscriber that cannot keep up loses events
+// (the dashboard re-syncs from /v1/status anyway).
+type sseHub struct {
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+}
+
+func newSSEHub() *sseHub {
+	return &sseHub{subs: make(map[chan []byte]struct{})}
+}
+
+func (h *sseHub) publish(ev dashEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- data:
+		default: // slow consumer: drop, the status poll re-syncs it
+		}
+	}
+	h.mu.Unlock()
+}
+
+func (h *sseHub) subscribe() chan []byte {
+	ch := make(chan []byte, 64)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *sseHub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+// handleDashEvents serves the SSE live feed behind the dashboard. The
+// stream ends with one final "matrix" event once the run finishes.
+func (c *Coordinator) handleDashEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	ch := c.sse.subscribe()
+	defer c.sse.unsubscribe(ch)
+	fmt.Fprintf(w, ": serfi dashboard feed\n\n")
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-c.finished:
+			data, _ := json.Marshal(dashEvent{Type: "matrix"})
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+			return
+		case data := <-ch:
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+		}
+	}
+}

@@ -24,6 +24,7 @@ package dist
 import (
 	"serfi/internal/campaign"
 	"serfi/internal/fi"
+	"serfi/internal/obs"
 )
 
 // ProtoVersion is the wire protocol version. Every request carries it and
@@ -100,6 +101,13 @@ type CompleteRequest struct {
 	FromResetInstr uint64  `json:"from_reset_instr,omitempty"`
 	PrunedRuns     int     `json:"pruned_runs,omitempty"`
 	WallSec        float64 `json:"wall_sec,omitempty"`
+
+	// Metrics is a cumulative snapshot of the worker process's metric
+	// registry, piggybacked on each completion so the coordinator can serve
+	// cluster-wide /metrics without scraping workers. Cumulative means the
+	// coordinator keeps only the latest snapshot per worker name — summing
+	// successive pushes from one worker would double-count.
+	Metrics []obs.Family `json:"metrics,omitempty"`
 }
 
 // CompleteReply acknowledges a shard. Stale means the lease was no longer
@@ -161,7 +169,24 @@ type StatusReply struct {
 	Injections int     `json:"injections"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 
-	Workers []WorkerStatus `json:"workers,omitempty"`
+	// Outcomes tallies folded injection results by outcome taxonomy class
+	// (vanished, application hang, silent data corruption, ...), matrix-wide.
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+
+	Workers      []WorkerStatus   `json:"workers,omitempty"`
+	CampaignList []CampaignStatus `json:"campaign_list,omitempty"`
+}
+
+// CampaignStatus is one campaign's row in the status reply, sorted by key.
+// Injected is live progress: folded results where shards completed, beats
+// where a shard is still in flight.
+type CampaignStatus struct {
+	Key      string `json:"key"`
+	Faults   int    `json:"faults"`
+	Injected int    `json:"injected"`
+	Done     bool   `json:"done"`
+	Skipped  bool   `json:"skipped,omitempty"`
+	Failed   bool   `json:"failed,omitempty"`
 }
 
 // WorkerStatus is one worker's row on the status page.

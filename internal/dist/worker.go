@@ -18,6 +18,7 @@ import (
 	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/npb"
+	"serfi/internal/obs"
 	"serfi/internal/profile"
 )
 
@@ -274,6 +275,9 @@ func (w *Worker) exec(ctx context.Context, l *Lease) (CompleteRequest, error) {
 	pruned, _ := cs.PruneStats()
 	req.PrunedRuns = int(pruned)
 	req.WallSec = time.Since(t0).Seconds()
+	// Piggyback this process's cumulative metric snapshot (fi, mach, mem,
+	// wire families) so the coordinator can serve cluster-wide /metrics.
+	req.Metrics = obs.Default.Snapshot()
 	return req, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"serfi/internal/cc"
 	"serfi/internal/fault"
@@ -255,10 +256,13 @@ func (cs *CheckpointSet) InjectPointContext(ctx context.Context, d fault.Domain,
 		} else {
 			m = mach.New(cs.cfg)
 		}
+		t0 := time.Now()
 		m.Restore(s)
+		obsRestoreSeconds.Observe(time.Since(t0).Seconds())
 	} else {
 		m = mach.New(cs.cfg)
 		cs.img.InstallTo(m)
+		obsFromResetRuns.Inc()
 	}
 	start := m.TotalRetired
 	armFault(m, d, g, p)
@@ -306,7 +310,10 @@ func (cs *CheckpointSet) InjectPointContext(ctx context.Context, d fault.Domain,
 	cs.total.Add(1)
 	if pruned {
 		cs.pruned.Add(1)
+		obsPruned.Inc()
 	}
+	obsInstrsPerInject.Observe(float64(m.TotalRetired - start))
+	obsInjections.Inc()
 	return res, nil
 }
 

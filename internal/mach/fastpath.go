@@ -343,7 +343,15 @@ func (m *Machine) runGroup(maxCycles uint64) {
 // the cached runs allow, then the reference scheduler handles exactly one
 // event (interrupt delivery, WFI wake, uncached text, abort, budget edge)
 // and the group re-forms.
-func (m *Machine) runFast(maxCycles uint64) StopReason {
+func (m *Machine) runFast(maxCycles uint64) (reason StopReason) {
+	// Fallback steps accumulate locally and flush in one atomic add at the
+	// slice boundary, like the retirement counters in Run.
+	fallback := 0
+	defer func() {
+		if fallback > 0 {
+			obsFallbackSteps.Add(float64(fallback))
+		}
+	}()
 	for !m.Halted {
 		m.runGroup(maxCycles)
 		if m.Halted {
@@ -359,6 +367,7 @@ func (m *Machine) runFast(maxCycles uint64) StopReason {
 		if m.TotalRetired >= m.maxInstr {
 			return StopInstrBudget
 		}
+		fallback++
 		m.step(c)
 	}
 	return StopHalted

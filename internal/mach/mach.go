@@ -340,10 +340,19 @@ func (m *Machine) Run(maxCycles uint64) StopReason {
 	if maxCycles == 0 {
 		maxCycles = math.MaxUint64
 	}
+	// Telemetry is batched here at the slice boundary: one set of atomic
+	// adds per Run call, never inside the retirement loops.
+	start := m.TotalRetired
 	if m.slow {
-		return m.runSlow(maxCycles)
+		r := m.runSlow(maxCycles)
+		obsRetiredSlow.Add(float64(m.TotalRetired - start))
+		obsRunsSlow.Inc()
+		return r
 	}
-	return m.runFast(maxCycles)
+	r := m.runFast(maxCycles)
+	obsRetiredFast.Add(float64(m.TotalRetired - start))
+	obsRunsFast.Inc()
+	return r
 }
 
 // runSlow is the reference interpreter's main loop: rescan every core,

@@ -1,0 +1,21 @@
+// Telemetry instruments for the simulation kernel, registered on the
+// process-wide obs.Default registry. All updates are batched at the Run
+// boundary: one set of atomic adds per run slice, accumulated locally
+// inside the loops — never per retired instruction, per the obs package's
+// off-hot-path rule (the lockstep suites and BenchmarkExecHot pin both the
+// determinism contract and the <2% overhead budget).
+package mach
+
+import "serfi/internal/obs"
+
+var (
+	obsRetired = obs.Default.CounterVec("serfi_mach_retired_instructions_total", "Instructions retired across all machines, by execution engine.", "engine")
+	obsRuns    = obs.Default.CounterVec("serfi_mach_runs_total", "Machine Run invocations (one per run slice), by execution engine.", "engine")
+
+	obsRetiredFast = obsRetired.With("fast")
+	obsRetiredSlow = obsRetired.With("slow")
+	obsRunsFast    = obsRuns.With("fast")
+	obsRunsSlow    = obsRuns.With("slow")
+
+	obsFallbackSteps = obs.Default.Counter("serfi_mach_fastpath_fallback_steps_total", "Reference-interpreter single steps taken by the fast path between cursor-group runs.")
+)

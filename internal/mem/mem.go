@@ -416,6 +416,8 @@ func (m *Memory) Snapshot() *Snapshot {
 		s.pages = append(s.pages, snapPage{off: off, data: append([]byte(nil), chunk...)})
 	}
 	m.rebase(s)
+	obsSnapshotFull.Inc()
+	obsSnapshotPagesFull.Add(float64(len(s.pages)))
 	return s
 }
 
@@ -453,6 +455,8 @@ func (m *Memory) DeltaSnapshot() *Snapshot {
 		}
 	})
 	m.rebase(s)
+	obsSnapshotDelta.Inc()
+	obsSnapshotPagesDelta.Add(float64(len(s.pages)))
 	return s
 }
 
@@ -557,6 +561,8 @@ func (m *Memory) Restore(s *Snapshot) (touched []uint32, selective bool) {
 				touched = append(touched, off)
 			}
 			m.finishRestore(s)
+			obsRestoreSelective.Inc()
+			obsRestorePages.Add(float64(len(touched)))
 			return touched, true
 		}
 	}
@@ -568,6 +574,7 @@ func (m *Memory) Restore(s *Snapshot) (touched []uint32, selective bool) {
 	}
 	s.materializeInto(m.ram)
 	m.finishRestore(s)
+	obsRestoreFull.Inc()
 	return nil, false
 }
 

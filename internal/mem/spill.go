@@ -39,6 +39,7 @@ func (sp *Spill) write(b []byte) (int64, error) {
 	if _, err := sp.f.WriteAt(b, at); err != nil {
 		return 0, err
 	}
+	obsSpillWritten.Add(float64(len(b)))
 	return at, nil
 }
 
@@ -50,6 +51,9 @@ func (sp *Spill) readAt(b []byte, at int64) {
 	if _, err := sp.f.ReadAt(b, at); err != nil {
 		panic(fmt.Sprintf("mem: spill read of %d bytes at %d: %v", len(b), at, err))
 	}
+	// One counter add per pread: the syscall it rides dominates by orders
+	// of magnitude, so this stays within the off-hot-path budget.
+	obsSpillRead.Add(float64(len(b)))
 }
 
 // Close releases the spill file. The caller must guarantee no snapshot

@@ -1,0 +1,139 @@
+// Registry snapshots: a JSON-marshalable, order-independent copy of every
+// family and series. The distributed fabric pushes worker snapshots to the
+// coordinator with each completed shard, and the coordinator's /metrics
+// endpoint merges them — summing counters and histograms, summing gauges —
+// into one cluster-wide exposition.
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Family is one metric family snapshot.
+type Family struct {
+	Name    string    `json:"name"`
+	Help    string    `json:"help,omitempty"`
+	Kind    string    `json:"kind"`
+	Labels  []string  `json:"labels,omitempty"`
+	Buckets []float64 `json:"buckets,omitempty"`
+	Series  []Series  `json:"series"`
+}
+
+// Series is one labelled series snapshot. Counters and gauges use Value;
+// histograms use Counts (per-bucket, +Inf last), Sum and Count.
+type Series struct {
+	Values []string `json:"values,omitempty"`
+	Value  float64  `json:"value,omitempty"`
+	Counts []uint64 `json:"counts,omitempty"`
+	Sum    float64  `json:"sum,omitempty"`
+	Count  uint64   `json:"count,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Series are read with atomic
+// loads, so a snapshot taken while writers run is internally consistent per
+// value (not across values — the usual scrape semantics).
+func (r *Registry) Snapshot() []Family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		fam := Family{
+			Name:    f.name,
+			Help:    f.help,
+			Kind:    f.kind.String(),
+			Labels:  append([]string(nil), f.labels...),
+			Buckets: append([]float64(nil), f.buckets...),
+		}
+		f.mu.Lock()
+		order := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		for _, s := range order {
+			ser := Series{Values: append([]string(nil), s.values...)}
+			if f.kind == KindHistogram {
+				ser.Counts = make([]uint64, len(s.counts))
+				for i := range s.counts {
+					ser.Counts[i] = s.counts[i].Load()
+				}
+				ser.Sum = s.sumValue()
+				ser.Count = s.count.Load()
+			} else {
+				ser.Value = s.get()
+			}
+			fam.Series = append(fam.Series, ser)
+		}
+		out = append(out, fam)
+	}
+	return out
+}
+
+// MergeFamilies folds src into dst and returns the result: families are
+// matched by name, series by label values; counter and gauge values sum,
+// histogram bucket counts, sums and counts sum. A family present only in
+// src is appended. Families whose kind or bucket layout disagree keep dst's
+// and drop src's (a version-skewed worker must not corrupt the cluster
+// exposition). Neither input is modified.
+func MergeFamilies(dst, src []Family) []Family {
+	out := make([]Family, len(dst))
+	idx := make(map[string]int, len(dst))
+	for i, f := range dst {
+		out[i] = cloneFamily(f)
+		idx[f.Name] = i
+	}
+	for _, sf := range src {
+		i, ok := idx[sf.Name]
+		if !ok {
+			idx[sf.Name] = len(out)
+			out = append(out, cloneFamily(sf))
+			continue
+		}
+		df := &out[i]
+		if df.Kind != sf.Kind || !equalFloats(df.Buckets, sf.Buckets) || !equalStrings(df.Labels, sf.Labels) {
+			continue
+		}
+		sidx := make(map[string]int, len(df.Series))
+		for j, s := range df.Series {
+			sidx[strings.Join(s.Values, "\x00")] = j
+		}
+		for _, ss := range sf.Series {
+			key := strings.Join(ss.Values, "\x00")
+			j, ok := sidx[key]
+			if !ok {
+				df.Series = append(df.Series, cloneSeries(ss))
+				sidx[key] = len(df.Series) - 1
+				continue
+			}
+			ds := &df.Series[j]
+			ds.Value += ss.Value
+			ds.Sum += ss.Sum
+			ds.Count += ss.Count
+			for k := 0; k < len(ds.Counts) && k < len(ss.Counts); k++ {
+				ds.Counts[k] += ss.Counts[k]
+			}
+		}
+	}
+	return out
+}
+
+func cloneFamily(f Family) Family {
+	c := f
+	c.Labels = append([]string(nil), f.Labels...)
+	c.Buckets = append([]float64(nil), f.Buckets...)
+	c.Series = make([]Series, len(f.Series))
+	for i, s := range f.Series {
+		c.Series[i] = cloneSeries(s)
+	}
+	return c
+}
+
+func cloneSeries(s Series) Series {
+	c := s
+	c.Values = append([]string(nil), s.Values...)
+	c.Counts = append([]uint64(nil), s.Counts...)
+	return c
+}
