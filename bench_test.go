@@ -15,11 +15,13 @@ import (
 
 	"serfi/internal/campaign"
 	"serfi/internal/exp"
+	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/isa/armv7"
 	"serfi/internal/isa/armv8"
 	"serfi/internal/mach"
 	"serfi/internal/npb"
+	"serfi/internal/prop"
 )
 
 // benchFaults returns the per-scenario fault count for bench campaigns.
@@ -425,4 +427,54 @@ func ExampleFigure1() {
 	out := exp.Figure1()
 	fmt.Println(out[:36])
 	// Output: Figure 1: processor evolution 1970-2
+}
+
+// BenchmarkPropTrace measures one propagation trace — the lockstep
+// golden-twin walk behind -trace-prop — over the unmasked faults of the
+// pinned IS register campaign. Compare instrs/trace against the
+// instrs/inject of BenchmarkInjectSnapshot: a trace re-positions two twins
+// on the checkpoint set and walks both to termination, so roughly two
+// snapshot injections plus the boundary comparisons is the expected cost
+// per traced (i.e. unmasked) run; masked runs are never traced.
+func BenchmarkPropTrace(b *testing.B) {
+	sc := npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}
+	img, cfg, err := npb.BuildScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := fi.RunGolden(img, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := fi.NewDomain(fault.Reg, img, cfg, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := fi.BuildCheckpoints(img, cfg, g, fi.DefaultCheckpoints)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var unmasked []fi.Fault
+	for _, f := range fi.List(99, 16, d) {
+		if r := cs.InjectPoint(d, g, f); r.Outcome != fi.Vanished && r.Outcome != fi.ONA {
+			unmasked = append(unmasked, f)
+		}
+	}
+	if len(unmasked) == 0 {
+		b.Fatal("pinned seed produced no unmasked faults")
+	}
+	tr := prop.NewTracer(img, cfg, g, cs)
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := unmasked[i%len(unmasked)]
+		trace, _, err := tr.Trace(d, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if trace.ArchInstr >= 0 {
+			instrs += uint64(trace.ArchInstr)
+		}
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "divergence-instrs")
 }

@@ -5,7 +5,8 @@
 //	experiments -n 24 -seed 2018 -out EXPERIMENTS.md -db results.jsonl
 //	experiments -run table2 -n 50          (single artefact to stdout)
 //	experiments -run domains -n 24         (fault-domain comparison, IS subset)
-//	experiments -faultmodel all -n 24      (full matrix under all four domains)
+//	experiments -faultmodel all -n 24      (full matrix under every fault domain)
+//	experiments -run prop -trace-prop -n 24 (propagation table, IS subset)
 //	experiments -from results.jsonl        (offline report from a recorded database)
 //	experiments -join :8340 -db results.jsonl (serve the matrix to `serfi worker -join`
 //	                                        processes and report from the folded store)
@@ -40,8 +41,9 @@ func main() {
 	out := flag.String("out", "", "write the full markdown report here (default stdout)")
 	db := flag.String("db", "", "stream the raw campaign database here (JSON lines)")
 	from := flag.String("from", "", "format the report offline from this recorded database (no simulation)")
-	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|domains|fig1|fig2|fig3|macro|vulnwindow|mine")
-	model := flag.String("faultmodel", "reg", "fault domains per scenario: reg|mem|imem|burst, or all")
+	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|domains|prop|fig1|fig2|fig3|macro|vulnwindow|mine")
+	model := flag.String("faultmodel", "reg", "fault domains per scenario: reg|mem|imem|burst|cachetag|cachedirty|cacherepl, uncore, or all")
+	traceProp := flag.Bool("trace-prop", false, "propagation-trace every unmasked injection (feeds the prop artefact)")
 	join := flag.String("join", "", "drive the matrix through a cluster: serve shards at this address for `serfi worker -join` processes instead of simulating locally")
 	workers := flag.Int("workers", 0, "host worker pool size (0 = all cores)")
 	snapshots := flag.Int("snapshots", 0, "pre-fault checkpoints per scenario (0 = default, negative disables)")
@@ -65,7 +67,8 @@ func main() {
 	}()
 
 	cfg := exp.Config{Faults: *n, Seed: *seed, Progress: os.Stderr,
-		Workers: *workers, Snapshots: *snapshots, Domains: domains}
+		Workers: *workers, Snapshots: *snapshots, Domains: domains,
+		TraceProp: *traceProp}
 
 	if *run == "fig1" {
 		fmt.Print(exp.Figure1())
@@ -81,6 +84,10 @@ func main() {
 	runDomains := domains
 	if *run == "domains" {
 		runDomains = fault.Models()
+	}
+	// The propagation artefact is meaningless without the tracer.
+	if *run == "prop" {
+		cfg.TraceProp = true
 	}
 
 	// Offline mode: rebuild the matrix from a recorded store and format
@@ -138,6 +145,7 @@ func main() {
 	// need their own scenario slices under the configured models.
 	subset := map[string]func(npb.Scenario) bool{
 		"domains": func(sc npb.Scenario) bool { return sc.App == "IS" },
+		"prop":    func(sc npb.Scenario) bool { return sc.App == "IS" },
 		"table2": func(sc npb.Scenario) bool {
 			return sc.App == "IS" && sc.Mode != npb.Serial
 		},
@@ -174,7 +182,11 @@ func main() {
 		}
 		jobs := campaign.New(campaign.Models(runDomains...)).JobsFor(scs, *seed)
 		events := make(chan campaign.Event, 64)
-		coord, err := dist.NewCoordinator(jobs, *n, dist.WithStore(st), dist.WithEvents(events))
+		coordOpts := []dist.CoordOption{dist.WithStore(st), dist.WithEvents(events)}
+		if cfg.TraceProp {
+			coordOpts = append(coordOpts, dist.TraceProp())
+		}
+		coord, err := dist.NewCoordinator(jobs, *n, coordOpts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -242,6 +254,7 @@ var artefacts = map[string]func(*exp.Matrix) string{
 	"table3":     exp.Table3,
 	"table4":     exp.Table4,
 	"domains":    exp.DomainTable,
+	"prop":       exp.PropTable,
 	"fig2":       exp.Figure2,
 	"fig3":       exp.Figure3,
 	"macro":      exp.MacroStats,

@@ -24,7 +24,10 @@
 // Campaign-shaped subcommands share the scheduler flags -workers (host
 // worker pool), -jobsize (faults per injection job), -snapshots (pre-fault
 // checkpoints per scenario; 0 disables snapshot acceleration) and
-// -faultmodel (fault domain: reg|mem|imem|burst, or all). inject, campaign
+// -faultmodel (fault domain: reg|mem|imem|burst|cachetag|cachedirty|
+// cacherepl, the uncore alias for the cache trio, or all). inject also takes
+// -trace-prop, which re-runs every unmasked injection against a golden twin
+// and reports how far the corruption propagated. inject, campaign
 // and worker also take -cpuprofile/-memprofile, written on clean exit and
 // on graceful SIGINT shutdown.
 //
@@ -56,6 +59,7 @@ import (
 	"serfi/internal/npb"
 	"serfi/internal/obs"
 	"serfi/internal/profile"
+	"serfi/internal/prop"
 	"serfi/internal/stats"
 )
 
@@ -137,6 +141,26 @@ func savingsLine(r *campaign.Result) string {
 		r.PrunedRuns, r.Faults, 100*prune)
 }
 
+// propLine summarizes the propagation fold for one campaign: traced count,
+// escape-class histogram in severity order, cross-core escape rate and the
+// median latency from injection to first architectural corruption.
+func propLine(r *campaign.Result) string {
+	s := r.Prop
+	var b strings.Builder
+	fmt.Fprintf(&b, "prop: traced=%d", s.Traced)
+	for c := prop.Class(0); c < prop.NumClasses; c++ {
+		if n := s.EscapeCount(c); n > 0 {
+			fmt.Fprintf(&b, " %s=%d", c, n)
+		}
+	}
+	fmt.Fprintf(&b, " xcore=%.1f%%", 100*s.XCoreRate())
+	if mi, ok := s.MedianInstr(); ok {
+		mc, _ := s.MedianCyc()
+		fmt.Fprintf(&b, " med-latency=%d instr / %d cyc", mi, mc)
+	}
+	return b.String()
+}
+
 // interruptContext returns a context cancelled by the first SIGINT; a
 // second SIGINT kills the process the default way (the handler is
 // uninstalled the moment the context fires, restoring the default
@@ -189,12 +213,13 @@ func cmdInject(args []string) error {
 	scid := fs.String("s", "armv8/IS/SER-1", "scenario id")
 	n := fs.Int("n", 50, "faults")
 	seed := fs.Int64("seed", 1, "fault-list seed")
-	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst, or all")
+	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst|cachetag|cachedirty|cacherepl, uncore, or all")
 	verbose := fs.Bool("v", false, "print each run")
 	workers := fs.Int("workers", 0, "host worker pool size (0 = all cores)")
 	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints (0 = run every fault from reset)")
 	ckptspill := fs.Bool("ckptspill", false, "spill checkpoint RAM to an unlinked temp file, reloading pages lazily")
+	traceProp := fs.Bool("trace-prop", false, "propagation-trace every unmasked run against a golden twin")
 	slow := slowPathFlag(fs)
 	prof := addProfFlags(fs)
 	fs.Parse(args)
@@ -245,6 +270,9 @@ func cmdInject(args []string) error {
 	if *ckptspill {
 		opts = append(opts, campaign.CheckpointSpill(os.TempDir()))
 	}
+	if *traceProp {
+		opts = append(opts, campaign.TraceProp())
+	}
 	eng := campaign.New(opts...)
 	results, err := eng.RunMatrix(ctx, jobs)
 	<-consumed
@@ -256,12 +284,19 @@ func cmdInject(args []string) error {
 	}
 	for _, r := range results {
 		if *verbose {
-			for _, run := range r.Runs {
-				fmt.Printf("%-32s -> %s\n", run.Fault, run.Outcome)
+			for i, run := range r.Runs {
+				fmt.Printf("%-32s -> %s", run.Fault, run.Outcome)
+				if r.Traces != nil && r.Traces[i] != nil {
+					fmt.Printf(" escape=%s", r.Traces[i].Escape)
+				}
+				fmt.Println()
 			}
 		}
 		fmt.Printf("%s faults=%d %s masking=%.1f%%\n", r.Key(), r.Faults, r.Counts, 100*r.Counts.Masking())
 		fmt.Printf("%s\n", savingsLine(r))
+		if r.Prop != nil {
+			fmt.Printf("%s\n", propLine(r))
+		}
 	}
 	return nil
 }
@@ -272,7 +307,7 @@ func cmdCampaign(args []string) error {
 	seed := fs.Int64("seed", 2018, "base seed")
 	db := fs.String("db", "results.jsonl", "output database path")
 	only := fs.String("only", "", "substring filter on scenario ids")
-	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst, or all")
+	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst|cachetag|cachedirty|cacherepl, uncore, or all")
 	workers := fs.Int("workers", 0, "host worker pool size (0 = all cores)")
 	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints per scenario (0 = run every fault from reset)")
@@ -385,7 +420,7 @@ func cmdServe(args []string) error {
 	seed := fs.Int64("seed", 2018, "base seed")
 	db := fs.String("db", "results.jsonl", "output database path")
 	only := fs.String("only", "", "substring filter on scenario ids")
-	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst, or all")
+	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst|cachetag|cachedirty|cacherepl, uncore, or all")
 	shardSize := fs.Int("shardsize", dist.DefaultShardSize, "faults per lease shard")
 	leaseTTL := fs.Duration("lease", dist.DefaultLeaseTTL, "lease TTL before a shard is re-issued")
 	resume := fs.Bool("resume", false, "skip campaigns already recorded in -db and serve the rest")

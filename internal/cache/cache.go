@@ -26,6 +26,17 @@ type Config struct {
 // Sets returns the number of sets implied by the geometry.
 func (c Config) Sets() uint32 { return c.SizeBytes / (c.LineBytes * c.Ways) }
 
+// TagBits returns the number of meaningful bits in a stored tag. Tags hold
+// the full line address (addr >> log2(LineBytes)), so the top log2(LineBytes)
+// bits of the 32-bit address space never reach the tag array.
+func (c Config) TagBits() int {
+	bits := 32
+	for l := c.LineBytes; l > 1; l >>= 1 {
+		bits--
+	}
+	return bits
+}
+
 // Validate checks the geometry for power-of-two consistency.
 func (c Config) Validate() error {
 	if c.SizeBytes == 0 || c.LineBytes == 0 || c.Ways == 0 {
@@ -169,6 +180,45 @@ func (c *Cache) Contains(addr uint32) bool {
 		}
 	}
 	return false
+}
+
+// Level selects one cache array of a Hierarchy: the per-core L1
+// instruction and data caches or the shared unified L2. It is the uncore
+// fault domains' addressing scheme (internal/fault): a fault point names
+// (level, core, set, way, bit), with core ignored at L2.
+type Level int
+
+// Hierarchy levels, in the frozen order the fault domains sample them.
+const (
+	L1I Level = iota
+	L1D
+	L2
+	NumLevels
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1I:
+		return "l1i"
+	case L1D:
+		return "l1d"
+	case L2:
+		return "l2"
+	}
+	return "?"
+}
+
+// LevelConfig returns the geometry of one hierarchy level.
+func (c HierConfig) LevelConfig(l Level) Config {
+	switch l {
+	case L1I:
+		return c.L1I
+	case L1D:
+		return c.L1D
+	case L2:
+		return c.L2
+	}
+	panic(fmt.Sprintf("cache: bad level %d", l))
 }
 
 // HierConfig describes a full hierarchy. Latencies are the *additional*
@@ -319,6 +369,102 @@ func (h *Hierarchy) SetState(s *HierState) {
 	h.Invalidations = s.inval
 }
 
+// Cores returns the number of per-core L1 pairs the hierarchy holds.
+func (h *Hierarchy) Cores() int { return len(h.l1d) }
+
+// at resolves one cache array; core is ignored at L2. It panics on an
+// out-of-range coordinate — fault sampling draws within the geometry, so a
+// bad coordinate is a programmer error, exactly like SetState mismatches.
+func (h *Hierarchy) at(l Level, core int) *Cache {
+	switch l {
+	case L1I:
+		return h.l1i[core]
+	case L1D:
+		return h.l1d[core]
+	case L2:
+		return h.l2
+	}
+	panic(fmt.Sprintf("cache: bad level %d", l))
+}
+
+// lineAt resolves one line's storage slot within a cache array.
+func (c *Cache) lineAt(set, way uint32) *line {
+	if set >= c.cfg.Sets() || way >= c.cfg.Ways {
+		panic(fmt.Sprintf("cache %s: line (set %d, way %d) outside %dx%d geometry",
+			c.cfg.Name, set, way, c.cfg.Sets(), c.cfg.Ways))
+	}
+	return &c.lines[set*c.cfg.Ways+way]
+}
+
+// FlipTag XORs one bit of a line's stored tag — the cache-tag soft-error
+// model. A flipped tag of a valid line turns later lookups of the original
+// address into misses (silent eviction of live data from the timing model's
+// view) and can alias a different line address into a spurious hit. RAM is
+// never touched; the fault manifests only through timing and coherence.
+// Bits at or above Config.TagBits are unused by comparisons, so fault
+// domains sample bit in [0, TagBits).
+func (h *Hierarchy) FlipTag(l Level, core int, set, way uint32, bit int) {
+	h.at(l, core).lineAt(set, way).tag ^= 1 << uint(bit)
+}
+
+// FlipDirty flips a line's status bits: bit 0 toggles dirty (a spurious
+// writeback, or a lost one), bit 1 toggles valid (a silently dropped line,
+// or a resurrected stale one). The flip applies regardless of current
+// validity — the SRAM cell holding the bit does not know whether the line
+// is live.
+func (h *Hierarchy) FlipDirty(l Level, core int, set, way uint32, bit int) {
+	ln := h.at(l, core).lineAt(set, way)
+	switch bit {
+	case 0:
+		ln.dirty = !ln.dirty
+	case 1:
+		ln.valid = !ln.valid
+	default:
+		panic(fmt.Sprintf("cache: FlipDirty bit %d outside status bits [0,1]", bit))
+	}
+}
+
+// FlipRepl XORs one bit of a line's LRU clock — the replacement-state
+// soft-error model. A perturbed clock reorders future victim selection
+// (premature eviction of hot lines or retention of dead ones), shifting
+// miss patterns without corrupting any stored data.
+func (h *Hierarchy) FlipRepl(l Level, core int, set, way uint32, bit int) {
+	h.at(l, core).lineAt(set, way).lru ^= 1 << uint(bit)
+}
+
+// LineState exposes one line's stored state (tag, valid, dirty, LRU clock)
+// for tests and the propagation tracer.
+func (h *Hierarchy) LineState(l Level, core int, set, way uint32) (tag uint32, valid, dirty bool, lru uint64) {
+	ln := h.at(l, core).lineAt(set, way)
+	return ln.tag, ln.valid, ln.dirty, ln.lru
+}
+
+// LevelStats sums the per-cache counters of one hierarchy level (all cores
+// for L1I/L1D, the single shared array for L2).
+func (h *Hierarchy) LevelStats(l Level) Stats {
+	var t Stats
+	switch l {
+	case L1I:
+		for _, c := range h.l1i {
+			t.add(c.Stats)
+		}
+	case L1D:
+		for _, c := range h.l1d {
+			t.add(c.Stats)
+		}
+	case L2:
+		t = h.l2.Stats
+	}
+	return t
+}
+
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writeback += o.Writeback
+}
+
 // L1IStats, L1DStats and L2Stats expose per-cache counters.
 func (h *Hierarchy) L1IStats(core int) Stats { return h.l1i[core].Stats }
 
@@ -362,8 +508,16 @@ func (h *Hierarchy) Data(core int, addr uint32, write bool) uint32 {
 		if peers := mask &^ self; peers != 0 {
 			for c := 0; peers != 0; c++ {
 				if peers&1 != 0 {
-					if p, _ := h.l1d[c].Invalidate(addr); p {
+					if p, dirty := h.l1d[c].Invalidate(addr); p {
 						h.Invalidations++
+						// A dirty line leaving a peer cache on
+						// write-invalidate must be written back (its data
+						// exists nowhere else in a real hierarchy); the
+						// counter previously lost these coherence-induced
+						// writebacks and undercounted bus traffic.
+						if dirty {
+							h.l1d[c].Stats.Writeback++
+						}
 					}
 				}
 				peers >>= 1

@@ -149,3 +149,45 @@ func TestPaperGeometry(t *testing.T) {
 		t.Error("L2 must be 512kB 8-way (paper §3.1)")
 	}
 }
+
+// TestFlipStateRoundTrip pins that fault flips land in the metadata HierState
+// captures: flip, snapshot, flip again, restore — the restored hierarchy must
+// equal the snapshot bit-for-bit, so checkpointed re-injection of uncore
+// faults reproduces the exact same corrupted state.
+func TestFlipStateRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg, 2, 1<<20)
+	// Populate some lines so flips hit live metadata too.
+	for a := uint32(0); a < 1<<16; a += cfg.L1D.LineBytes {
+		h.Data(int(a>>12)&1, a, a%3 == 0)
+		h.Fetch(0, a)
+	}
+	h.FlipTag(L1D, 1, 3, 1, 7)
+	h.FlipDirty(L2, 0, 9, 2, 0)
+	h.FlipRepl(L1I, 0, 2, 0, 4)
+
+	snap := h.State()
+	if !snap.Equals(h) {
+		t.Fatal("fresh snapshot does not compare equal to its source")
+	}
+	tag, valid, dirty, lru := h.LineState(L1D, 1, 3, 1)
+
+	// Perturb everything the snapshot must undo.
+	h.FlipTag(L1D, 1, 3, 1, 12)
+	h.FlipDirty(L2, 0, 9, 2, 0)
+	h.FlipRepl(L1I, 0, 2, 0, 9)
+	h.Data(1, 0x8000, true)
+	if snap.Equals(h) {
+		t.Fatal("snapshot still equal after further flips — flips invisible to HierState")
+	}
+
+	h.SetState(snap)
+	if !snap.Equals(h) {
+		t.Fatal("SetState did not restore the flipped hierarchy exactly")
+	}
+	tag2, valid2, dirty2, lru2 := h.LineState(L1D, 1, 3, 1)
+	if tag2 != tag || valid2 != valid || dirty2 != dirty || lru2 != lru {
+		t.Fatalf("restored line metadata (%#x %v %v %d) != snapshotted (%#x %v %v %d)",
+			tag2, valid2, dirty2, lru2, tag, valid, dirty, lru)
+	}
+}

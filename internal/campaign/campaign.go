@@ -30,6 +30,7 @@ import (
 	"serfi/internal/fi"
 	"serfi/internal/npb"
 	"serfi/internal/profile"
+	"serfi/internal/prop"
 )
 
 // Spec describes one scenario campaign.
@@ -65,6 +66,14 @@ type Result struct {
 	Features profile.Features
 	APICalls uint64 // calls into the parallelization runtime
 	Runs     []fi.Result
+	// Traces are per-run propagation records when the campaign ran with
+	// propagation tracing: Traces[i] belongs to Runs[i], nil for masked or
+	// untraced runs. Nil entirely when tracing was off, and always empty on
+	// results reloaded from a database (only the Prop fold is stored).
+	Traces []*prop.Trace
+	// Prop is the campaign-level fold of Traces (escape-class histogram and
+	// latency samples); nil when no run was traced.
+	Prop *prop.Summary
 	// Host wall-clock costs (the paper's Table 1 simulation-time axis).
 	// Campaigns overlap on the shared worker pool, so GoldenWallSec and
 	// CampaignWallSec measure start-to-finish spans, not exclusive
@@ -269,8 +278,14 @@ func RunAll(scs []npb.Scenario, faults int, seed int64, progress func(*Result)) 
 
 // recordVersion is the current database row format. Rows written before
 // the fault-domain axis carry no "v" field and parse as the implicit
-// version 1: a register-domain campaign.
-const recordVersion = 2
+// version 1: a register-domain campaign. recordVersionProp marks rows that
+// additionally carry a propagation-trace fold; campaigns without tracing
+// keep writing v2 rows, so existing databases and byte-diff suites see no
+// change unless -trace-prop is on.
+const (
+	recordVersion     = 2
+	recordVersionProp = 3
+)
 
 // record is the JSON row stored in the database file.
 type record struct {
@@ -283,12 +298,18 @@ type record struct {
 	Golden   GoldenSummary      `json:"golden"`
 	Features map[string]float64 `json:"features"`
 	APICalls uint64             `json:"api_calls"`
+	Prop     *prop.Summary      `json:"prop,omitempty"` // v3 rows only
 }
 
 // recordOf flattens a scenario result into its database row.
 func recordOf(r *Result) record {
+	version := recordVersion
+	if r.Prop != nil {
+		version = recordVersionProp
+	}
 	return record{
-		Version:  recordVersion,
+		Version:  version,
+		Prop:     r.Prop,
 		Scenario: r.Scenario.ID(),
 		Domain:   r.Domain.String(),
 		Faults:   r.Faults,
@@ -367,13 +388,13 @@ func ReadDB(r io.Reader) (map[string]*Result, error) {
 				return nil, fmt.Errorf("campaign db line %d: unversioned row carries domain %q (corrupt or hand-edited)",
 					line, rec.Domain)
 			}
-		case recordVersion:
+		case recordVersion, recordVersionProp:
 			if domain, err = fault.ParseModel(rec.Domain); err != nil {
 				return nil, fmt.Errorf("campaign db line %d: %w", line, err)
 			}
 		default:
-			return nil, fmt.Errorf("campaign db line %d: unknown record version %d (this build reads legacy rows and v%d)",
-				line, rec.Version, recordVersion)
+			return nil, fmt.Errorf("campaign db line %d: unknown record version %d (this build reads legacy rows, v%d and v%d)",
+				line, rec.Version, recordVersion, recordVersionProp)
 		}
 		res := &Result{
 			Scenario: scen,
@@ -383,6 +404,7 @@ func ReadDB(r io.Reader) (map[string]*Result, error) {
 			Golden:   rec.Golden,
 			Features: profile.FeaturesFromMap(rec.Features),
 			APICalls: rec.APICalls,
+			Prop:     rec.Prop,
 		}
 		res.Counts[fi.Vanished] = rec.Counts["vanished"]
 		res.Counts[fi.ONA] = rec.Counts["ona"]

@@ -28,6 +28,7 @@ import (
 	"serfi/internal/npb"
 	"serfi/internal/obs"
 	"serfi/internal/profile"
+	"serfi/internal/prop"
 )
 
 // Engine is the reusable campaign orchestrator. Construct one with New,
@@ -48,6 +49,7 @@ type Engine struct {
 	events       chan<- Event
 	ckptSpill    string
 	fullCopy     bool
+	traceProp    bool
 	metrics      *obs.Registry
 	tracer       *obs.Tracer
 }
@@ -105,6 +107,14 @@ func CheckpointSpill(dir string) Option { return func(e *Engine) { e.ckptSpill =
 // COW-vs-full-copy analogue of the fast-path/slow-path interpreter split);
 // campaigns are bit-identical either way.
 func FullCopySnapshots() Option { return func(e *Engine) { e.fullCopy = true } }
+
+// TraceProp turns on fault-propagation tracing: every injection whose
+// outcome is not masked (Vanished/ONA) is re-run against a golden twin
+// through prop.Tracer, its Trace attached to the Result and folded into the
+// campaign's prop summary. Tracing re-executes only the unmasked minority
+// of runs and is strictly additive — outcome counts, fault lists and
+// untraced database rows are byte-identical with tracing off.
+func TraceProp() Option { return func(e *Engine) { e.traceProp = true } }
 
 // WithStore attaches a results store: campaigns whose key the store
 // already holds are skipped (their stored results returned in place — the
@@ -272,6 +282,7 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 			em.ckptSpilled.Add(-float64(st.obsSpilled))
 		}
 		st.cs = nil // drop checkpoint RAM before releasing the slot
+		st.tracer = nil
 		for _, ds := range st.domains {
 			ds.cs = nil
 		}
@@ -312,6 +323,8 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 			Features: st.features,
 			APICalls: st.apiCalls,
 			Runs:     ds.runs,
+			Traces:   ds.traces,
+			Prop:     prop.Summarize(ds.traces),
 		}
 		if ds.cs.Len() > 0 {
 			// Meaningful only under snapshot acceleration; from-reset runs
@@ -348,10 +361,16 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 	}
 
 	// finishDomain retires a domain whose last injection job just returned:
-	// a campaign with any job abandoned by cancellation has no result.
+	// a campaign with any job abandoned by cancellation has no result, and
+	// a tracer failure (a should-never-happen twin mispositioning) fails
+	// the domain rather than silently dropping traces.
 	finishDomain := func(st *scenarioState, ds *domainState) {
 		if ds.cancelled.Load() {
 			domainDone(st, ds, context.Cause(ctx))
+			return
+		}
+		if err := ds.takeTraceErr(); err != nil {
+			domainDone(st, ds, err)
 			return
 		}
 		assemble(st, ds)
@@ -404,6 +423,9 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 			closeGroup(st, err)
 			return
 		}
+		if e.traceProp {
+			st.tracer = prop.NewTracer(img, cfg, st.g, st.cs)
+		}
 		st.obsResident = st.cs.MemBytes()
 		st.obsSpilled = st.cs.SpilledBytes()
 		em.goldensDone.Inc()
@@ -436,6 +458,9 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 			ds.faults = fi.List(ds.job.Seed, faults, ds.dom)
 			ds.cs = st.cs.Clone()
 			ds.runs = make([]fi.Result, len(ds.faults))
+			if e.traceProp {
+				ds.traces = make([]*prop.Trace, len(ds.faults))
+			}
 			if len(ds.faults) == 0 {
 				assemble(st, ds)
 				continue
@@ -465,6 +490,15 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 								break
 							}
 							ds.runs[i] = r
+							if ds.traces != nil && r.Outcome != fi.Vanished && r.Outcome != fi.ONA {
+								tr, _, terr := st.tracer.Trace(ds.dom, ds.faults[i])
+								if terr != nil {
+									ds.noteTraceErr(terr)
+									aborted = true
+									break
+								}
+								ds.traces[i] = &tr
+							}
 						}
 						span := time.Since(jt0)
 						endSpan()

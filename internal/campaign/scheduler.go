@@ -16,6 +16,7 @@ import (
 	"serfi/internal/fi"
 	"serfi/internal/npb"
 	"serfi/internal/profile"
+	"serfi/internal/prop"
 )
 
 // DefaultJobSize groups this many faults into one injection task (the paper
@@ -101,6 +102,10 @@ type domainState struct {
 	dom    fault.Domain
 	faults []fi.Fault
 	runs   []fi.Result
+	// traces holds the propagation trace of each unmasked run when the
+	// engine traces propagation (nil entries: masked or untraced). Jobs
+	// write disjoint indices concurrently, like runs.
+	traces []*prop.Trace
 
 	remaining atomic.Int64 // injection runs left
 	done      atomic.Int64 // injection runs finished (JobDone progress)
@@ -109,6 +114,25 @@ type domainState struct {
 
 	spanMu sync.Mutex
 	spans  []JobSpan // per-job spans of completed jobs (behind JobWallSec)
+
+	traceMu  sync.Mutex
+	traceErr error // first propagation-tracer failure, fatal for the domain
+}
+
+// noteTraceErr records the first tracer failure (workers run concurrently).
+func (ds *domainState) noteTraceErr(err error) {
+	ds.traceMu.Lock()
+	if ds.traceErr == nil {
+		ds.traceErr = err
+	}
+	ds.traceMu.Unlock()
+}
+
+// takeTraceErr returns the recorded tracer failure, if any.
+func (ds *domainState) takeTraceErr() error {
+	ds.traceMu.Lock()
+	defer ds.traceMu.Unlock()
+	return ds.traceErr
 }
 
 // addSpan records one completed job's span (workers run concurrently).
@@ -138,6 +162,7 @@ type scenarioState struct {
 	domains []*domainState
 	g       *fi.Golden
 	cs      *fi.CheckpointSet // base set; domains inject through clones
+	tracer  *prop.Tracer      // propagation tracer over the group's snapshots (nil when off)
 
 	openDomains atomic.Int64 // domain campaigns still running
 	t0          time.Time

@@ -22,6 +22,7 @@ import (
 	"serfi/internal/fi"
 	"serfi/internal/obs"
 	"serfi/internal/profile"
+	"serfi/internal/prop"
 )
 
 // Defaults for the tunables every coordinator option can override.
@@ -57,6 +58,7 @@ type campState struct {
 	t0         time.Time // first lease grant (campaign wall span opens)
 
 	runs     []fi.Result
+	traces   []*prop.Trace // per-fault propagation traces (tracing runs only)
 	haveMeta bool
 	golden   campaign.GoldenSummary
 	features map[string]float64
@@ -89,6 +91,7 @@ type Coordinator struct {
 	ttl       time.Duration
 	store     campaign.Store
 	events    chan<- campaign.Event
+	traceProp bool
 	now       func() time.Time
 
 	mu        sync.Mutex
@@ -140,6 +143,12 @@ func WithStore(st campaign.Store) CoordOption { return func(c *Coordinator) { c.
 // run, draining until MatrixDone).
 func WithEvents(ch chan<- campaign.Event) CoordOption { return func(c *Coordinator) { c.events = ch } }
 
+// TraceProp marks every lease with the propagation-tracing flag: workers
+// trace unmasked runs and ship the traces back, and assembled results carry
+// the campaign-level prop fold — the distributed analogue of the Engine's
+// TraceProp option.
+func TraceProp() CoordOption { return func(c *Coordinator) { c.traceProp = true } }
+
 // withNow overrides the coordinator clock (lease-expiry tests).
 func withNow(f func() time.Time) CoordOption { return func(c *Coordinator) { c.now = f } }
 
@@ -183,6 +192,9 @@ func NewCoordinator(jobs []campaign.ScenarioJob, faults int, opts ...CoordOption
 		}
 		seen[key] = true
 		st := &campState{idx: i, job: job, key: key, faults: faults, runs: make([]fi.Result, faults)}
+		if c.traceProp {
+			st.traces = make([]*prop.Trace, faults)
+		}
 		if c.store != nil {
 			if r, ok := c.store.Get(key); ok {
 				if r.Faults != faults || r.Seed != job.Seed {
@@ -398,15 +410,16 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		camp.t0 = c.now()
 	}
 	writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, Lease: &Lease{
-		ID:       sh.leaseID,
-		Key:      camp.key,
-		Scenario: camp.job.Scenario.ID(),
-		Domain:   camp.job.Domain.String(),
-		Seed:     camp.job.Seed,
-		Faults:   camp.faults,
-		Lo:       sh.lo,
-		Hi:       sh.hi,
-		TTLMs:    int(c.ttl / time.Millisecond),
+		ID:        sh.leaseID,
+		Key:       camp.key,
+		Scenario:  camp.job.Scenario.ID(),
+		Domain:    camp.job.Domain.String(),
+		Seed:      camp.job.Seed,
+		Faults:    camp.faults,
+		Lo:        sh.lo,
+		Hi:        sh.hi,
+		TTLMs:     int(c.ttl / time.Millisecond),
+		TraceProp: c.traceProp,
 	}})
 }
 
@@ -440,6 +453,16 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		c.failCampaign(camp, fmt.Errorf("shard [%d,%d) returned %d runs", sh.lo, sh.hi, len(req.Runs)))
 		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
 		return
+	}
+	if camp.traces != nil {
+		if len(req.Traces) != len(req.Runs) {
+			c.cm.shards.With("failed").Inc()
+			c.failCampaign(camp, fmt.Errorf("shard [%d,%d) returned %d traces for %d runs (tracing requested)",
+				sh.lo, sh.hi, len(req.Traces), len(req.Runs)))
+			writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
+			return
+		}
+		copy(camp.traces[sh.lo:sh.hi], req.Traces)
 	}
 	copy(camp.runs[sh.lo:sh.hi], req.Runs)
 	if !camp.haveMeta {
@@ -534,6 +557,8 @@ func (c *Coordinator) assemble(camp *campState) {
 		Features:        profile.FeaturesFromMap(camp.features),
 		APICalls:        camp.apiCalls,
 		Runs:            camp.runs,
+		Traces:          camp.traces,
+		Prop:            prop.Summarize(camp.traces),
 		CampaignWallSec: c.now().Sub(camp.t0).Seconds(),
 		JobWallSec:      camp.jobWall,
 		JobSpans:        camp.spans,

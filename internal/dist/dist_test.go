@@ -4,7 +4,7 @@ package dist
 // in-process loopback workers must produce byte-identical campaign records
 // (after canonical key sort) and bit-identical in-memory results to a
 // single-process campaign.Engine.RunMatrix at the same seed, for N ∈ {1, 3},
-// across the reg and mem fault domains. Everything rides the real wire
+// across the reg, mem and cachetag fault domains. Everything rides the real wire
 // protocol — routing, JSON marshal, version checks — through the loopback
 // transport; only the TCP socket is elided.
 
@@ -24,12 +24,13 @@ import (
 	"serfi/internal/npb"
 )
 
-// compatJobs is the shared matrix: two scenarios, reg and mem domains, the
-// engine's seed convention.
+// compatJobs is the shared matrix: two scenarios over the reg, mem and
+// cachetag (uncore) domains, the engine's seed convention.
 func compatJobs() []campaign.ScenarioJob {
 	return []campaign.ScenarioJob{
 		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.Reg, Seed: 11},
 		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.Mem, Seed: 11},
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.CacheTag, Seed: 11},
 		{Scenario: npb.Scenario{App: "EP", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.Reg, Seed: 12},
 	}
 }
@@ -287,5 +288,76 @@ func TestStatusPage(t *testing.T) {
 		if !strings.Contains(page.String(), want) {
 			t.Errorf("status page missing %q:\n%s", want, page.String())
 		}
+	}
+}
+
+// TestClusterTracePropMatchesEngine pins the distributed propagation-tracing
+// contract: a traced cluster run must reproduce the traced engine run
+// exactly — same per-run records, identical traces folded by fault index,
+// the same Prop summary, and byte-identical v3 store records — at any
+// worker count.
+func TestClusterTracePropMatchesEngine(t *testing.T) {
+	jobs := []campaign.ScenarioJob{
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.Reg, Seed: 11},
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.CacheTag, Seed: 11},
+	}
+
+	refPath := t.TempDir() + "/engine.jsonl"
+	refStore, err := campaign.OpenFileStore(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := campaign.New(
+		campaign.Faults(compatFaults),
+		campaign.WithStore(refStore),
+		campaign.TraceProp(),
+	).RunMatrix(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+	refLines := sortedRecords(t, refPath)
+	traced := 0
+	for _, r := range ref {
+		if r.Prop != nil {
+			traced += r.Prop.Traced
+		}
+	}
+	if traced == 0 {
+		t.Fatal("reference matrix produced no traces — seeds no longer exercise the tracer")
+	}
+
+	for _, workers := range []int{1, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			path := t.TempDir() + "/dist.jsonl"
+			st, err := campaign.OpenFileStore(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord, err := NewCoordinator(jobs, compatFaults, ShardSize(2), WithStore(st), TraceProp())
+			if err != nil {
+				t.Fatal(err)
+			}
+			results := runCluster(t, coord, workers)
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sortedRecords(t, path); !reflect.DeepEqual(got, refLines) {
+				t.Errorf("traced distributed records differ from engine records:\n dist: %v\n ref:  %v", got, refLines)
+			}
+			for i := range jobs {
+				if !reflect.DeepEqual(results[i].Runs, ref[i].Runs) {
+					t.Errorf("%s per-run records differ across the wire", jobs[i].Key())
+				}
+				if !reflect.DeepEqual(results[i].Traces, ref[i].Traces) {
+					t.Errorf("%s traces differ across the wire", jobs[i].Key())
+				}
+				if !reflect.DeepEqual(results[i].Prop, ref[i].Prop) {
+					t.Errorf("%s prop summary: dist %+v != engine %+v", jobs[i].Key(), results[i].Prop, ref[i].Prop)
+				}
+			}
+		})
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"serfi/internal/campaign"
 	"serfi/internal/fi"
 	"serfi/internal/obs"
+	"serfi/internal/prop"
 )
 
 // ProtoVersion is the wire protocol version. Every request carries it and
@@ -71,6 +72,9 @@ type Lease struct {
 	Lo       int    `json:"lo"`
 	Hi       int    `json:"hi"`
 	TTLMs    int    `json:"ttl_ms"`
+	// TraceProp asks the worker to propagation-trace every unmasked run of
+	// the shard and ship the traces back in CompleteRequest.Traces.
+	TraceProp bool `json:"trace_prop,omitempty"`
 }
 
 // CompleteRequest posts one executed shard back. Runs holds the per-fault
@@ -90,7 +94,12 @@ type CompleteRequest struct {
 	Hi      int    `json:"hi"`
 	Err     string `json:"err,omitempty"`
 
-	Runs     []fi.Result            `json:"runs,omitempty"`
+	Runs []fi.Result `json:"runs,omitempty"`
+	// Traces, present when the lease asked for propagation tracing, is
+	// parallel to Runs: Traces[i] is the trace of Runs[i], null for masked
+	// runs. The coordinator folds them by fault index, so assembly order
+	// never affects the result.
+	Traces   []*prop.Trace          `json:"traces,omitempty"`
 	Golden   campaign.GoldenSummary `json:"golden"`
 	Features map[string]float64     `json:"features,omitempty"`
 	APICalls uint64                 `json:"api_calls"`

@@ -20,6 +20,7 @@ import (
 	"serfi/internal/npb"
 	"serfi/internal/obs"
 	"serfi/internal/profile"
+	"serfi/internal/prop"
 )
 
 // Worker pulls shards from one coordinator and executes them. Construct
@@ -263,6 +264,25 @@ func (w *Worker) exec(ctx context.Context, l *Lease) (CompleteRequest, error) {
 		})
 	}
 	req.Runs = runs
+	if l.TraceProp {
+		// Trace unmasked runs after the shard's injections: the tracer
+		// shares the group's immutable snapshots, so interleaving would be
+		// sound too, but batching keeps the beat cadence of the injection
+		// loop untouched.
+		traces := make([]*prop.Trace, len(runs))
+		for i, r := range runs {
+			if r.Outcome == fi.Vanished || r.Outcome == fi.ONA {
+				continue
+			}
+			tr, _, err := g.tracer.Trace(de.dom, de.faults[l.Lo+i])
+			if err != nil {
+				req.Err = fmt.Sprintf("propagation trace %v: %v", de.faults[l.Lo+i], err)
+				return req, nil
+			}
+			traces[i] = &tr
+		}
+		req.Traces = traces
+	}
 	req.Golden = campaign.GoldenSummary{
 		AppStart: g.g.AppStart,
 		AppEnd:   g.g.AppEnd,
@@ -296,6 +316,7 @@ type group struct {
 
 	g           *fi.Golden
 	cs          *fi.CheckpointSet
+	tracer      *prop.Tracer // built with the group; costs nothing until used
 	features    profile.Features
 	apiCalls    uint64
 	buildDomain func(fault.Model) (fault.Domain, error)
@@ -419,6 +440,7 @@ func (w *Worker) build(ctx context.Context, g *group, l *Lease) error {
 	if err != nil {
 		return err
 	}
+	g.tracer = prop.NewTracer(img, cfg, golden, g.cs)
 	g.buildDomain = func(model fault.Model) (fault.Domain, error) {
 		return fi.NewDomain(model, img, cfg, golden)
 	}

@@ -19,6 +19,7 @@ import (
 	"serfi/internal/fi"
 	"serfi/internal/mining"
 	"serfi/internal/npb"
+	"serfi/internal/prop"
 )
 
 // Config scales the experiment campaigns.
@@ -35,6 +36,10 @@ type Config struct {
 	// paper's register domain only). The paper's tables and figures always
 	// format the register campaigns; extra domains feed DomainTable.
 	Domains []fault.Model
+	// TraceProp turns on the propagation tracer: every unmasked injection
+	// is re-run against a golden twin to localize the first architectural
+	// divergence and classify its escape; the folds feed PropTable.
+	TraceProp bool
 	// Store, when set, receives streamed scenario records as they complete
 	// and supplies already-recorded campaigns for resume (matching
 	// campaigns are not re-executed). It takes precedence over DB/Skip.
@@ -115,6 +120,9 @@ func runScenarios(ctx context.Context, cfg Config, keep func(npb.Scenario) bool)
 		campaign.Snapshots(cfg.Snapshots),
 		campaign.Models(domains...),
 		campaign.WithStore(st),
+	}
+	if cfg.TraceProp {
+		opts = append(opts, campaign.TraceProp())
 	}
 	// Live progress rides the typed event stream: one Collector goroutine
 	// prints per-campaign lines until the engine's MatrixDone.
@@ -439,6 +447,58 @@ func DomainTable(m *Matrix) string {
 	}
 	if len(m.Domains) == 1 {
 		fmt.Fprintf(&b, "(single-domain matrix; run with -faultmodel all to compare fault spaces)\n")
+	}
+	return b.String()
+}
+
+// PropTable formats the propagation-tracing fold: per ISA per domain, how
+// many unmasked injections were traced, the escape-class mix (severity-max
+// per trace), the cross-core escape rate and the median latency from
+// injection to first architectural corruption. It extends the paper's
+// outcome taxonomy with the propagation axis: not just whether a fault
+// escaped, but how far and how fast.
+func PropTable(m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Propagation Table: escape class and latency-to-first-corruption by fault domain\n")
+	fmt.Fprintf(&b, "%-6s %-10s %7s", "ISA", "Domain", "traced")
+	for c := prop.Class(0); c < prop.NumClasses; c++ {
+		fmt.Fprintf(&b, " %7s", c)
+	}
+	fmt.Fprintf(&b, " %7s %10s %10s\n", "xcore%", "med(inst)", "med(cyc)")
+	traced := 0
+	for _, isaName := range []string{"armv7", "armv8"} {
+		for _, d := range m.Domains {
+			var agg prop.Summary
+			for _, sc := range m.Order {
+				if sc.ISA != isaName {
+					continue
+				}
+				if r := m.GetDomain(sc, d); r != nil {
+					agg.Merge(r.Prop)
+				}
+			}
+			if agg.Traced == 0 {
+				continue
+			}
+			traced += agg.Traced
+			fmt.Fprintf(&b, "%-6s %-10s %7d", isaName, d, agg.Traced)
+			for c := prop.Class(0); c < prop.NumClasses; c++ {
+				fmt.Fprintf(&b, " %7d", agg.EscapeCount(c))
+			}
+			mi, okI := agg.MedianInstr()
+			mc, okC := agg.MedianCyc()
+			instr, cyc := "-", "-"
+			if okI {
+				instr = fmt.Sprintf("%d", mi)
+			}
+			if okC {
+				cyc = fmt.Sprintf("%d", mc)
+			}
+			fmt.Fprintf(&b, " %7.1f %10s %10s\n", 100*agg.XCoreRate(), instr, cyc)
+		}
+	}
+	if traced == 0 {
+		fmt.Fprintf(&b, "(no propagation traces recorded; run with -trace-prop)\n")
 	}
 	return b.String()
 }

@@ -169,3 +169,29 @@ func TestMacroAndVulnRender(t *testing.T) {
 		t.Errorf("vuln window:\n%s", s)
 	}
 }
+
+func TestPropTableRenders(t *testing.T) {
+	cfg := Config{Faults: 8, Seed: 99, TraceProp: true, Domains: []fault.Model{fault.Reg, fault.CacheTag}}
+	m, err := RunSubset(cfg, func(sc npb.Scenario) bool {
+		return sc.App == "IS" && sc.Mode == npb.Serial && sc.ISA == "armv8"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := PropTable(m)
+	for _, want := range []string{"Propagation Table", "traced", "xcore%", "med(inst)", "timing", "kernel"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("prop table missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "no propagation traces recorded") {
+		t.Errorf("traced matrix rendered the empty-table notice:\n%s", s)
+	}
+	// The report only ships the section when the matrix was traced.
+	if r := Report(m, time.Second); !strings.Contains(r, "Propagation Table") {
+		t.Error("report missing the propagation table section")
+	}
+	if r := Report(smallMatrix(t), time.Second); strings.Contains(r, "Propagation Table") {
+		t.Error("untraced report grew a propagation table section")
+	}
+}

@@ -197,6 +197,17 @@ func checks(m *Matrix) []shapeCheck {
 	return out
 }
 
+// propTraced reports whether any campaign in the matrix carries a
+// propagation fold (the report only prints PropTable for traced runs).
+func propTraced(m *Matrix) bool {
+	for _, r := range m.Results {
+		if r.Prop != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // Report assembles the complete EXPERIMENTS.md content.
 func Report(m *Matrix, elapsed time.Duration) string {
 	var b strings.Builder
@@ -233,6 +244,9 @@ func Report(m *Matrix, elapsed time.Duration) string {
 	section("Table 3 (ARMv7 memory transactions)", Table3(m))
 	section("Table 4 (ARMv8 memory transactions)", Table4(m))
 	section("Domain Table (outcome distribution by fault domain)", DomainTable(m))
+	if propTraced(m) {
+		section("Propagation Table (escape class and latency by fault domain)", PropTable(m))
+	}
 	section("Figure 2 (ARMv7 distributions + mismatch)", Figure2(m))
 	section("Figure 3 (ARMv8 distributions + mismatch)", Figure3(m))
 	section("Section 4.1.3 macro statistics", MacroStats(m))

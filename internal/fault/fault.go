@@ -17,7 +17,14 @@
 //     32-bit encodings, so a corrupted word re-decodes into a different
 //     (possibly invalid) instruction rather than desynchronizing fetch;
 //   - Burst: 2-4 adjacent-bit multi-bit upsets in one register word,
-//     modeling the MBU share of modern technology nodes.
+//     modeling the MBU share of modern technology nodes;
+//   - CacheTag / CacheDirty / CacheRepl: the uncore domains — single-bit
+//     upsets in the cache hierarchy's tag arrays, status (dirty/valid) bits
+//     and replacement (LRU) state, sampled over the live cache geometry
+//     (per-core L1I/L1D plus the shared L2). These faults never touch RAM:
+//     they manifest only through the timing/placement model — wrong-way
+//     hits, spurious writebacks, silent evictions — the soft-error class
+//     that architectural-state injectors cannot see at all.
 //
 // Sampling orders are frozen per domain (documented on each Sample) so that
 // fault lists are reproducible across releases, and the Reg order is exactly
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"serfi/internal/cache"
 	"serfi/internal/isa"
 	"serfi/internal/mach"
 	"serfi/internal/mem"
@@ -44,10 +52,14 @@ const (
 	Mem
 	IMem
 	Burst
+	CacheTag
+	CacheDirty
+	CacheRepl
 	NumModels
 )
 
-// String renders the CLI/database spelling ("reg", "mem", "imem", "burst").
+// String renders the CLI/database spelling ("reg", "mem", "imem", "burst",
+// "cachetag", "cachedirty", "cacherepl").
 func (m Model) String() string {
 	switch m {
 	case Reg:
@@ -58,6 +70,12 @@ func (m Model) String() string {
 		return "imem"
 	case Burst:
 		return "burst"
+	case CacheTag:
+		return "cachetag"
+	case CacheDirty:
+		return "cachedirty"
+	case CacheRepl:
+		return "cacherepl"
 	}
 	return fmt.Sprintf("model(%d)", int(m))
 }
@@ -69,17 +87,26 @@ func ParseModel(s string) (Model, error) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("fault: unknown model %q (want reg|mem|imem|burst)", s)
+	return 0, fmt.Errorf("fault: unknown model %q (want reg|mem|imem|burst|cachetag|cachedirty|cacherepl)", s)
 }
 
 // Models returns every shipped model in display order.
-func Models() []Model { return []Model{Reg, Mem, IMem, Burst} }
+func Models() []Model {
+	return []Model{Reg, Mem, IMem, Burst, CacheTag, CacheDirty, CacheRepl}
+}
 
-// ParseModels expands a -faultmodel flag value: one model name, or "all"
-// for every shipped domain.
+// UncoreModels returns the cache-hierarchy domains — the "uncore" alias of
+// -faultmodel flags.
+func UncoreModels() []Model { return []Model{CacheTag, CacheDirty, CacheRepl} }
+
+// ParseModels expands a -faultmodel flag value: one model name, "uncore"
+// for the three cache-hierarchy domains, or "all" for every shipped domain.
 func ParseModels(s string) ([]Model, error) {
-	if s == "all" {
+	switch s {
+	case "all":
 		return Models(), nil
+	case "uncore":
+		return UncoreModels(), nil
 	}
 	m, err := ParseModel(s)
 	if err != nil {
@@ -94,6 +121,12 @@ func ParseModels(s string) ([]Model, error) {
 // and Addr (a word-aligned physical address) for memory domains. Width is
 // the number of adjacent bits flipped; 0 and 1 both mean a single-bit upset
 // so that legacy Point literals behave unchanged.
+//
+// The cache domains reuse the fields as (Level, Core, Addr=set, Reg=way,
+// Bit): Level is the cache.Level of the struck array, Core the owning core
+// (ignored at L2), and the line coordinate is the (set, way) slot. Level is
+// zero for every non-cache domain, so legacy Point literals and recorded
+// fault tuples are unchanged.
 type Point struct {
 	Domain Model
 	Index  uint64
@@ -102,6 +135,7 @@ type Point struct {
 	Addr   uint32
 	Bit    int
 	Width  int
+	Level  int
 }
 
 // Mask returns the flip mask implied by Bit and Width.
@@ -122,6 +156,19 @@ func (p Point) String() string {
 		return fmt.Sprintf("i=%d imem[%#x] bit=%d", p.Index, p.Addr, p.Bit)
 	case Burst:
 		return fmt.Sprintf("i=%d core=%d r%d bit=%d width=%d", p.Index, p.Core, p.Reg, p.Bit, p.Width)
+	case CacheTag, CacheDirty, CacheRepl:
+		array := cache.Level(p.Level).String()
+		if cache.Level(p.Level) != cache.L2 {
+			array = fmt.Sprintf("%s%d", array, p.Core)
+		}
+		kind := "tag"
+		switch p.Domain {
+		case CacheDirty:
+			kind = "status"
+		case CacheRepl:
+			kind = "lru"
+		}
+		return fmt.Sprintf("i=%d %s[set=%d way=%d] %s bit=%d", p.Index, array, p.Addr, p.Reg, kind, p.Bit)
 	}
 	return fmt.Sprintf("i=%d core=%d r%d bit=%d", p.Index, p.Core, p.Reg, p.Bit)
 }
@@ -135,6 +182,12 @@ type Env struct {
 	Cores   int
 	Span    uint64
 	Regions []mem.Region
+	// Cache is the hierarchy geometry the uncore domains sample over
+	// (per-core L1I/L1D plus the shared L2, sets x ways from each level's
+	// Config). The zero value carries no geometry and rejects cache domains
+	// at New; the four architectural domains ignore it entirely, so their
+	// sampling streams are unchanged by its presence.
+	Cache cache.HierConfig
 }
 
 // Domain is one pluggable fault space.
@@ -185,6 +238,24 @@ func New(model Model, env Env) (Domain, error) {
 			return nil, fmt.Errorf("fault: imem: no mapped executable regions")
 		}
 		return &IMemDomain{memSpace: memSpace{span: env.Span, words: words}}, nil
+	case CacheTag, CacheDirty, CacheRepl:
+		if env.Cores < 1 {
+			return nil, fmt.Errorf("fault: %s: no cores", model)
+		}
+		for l := cache.Level(0); l < cache.NumLevels; l++ {
+			if err := env.Cache.LevelConfig(l).Validate(); err != nil {
+				return nil, fmt.Errorf("fault: %s: no cache geometry: %w", model, err)
+			}
+		}
+		s := cacheSpace{model: model, span: env.Span, cores: env.Cores, cfg: env.Cache}
+		switch model {
+		case CacheTag:
+			return &CacheTagDomain{s}, nil
+		case CacheDirty:
+			return &CacheDirtyDomain{s}, nil
+		default:
+			return &CacheReplDomain{s}, nil
+		}
 	}
 	return nil, fmt.Errorf("fault: unknown model %d", int(model))
 }
@@ -395,4 +466,158 @@ func (d *IMemDomain) Sample(r *rand.Rand) Point { return d.sample(r, IMem) }
 func (d *IMemDomain) Apply(m *mach.Machine, p Point) {
 	m.Mem.WriteU32(p.Addr, m.Mem.ReadU32(p.Addr)^uint32(p.Mask()))
 	m.InvalidateText(p.Addr, 4)
+}
+
+// statusBits is the per-line status-bit count of the CacheDirty domain:
+// bit 0 is the dirty flag, bit 1 the valid flag.
+const statusBits = 2
+
+// replBits is the sampled low-bit window of a line's 64-bit LRU clock.
+// The clock is a monotonically increasing access tick; flips above the low
+// 16 bits would push a line's apparent recency outside any realistic tick
+// range and all behave identically ("never/always the victim"), so the
+// sample space covers only the bits that produce distinct orderings at
+// workload scale.
+const replBits = 16
+
+// cacheSpace is the shared target space of the uncore domains: every line
+// slot of the live hierarchy geometry, in the frozen unit order L1I core
+// 0..C-1, L1D core 0..C-1, then the shared L2, with a per-domain bit width
+// (tag bits, status bits or the LRU window).
+type cacheSpace struct {
+	model Model
+	span  uint64
+	cores int
+	cfg   cache.HierConfig
+}
+
+// levelLines counts the line slots of one cache array at the given level.
+func (s *cacheSpace) levelLines(l cache.Level) uint64 {
+	c := s.cfg.LevelConfig(l)
+	return uint64(c.Sets()) * uint64(c.Ways)
+}
+
+// totalLines counts line slots across every unit of the hierarchy.
+func (s *cacheSpace) totalLines() uint64 {
+	return (s.levelLines(cache.L1I)+s.levelLines(cache.L1D))*uint64(s.cores) +
+		s.levelLines(cache.L2)
+}
+
+// bitsFor is the flippable-bit count per line for this domain at one level.
+func (s *cacheSpace) bitsFor(l cache.Level) int {
+	switch s.model {
+	case CacheTag:
+		return s.cfg.LevelConfig(l).TagBits()
+	case CacheDirty:
+		return statusBits
+	default:
+		return replBits
+	}
+}
+
+// locate maps a uniform line ordinal onto its (level, core, set, way) slot
+// by walking the frozen unit order, mirroring memSpace.addrOf.
+func (s *cacheSpace) locate(ordinal uint64) (l cache.Level, core int, set, way uint32) {
+	for _, lvl := range []cache.Level{cache.L1I, cache.L1D} {
+		per := s.levelLines(lvl)
+		for c := 0; c < s.cores; c++ {
+			if ordinal < per {
+				ways := uint64(s.cfg.LevelConfig(lvl).Ways)
+				return lvl, c, uint32(ordinal / ways), uint32(ordinal % ways)
+			}
+			ordinal -= per
+		}
+	}
+	if ordinal >= s.levelLines(cache.L2) {
+		// Unreachable for ordinals < totalLines.
+		panic("fault: cache line ordinal outside target space")
+	}
+	ways := uint64(s.cfg.L2.Ways)
+	return cache.L2, 0, uint32(ordinal / ways), uint32(ordinal % ways)
+}
+
+// size counts span x Σ(unit lines x unit bits).
+func (s *cacheSpace) size() uint64 {
+	perCore := s.levelLines(cache.L1I)*uint64(s.bitsFor(cache.L1I)) +
+		s.levelLines(cache.L1D)*uint64(s.bitsFor(cache.L1D))
+	return s.span * (perCore*uint64(s.cores) + s.levelLines(cache.L2)*uint64(s.bitsFor(cache.L2)))
+}
+
+// sample draws index, line ordinal, bit (frozen order shared by the three
+// uncore domains). The ordinal is uniform over line slots; the bit draw is
+// bounded by the struck level's bit width, so tuples are uniform over the
+// whole (line, bit) space when every level shares one line size (they do in
+// every shipped configuration) and uniform per level otherwise.
+func (s *cacheSpace) sample(r *rand.Rand) Point {
+	idx := uint64(r.Int63n(int64(s.span)))
+	lvl, core, set, way := s.locate(uint64(r.Int63n(int64(s.totalLines()))))
+	return Point{
+		Domain: s.model,
+		Index:  idx,
+		Level:  int(lvl),
+		Core:   core,
+		Addr:   set,
+		Reg:    int(way),
+		Bit:    r.Intn(s.bitsFor(lvl)),
+	}
+}
+
+// CacheTagDomain strikes the tag arrays of the cache hierarchy. A flipped
+// tag silently evicts live data from the timing model's view (the next
+// lookup of the original address misses) or aliases a wrong line address
+// into a spurious hit; RAM is never corrupted, so the fault is invisible to
+// architectural comparison and manifests only through timing and coherence.
+type CacheTagDomain struct{ cacheSpace }
+
+// Model identifies the domain.
+func (d *CacheTagDomain) Model() Model { return CacheTag }
+
+// Size counts span x line slots x tag bits.
+func (d *CacheTagDomain) Size() uint64 { return d.size() }
+
+// Sample draws index, line ordinal, bit (frozen order).
+func (d *CacheTagDomain) Sample(r *rand.Rand) Point { return d.sample(r) }
+
+// Apply XORs the sampled tag bit of the struck line.
+func (d *CacheTagDomain) Apply(m *mach.Machine, p Point) {
+	m.Hier.FlipTag(cache.Level(p.Level), p.Core, p.Addr, uint32(p.Reg), p.Bit)
+}
+
+// CacheDirtyDomain strikes the per-line status bits: a toggled dirty bit
+// produces a spurious writeback (or loses a real one), a toggled valid bit
+// drops a live line (or resurrects a stale slot).
+type CacheDirtyDomain struct{ cacheSpace }
+
+// Model identifies the domain.
+func (d *CacheDirtyDomain) Model() Model { return CacheDirty }
+
+// Size counts span x line slots x status bits.
+func (d *CacheDirtyDomain) Size() uint64 { return d.size() }
+
+// Sample draws index, line ordinal, bit (frozen order).
+func (d *CacheDirtyDomain) Sample(r *rand.Rand) Point { return d.sample(r) }
+
+// Apply toggles the sampled status bit of the struck line.
+func (d *CacheDirtyDomain) Apply(m *mach.Machine, p Point) {
+	m.Hier.FlipDirty(cache.Level(p.Level), p.Core, p.Addr, uint32(p.Reg), p.Bit)
+}
+
+// CacheReplDomain strikes the replacement state: one bit of a line's LRU
+// clock. Victim selection reorders — hot lines evict early, dead lines
+// linger — shifting miss patterns and therefore timing, without touching
+// any stored data or tag.
+type CacheReplDomain struct{ cacheSpace }
+
+// Model identifies the domain.
+func (d *CacheReplDomain) Model() Model { return CacheRepl }
+
+// Size counts span x line slots x sampled LRU bits.
+func (d *CacheReplDomain) Size() uint64 { return d.size() }
+
+// Sample draws index, line ordinal, bit (frozen order).
+func (d *CacheReplDomain) Sample(r *rand.Rand) Point { return d.sample(r) }
+
+// Apply XORs the sampled LRU-clock bit of the struck line.
+func (d *CacheReplDomain) Apply(m *mach.Machine, p Point) {
+	m.Hier.FlipRepl(cache.Level(p.Level), p.Core, p.Addr, uint32(p.Reg), p.Bit)
 }

@@ -26,6 +26,7 @@ func testEnv(t *testing.T) (fault.Env, *mach.Machine) {
 		Cores:   cfg.Cores,
 		Span:    100_000,
 		Regions: img.Regions,
+		Cache:   cfg.Cache,
 	}, m
 }
 
@@ -116,6 +117,32 @@ func TestSampleRanges(t *testing.T) {
 			case fault.IMem:
 				if p.Addr%4 != 0 || !executable(p.Addr) || p.Bit >= 32 {
 					t.Fatalf("imem target outside executable regions: %+v", p)
+				}
+			case fault.CacheTag, fault.CacheDirty, fault.CacheRepl:
+				lvl := cache.Level(p.Level)
+				if lvl < 0 || lvl >= cache.NumLevels {
+					t.Fatalf("%s: bad level: %+v", model, p)
+				}
+				geo := env.Cache.LevelConfig(lvl)
+				if p.Addr >= geo.Sets() || p.Reg < 0 || uint32(p.Reg) >= geo.Ways {
+					t.Fatalf("%s: line outside %dx%d geometry: %+v", model, geo.Sets(), geo.Ways, p)
+				}
+				if lvl == cache.L2 {
+					if p.Core != 0 {
+						t.Fatalf("%s: L2 point names core %d: %+v", model, p.Core, p)
+					}
+				} else if p.Core < 0 || p.Core >= env.Cores {
+					t.Fatalf("%s: core out of range: %+v", model, p)
+				}
+				maxBit := geo.TagBits()
+				switch model {
+				case fault.CacheDirty:
+					maxBit = 2
+				case fault.CacheRepl:
+					maxBit = 16
+				}
+				if p.Bit < 0 || p.Bit >= maxBit {
+					t.Fatalf("%s: bit outside [0,%d): %+v", model, maxBit, p)
 				}
 			}
 		}
@@ -231,6 +258,11 @@ func TestNewRejectsEmptySpaces(t *testing.T) {
 	}
 	if _, err := fault.New(fault.IMem, bad); err == nil {
 		t.Error("imem domain without regions accepted")
+	}
+	bad = env
+	bad.Cache = cache.HierConfig{}
+	if _, err := fault.New(fault.CacheTag, bad); err == nil {
+		t.Error("cachetag domain without cache geometry accepted")
 	}
 }
 
@@ -447,4 +479,58 @@ func testCfg(t *testing.T) mach.Config {
 		t.Fatal(err)
 	}
 	return cfg
+}
+
+// TestArchDomainsIgnoreCacheGeometry pins that extending Env with cache
+// geometry did not perturb the four pre-existing architectural domains: their
+// frozen draw orders must be bit-identical whether or not Env.Cache is set.
+// This is the compatibility contract that keeps every pinned campaign (PR 1/
+// PR 2 seeds) byte-stable across the uncore-domain addition.
+func TestArchDomainsIgnoreCacheGeometry(t *testing.T) {
+	env, _ := testEnv(t)
+	bare := env
+	bare.Cache = cache.HierConfig{}
+	for _, model := range []fault.Model{fault.Reg, fault.Mem, fault.IMem, fault.Burst} {
+		d1, err := fault.New(model, env)
+		if err != nil {
+			t.Fatalf("%s with cache geometry: %v", model, err)
+		}
+		d2, err := fault.New(model, bare)
+		if err != nil {
+			t.Fatalf("%s without cache geometry: %v", model, err)
+		}
+		r1 := rand.New(rand.NewSource(2018))
+		r2 := rand.New(rand.NewSource(2018))
+		for i := 0; i < 500; i++ {
+			p1, p2 := d1.Sample(r1), d2.Sample(r2)
+			if p1 != p2 {
+				t.Fatalf("%s: draw %d diverged with cache geometry present: %+v vs %+v", model, i, p1, p2)
+			}
+		}
+	}
+}
+
+// TestDomainFirstDrawsPinned freezes the first draw of each pre-existing
+// domain at a fixed seed (captured at the PR 1/PR 2 behaviour, before the
+// uncore extension). Any change to sampling order breaks every recorded
+// campaign database, so this must only ever fail on a deliberate,
+// versioned fault-space change.
+func TestDomainFirstDrawsPinned(t *testing.T) {
+	env, _ := testEnv(t)
+	want := map[fault.Model]string{
+		fault.Reg:   "i=5640 core=0 r30 bit=50",
+		fault.Mem:   "i=5640 mem[0x14b5464] bit=30",
+		fault.IMem:  "i=5640 imem[0x364] bit=30",
+		fault.Burst: "i=96329 core=0 r18 bit=0 width=3",
+	}
+	for model, w := range want {
+		d, err := fault.New(model, env)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		p := d.Sample(rand.New(rand.NewSource(2018)))
+		if got := p.String(); got != w {
+			t.Errorf("%s first draw drifted: %q, want %q", model, got, w)
+		}
+	}
 }

@@ -215,6 +215,22 @@ func (cs *CheckpointSet) nearest(injectAt uint64) *mach.Snapshot {
 	return cs.snaps[i-1]
 }
 
+// RestoreNearest positions m at the latest checkpoint strictly before
+// injectAt and reports whether one was found; when none qualifies (or the
+// set is empty) the machine is left untouched and the caller should install
+// the image from reset. Exported for the propagation tracer, whose twin
+// machines must reach the injection boundary by exactly the restore path a
+// campaign run took — restore telemetry is deliberately not recorded, so
+// tracing does not skew the injection engine's own metrics.
+func (cs *CheckpointSet) RestoreNearest(m *mach.Machine, injectAt uint64) bool {
+	s := cs.nearest(injectAt)
+	if s == nil {
+		return false
+	}
+	m.Restore(s)
+	return true
+}
+
 // InjectPoint runs one fault of any domain, restoring the nearest pre-fault
 // snapshot instead of booting from reset when one is available. The Result
 // is bit-identical to InjectDomain(img, cfg, g, d, p).

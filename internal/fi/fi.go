@@ -155,6 +155,7 @@ func NewDomain(model fault.Model, img *cc.Image, cfg mach.Config, g *Golden) (fa
 		Cores:   cfg.Cores,
 		Span:    g.AppEnd - g.AppStart,
 		Regions: img.Regions,
+		Cache:   cfg.Cache,
 	})
 }
 
@@ -281,6 +282,15 @@ func finishFault(m *mach.Machine, g *Golden, f Fault, stop mach.StopReason) Resu
 	}
 	res.Outcome = classify(m, g, stop)
 	return res
+}
+
+// Classify maps a finished run against the golden reference using the
+// paper's observables only (termination state, console output, memory and
+// register-file hashes). Exported for the propagation tracer, which re-runs
+// an injection outside the campaign loop and must reach the identical
+// verdict; campaign code uses the private classify via finishFault.
+func Classify(m *mach.Machine, g *Golden, stop mach.StopReason) Outcome {
+	return classify(m, g, stop)
 }
 
 // classify maps a finished run against the golden reference.

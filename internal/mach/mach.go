@@ -343,15 +343,18 @@ func (m *Machine) Run(maxCycles uint64) StopReason {
 	// Telemetry is batched here at the slice boundary: one set of atomic
 	// adds per Run call, never inside the retirement loops.
 	start := m.TotalRetired
+	cacheBefore := m.cacheCensus()
 	if m.slow {
 		r := m.runSlow(maxCycles)
 		obsRetiredSlow.Add(float64(m.TotalRetired - start))
 		obsRunsSlow.Inc()
+		observeCacheDelta(cacheBefore, m.cacheCensus())
 		return r
 	}
 	r := m.runFast(maxCycles)
 	obsRetiredFast.Add(float64(m.TotalRetired - start))
 	obsRunsFast.Inc()
+	observeCacheDelta(cacheBefore, m.cacheCensus())
 	return r
 }
 

@@ -268,6 +268,29 @@ func (m *Memory) eachDirtyPage(fn func(off uint32)) {
 	}
 }
 
+// TakeDirtyPages returns the start offsets of every dirty page in ascending
+// order and clears the bitmap. Clearing the bits WITHOUT re-anchoring base
+// breaks the "ram matches base at clear-dirty pages" invariant, so this must
+// never be called on a memory that will later be snapshotted or restored
+// through its base chain. It exists for the propagation tracer's twin
+// machines, which use the bitmap purely as a write log between lockstep
+// boundaries and are discarded (or fully Restored, which re-anchors) after
+// the walk.
+func (m *Memory) TakeDirtyPages() []uint32 {
+	var out []uint32
+	m.eachDirtyPage(func(off uint32) { out = append(out, off) })
+	for i := range m.dirty {
+		m.dirty[i] = 0
+	}
+	return out
+}
+
+// PageAt returns a read-only view of the page starting at off (the final
+// page may be short). Callers must not modify the returned slice.
+func (m *Memory) PageAt(off uint32) []byte {
+	return m.ram[off:pageEnd(off, m.Size())]
+}
+
 // pageEnd returns the end of the page starting at off in a memory of the
 // given size (the final page may be short). Written as a subtraction so a
 // page ending exactly at 1<<32 cannot overflow.

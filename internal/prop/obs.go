@@ -1,0 +1,24 @@
+// Telemetry for the propagation tracer, registered on the process-wide
+// obs.Default registry. One counter bump and one histogram observation per
+// completed trace — the lockstep walk itself stays instrument-free.
+package prop
+
+import "serfi/internal/obs"
+
+var (
+	obsTracesVec = obs.Default.CounterVec("serfi_prop_traces_total", "Propagation traces recorded, by escape class.", "escape")
+
+	obsTraces = func() [NumClasses]obs.Counter {
+		var out [NumClasses]obs.Counter
+		for c := Class(0); c < NumClasses; c++ {
+			out[c] = obsTracesVec.With(c.String())
+		}
+		return out
+	}()
+
+	obsTraceSeconds = obs.Default.Histogram("serfi_prop_trace_seconds", "Wall time of one propagation trace (twin positioning plus lockstep walk).",
+		obs.ExpBuckets(0.001, 4, 10))
+
+	obsDivergenceInstr = obs.Default.Histogram("serfi_prop_divergence_instructions", "Latency from injection to first architectural divergence, in retired instructions (boundary-granular).",
+		obs.ExpBuckets(1, 4, 16))
+)

@@ -1,0 +1,102 @@
+package prop
+
+import "sort"
+
+// Summary is the campaign-level fold of a set of traces: the escape-class
+// histogram plus the raw latency samples needed for order statistics. It is
+// what a campaign database row stores (per-run traces stay in memory only)
+// and what distributed shards ship for the coordinator to merge — raw
+// samples rather than pre-computed medians, because medians do not merge.
+type Summary struct {
+	// Traced counts traces folded in (including ones that never diverged).
+	Traced int `json:"traced"`
+	// Escapes is the severity-max class histogram, keyed by class name.
+	Escapes map[string]int `json:"escapes,omitempty"`
+	// XCore counts traces where corruption crossed a core boundary at any
+	// point, regardless of the final class (a kernel escape may also have
+	// crossed cores).
+	XCore int `json:"xcore"`
+	// ArchInstr/ArchCyc are the latency-to-first-corruption samples of
+	// every trace that architecturally diverged, in fold order.
+	ArchInstr []int64 `json:"arch_i,omitempty"`
+	ArchCyc   []int64 `json:"arch_c,omitempty"`
+}
+
+// Add folds one trace.
+func (s *Summary) Add(t Trace) {
+	s.Traced++
+	if s.Escapes == nil {
+		s.Escapes = make(map[string]int)
+	}
+	s.Escapes[t.Escape.String()]++
+	if t.XCoreInstr >= 0 {
+		s.XCore++
+	}
+	if t.ArchInstr >= 0 {
+		s.ArchInstr = append(s.ArchInstr, t.ArchInstr)
+		s.ArchCyc = append(s.ArchCyc, t.ArchCyc)
+	}
+}
+
+// Merge folds another summary in (the coordinator's shard-assembly path).
+func (s *Summary) Merge(o *Summary) {
+	if o == nil {
+		return
+	}
+	s.Traced += o.Traced
+	for k, v := range o.Escapes {
+		if s.Escapes == nil {
+			s.Escapes = make(map[string]int)
+		}
+		s.Escapes[k] += v
+	}
+	s.XCore += o.XCore
+	s.ArchInstr = append(s.ArchInstr, o.ArchInstr...)
+	s.ArchCyc = append(s.ArchCyc, o.ArchCyc...)
+}
+
+// Summarize folds a sparse trace slice (nil entries are untraced runs).
+// Returns nil when no run was traced, so campaigns without -trace-prop
+// store no prop column at all.
+func Summarize(traces []*Trace) *Summary {
+	var s Summary
+	for _, t := range traces {
+		if t != nil {
+			s.Add(*t)
+		}
+	}
+	if s.Traced == 0 {
+		return nil
+	}
+	return &s
+}
+
+// median returns the middle element of the samples (upper median for even
+// counts); ok is false with no samples.
+func median(xs []int64) (int64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	ss := append([]int64(nil), xs...)
+	sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+	return ss[len(ss)/2], true
+}
+
+// MedianInstr returns the median latency-to-first-corruption in retired
+// instructions over the diverged traces.
+func (s *Summary) MedianInstr() (int64, bool) { return median(s.ArchInstr) }
+
+// MedianCyc returns the median latency-to-first-corruption in cycles.
+func (s *Summary) MedianCyc() (int64, bool) { return median(s.ArchCyc) }
+
+// XCoreRate returns the share of traced runs whose corruption crossed a
+// core boundary.
+func (s *Summary) XCoreRate() float64 {
+	if s.Traced == 0 {
+		return 0
+	}
+	return float64(s.XCore) / float64(s.Traced)
+}
+
+// EscapeCount returns the histogram entry for one class.
+func (s *Summary) EscapeCount(c Class) int { return s.Escapes[c.String()] }
