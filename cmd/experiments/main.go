@@ -7,6 +7,7 @@
 //	experiments -run domains -n 24         (fault-domain comparison, IS subset)
 //	experiments -faultmodel all -n 24      (full matrix under every fault domain)
 //	experiments -run prop -trace-prop -n 24 (propagation table, IS subset)
+//	experiments -run sens -n 24            (per-register sensitivity table, IS subset)
 //	experiments -from results.jsonl        (offline report from a recorded database)
 //	experiments -join :8340 -db results.jsonl (serve the matrix to `serfi worker -join`
 //	                                        processes and report from the folded store)
@@ -41,9 +42,10 @@ func main() {
 	out := flag.String("out", "", "write the full markdown report here (default stdout)")
 	db := flag.String("db", "", "stream the raw campaign database here (JSON lines)")
 	from := flag.String("from", "", "format the report offline from this recorded database (no simulation)")
-	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|domains|prop|fig1|fig2|fig3|macro|vulnwindow|mine")
+	run := flag.String("run", "all", "artefact: all|table1|table2|table3|table4|domains|prop|sens|fig1|fig2|fig3|macro|vulnwindow|mine")
 	model := flag.String("faultmodel", "reg", "fault domains per scenario: reg|mem|imem|burst|cachetag|cachedirty|cacherepl, uncore, or all")
 	traceProp := flag.Bool("trace-prop", false, "propagation-trace every unmasked injection (feeds the prop artefact)")
+	recordRuns := flag.Bool("record-runs", false, "persist per-fault rows as v4 records (feeds the sens artefact and `serfi sens`)")
 	join := flag.String("join", "", "drive the matrix through a cluster: serve shards at this address for `serfi worker -join` processes instead of simulating locally")
 	workers := flag.Int("workers", 0, "host worker pool size (0 = all cores)")
 	snapshots := flag.Int("snapshots", 0, "pre-fault checkpoints per scenario (0 = default, negative disables)")
@@ -68,7 +70,7 @@ func main() {
 
 	cfg := exp.Config{Faults: *n, Seed: *seed, Progress: os.Stderr,
 		Workers: *workers, Snapshots: *snapshots, Domains: domains,
-		TraceProp: *traceProp}
+		TraceProp: *traceProp, RecordRuns: *recordRuns}
 
 	if *run == "fig1" {
 		fmt.Print(exp.Figure1())
@@ -85,9 +87,13 @@ func main() {
 	if *run == "domains" {
 		runDomains = fault.Models()
 	}
-	// The propagation artefact is meaningless without the tracer.
+	// The propagation artefact is meaningless without the tracer, and the
+	// sensitivity artefact without recorded per-fault rows.
 	if *run == "prop" {
 		cfg.TraceProp = true
+	}
+	if *run == "sens" {
+		cfg.RecordRuns = true
 	}
 
 	// Offline mode: rebuild the matrix from a recorded store and format
@@ -146,6 +152,7 @@ func main() {
 	subset := map[string]func(npb.Scenario) bool{
 		"domains": func(sc npb.Scenario) bool { return sc.App == "IS" },
 		"prop":    func(sc npb.Scenario) bool { return sc.App == "IS" },
+		"sens":    func(sc npb.Scenario) bool { return sc.App == "IS" },
 		"table2": func(sc npb.Scenario) bool {
 			return sc.App == "IS" && sc.Mode != npb.Serial
 		},
@@ -185,6 +192,9 @@ func main() {
 		coordOpts := []dist.CoordOption{dist.WithStore(st), dist.WithEvents(events)}
 		if cfg.TraceProp {
 			coordOpts = append(coordOpts, dist.TraceProp())
+		}
+		if cfg.RecordRuns {
+			coordOpts = append(coordOpts, dist.RecordRuns())
 		}
 		coord, err := dist.NewCoordinator(jobs, *n, coordOpts...)
 		if err != nil {
@@ -255,6 +265,7 @@ var artefacts = map[string]func(*exp.Matrix) string{
 	"table4":     exp.Table4,
 	"domains":    exp.DomainTable,
 	"prop":       exp.PropTable,
+	"sens":       exp.SensTable,
 	"fig2":       exp.Figure2,
 	"fig3":       exp.Figure3,
 	"macro":      exp.MacroStats,

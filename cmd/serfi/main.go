@@ -8,6 +8,7 @@
 //	serfi campaign -resume -db results.jsonl finish an interrupted matrix
 //	serfi serve    -addr :8340 -n 100 -db results.jsonl   distributed coordinator
 //	serfi worker   -join host:8340         pull and execute shards for a coordinator
+//	serfi sens     -db results.jsonl       sensitivity attribution report from recorded rows
 //	serfi profile  -s ...                  golden flat profile (calls/samples)
 //	serfi disasm   -s ... -f main          disassemble a guest function
 //	serfi trace    -s ... -o trace.json    campaign phase trace (Chrome trace_event JSON)
@@ -91,6 +92,8 @@ func main() {
 		err = cmdDisasm(args)
 	case "trace":
 		err = cmdTrace(args)
+	case "sens":
+		err = cmdSens(args)
 	case "trends":
 		fmt.Print(exp.Figure1())
 	default:
@@ -104,7 +107,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: serfi {scenarios|golden|stats|inject|campaign|serve|worker|profile|disasm|trace|trends} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: serfi {scenarios|golden|stats|inject|campaign|serve|worker|sens|profile|disasm|trace|trends} [flags]")
 }
 
 // parseScenario accepts "armv7/IS/MPI-4".
@@ -282,10 +285,20 @@ func cmdInject(args []string) error {
 	for _, l := range ckptLines {
 		fmt.Println(l)
 	}
+	// Verbose runs print domain-aware fault coordinates: register names,
+	// region-annotated addresses, cache arrays. The naming environment comes
+	// from the scenario image; formatting falls back to the bare tuple form
+	// if the rebuild fails (the campaign itself already ran).
+	var env fault.Env
+	if *verbose {
+		if img, cfg, err := npb.BuildScenario(sc); err == nil {
+			env = fault.Env{Feat: cfg.ISA.Feat(), Regions: img.Regions}
+		}
+	}
 	for _, r := range results {
 		if *verbose {
 			for i, run := range r.Runs {
-				fmt.Printf("%-32s -> %s", run.Fault, run.Outcome)
+				fmt.Printf("%-32s -> %s", run.Fault.Format(env), run.Outcome)
 				if r.Traces != nil && r.Traces[i] != nil {
 					fmt.Printf(" escape=%s", r.Traces[i].Escape)
 				}
@@ -312,6 +325,7 @@ func cmdCampaign(args []string) error {
 	jobSize := fs.Int("jobsize", 0, "faults per injection job (0 = default)")
 	snapshots := fs.Int("snapshots", fi.DefaultCheckpoints, "pre-fault checkpoints per scenario (0 = run every fault from reset)")
 	ckptspill := fs.Bool("ckptspill", false, "spill checkpoint RAM to an unlinked temp file, reloading pages lazily")
+	recordRuns := fs.Bool("record-runs", false, "persist per-fault rows (v4 records) for `serfi sens` attribution")
 	resume := fs.Bool("resume", false, "skip campaigns already recorded in -db and append the rest")
 	slow := slowPathFlag(fs)
 	prof := addProfFlags(fs)
@@ -353,6 +367,9 @@ func cmdCampaign(args []string) error {
 	if *ckptspill {
 		opts = append(opts, campaign.CheckpointSpill(os.TempDir()))
 	}
+	if *recordRuns {
+		opts = append(opts, campaign.RecordRuns())
+	}
 	eng := campaign.New(opts...)
 
 	// The full scenario list fixes per-scenario seeds (seed + index,
@@ -386,8 +403,8 @@ func cmdCampaign(args []string) error {
 		}
 		fmt.Printf("interrupted: %d of %d campaigns recorded in %s (%d finished this run)\n",
 			len(st.Keys()), len(jobs), *db, col.Completed())
-		fmt.Printf("resume with: serfi campaign -resume -db %s -n %d -seed %d%s%s\n",
-			*db, *n, *seed, flagIf("-only", *only), flagIf("-faultmodel", *model))
+		fmt.Printf("resume with: serfi campaign -resume -db %s -n %d -seed %d%s%s%s\n",
+			*db, *n, *seed, flagIf("-only", *only), flagIf("-faultmodel", *model), boolFlagIf("-record-runs", *recordRuns))
 		return nil
 	}
 	if err != nil {
@@ -409,6 +426,14 @@ func flagIf(flag, val string) string {
 	return fmt.Sprintf(" %s %s", flag, val)
 }
 
+// boolFlagIf renders an optional boolean flag for the printed resume command.
+func boolFlagIf(flag string, on bool) string {
+	if !on {
+		return ""
+	}
+	return " " + flag
+}
+
 // cmdServe runs the distributed campaign coordinator: the same matrix
 // `serfi campaign` executes locally, sharded into leases and served to
 // `serfi worker -join` processes. The JSONL store is opened with fsync so a
@@ -423,6 +448,7 @@ func cmdServe(args []string) error {
 	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst|cachetag|cachedirty|cacherepl, uncore, or all")
 	shardSize := fs.Int("shardsize", dist.DefaultShardSize, "faults per lease shard")
 	leaseTTL := fs.Duration("lease", dist.DefaultLeaseTTL, "lease TTL before a shard is re-issued")
+	recordRuns := fs.Bool("record-runs", false, "persist per-fault rows (v4 records) for `serfi sens` attribution")
 	resume := fs.Bool("resume", false, "skip campaigns already recorded in -db and serve the rest")
 	fs.Parse(args)
 	domains, err := fault.ParseModels(*model)
@@ -455,12 +481,16 @@ func cmdServe(args []string) error {
 	}
 
 	events := make(chan campaign.Event, 64)
-	coord, err := dist.NewCoordinator(jobs, *n,
+	coordOpts := []dist.CoordOption{
 		dist.ShardSize(*shardSize),
 		dist.LeaseTTL(*leaseTTL),
 		dist.WithStore(st),
 		dist.WithEvents(events),
-	)
+	}
+	if *recordRuns {
+		coordOpts = append(coordOpts, dist.RecordRuns())
+	}
+	coord, err := dist.NewCoordinator(jobs, *n, coordOpts...)
 	if err != nil {
 		return err
 	}
@@ -482,8 +512,8 @@ func cmdServe(args []string) error {
 			return cerr
 		}
 		fmt.Printf("interrupted: %d of %d campaigns recorded in %s\n", len(st.Keys()), len(jobs), *db)
-		fmt.Printf("resume with: serfi serve -resume -addr %s -db %s -n %d -seed %d%s%s\n",
-			*addr, *db, *n, *seed, flagIf("-only", *only), flagIf("-faultmodel", *model))
+		fmt.Printf("resume with: serfi serve -resume -addr %s -db %s -n %d -seed %d%s%s%s\n",
+			*addr, *db, *n, *seed, flagIf("-only", *only), flagIf("-faultmodel", *model), boolFlagIf("-record-runs", *recordRuns))
 		return nil
 	}
 	if err != nil {

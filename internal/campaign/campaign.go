@@ -68,12 +68,21 @@ type Result struct {
 	Runs     []fi.Result
 	// Traces are per-run propagation records when the campaign ran with
 	// propagation tracing: Traces[i] belongs to Runs[i], nil for masked or
-	// untraced runs. Nil entirely when tracing was off, and always empty on
-	// results reloaded from a database (only the Prop fold is stored).
+	// untraced runs. Nil entirely when tracing was off. Results reloaded
+	// from a v2/v3 database carry neither Runs nor Traces (only the Prop
+	// fold is stored); v4 rows (RecordRuns) reload Runs exactly and Traces
+	// as minimal escape/latency records (Escape + ArchInstr, every other
+	// latency axis -1).
 	Traces []*prop.Trace
 	// Prop is the campaign-level fold of Traces (escape-class histogram and
 	// latency samples); nil when no run was traced.
 	Prop *prop.Summary
+	// RecordRuns marks a campaign whose per-fault rows persist in the
+	// database (v4 records): the fault.Point tuple and outcome of every
+	// run, plus escape class and divergence latency for traced runs. Off
+	// by default — untouched campaigns keep writing v2/v3 rows byte for
+	// byte.
+	RecordRuns bool
 	// Host wall-clock costs (the paper's Table 1 simulation-time axis).
 	// Campaigns overlap on the shared worker pool, so GoldenWallSec and
 	// CampaignWallSec measure start-to-finish spans, not exclusive
@@ -285,7 +294,23 @@ func RunAll(scs []npb.Scenario, faults int, seed int64, progress func(*Result)) 
 const (
 	recordVersion     = 2
 	recordVersionProp = 3
+	recordVersionRuns = 4
 )
+
+// Version returns the database row version this result would be written
+// as: v4 when per-run records are kept (RecordRuns), v3 when a propagation
+// fold is attached, v2 otherwise. Store predicates (Query.MinVersion)
+// select on this.
+func (r *Result) Version() int {
+	switch {
+	case r.RecordRuns:
+		return recordVersionRuns
+	case r.Prop != nil:
+		return recordVersionProp
+	default:
+		return recordVersion
+	}
+}
 
 // record is the JSON row stored in the database file.
 type record struct {
@@ -298,17 +323,32 @@ type record struct {
 	Golden   GoldenSummary      `json:"golden"`
 	Features map[string]float64 `json:"features"`
 	APICalls uint64             `json:"api_calls"`
-	Prop     *prop.Summary      `json:"prop,omitempty"` // v3 rows only
+	Prop     *prop.Summary      `json:"prop,omitempty"` // v3+ rows, traced campaigns only
+	Runs     []runRow           `json:"runs,omitempty"` // v4 rows only
+}
+
+// runRow is one compact per-fault row of a v4 record: the fault.Point
+// tuple, the outcome code, and the escape class + first-divergence latency
+// when the run was traced. The point's Domain is omitted — it always
+// equals the record's domain column (fault.Domain.Sample stamps it) — and
+// the keys are single letters because a campaign writes one row per fault.
+type runRow struct {
+	I  uint64 `json:"i"`            // fault.Point.Index (retired instrs past AppStart)
+	C  int    `json:"c,omitempty"`  // Core
+	R  int    `json:"r,omitempty"`  // Reg (register index; cache way)
+	A  uint32 `json:"a,omitempty"`  // Addr (byte address; cache set)
+	B  int    `json:"b,omitempty"`  // Bit
+	W  int    `json:"w,omitempty"`  // Width (burst length)
+	L  int    `json:"l,omitempty"`  // Level (cache level)
+	O  int    `json:"o"`            // fi.Outcome code
+	E  string `json:"e,omitempty"`  // escape class name, traced runs only
+	EI *int64 `json:"ei,omitempty"` // instrs to first arch divergence, traced runs only (-1 = never)
 }
 
 // recordOf flattens a scenario result into its database row.
 func recordOf(r *Result) record {
-	version := recordVersion
-	if r.Prop != nil {
-		version = recordVersionProp
-	}
-	return record{
-		Version:  version,
+	rec := record{
+		Version:  r.Version(),
 		Prop:     r.Prop,
 		Scenario: r.Scenario.ID(),
 		Domain:   r.Domain.String(),
@@ -325,6 +365,60 @@ func recordOf(r *Result) record {
 		Features: r.Features.Map(),
 		APICalls: r.APICalls,
 	}
+	if r.RecordRuns {
+		rec.Runs = make([]runRow, len(r.Runs))
+		for i, run := range r.Runs {
+			p := run.Fault
+			row := runRow{I: p.Index, C: p.Core, R: p.Reg, A: p.Addr,
+				B: p.Bit, W: p.Width, L: p.Level, O: int(run.Outcome)}
+			if i < len(r.Traces) && r.Traces[i] != nil {
+				row.E = r.Traces[i].Escape.String()
+				ei := r.Traces[i].ArchInstr
+				row.EI = &ei
+			}
+			rec.Runs[i] = row
+		}
+	}
+	return rec
+}
+
+// restoreRuns inflates a v4 record's compact rows back into fi.Result
+// records, plus minimal prop.Trace records (escape class and
+// arch-divergence latency; every unstored latency axis -1) for the rows
+// that were traced. Only the persisted columns are recovered — host-side
+// run telemetry (retired/cycles/exit) reads zero on reloaded runs. The
+// point's Domain is the campaign's domain column (the register domain is
+// the zero value, matching RegDomain.Sample).
+func restoreRuns(res *Result, rows []runRow, domain fault.Model) error {
+	res.RecordRuns = true
+	res.Runs = make([]fi.Result, len(rows))
+	for i, row := range rows {
+		if row.O < 0 || row.O >= int(fi.NumOutcomes) {
+			return fmt.Errorf("run %d: unknown outcome code %d", i, row.O)
+		}
+		res.Runs[i] = fi.Result{
+			Fault: fault.Point{Domain: domain, Index: row.I, Core: row.C,
+				Reg: row.R, Addr: row.A, Bit: row.B, Width: row.W, Level: row.L},
+			Outcome: fi.Outcome(row.O),
+		}
+		if row.E == "" {
+			continue
+		}
+		class, err := prop.ParseClass(row.E)
+		if err != nil {
+			return fmt.Errorf("run %d: %w", i, err)
+		}
+		tr := &prop.Trace{Escape: class, ArchInstr: -1, ArchCyc: -1,
+			TimingInstr: -1, MemInstr: -1, XCoreInstr: -1, KernelInstr: -1}
+		if row.EI != nil {
+			tr.ArchInstr = *row.EI
+		}
+		if res.Traces == nil {
+			res.Traces = make([]*prop.Trace, len(rows))
+		}
+		res.Traces[i] = tr
+	}
+	return nil
 }
 
 // writeRecord appends one scenario's JSONL row (the streaming-write path of
@@ -359,9 +453,13 @@ func SaveDB(path string, results []*Result) error {
 // Key (scenario ID, domain-qualified for non-register domains). Legacy rows
 // without a version field are accepted as register-domain campaigns;
 // unknown record versions and duplicate keys are rejected with a clear
-// error rather than silently last-write-wins. Per-run records are not
-// stored in the database, so Runs is empty on reloaded results; counts,
-// golden summary and features round-trip.
+// error rather than silently last-write-wins. Counts, golden summary and
+// features round-trip on every version. v2/v3 rows store no per-run
+// records, so Runs is empty on their reloaded results; v4 rows (written
+// under RecordRuns) reload Runs exactly — fault tuple and outcome per run
+// — plus minimal Traces (escape class and arch-divergence latency) for
+// runs that were traced, and re-writing such a result reproduces its row
+// byte for byte.
 func ReadDB(r io.Reader) (map[string]*Result, error) {
 	out := make(map[string]*Result)
 	sc := bufio.NewScanner(r)
@@ -388,13 +486,13 @@ func ReadDB(r io.Reader) (map[string]*Result, error) {
 				return nil, fmt.Errorf("campaign db line %d: unversioned row carries domain %q (corrupt or hand-edited)",
 					line, rec.Domain)
 			}
-		case recordVersion, recordVersionProp:
+		case recordVersion, recordVersionProp, recordVersionRuns:
 			if domain, err = fault.ParseModel(rec.Domain); err != nil {
 				return nil, fmt.Errorf("campaign db line %d: %w", line, err)
 			}
 		default:
-			return nil, fmt.Errorf("campaign db line %d: unknown record version %d (this build reads legacy rows, v%d and v%d)",
-				line, rec.Version, recordVersion, recordVersionProp)
+			return nil, fmt.Errorf("campaign db line %d: unknown record version %d (this build reads legacy rows, v%d, v%d and v%d)",
+				line, rec.Version, recordVersion, recordVersionProp, recordVersionRuns)
 		}
 		res := &Result{
 			Scenario: scen,
@@ -405,6 +503,11 @@ func ReadDB(r io.Reader) (map[string]*Result, error) {
 			Features: profile.FeaturesFromMap(rec.Features),
 			APICalls: rec.APICalls,
 			Prop:     rec.Prop,
+		}
+		if rec.Version == recordVersionRuns {
+			if err := restoreRuns(res, rec.Runs, domain); err != nil {
+				return nil, fmt.Errorf("campaign db line %d: %w", line, err)
+			}
 		}
 		res.Counts[fi.Vanished] = rec.Counts["vanished"]
 		res.Counts[fi.ONA] = rec.Counts["ona"]

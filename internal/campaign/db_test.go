@@ -12,6 +12,7 @@ import (
 	"serfi/internal/fault"
 	"serfi/internal/fi"
 	"serfi/internal/npb"
+	"serfi/internal/prop"
 )
 
 // legacyRow is a pre-domain database line (no "v", no "domain") as PR 1
@@ -319,5 +320,128 @@ func TestStoreKeysDeterministic(t *testing.T) {
 				t.Fatalf("%s: Keys() unstable: %v != %v", name, got, want)
 			}
 		}
+	}
+}
+
+// recordedResult builds a v4 (RecordRuns) result with per-fault rows; the
+// middle row carries a full propagation trace.
+func recordedResult(app string, d fault.Model) *campaign.Result {
+	r := &campaign.Result{
+		Scenario:   npb.Scenario{App: app, Mode: npb.Serial, ISA: "armv8", Cores: 1},
+		Domain:     d,
+		Faults:     3,
+		Seed:       9,
+		RecordRuns: true,
+		Runs: []fi.Result{
+			{Fault: fault.Point{Domain: d, Index: 100, Core: 0, Reg: 3, Bit: 7}, Outcome: fi.Vanished},
+			{Fault: fault.Point{Domain: d, Index: 200, Core: 0, Reg: 13, Bit: 1}, Outcome: fi.OMM},
+			{Fault: fault.Point{Domain: d, Index: 300, Core: 0, Reg: 5, Bit: 62}, Outcome: fi.ONA},
+		},
+		Traces: []*prop.Trace{
+			nil,
+			{Escape: prop.EscapeMem, ArchInstr: 42, ArchCyc: 55, TimingInstr: -1,
+				MemInstr: 48, XCoreInstr: -1, KernelInstr: -1},
+			nil,
+		},
+	}
+	r.Counts[fi.Vanished] = 1
+	r.Counts[fi.OMM] = 1
+	r.Counts[fi.ONA] = 1
+	return r
+}
+
+// TestStoreQueryContentPredicates: MinVersion, HasProp and HasRuns select
+// on row content (not identity) and behave identically on every backend.
+func TestStoreQueryContentPredicates(t *testing.T) {
+	for name, st := range storeImpls(t) {
+		v2 := storeResult("IS", fault.Reg, 2)
+		v3 := storeResult("MG", fault.Reg, 2)
+		v3.Prop = &prop.Summary{Traced: 1, Escapes: map[string]int{"mem": 1}}
+		v4 := recordedResult("IS", fault.Mem)
+		for _, r := range []*campaign.Result{v2, v3, v4} {
+			if err := st.Put(r); err != nil {
+				t.Fatalf("%s: Put: %v", name, err)
+			}
+		}
+		if got := st.Query(campaign.Query{MinVersion: 3}); len(got) != 2 {
+			t.Errorf("%s: MinVersion 3 returned %d rows, want 2", name, len(got))
+		}
+		got := st.Query(campaign.Query{MinVersion: 4})
+		if len(got) != 1 || !got[0].RecordRuns {
+			t.Errorf("%s: MinVersion 4 = %v", name, got)
+		}
+		got = st.Query(campaign.Query{HasProp: true})
+		if len(got) != 1 || got[0].Scenario.App != "MG" {
+			t.Errorf("%s: HasProp = %v", name, got)
+		}
+		got = st.Query(campaign.Query{HasRuns: true})
+		if len(got) != 1 || len(got[0].Runs) != 3 {
+			t.Errorf("%s: HasRuns = %v", name, got)
+		}
+		// Content and identity predicates compose.
+		if got := st.Query(campaign.Query{HasRuns: true, Apps: []string{"MG"}}); len(got) != 0 {
+			t.Errorf("%s: HasRuns+app returned %d rows, want 0", name, len(got))
+		}
+	}
+}
+
+// TestRecordRunsDBRoundTrip: a v4 row reloads its per-fault tuples and
+// outcomes exactly, its traced rows keep the escape class and
+// arch-divergence latency (every other latency axis resets to -1), and
+// re-writing the reloaded result reproduces the database byte for byte.
+// Rows written without RecordRuns must not mention runs at all.
+func TestRecordRunsDBRoundTrip(t *testing.T) {
+	v4 := recordedResult("IS", fault.Reg)
+	v2 := storeResult("EP", fault.Reg, 2)
+	var buf bytes.Buffer
+	if err := campaign.WriteDB(&buf, []*campaign.Result{v4, v2}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"v":4`) || !strings.Contains(lines[0], `"runs":[`) {
+		t.Errorf("v4 row lacks version/runs: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "runs") {
+		t.Errorf("RecordRuns-off row mentions runs: %s", lines[1])
+	}
+
+	got, err := campaign.ReadDB(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := got[v4.Key()]
+	if re == nil || !re.RecordRuns {
+		t.Fatalf("v4 row did not reload as a recorded campaign: %+v", re)
+	}
+	if len(re.Runs) != len(v4.Runs) {
+		t.Fatalf("reloaded %d runs, want %d", len(re.Runs), len(v4.Runs))
+	}
+	for i := range re.Runs {
+		if re.Runs[i].Fault != v4.Runs[i].Fault || re.Runs[i].Outcome != v4.Runs[i].Outcome {
+			t.Errorf("run %d did not round-trip: %+v vs %+v", i, re.Runs[i], v4.Runs[i])
+		}
+	}
+	if re.Traces[0] != nil || re.Traces[2] != nil {
+		t.Error("untraced rows grew traces on reload")
+	}
+	tr := re.Traces[1]
+	if tr == nil || tr.Escape != prop.EscapeMem || tr.ArchInstr != 42 {
+		t.Fatalf("traced row lost escape/latency: %+v", tr)
+	}
+	// The compact row persists only the escape class and the paper-facing
+	// latency; the other axes read back as never-observed.
+	if tr.ArchCyc != -1 || tr.MemInstr != -1 || tr.XCoreInstr != -1 || tr.KernelInstr != -1 {
+		t.Errorf("reloaded trace invented latencies: %+v", tr)
+	}
+
+	var again bytes.Buffer
+	if err := campaign.WriteDB(&again, []*campaign.Result{re, got[v2.Key()]}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), buf.Bytes()) {
+		t.Error("write-read-rewrite is not byte-stable for v4 rows")
 	}
 }

@@ -50,6 +50,7 @@ type Engine struct {
 	ckptSpill    string
 	fullCopy     bool
 	traceProp    bool
+	recordRuns   bool
 	metrics      *obs.Registry
 	tracer       *obs.Tracer
 }
@@ -115,6 +116,15 @@ func FullCopySnapshots() Option { return func(e *Engine) { e.fullCopy = true } }
 // of runs and is strictly additive — outcome counts, fault lists and
 // untraced database rows are byte-identical with tracing off.
 func TraceProp() Option { return func(e *Engine) { e.traceProp = true } }
+
+// RecordRuns persists the per-fault rows of every campaign: results are
+// marked RecordRuns, so the store writes v4 database rows carrying each
+// run's fault tuple and outcome (plus escape class and divergence latency
+// when TraceProp is also on) — the raw material of the sensitivity
+// attribution layer (internal/sens). Purely additive: fault lists,
+// outcomes and scheduling are untouched, and campaigns without the option
+// keep writing v2/v3 rows byte for byte.
+func RecordRuns() Option { return func(e *Engine) { e.recordRuns = true } }
 
 // WithStore attaches a results store: campaigns whose key the store
 // already holds are skipped (their stored results returned in place — the
@@ -320,11 +330,12 @@ func (e *Engine) RunMatrix(ctx context.Context, jobs []ScenarioJob) ([]*Result, 
 				Retired:  st.g.Retired,
 				Cycles:   st.g.Cycles,
 			},
-			Features: st.features,
-			APICalls: st.apiCalls,
-			Runs:     ds.runs,
-			Traces:   ds.traces,
-			Prop:     prop.Summarize(ds.traces),
+			Features:   st.features,
+			APICalls:   st.apiCalls,
+			Runs:       ds.runs,
+			Traces:     ds.traces,
+			Prop:       prop.Summarize(ds.traces),
+			RecordRuns: e.recordRuns,
 		}
 		if ds.cs.Len() > 0 {
 			// Meaningful only under snapshot acceleration; from-reset runs

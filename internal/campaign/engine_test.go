@@ -454,3 +454,110 @@ func TestCheckpointTelemetryReported(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineCancelResumeRoundTripsRecordedRuns: under -record-runs, a
+// cancelled matrix persists its per-fault rows as v4 records; reopening the
+// file store reloads them, and the resumed matrix — part answered from
+// disk, part run fresh — lands on the uninterrupted run's per-fault tuples
+// and outcomes exactly.
+func TestEngineCancelResumeRoundTripsRecordedRuns(t *testing.T) {
+	jobs := []campaign.ScenarioJob{
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Seed: 61},
+		{Scenario: npb.Scenario{App: "EP", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Seed: 62},
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.OMP, ISA: "armv8", Cores: 2}, Seed: 63},
+	}
+	opts := func(extra ...campaign.Option) []campaign.Option {
+		return append([]campaign.Option{
+			campaign.Faults(8),
+			campaign.JobSize(2),
+			campaign.Workers(1),
+			campaign.MaxOpen(1),
+			campaign.RecordRuns(),
+			campaign.TraceProp(),
+		}, extra...)
+	}
+
+	ref, err := campaign.New(opts()...).RunMatrix(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/resume.jsonl"
+	st, err := campaign.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := make(chan campaign.Event, 64)
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for ev := range events {
+			switch ev.(type) {
+			case campaign.ScenarioDone:
+				cancel()
+			case campaign.MatrixDone:
+				return
+			}
+		}
+	}()
+	_, err = campaign.New(opts(campaign.WithStore(st), campaign.WithEvents(events))...).RunMatrix(ctx, jobs)
+	<-consumed
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk: the recorded campaigns must come back as v4 rows
+	// with their per-fault records intact.
+	re, err := campaign.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	done := len(re.Keys())
+	if done == 0 || done == len(jobs) {
+		t.Fatalf("cancelled run recorded %d of %d campaigns, want a strict subset", done, len(jobs))
+	}
+	for _, k := range re.Keys() {
+		r, ok := re.Get(k)
+		if !ok || !r.RecordRuns || len(r.Runs) != 8 {
+			t.Fatalf("reloaded %s lost its per-run records: %+v", k, r)
+		}
+	}
+
+	resumed, err := campaign.New(opts(campaign.WithStore(re))...).RunMatrix(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if resumed[i] == nil || len(resumed[i].Runs) != len(ref[i].Runs) {
+			t.Fatalf("resumed %s carries %d runs, want %d", jobs[i].Key(), len(resumed[i].Runs), len(ref[i].Runs))
+		}
+		// Store-answered campaigns carry compact rows (fault tuple +
+		// outcome); compare exactly those axes against the uninterrupted
+		// reference.
+		for j := range ref[i].Runs {
+			if resumed[i].Runs[j].Fault != ref[i].Runs[j].Fault ||
+				resumed[i].Runs[j].Outcome != ref[i].Runs[j].Outcome {
+				t.Errorf("%s run %d drifted: %+v vs %+v",
+					jobs[i].Key(), j, resumed[i].Runs[j], ref[i].Runs[j])
+			}
+			refTraced := j < len(ref[i].Traces) && ref[i].Traces[j] != nil
+			gotTraced := j < len(resumed[i].Traces) && resumed[i].Traces[j] != nil
+			if refTraced != gotTraced {
+				t.Errorf("%s run %d trace presence drifted", jobs[i].Key(), j)
+			} else if refTraced {
+				if resumed[i].Traces[j].Escape != ref[i].Traces[j].Escape {
+					t.Errorf("%s run %d escape drifted", jobs[i].Key(), j)
+				}
+			}
+		}
+		if resumed[i].Counts != ref[i].Counts {
+			t.Errorf("%s counts drifted: %v != %v", jobs[i].Key(), resumed[i].Counts, ref[i].Counts)
+		}
+	}
+}

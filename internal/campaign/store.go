@@ -45,12 +45,25 @@ type Query struct {
 	Modes   []npb.Mode    // programming models
 	Cores   []int         // core counts
 	Domains []fault.Model // fault domains
+	// MinVersion selects campaigns whose database row version
+	// (Result.Version) is at least this value; 0 matches everything.
+	MinVersion int
+	// HasProp selects campaigns carrying a propagation fold (traced
+	// campaigns, v3+).
+	HasProp bool
+	// HasRuns selects campaigns whose per-run records are available —
+	// live results, or results reloaded from v4 rows. This is the
+	// predicate the sensitivity layer uses to find analyzable rows
+	// without a full scan.
+	HasRuns bool
 	// Match, when set, is an arbitrary extra predicate ANDed with the
 	// field constraints.
 	Match func(npb.Scenario, fault.Model) bool
 }
 
-// Matches reports whether one (scenario, domain) campaign satisfies q.
+// Matches reports whether one (scenario, domain) campaign satisfies q's
+// identity constraints. The content predicates (MinVersion, HasProp,
+// HasRuns) need the full record — MatchesResult checks those too.
 func (q Query) Matches(sc npb.Scenario, d fault.Model) bool {
 	if len(q.Apps) > 0 && !contains(q.Apps, sc.App) {
 		return false
@@ -68,6 +81,24 @@ func (q Query) Matches(sc npb.Scenario, d fault.Model) bool {
 		return false
 	}
 	return q.Match == nil || q.Match(sc, d)
+}
+
+// MatchesResult reports whether a stored campaign satisfies the whole
+// query: the identity constraints of Matches plus the content predicates.
+func (q Query) MatchesResult(r *Result) bool {
+	if !q.Matches(r.Scenario, r.Domain) {
+		return false
+	}
+	if q.MinVersion > 0 && r.Version() < q.MinVersion {
+		return false
+	}
+	if q.HasProp && r.Prop == nil {
+		return false
+	}
+	if q.HasRuns && len(r.Runs) == 0 {
+		return false
+	}
+	return true
 }
 
 func contains[T comparable](xs []T, x T) bool {
@@ -145,7 +176,7 @@ func (s *memIndex) Query(q Query) []*Result {
 	var out []*Result
 	for _, k := range s.Keys() {
 		r, _ := s.Get(k)
-		if r != nil && q.Matches(r.Scenario, r.Domain) {
+		if r != nil && q.MatchesResult(r) {
 			out = append(out, r)
 		}
 	}

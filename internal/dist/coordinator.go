@@ -23,6 +23,7 @@ import (
 	"serfi/internal/obs"
 	"serfi/internal/profile"
 	"serfi/internal/prop"
+	"serfi/internal/sens"
 )
 
 // Defaults for the tunables every coordinator option can override.
@@ -69,6 +70,7 @@ type campState struct {
 	jobWall              float64
 	spans                []campaign.JobSpan // accepted shard spans (fault-index tagged)
 	runsDone             int                // injection results folded (each fault once)
+	unmasked             int                // folded results with an unmasked outcome
 	beats                int                // injection runs reported via progress events
 
 	done bool
@@ -87,12 +89,13 @@ type workerInfo struct {
 // clients), then Wait for the folded results; Serve does listen+wait in one
 // call. A Coordinator is single-use: one matrix per instance.
 type Coordinator struct {
-	shardSize int
-	ttl       time.Duration
-	store     campaign.Store
-	events    chan<- campaign.Event
-	traceProp bool
-	now       func() time.Time
+	shardSize  int
+	ttl        time.Duration
+	store      campaign.Store
+	events     chan<- campaign.Event
+	traceProp  bool
+	recordRuns bool
+	now        func() time.Time
 
 	mu        sync.Mutex
 	camps     []*campState
@@ -148,6 +151,15 @@ func WithEvents(ch chan<- campaign.Event) CoordOption { return func(c *Coordinat
 // the campaign-level prop fold — the distributed analogue of the Engine's
 // TraceProp option.
 func TraceProp() CoordOption { return func(c *Coordinator) { c.traceProp = true } }
+
+// RecordRuns marks every assembled campaign as a recorded one: the
+// per-fault rows the fabric already folds over the wire persist as v4
+// database rows — the distributed analogue of the Engine's RecordRuns
+// option. The wire protocol is unchanged (workers always ship per-shard
+// runs); only the assembled Result is marked, so the store writes the
+// extended records and a coordinator database stays byte-identical to a
+// local recorded run at the same seed.
+func RecordRuns() CoordOption { return func(c *Coordinator) { c.recordRuns = true } }
 
 // withNow overrides the coordinator clock (lease-expiry tests).
 func withNow(f func() time.Time) CoordOption { return func(c *Coordinator) { c.now = f } }
@@ -487,6 +499,9 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		o := req.Runs[i].Outcome.String()
 		c.outcomes[o]++
 		c.cm.injections.With(o).Inc()
+		if fi.IsUnmasked(req.Runs[i].Outcome) {
+			camp.unmasked++
+		}
 	}
 	c.cm.shards.With("accepted").Inc()
 	c.cm.shardSeconds.Observe(req.WallSec)
@@ -565,6 +580,7 @@ func (c *Coordinator) assemble(camp *campState) {
 		SimulatedInstr:  camp.simulated,
 		FromResetInstr:  camp.fromReset,
 		PrunedRuns:      camp.pruned,
+		RecordRuns:      c.recordRuns,
 	}
 	for _, r := range camp.runs {
 		res.Counts.Add(r.Outcome)
@@ -647,6 +663,21 @@ func (c *Coordinator) Status() StatusReply {
 			if camp.beats > row.Injected {
 				row.Injected = camp.beats
 			}
+		}
+		// Vulnerability: unmasked rate over folded results, with its 95%
+		// Wilson interval. Store-answered campaigns read the stored counts;
+		// live ones the fold counter (never camp.runs — its unfolded slots
+		// are zero values that would read as Vanished).
+		unmasked, n := camp.unmasked, camp.runsDone
+		if camp.skipped {
+			if r := c.results[camp.idx]; r != nil {
+				unmasked, n = r.Counts.Unmasked(), r.Counts.Total()
+			}
+		}
+		if n > 0 {
+			row.Unmasked = unmasked
+			row.Sampled = n
+			row.CILo, row.CIHi = sens.Wilson95(unmasked, n)
 		}
 		st.CampaignList = append(st.CampaignList, row)
 		if camp.skipped {

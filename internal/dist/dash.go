@@ -46,6 +46,8 @@ const dashHTML = `<!DOCTYPE html>
 <div class="grid" id="grid"></div>
 <h2>outcome taxonomy</h2>
 <table id="outcomes"><thead><tr><th>outcome</th><th>count</th></tr></thead><tbody></tbody></table>
+<h2>vulnerability (unmasked rate, 95% CI)</h2>
+<table id="vuln"><thead><tr><th>campaign</th><th>unmasked</th><th>sampled</th><th>rate</th><th>95% CI</th></tr></thead><tbody></tbody></table>
 <h2>workers</h2>
 <table id="workers"><thead><tr><th>worker</th><th>live</th><th>shards</th><th>runs</th><th>last seen</th></tr></thead><tbody></tbody></table>
 <p><a href="/">status page</a> &middot; <a href="/metrics">metrics</a></p>
@@ -97,6 +99,23 @@ function renderStatus(st) {
     td(tr, k); td(tr, String(st.outcomes[k]), true);
     ob.appendChild(tr);
   });
+
+  var vb = document.querySelector("#vuln tbody");
+  vb.textContent = "";
+  (st.campaign_list || []).filter(function (c) { return c.sampled > 0; })
+    .sort(function (a, b) {
+      return (b.unmasked || 0) / b.sampled - (a.unmasked || 0) / a.sampled;
+    })
+    .forEach(function (c) {
+      var tr = document.createElement("tr");
+      var rate = 100 * (c.unmasked || 0) / c.sampled;
+      td(tr, c.key);
+      td(tr, String(c.unmasked || 0), true);
+      td(tr, String(c.sampled), true);
+      td(tr, rate.toFixed(1) + "%", true);
+      td(tr, (100 * (c.ci_lo || 0)).toFixed(1) + "-" + (100 * (c.ci_hi || 0)).toFixed(1) + "%", true);
+      vb.appendChild(tr);
+    });
 
   var wb = document.querySelector("#workers tbody");
   wb.textContent = "";

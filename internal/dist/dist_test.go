@@ -361,3 +361,131 @@ func TestClusterTracePropMatchesEngine(t *testing.T) {
 		})
 	}
 }
+
+// TestClusterRecordRunsMatchesEngine extends the golden-compat pin to
+// recorded campaigns: a cluster run with RecordRuns (and tracing, so the
+// escape columns are exercised) must write v4 store records byte-identical
+// to a recorded local engine run at the same seed, and the reloaded rows
+// must round-trip the cluster's in-memory results — at any worker count.
+func TestClusterRecordRunsMatchesEngine(t *testing.T) {
+	jobs := []campaign.ScenarioJob{
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.Reg, Seed: 11},
+		{Scenario: npb.Scenario{App: "IS", Mode: npb.Serial, ISA: "armv8", Cores: 1}, Domain: fault.CacheTag, Seed: 11},
+	}
+
+	refPath := t.TempDir() + "/engine.jsonl"
+	refStore, err := campaign.OpenFileStore(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := campaign.New(
+		campaign.Faults(compatFaults),
+		campaign.WithStore(refStore),
+		campaign.TraceProp(),
+		campaign.RecordRuns(),
+	).RunMatrix(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+	refLines := sortedRecords(t, refPath)
+	sawRuns := false
+	for _, line := range refLines {
+		if strings.Contains(line, `"runs"`) {
+			sawRuns = true
+		}
+	}
+	if !sawRuns {
+		t.Fatal("recorded reference records carry no per-fault rows")
+	}
+
+	for _, workers := range []int{1, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			path := t.TempDir() + "/dist.jsonl"
+			st, err := campaign.OpenFileStore(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord, err := NewCoordinator(jobs, compatFaults, ShardSize(2), WithStore(st), TraceProp(), RecordRuns())
+			if err != nil {
+				t.Fatal(err)
+			}
+			results := runCluster(t, coord, workers)
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sortedRecords(t, path); !reflect.DeepEqual(got, refLines) {
+				t.Errorf("recorded distributed records differ from engine records:\n dist: %v\n ref:  %v", got, refLines)
+			}
+			for i := range jobs {
+				if !results[i].RecordRuns {
+					t.Errorf("%s assembled without the RecordRuns mark", jobs[i].Key())
+				}
+				if !reflect.DeepEqual(results[i].Runs, ref[i].Runs) {
+					t.Errorf("%s per-run records differ across the wire", jobs[i].Key())
+				}
+			}
+
+			// The written v4 rows must reload into the same per-fault tuples
+			// and outcomes the cluster held in memory (the compact rows
+			// persist exactly that — not the per-run retirement telemetry).
+			re, err := campaign.OpenFileStore(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range jobs {
+				r, ok := re.Get(jobs[i].Key())
+				if !ok {
+					t.Fatalf("%s missing after reload", jobs[i].Key())
+				}
+				if len(r.Runs) != compatFaults {
+					t.Fatalf("%s reloaded %d runs, want %d", jobs[i].Key(), len(r.Runs), compatFaults)
+				}
+				for j, run := range r.Runs {
+					if run.Fault != results[i].Runs[j].Fault || run.Outcome != results[i].Runs[j].Outcome {
+						t.Errorf("%s row %d reloaded as (%v,%v), cluster held (%v,%v)", jobs[i].Key(), j,
+							run.Fault, run.Outcome, results[i].Runs[j].Fault, results[i].Runs[j].Outcome)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStatusVulnerabilityPanel: a completed matrix reports per-campaign
+// unmasked counts with a well-formed Wilson interval on /v1/status — the
+// feed behind the dashboard's vulnerability panel.
+func TestStatusVulnerabilityPanel(t *testing.T) {
+	jobs := compatJobs()[:2]
+	coord, err := NewCoordinator(jobs, compatFaults, ShardSize(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runCluster(t, coord, 2)
+	st := coord.Status()
+	if len(st.CampaignList) != len(jobs) {
+		t.Fatalf("status lists %d campaigns, want %d", len(st.CampaignList), len(jobs))
+	}
+	byKey := make(map[string]*campaign.Result)
+	for _, r := range results {
+		byKey[r.Key()] = r
+	}
+	for _, row := range st.CampaignList {
+		r := byKey[row.Key]
+		if r == nil {
+			t.Fatalf("status row %s has no result", row.Key)
+		}
+		if row.Sampled != compatFaults {
+			t.Errorf("%s sampled %d, want %d", row.Key, row.Sampled, compatFaults)
+		}
+		if row.Unmasked != r.Counts.Unmasked() {
+			t.Errorf("%s unmasked %d, result says %d", row.Key, row.Unmasked, r.Counts.Unmasked())
+		}
+		rate := float64(row.Unmasked) / float64(row.Sampled)
+		if row.CILo < 0 || row.CIHi > 1 || row.CILo > rate || rate > row.CIHi {
+			t.Errorf("%s interval (%v,%v) malformed around rate %v", row.Key, row.CILo, row.CIHi, rate)
+		}
+	}
+}

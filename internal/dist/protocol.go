@@ -196,6 +196,13 @@ type CampaignStatus struct {
 	Done     bool   `json:"done"`
 	Skipped  bool   `json:"skipped,omitempty"`
 	Failed   bool   `json:"failed,omitempty"`
+	// Vulnerability snapshot over the results folded so far: unmasked
+	// outcomes out of Sampled classified faults, with the 95% Wilson
+	// interval around the rate. Zero-valued until the first shard folds.
+	Unmasked int     `json:"unmasked,omitempty"`
+	Sampled  int     `json:"sampled,omitempty"`
+	CILo     float64 `json:"ci_lo,omitempty"`
+	CIHi     float64 `json:"ci_hi,omitempty"`
 }
 
 // WorkerStatus is one worker's row on the status page.

@@ -20,6 +20,8 @@ import (
 	"serfi/internal/mining"
 	"serfi/internal/npb"
 	"serfi/internal/prop"
+	"serfi/internal/sens"
+	"serfi/internal/soc"
 )
 
 // Config scales the experiment campaigns.
@@ -40,6 +42,10 @@ type Config struct {
 	// is re-run against a golden twin to localize the first architectural
 	// divergence and classify its escape; the folds feed PropTable.
 	TraceProp bool
+	// RecordRuns persists the per-fault rows of every campaign (v4 store
+	// records): the fault tuple, outcome and escape/latency when traced.
+	// The rows feed SensTable and the `serfi sens` attribution engine.
+	RecordRuns bool
 	// Store, when set, receives streamed scenario records as they complete
 	// and supplies already-recorded campaigns for resume (matching
 	// campaigns are not re-executed). It takes precedence over DB/Skip.
@@ -124,6 +130,9 @@ func runScenarios(ctx context.Context, cfg Config, keep func(npb.Scenario) bool)
 	if cfg.TraceProp {
 		opts = append(opts, campaign.TraceProp())
 	}
+	if cfg.RecordRuns {
+		opts = append(opts, campaign.RecordRuns())
+	}
 	// Live progress rides the typed event stream: one Collector goroutine
 	// prints per-campaign lines until the engine's MatrixDone.
 	var done chan struct{}
@@ -159,8 +168,9 @@ func runScenarios(ctx context.Context, cfg Config, keep func(npb.Scenario) bool)
 // Scenario order follows the npb catalog, domains the fault.Models order,
 // and the matrix's Cfg.Faults/Seed report what the rows were actually
 // recorded with (not what the caller's cfg says); only artefacts over
-// stored columns are meaningful (wall-clock spans and per-run records are
-// not persisted).
+// stored columns are meaningful (wall-clock spans are never persisted, and
+// per-run records reload only from campaigns recorded with RecordRuns —
+// v4 rows).
 func MatrixFromStore(st campaign.Store, cfg Config) *Matrix {
 	m := &Matrix{Cfg: cfg, Results: make(map[string]*campaign.Result)}
 	for _, r := range st.Query(campaign.Query{}) {
@@ -499,6 +509,61 @@ func PropTable(m *Matrix) string {
 	}
 	if traced == 0 {
 		fmt.Fprintf(&b, "(no propagation traces recorded; run with -trace-prop)\n")
+	}
+	return b.String()
+}
+
+// SensTable formats the register-level sensitivity slice of the recorded
+// per-fault rows: per ISA, the architecturally named registers ranked by
+// unmasked-outcome rate with 95% Wilson intervals, aggregated over every
+// recorded register-file and burst campaign in the matrix. The full
+// function/page/cache attribution (which needs the rebuilt image and a
+// residency walk) lives in `serfi sens`; this artefact stays cheap enough
+// to regenerate from a stored matrix alone.
+func SensTable(m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sensitivity Table: per-register unmasked rate over recorded campaigns (95%% Wilson CI)\n")
+	fmt.Fprintf(&b, "%-6s %-8s %7s %9s %8s %13s\n", "ISA", "register", "n", "unmasked", "rate", "95% CI")
+	const top = 10
+	rows := 0
+	for _, isaName := range []string{"armv7", "armv8"} {
+		cfg, err := soc.Config(isaName, 1)
+		if err != nil {
+			continue
+		}
+		feat := cfg.ISA.Feat()
+		t := sens.NewTable(isaName)
+		for _, d := range m.Domains {
+			if d != fault.Reg && d != fault.Burst {
+				continue
+			}
+			for _, sc := range m.Order {
+				if sc.ISA != isaName {
+					continue
+				}
+				r := m.GetDomain(sc, d)
+				if r == nil || len(r.Runs) == 0 {
+					continue
+				}
+				for _, run := range r.Runs {
+					t.Cell(fault.RegisterName(feat, run.Fault.Reg)).Counts.Add(run.Outcome)
+				}
+			}
+		}
+		cells := t.Cells()
+		for i, c := range cells {
+			if i >= top {
+				fmt.Fprintf(&b, "%-6s ... %d more registers\n", isaName, len(cells)-top)
+				break
+			}
+			lo, hi := c.CI()
+			fmt.Fprintf(&b, "%-6s %-8s %7d %9d %7.1f%% %5.1f-%5.1f%%\n",
+				isaName, c.Key, c.N(), c.Unmasked(), 100*c.Rate(), 100*lo, 100*hi)
+			rows++
+		}
+	}
+	if rows == 0 {
+		fmt.Fprintf(&b, "(no recorded per-fault rows; run with -record-runs)\n")
 	}
 	return b.String()
 }

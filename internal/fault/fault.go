@@ -148,14 +148,25 @@ func (p Point) Mask() uint64 {
 }
 
 // String renders the tuple; the Reg form is the historical injector format.
-func (p Point) String() string {
+// Format with a populated Env adds the scenario's naming on top.
+func (p Point) String() string { return p.Format(Env{}) }
+
+// Format renders the tuple domain-aware and human-readable, using whatever
+// naming the environment carries: register-file points name the struck
+// register (sp/lr/pc where the ISA features identify one, matching
+// isa.Disasm), memory and instruction-memory points annotate the address
+// with the containing mapped region and offset, and cache points name the
+// struck array as (level, set, way) plus the metadata kind. A zero Env
+// yields exactly the historical String output, so recorded logs and pinned
+// test expectations are unchanged.
+func (p Point) Format(env Env) string {
 	switch p.Domain {
 	case Mem:
-		return fmt.Sprintf("i=%d mem[%#x] bit=%d", p.Index, p.Addr, p.Bit)
+		return fmt.Sprintf("i=%d mem[%#x%s] bit=%d", p.Index, p.Addr, regionSuffix(env.Regions, p.Addr), p.Bit)
 	case IMem:
-		return fmt.Sprintf("i=%d imem[%#x] bit=%d", p.Index, p.Addr, p.Bit)
+		return fmt.Sprintf("i=%d imem[%#x%s] bit=%d", p.Index, p.Addr, regionSuffix(env.Regions, p.Addr), p.Bit)
 	case Burst:
-		return fmt.Sprintf("i=%d core=%d r%d bit=%d width=%d", p.Index, p.Core, p.Reg, p.Bit, p.Width)
+		return fmt.Sprintf("i=%d core=%d %s bit=%d width=%d", p.Index, p.Core, RegisterName(env.Feat, p.Reg), p.Bit, p.Width)
 	case CacheTag, CacheDirty, CacheRepl:
 		array := cache.Level(p.Level).String()
 		if cache.Level(p.Level) != cache.L2 {
@@ -170,7 +181,35 @@ func (p Point) String() string {
 		}
 		return fmt.Sprintf("i=%d %s[set=%d way=%d] %s bit=%d", p.Index, array, p.Addr, p.Reg, kind, p.Bit)
 	}
-	return fmt.Sprintf("i=%d core=%d r%d bit=%d", p.Index, p.Core, p.Reg, p.Bit)
+	return fmt.Sprintf("i=%d core=%d %s bit=%d", p.Index, p.Core, RegisterName(env.Feat, p.Reg), p.Bit)
+}
+
+// RegisterName names a register index under the ISA's conventions — the same
+// sp/lr/pc mapping isa.Disasm uses — falling back to the bare r%d form
+// when the features carry no register file (the zero Env).
+func RegisterName(f isa.Features, r int) string {
+	switch {
+	case f.NumGPR == 0:
+		// No ISA attached: keep the historical spelling.
+	case r == f.SPIndex:
+		return "sp"
+	case r == f.LRIndex:
+		return "lr"
+	case f.PCTarget && r == f.NumGPR-1:
+		return "pc"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// regionSuffix annotates an address with its containing mapped region
+// (" name+offset"), or nothing when the region table has no answer.
+func regionSuffix(regions []mem.Region, addr uint32) string {
+	for _, r := range regions {
+		if r.Contains(addr) {
+			return fmt.Sprintf(" %s+%#x", r.Name, addr-r.Start)
+		}
+	}
+	return ""
 }
 
 // Env describes the scenario-derived target space a domain samples from:

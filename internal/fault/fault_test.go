@@ -534,3 +534,112 @@ func TestDomainFirstDrawsPinned(t *testing.T) {
 		}
 	}
 }
+
+// TestPointFormatAllDomains pins the human-readable rendering of every
+// fault domain, both the bare historical form (zero Env — what String
+// emits and what recorded logs contain) and the domain-aware form under a
+// populated environment: named registers, region-annotated addresses,
+// cache (level, set, way) arrays.
+func TestPointFormatAllDomains(t *testing.T) {
+	feat := isa.Features{NumGPR: 16, SPIndex: 13, LRIndex: 14, PCTarget: true}
+	env := fault.Env{
+		Feat:    feat,
+		Regions: []mem.Region{{Name: "text", Start: 0x1000, End: 0x2000}},
+	}
+	cases := []struct {
+		name string
+		p    fault.Point
+		bare string // Format(Env{}) == String()
+		rich string // Format(env)
+	}{
+		{
+			name: "reg-plain",
+			p:    fault.Point{Domain: fault.Reg, Index: 10, Core: 1, Reg: 3, Bit: 7},
+			bare: "i=10 core=1 r3 bit=7",
+			rich: "i=10 core=1 r3 bit=7",
+		},
+		{
+			name: "reg-sp",
+			p:    fault.Point{Domain: fault.Reg, Index: 10, Core: 1, Reg: 13, Bit: 3},
+			bare: "i=10 core=1 r13 bit=3",
+			rich: "i=10 core=1 sp bit=3",
+		},
+		{
+			name: "reg-pc",
+			p:    fault.Point{Domain: fault.Reg, Index: 2, Core: 0, Reg: 15, Bit: 31},
+			bare: "i=2 core=0 r15 bit=31",
+			rich: "i=2 core=0 pc bit=31",
+		},
+		{
+			name: "mem",
+			p:    fault.Point{Domain: fault.Mem, Index: 7, Addr: 0x1800, Bit: 5},
+			bare: "i=7 mem[0x1800] bit=5",
+			rich: "i=7 mem[0x1800 text+0x800] bit=5",
+		},
+		{
+			name: "mem-unmapped",
+			p:    fault.Point{Domain: fault.Mem, Index: 7, Addr: 0x9000, Bit: 5},
+			bare: "i=7 mem[0x9000] bit=5",
+			rich: "i=7 mem[0x9000] bit=5",
+		},
+		{
+			name: "imem",
+			p:    fault.Point{Domain: fault.IMem, Index: 9, Addr: 0x1004, Bit: 12},
+			bare: "i=9 imem[0x1004] bit=12",
+			rich: "i=9 imem[0x1004 text+0x4] bit=12",
+		},
+		{
+			name: "burst-lr",
+			p:    fault.Point{Domain: fault.Burst, Index: 11, Core: 2, Reg: 14, Bit: 4, Width: 3},
+			bare: "i=11 core=2 r14 bit=4 width=3",
+			rich: "i=11 core=2 lr bit=4 width=3",
+		},
+		{
+			name: "cachetag-l1d",
+			p:    fault.Point{Domain: fault.CacheTag, Index: 3, Core: 2, Level: int(cache.L1D), Addr: 5, Reg: 1},
+			bare: "i=3 l1d2[set=5 way=1] tag bit=0",
+			rich: "i=3 l1d2[set=5 way=1] tag bit=0",
+		},
+		{
+			name: "cachedirty-l2",
+			p:    fault.Point{Domain: fault.CacheDirty, Index: 4, Level: int(cache.L2), Addr: 9, Reg: 3, Bit: 0},
+			bare: "i=4 l2[set=9 way=3] status bit=0",
+			rich: "i=4 l2[set=9 way=3] status bit=0",
+		},
+		{
+			name: "cacherepl-l1i",
+			p:    fault.Point{Domain: fault.CacheRepl, Index: 6, Core: 0, Level: int(cache.L1I), Addr: 2, Reg: 0, Bit: 1},
+			bare: "i=6 l1i0[set=2 way=0] lru bit=1",
+			rich: "i=6 l1i0[set=2 way=0] lru bit=1",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.p.String(); got != tc.bare {
+			t.Errorf("%s: String() = %q, want %q", tc.name, got, tc.bare)
+		}
+		if got := tc.p.Format(fault.Env{}); got != tc.bare {
+			t.Errorf("%s: Format(zero) = %q, want %q", tc.name, got, tc.bare)
+		}
+		if got := tc.p.Format(env); got != tc.rich {
+			t.Errorf("%s: Format(env) = %q, want %q", tc.name, got, tc.rich)
+		}
+	}
+}
+
+func TestRegisterName(t *testing.T) {
+	feat := isa.Features{NumGPR: 16, SPIndex: 13, LRIndex: 14, PCTarget: true}
+	for r, want := range map[int]string{0: "r0", 13: "sp", 14: "lr", 15: "pc", 12: "r12"} {
+		if got := fault.RegisterName(feat, r); got != want {
+			t.Errorf("RegisterName(%d) = %q, want %q", r, got, want)
+		}
+	}
+	// No PC target (armv8 convention): the top register is a plain GPR.
+	noPC := isa.Features{NumGPR: 32, SPIndex: 31, LRIndex: 30}
+	if got := fault.RegisterName(noPC, 31); got != "sp" {
+		t.Errorf("RegisterName(31) = %q, want sp", got)
+	}
+	// Zero features: the historical bare spelling, even for index 13.
+	if got := fault.RegisterName(isa.Features{}, 13); got != "r13" {
+		t.Errorf("RegisterName(zero,13) = %q, want r13", got)
+	}
+}

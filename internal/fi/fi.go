@@ -337,6 +337,14 @@ func (c Counts) Rate(o Outcome) float64 {
 // the paper's §4.2.2 masking-rate definition.
 func (c Counts) Masking() float64 { return c.Rate(Vanished) + c.Rate(ONA) }
 
+// Unmasked counts the runs whose fault escaped masking (OMM + UT + Hang) —
+// the numerator of every vulnerability rate the sensitivity layer reports.
+func (c Counts) Unmasked() int { return c[OMM] + c[UT] + c[Hang] }
+
+// IsUnmasked reports whether an outcome escaped masking — the Cho et al.
+// partition the propagation tracer and the sensitivity layer share.
+func IsUnmasked(o Outcome) bool { return o != Vanished && o != ONA }
+
 // String renders like "V=62.0% ONA=10.0% OMM=5.0% UT=20.0% H=3.0%".
 func (c Counts) String() string {
 	return fmt.Sprintf("V=%.1f%% ONA=%.1f%% OMM=%.1f%% UT=%.1f%% H=%.1f%%",

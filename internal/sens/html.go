@@ -1,0 +1,103 @@
+package sens
+
+import (
+	"fmt"
+	"html"
+	"strings"
+)
+
+// HTML renders one or more scenario reports as a single self-contained
+// vulnerability heatmap page: no external scripts, stylesheets or fonts,
+// so the artifact survives alone in a CI bucket or an email. Each scenario
+// gets its function x register matrix (cells shaded white-to-red by
+// unmasked rate, grey when no fault landed there) plus one strip per
+// populated auxiliary axis (pages, cache structures, registers when no
+// joint matrix exists).
+func HTML(reports []*Report) string {
+	var b strings.Builder
+	b.WriteString(`<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>serfi sensitivity heatmap</title>
+<style>
+body { font-family: sans-serif; margin: 2em; background: #fafafa; color: #222; }
+h1 { font-size: 1.4em; }
+h2 { font-size: 1.1em; margin-top: 2em; }
+table.heat { border-collapse: collapse; margin: 0.5em 0 1.5em; }
+table.heat th, table.heat td { border: 1px solid #ccc; padding: 3px 7px; font-size: 0.85em; }
+table.heat th { background: #eee; font-weight: normal; text-align: left; }
+table.heat td.v { text-align: right; font-variant-numeric: tabular-nums; }
+table.heat td.empty { background: #e8e8e8; color: #aaa; text-align: center; }
+p.legend { font-size: 0.8em; color: #555; }
+</style>
+</head>
+<body>
+<h1>serfi sensitivity heatmap</h1>
+<p class="legend">cell shade: unmasked-outcome rate (OMM + UT + Hang) from white (0%) to red (100%);
+cell text: rate with 95% Wilson interval and sample count; grey: no fault attributed.</p>
+`)
+	for _, r := range reports {
+		writeScenario(&b, r)
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+func writeScenario(b *strings.Builder, r *Report) {
+	fmt.Fprintf(b, "<h2>%s &mdash; domains %s, %d faults (%d traced)</h2>\n",
+		html.EscapeString(r.Scenario.ID()), html.EscapeString(domainList(r)), r.Faults, r.Traced)
+	funcs, regs := r.JointAxes()
+	if len(funcs) > 0 && len(regs) > 0 {
+		b.WriteString("<table class=\"heat\"><tr><th>function \\ register</th>")
+		for _, reg := range regs {
+			fmt.Fprintf(b, "<th>%s</th>", html.EscapeString(reg))
+		}
+		b.WriteString("</tr>\n")
+		for _, fn := range funcs {
+			fmt.Fprintf(b, "<tr><th>%s</th>", html.EscapeString(fn))
+			for _, reg := range regs {
+				writeCell(b, r.Joint[fn][reg])
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+	for _, t := range []*Table{r.Pages, r.Structures} {
+		writeStrip(b, t)
+	}
+	if len(funcs) == 0 {
+		// No joint matrix (no register-file domain recorded): surface the
+		// single-axis tables instead so the page is never empty.
+		writeStrip(b, r.Registers)
+		writeStrip(b, r.Functions)
+	}
+}
+
+func writeStrip(b *strings.Builder, t *Table) {
+	if t.Len() == 0 {
+		return
+	}
+	fmt.Fprintf(b, "<table class=\"heat\"><tr><th>%s</th><th>vulnerability</th></tr>\n",
+		html.EscapeString(t.Title))
+	for _, c := range t.Cells() {
+		fmt.Fprintf(b, "<tr><th>%s</th>", html.EscapeString(c.Key))
+		writeCell(b, c)
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+}
+
+// writeCell emits one shaded heatmap cell. The shade interpolates white to
+// red linearly in the unmasked rate; text stays legible because the green
+// and blue channels never drop below 96.
+func writeCell(b *strings.Builder, c *Cell) {
+	if c == nil || c.N() == 0 {
+		b.WriteString(`<td class="empty">&middot;</td>`)
+		return
+	}
+	lo, hi := c.CI()
+	gb := 255 - int(c.Rate()*159)
+	fmt.Fprintf(b, `<td class="v" style="background:rgb(255,%d,%d)" title="%d/%d unmasked">%.0f%% <small>[%.0f-%.0f] n=%d</small></td>`,
+		gb, gb, c.Unmasked(), c.N(), 100*c.Rate(), 100*lo, 100*hi, c.N())
+}

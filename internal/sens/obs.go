@@ -1,0 +1,52 @@
+// Sensitivity-layer observability: the serfi_sens_* metric families that
+// make attribution runs visible on the same exposition as the campaign
+// engine and the distributed fabric. A report is a batch artifact, so the
+// instruments record per-report aggregates (rows joined, cells populated,
+// the headline unmasked ratio, analysis wall time) — never per-fault
+// updates.
+package sens
+
+import "serfi/internal/obs"
+
+// Metrics is the sensitivity layer's instrument bundle, resolved against a
+// registry once per CLI invocation. Registration is idempotent, so
+// repeated reports over one registry share families.
+type Metrics struct {
+	rows     obs.CounterVec // by domain
+	traced   obs.Counter
+	cells    obs.GaugeVec // by table
+	unmasked obs.GaugeVec // by scenario
+	seconds  obs.Histogram
+}
+
+// NewMetrics registers the serfi_sens_* families on r; nil records into a
+// private inert registry so instrumented paths need no enabled-checks.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	return &Metrics{
+		rows:     r.CounterVec("serfi_sens_rows_total", "Per-fault rows joined by the attribution engine, by fault domain.", "domain"),
+		traced:   r.Counter("serfi_sens_traced_rows_total", "Joined rows carrying a propagation escape record."),
+		cells:    r.GaugeVec("serfi_sens_cells", "Populated attribution buckets in the latest report, by table.", "table"),
+		unmasked: r.GaugeVec("serfi_sens_unmasked_ratio", "Headline unmasked-outcome ratio of the latest report, by scenario.", "scenario"),
+		seconds:  r.Histogram("serfi_sens_report_seconds", "Wall time of one scenario attribution (residency walk + join).", obs.ExpBuckets(0.01, 4, 8)),
+	}
+}
+
+// Observe folds one finished report into the instruments; secs is the
+// attribution wall time.
+func (m *Metrics) Observe(r *Report, secs float64) {
+	for d, n := range r.RowsByDomain {
+		m.rows.With(d.String()).Add(float64(n))
+	}
+	m.traced.Add(float64(r.Traced))
+	for name, t := range map[string]*Table{
+		"registers": r.Registers, "functions": r.Functions,
+		"pages": r.Pages, "structures": r.Structures,
+	} {
+		m.cells.With(name).Set(float64(t.Len()))
+	}
+	m.unmasked.With(r.Scenario.ID()).Set(rate(r.Total.Unmasked(), r.Faults))
+	m.seconds.Observe(secs)
+}

@@ -1,0 +1,87 @@
+package sens
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultTargetError is the half-width the advisor plans for when the
+// caller does not choose one: ±2.5 percentage points at 95% confidence,
+// tight enough to separate the paper's cross-ISA masking deltas.
+const DefaultTargetError = 0.025
+
+// Text renders the report as the `serfi sens` terminal output: one block
+// per populated attribution axis, most-vulnerable cells first, each row
+// carrying its sample count, unmasked count, rate and 95% Wilson interval,
+// followed by the sample-size advisor. top bounds the rows per table
+// (<= 0: all rows).
+func (r *Report) Text(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sensitivity %s domains=%s faults=%d traced=%d unmasked=%d (%.1f%%)\n",
+		r.Scenario.ID(), domainList(r), r.Faults, r.Traced,
+		r.Total.Unmasked(), 100*rate(r.Total.Unmasked(), r.Faults))
+	for _, t := range []*Table{r.Registers, r.Functions, r.Pages, r.Structures} {
+		if t.Len() == 0 {
+			continue
+		}
+		b.WriteString("\n")
+		writeTable(&b, t, top)
+	}
+	b.WriteString("\n")
+	writeAdvisor(&b, r)
+	return b.String()
+}
+
+func domainList(r *Report) string {
+	names := make([]string, len(r.Domains))
+	for i, d := range r.Domains {
+		names[i] = d.String()
+	}
+	if len(names) == 0 {
+		return "-"
+	}
+	return strings.Join(names, ",")
+}
+
+func rate(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) / float64(n)
+}
+
+func writeTable(b *strings.Builder, t *Table, top int) {
+	fmt.Fprintf(b, "%s vulnerability%*s n  unmasked      rate        95%% CI  escape\n",
+		t.Title, 36-len(t.Title)-len(" vulnerability"), "")
+	cells := t.Cells()
+	shown := cells
+	if top > 0 && len(shown) > top {
+		shown = shown[:top]
+	}
+	for _, c := range shown {
+		lo, hi := c.CI()
+		esc := c.TopEscape()
+		if esc == "" {
+			esc = "-"
+		}
+		fmt.Fprintf(b, "  %-28s %6d  %8d  %7.1f%%  %5.1f-%5.1f%%  %s\n",
+			c.Key, c.N(), c.Unmasked(), 100*c.Rate(), 100*lo, 100*hi, esc)
+	}
+	if len(shown) < len(cells) {
+		fmt.Fprintf(b, "  ... %d more rows\n", len(cells)-len(shown))
+	}
+}
+
+// writeAdvisor prints the faults-needed plan: how many injections the
+// observed unmasked rate demands for a ±DefaultTargetError interval at
+// 95%, alongside the worst-case (p=0.5) budget that is safe before any
+// data exists.
+func writeAdvisor(b *strings.Builder, r *Report) {
+	p := rate(r.Total.Unmasked(), r.Faults)
+	lo, hi := Wilson95(r.Total.Unmasked(), r.Faults)
+	fmt.Fprintf(b, "advisor: unmasked rate %.1f%% (95%% CI %.1f-%.1f%%) over n=%d\n",
+		100*p, 100*lo, 100*hi, r.Faults)
+	fmt.Fprintf(b, "advisor: +/-%.1f%% at 95%% needs n=%d at the observed rate (worst case p=0.5: n=%d)\n",
+		100*DefaultTargetError, FaultsNeeded(p, DefaultTargetError),
+		FaultsNeeded(0.5, DefaultTargetError))
+}

@@ -1,0 +1,58 @@
+// The statistical layer of the sensitivity subsystem. Statistical fault
+// injection reports rates estimated from finite samples; without error
+// bars those rates are noise. Every cell of an attribution table therefore
+// carries a Wilson score interval — well-behaved at the extreme rates
+// (0%, 100%) and tiny n this workload produces constantly, where the
+// naive normal approximation collapses — and reports derive a "faults
+// needed" advisor from the same normal quantile, answering the campaign
+// designer's actual question: how many more injections buy a ±e interval.
+package sens
+
+import "math"
+
+// Z95 is the two-sided 95% normal quantile used by every confidence
+// surface in this package.
+const Z95 = 1.96
+
+// Wilson returns the Wilson score interval for k successes in n trials at
+// normal quantile z. The interval is clamped to [0, 1]; n <= 0 yields the
+// vacuous [0, 1] interval (no information).
+func Wilson(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	nn := float64(n)
+	p := float64(k) / nn
+	denom := 1 + z*z/nn
+	center := p + z*z/(2*nn)
+	margin := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Wilson95 is Wilson at the package's 95% quantile.
+func Wilson95(k, n int) (lo, hi float64) { return Wilson(k, n, Z95) }
+
+// FaultsNeeded returns the number of injections required for a ±e
+// half-width normal interval at 95% confidence around an anticipated rate
+// p: ceil(z² p(1-p) / e²). Callers pass the observed rate for a refined
+// plan or 0.5 for the worst case; e must be positive.
+func FaultsNeeded(p, e float64) int {
+	if e <= 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return int(math.Ceil(Z95 * Z95 * p * (1 - p) / (e * e)))
+}

@@ -1,0 +1,101 @@
+package sens
+
+import (
+	"math"
+	"testing"
+)
+
+// refWilson is an independent reference implementation: the Wilson interval
+// endpoints are the roots of (p - phat)^2 = z^2 p(1-p)/n, solved here with
+// the quadratic formula instead of the completed-square form Wilson uses.
+// Agreement between the two derivations pins the production formula.
+func refWilson(k, n int, z float64) (float64, float64) {
+	nn := float64(n)
+	phat := float64(k) / nn
+	a := 1 + z*z/nn
+	b := -(2*phat + z*z/nn)
+	c := phat * phat
+	d := math.Sqrt(b*b - 4*a*c)
+	return (-b - d) / (2 * a), (-b + d) / (2 * a)
+}
+
+func TestWilsonMatchesQuadraticReference(t *testing.T) {
+	for _, z := range []float64{1.0, 1.645, 1.96, 2.576} {
+		for n := 1; n <= 400; n = n*3 + 1 {
+			for k := 0; k <= n; k += 1 + n/7 {
+				lo, hi := Wilson(k, n, z)
+				rlo, rhi := refWilson(k, n, z)
+				if math.Abs(lo-rlo) > 1e-12 || math.Abs(hi-rhi) > 1e-12 {
+					t.Fatalf("Wilson(%d,%d,%v) = (%v,%v), reference (%v,%v)", k, n, z, lo, hi, rlo, rhi)
+				}
+			}
+		}
+	}
+}
+
+func TestWilsonKnownValues(t *testing.T) {
+	// k=0 has the exact closed form [0, z^2/(n+z^2)].
+	lo, hi := Wilson95(0, 10)
+	if lo != 0 {
+		t.Fatalf("Wilson95(0,10) lo = %v, want 0", lo)
+	}
+	z2 := Z95 * Z95
+	if want := z2 / (10 + z2); math.Abs(hi-want) > 1e-12 {
+		t.Fatalf("Wilson95(0,10) hi = %v, want %v", hi, want)
+	}
+	// k=n mirrors it: [n/(n+z^2), 1].
+	lo, hi = Wilson95(10, 10)
+	if hi != 1 {
+		t.Fatalf("Wilson95(10,10) hi = %v, want 1", hi)
+	}
+	if want := 10 / (10 + z2); math.Abs(lo-want) > 1e-12 {
+		t.Fatalf("Wilson95(10,10) lo = %v, want %v", lo, want)
+	}
+	// The standard textbook case 3/10 at 95%.
+	lo, hi = Wilson95(3, 10)
+	if math.Abs(lo-0.1078) > 5e-4 || math.Abs(hi-0.6032) > 5e-4 {
+		t.Fatalf("Wilson95(3,10) = (%v,%v), want ~(0.1078,0.6032)", lo, hi)
+	}
+}
+
+func TestWilsonProperties(t *testing.T) {
+	for n := 1; n <= 100; n += 9 {
+		for k := 0; k <= n; k++ {
+			lo, hi := Wilson95(k, n)
+			p := float64(k) / float64(n)
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Fatalf("Wilson95(%d,%d) = (%v,%v): malformed", k, n, lo, hi)
+			}
+			if p < lo-1e-12 || p > hi+1e-12 {
+				t.Fatalf("Wilson95(%d,%d) = (%v,%v) excludes phat %v", k, n, lo, hi, p)
+			}
+			// Symmetry: the interval for n-k mirrors around 1/2.
+			mlo, mhi := Wilson95(n-k, n)
+			if math.Abs(lo-(1-mhi)) > 1e-12 || math.Abs(hi-(1-mlo)) > 1e-12 {
+				t.Fatalf("Wilson95(%d,%d) not mirrored by (%d,%d)", k, n, n-k, n)
+			}
+		}
+	}
+	if lo, hi := Wilson95(0, 0); lo != 0 || hi != 1 {
+		t.Fatalf("Wilson95(0,0) = (%v,%v), want the vacuous (0,1)", lo, hi)
+	}
+}
+
+func TestFaultsNeeded(t *testing.T) {
+	// The classic survey-design numbers: worst case p=0.5.
+	if n := FaultsNeeded(0.5, 0.025); n != 1537 {
+		t.Fatalf("FaultsNeeded(0.5, 0.025) = %d, want 1537", n)
+	}
+	if n := FaultsNeeded(0.5, 0.05); n != 385 {
+		t.Fatalf("FaultsNeeded(0.5, 0.05) = %d, want 385", n)
+	}
+	if n := FaultsNeeded(0.1, 0.05); n != 139 {
+		t.Fatalf("FaultsNeeded(0.1, 0.05) = %d, want 139", n)
+	}
+	if n := FaultsNeeded(0, 0.05); n != 0 {
+		t.Fatalf("FaultsNeeded(0, 0.05) = %d, want 0 (degenerate rate)", n)
+	}
+	if n := FaultsNeeded(0.5, 0); n != 0 {
+		t.Fatalf("FaultsNeeded(0.5, 0) = %d, want 0 (no target)", n)
+	}
+}
