@@ -9,8 +9,9 @@
 //	experiments -run prop -trace-prop -n 24 (propagation table, IS subset)
 //	experiments -run sens -n 24            (per-register sensitivity table, IS subset)
 //	experiments -from results.jsonl        (offline report from a recorded database)
-//	experiments -join :8340 -db results.jsonl (serve the matrix to `serfi worker -join`
-//	                                        processes and report from the folded store)
+//	experiments -join host:8340 -db results.jsonl (submit the matrix to a `serfi serve
+//	                                        -data` queue, watch it drain, report from
+//	                                        the fetched database)
 //
 // The SERFI_FAULTS environment variable overrides -n when set. With -db
 // the campaign records stream to the JSONL store as they complete, so an
@@ -46,7 +47,8 @@ func main() {
 	model := flag.String("faultmodel", "reg", "fault domains per scenario: reg|mem|imem|burst|cachetag|cachedirty|cacherepl, uncore, or all")
 	traceProp := flag.Bool("trace-prop", false, "propagation-trace every unmasked injection (feeds the prop artefact)")
 	recordRuns := flag.Bool("record-runs", false, "persist per-fault rows as v4 records (feeds the sens artefact and `serfi sens`)")
-	join := flag.String("join", "", "drive the matrix through a cluster: serve shards at this address for `serfi worker -join` processes instead of simulating locally")
+	join := flag.String("join", "", "drive the matrix through a campaign queue: submit it to the `serfi serve -data` coordinator at this address and report from the fetched results")
+	tenant := flag.String("tenant", "", "tenant namespace for the -join submission (default: the shared namespace)")
 	workers := flag.Int("workers", 0, "host worker pool size (0 = all cores)")
 	snapshots := flag.Int("snapshots", 0, "pre-fault checkpoints per scenario (0 = default, negative disables)")
 	resume := flag.Bool("resume", false, "skip campaigns already recorded in -db and append the rest")
@@ -118,19 +120,16 @@ func main() {
 		return
 	}
 
-	if *db != "" {
+	// In queue mode (-join) the durable store lives on the coordinator;
+	// -db then means "also save the fetched database here", handled after
+	// the submission completes.
+	if *db != "" && *join == "" {
 		if !*resume {
 			if err := os.Remove(*db); err != nil && !os.IsNotExist(err) {
 				fatal(err)
 			}
 		}
-		// A cluster-driven store is fsynced: a coordinator crash must not
-		// lose campaigns already acknowledged to workers.
-		var fsOpts []campaign.FileStoreOption
-		if *join != "" {
-			fsOpts = append(fsOpts, campaign.Fsync())
-		}
-		st, err := campaign.OpenFileStore(*db, fsOpts...)
+		st, err := campaign.OpenFileStore(*db)
 		if err != nil {
 			fatal(err)
 		}
@@ -166,17 +165,14 @@ func main() {
 		"fig2": func(sc npb.Scenario) bool { return sc.ISA == "armv7" },
 		"fig3": func(sc npb.Scenario) bool { return sc.ISA == "armv8" },
 	}
-	// Cluster mode: instead of simulating locally, shard the exact same
-	// matrix over the distributed fabric and format the artefacts from the
-	// folded store once every `serfi worker -join` has drained it. The
-	// seed convention is shared (Engine.JobsFor), so the cluster-produced
-	// report is bit-identical to a local run.
+	// Queue mode: instead of simulating locally (or hosting a one-shot
+	// coordinator, as earlier releases did), submit the exact same matrix to
+	// a persistent `serfi serve -data` queue, watch it to completion and
+	// format the artefacts from the fetched database. The seed convention is
+	// shared (Engine.JobsFor), so the queue-produced report is bit-identical
+	// to a local run.
 	if *join != "" {
 		clusterStart := time.Now()
-		st := cfg.Store
-		if st == nil {
-			st = campaign.NewMemStore()
-		}
 		keep := func(npb.Scenario) bool { return true }
 		if k, ok := subset[*run]; ok {
 			keep = k
@@ -188,31 +184,51 @@ func main() {
 			}
 		}
 		jobs := campaign.New(campaign.Models(runDomains...)).JobsFor(scs, *seed)
-		events := make(chan campaign.Event, 64)
-		coordOpts := []dist.CoordOption{dist.WithStore(st), dist.WithEvents(events)}
-		if cfg.TraceProp {
-			coordOpts = append(coordOpts, dist.TraceProp())
-		}
-		if cfg.RecordRuns {
-			coordOpts = append(coordOpts, dist.RecordRuns())
-		}
-		coord, err := dist.NewCoordinator(jobs, *n, coordOpts...)
+		cl := dist.NewClient(*join)
+		reply, err := cl.Submit(ctx, dist.SubmitRequest{
+			Tenant:     *tenant,
+			Jobs:       dist.WireJobs(jobs),
+			Faults:     *n,
+			TraceProp:  cfg.TraceProp,
+			RecordRuns: cfg.RecordRuns,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "serving %d campaigns at %s; join workers with: serfi worker -join <host:port>\n",
-			len(jobs), *join)
-		col := campaign.NewCollector(os.Stderr, len(jobs))
-		consumed := make(chan struct{})
-		go func() {
-			defer close(consumed)
-			col.Consume(events)
-		}()
-		_, err = coord.Serve(ctx, *join)
-		<-consumed
+		fmt.Fprintf(os.Stderr, "submitted %s: %d campaigns (%d already recorded) to %s\n",
+			reply.ID, reply.Campaigns, reply.Skipped, *join)
+		ms, err := watchQueue(ctx, cl, reply.ID)
 		if err != nil {
-			interrupted(err, *db, *n, *seed, *model)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "interrupted: submission %s stays queued on the coordinator\n", reply.ID)
+				fmt.Fprintf(os.Stderr, "watch with: serfi ls -join %s · withdraw with: serfi cancel -join %s -id %s\n",
+					*join, *join, reply.ID)
+				os.Exit(130)
+			}
 			fatal(err)
+		}
+		if ms.State != "done" {
+			fatal(fmt.Errorf("submission %s finished %s", reply.ID, ms.State))
+		}
+		fr, err := cl.Fetch(ctx, reply.ID)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := campaign.ReadDB(strings.NewReader(fr.DB))
+		if err != nil {
+			fatal(err)
+		}
+		st := campaign.NewMemStore()
+		for _, r := range recs {
+			if err := st.Put(r); err != nil {
+				fatal(err)
+			}
+		}
+		if *db != "" {
+			if err := os.WriteFile(*db, []byte(fr.DB), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saved %d campaign records to %s\n", len(recs), *db)
 		}
 		m := exp.MatrixFromStore(st, cfg)
 		if f := artefacts[*run]; f != nil {
@@ -271,6 +287,42 @@ var artefacts = map[string]func(*exp.Matrix) string{
 	"macro":      exp.MacroStats,
 	"vulnwindow": exp.VulnWindow,
 	"mine":       exp.MineReport,
+}
+
+// watchQueue polls the queue coordinator until the submission goes
+// terminal, printing progress lines as they change.
+func watchQueue(ctx context.Context, cl *dist.Client, id string) (dist.MatrixStatus, error) {
+	last := ""
+	for {
+		mr, err := cl.Matrices(ctx)
+		if err != nil {
+			return dist.MatrixStatus{}, err
+		}
+		var ms *dist.MatrixStatus
+		for i := range mr.Matrices {
+			if mr.Matrices[i].ID == id {
+				ms = &mr.Matrices[i]
+				break
+			}
+		}
+		if ms == nil {
+			return dist.MatrixStatus{}, fmt.Errorf("submission %s vanished from the queue", id)
+		}
+		line := fmt.Sprintf("%s %s: campaigns %d/%d, injections %d/%d",
+			ms.ID, ms.State, ms.CampaignsDone, ms.Campaigns, ms.Injected, ms.Injections)
+		if line != last {
+			fmt.Fprintln(os.Stderr, line)
+			last = line
+		}
+		if ms.State != "running" {
+			return *ms, nil
+		}
+		select {
+		case <-ctx.Done():
+			return *ms, context.Canceled
+		case <-time.After(2 * time.Second):
+		}
+	}
 }
 
 // writeReport prints the report to stdout or the -out path.

@@ -43,9 +43,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"runtime"
 
@@ -82,6 +86,12 @@ func main() {
 		err = cmdCampaign(args)
 	case "serve":
 		err = cmdServe(args)
+	case "submit":
+		err = cmdSubmit(args)
+	case "ls":
+		err = cmdLs(args)
+	case "cancel":
+		err = cmdCancel(args)
 	case "worker":
 		err = cmdWorker(args)
 	case "stats":
@@ -107,7 +117,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: serfi {scenarios|golden|stats|inject|campaign|serve|worker|sens|profile|disasm|trace|trends} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: serfi {scenarios|golden|stats|inject|campaign|serve|submit|ls|cancel|worker|sens|profile|disasm|trace|trends} [flags]")
 }
 
 // parseScenario accepts "armv7/IS/MPI-4".
@@ -434,24 +444,38 @@ func boolFlagIf(flag string, on bool) string {
 	return " " + flag
 }
 
-// cmdServe runs the distributed campaign coordinator: the same matrix
-// `serfi campaign` executes locally, sharded into leases and served to
-// `serfi worker -join` processes. The JSONL store is opened with fsync so a
-// coordinator host crash never loses an acknowledged campaign.
+// cmdServe runs the distributed campaign coordinator in one of two modes.
+//
+// With -db (the default) it is the classic one-shot coordinator: the same
+// matrix `serfi campaign` executes locally, sharded into leases and served
+// to `serfi worker -join` processes, exiting when the matrix completes.
+// The JSONL store is opened with fsync so a coordinator host crash never
+// loses an acknowledged campaign.
+//
+// With -data DIR it is the persistent multi-tenant campaign queue: an
+// empty service over a segmented store (DIR/store) and a submission
+// journal (DIR/queue.jsonl), fed by `serfi submit` and drained by the same
+// worker fleet, restoring its queue from the journal on restart. It serves
+// until SIGINT/SIGTERM.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8340", "listen address for workers and the status page")
 	n := fs.Int("n", 50, "faults per scenario")
 	seed := fs.Int64("seed", 2018, "base seed")
-	db := fs.String("db", "results.jsonl", "output database path")
+	db := fs.String("db", "results.jsonl", "output database path (one-shot mode)")
+	data := fs.String("data", "", "queue mode: serve a persistent multi-tenant campaign queue from this directory")
 	only := fs.String("only", "", "substring filter on scenario ids")
 	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst|cachetag|cachedirty|cacherepl, uncore, or all")
 	shardSize := fs.Int("shardsize", dist.DefaultShardSize, "faults per lease shard")
 	leaseTTL := fs.Duration("lease", dist.DefaultLeaseTTL, "lease TTL before a shard is re-issued")
+	compact := fs.Int("compact", 8, "queue mode: background-compact a tenant at this many store segments")
 	recordRuns := fs.Bool("record-runs", false, "persist per-fault rows (v4 records) for `serfi sens` attribution")
 	resume := fs.Bool("resume", false, "skip campaigns already recorded in -db and serve the rest")
 	fs.Parse(args)
-	domains, err := fault.ParseModels(*model)
+	if *data != "" {
+		return serveQueue(*addr, *data, *shardSize, *leaseTTL, *compact)
+	}
+	jobs, err := submitJobs(*only, *model, *seed)
 	if err != nil {
 		return err
 	}
@@ -469,13 +493,6 @@ func cmdServe(args []string) error {
 	}
 	defer st.Close()
 
-	var scs []npb.Scenario
-	for _, sc := range npb.Scenarios() {
-		if *only == "" || strings.Contains(sc.ID(), *only) {
-			scs = append(scs, sc)
-		}
-	}
-	jobs := campaign.New(campaign.Models(domains...)).JobsFor(scs, *seed)
 	if err := campaign.ValidateResume(st, jobs, *n); err != nil {
 		return fmt.Errorf("resume %s: %w", *db, err)
 	}
@@ -508,6 +525,13 @@ func cmdServe(args []string) error {
 	_, err = coord.Serve(ctx, *addr)
 	<-consumed
 	if errors.Is(err, context.Canceled) {
+		// Make the store durable before advertising it as resumable: fsync
+		// whatever the final shards appended, then close, then print the
+		// hint — a crash after the hint can no longer lose acknowledged
+		// campaigns.
+		if serr := st.Sync(); serr != nil {
+			return serr
+		}
 		if cerr := st.Close(); cerr != nil {
 			return cerr
 		}
@@ -531,6 +555,228 @@ func portSuffix(addr string) string {
 		return addr[i:]
 	}
 	return ""
+}
+
+// serveQueue is `serfi serve -data DIR`: the persistent multi-tenant
+// campaign queue. Results live in a segmented tenant-scoped store under
+// DIR/store, the submission queue in DIR/queue.jsonl; both survive a
+// restart, so the daemon resumes exactly where it stopped (completed
+// campaigns answered from the store, unfinished submissions re-sharded).
+func serveQueue(addr, dataDir string, shardSize int, leaseTTL time.Duration, compact int) error {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return err
+	}
+	st, err := campaign.OpenSegmentedStore(filepath.Join(dataDir, "store"),
+		campaign.SegmentSync(), campaign.CompactAfter(compact))
+	if err != nil {
+		return err
+	}
+	journalPath := filepath.Join(dataDir, "queue.jsonl")
+	coord, journal, err := dist.RestoreQueue(journalPath,
+		dist.ShardSize(shardSize), dist.LeaseTTL(leaseTTL), dist.WithStore(st))
+	if err != nil {
+		st.Close()
+		return err
+	}
+	restored := coord.MatrixList()
+	running := 0
+	for _, ms := range restored {
+		if ms.State == "running" {
+			running++
+		}
+	}
+	fmt.Printf("campaign queue at %s (data %s): %d submissions restored, %d still running\n",
+		addr, dataDir, len(restored), running)
+	fmt.Printf("submit matrices with: serfi submit -join <host>%s [-tenant NAME] ...\n", portSuffix(addr))
+	fmt.Printf("join workers with:    serfi worker -join <host>%s\n", portSuffix(addr))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		journal.Close()
+		st.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // second signal kills the process the default way
+
+	// Graceful shutdown, durability first: stop accepting wire traffic,
+	// seal the journal, fsync and close the store — only then advertise the
+	// directory as resumable.
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		srv.Close()
+	}
+	if err := journal.Close(); err != nil {
+		return err
+	}
+	if err := st.Sync(); err != nil {
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("queue stopped; resume with: serfi serve -data %s -addr %s\n", dataDir, addr)
+	return nil
+}
+
+// submitJobs builds the scenario matrix shared by `serfi submit` and the
+// one-shot serve path: the full scenario list fixes per-scenario seeds, so
+// a filtered submission reproduces the full matrix's rows.
+func submitJobs(only, model string, seed int64) ([]campaign.ScenarioJob, error) {
+	domains, err := fault.ParseModels(model)
+	if err != nil {
+		return nil, err
+	}
+	var scs []npb.Scenario
+	for _, sc := range npb.Scenarios() {
+		if only == "" || strings.Contains(sc.ID(), only) {
+			scs = append(scs, sc)
+		}
+	}
+	return campaign.New(campaign.Models(domains...)).JobsFor(scs, seed), nil
+}
+
+// cmdSubmit enqueues one campaign matrix on a queue coordinator (`serfi
+// serve -data`) and optionally watches it to completion.
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	join := fs.String("join", "", "queue coordinator address (host:port), required")
+	tenant := fs.String("tenant", "", "tenant namespace for the matrix's rows (default: the shared namespace)")
+	id := fs.String("id", "", "submission ID for idempotent resubmission (default: coordinator-assigned)")
+	n := fs.Int("n", 50, "faults per scenario")
+	seed := fs.Int64("seed", 2018, "base seed")
+	only := fs.String("only", "", "substring filter on scenario ids")
+	model := fs.String("faultmodel", "reg", "fault domain: reg|mem|imem|burst|cachetag|cachedirty|cacherepl, uncore, or all")
+	traceProp := fs.Bool("trace-prop", false, "propagation-trace every unmasked injection")
+	recordRuns := fs.Bool("record-runs", false, "persist per-fault rows (v4 records)")
+	watch := fs.Bool("watch", false, "poll the queue until this submission is terminal")
+	fs.Parse(args)
+	if *join == "" {
+		return fmt.Errorf("submit: -join <host:port> is required")
+	}
+	jobs, err := submitJobs(*only, *model, *seed)
+	if err != nil {
+		return err
+	}
+	ctx, stop := interruptContext()
+	defer stop()
+	cl := dist.NewClient(*join)
+	reply, err := cl.Submit(ctx, dist.SubmitRequest{
+		ID:         *id,
+		Tenant:     *tenant,
+		Jobs:       dist.WireJobs(jobs),
+		Faults:     *n,
+		TraceProp:  *traceProp,
+		RecordRuns: *recordRuns,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s: %d campaigns (%d already recorded), %d shards\n",
+		reply.ID, reply.Campaigns, reply.Skipped, reply.Shards)
+	if !*watch {
+		fmt.Printf("watch with: serfi ls -join %s\n", *join)
+		return nil
+	}
+	ms, err := watchSubmission(ctx, cl, reply.ID)
+	if err != nil {
+		return err
+	}
+	if ms.State != "done" {
+		return fmt.Errorf("submission %s finished %s", ms.ID, ms.State)
+	}
+	return nil
+}
+
+// watchSubmission polls the queue until the submission goes terminal,
+// printing progress lines.
+func watchSubmission(ctx context.Context, cl *dist.Client, id string) (dist.MatrixStatus, error) {
+	last := ""
+	for {
+		mr, err := cl.Matrices(ctx)
+		if err != nil {
+			return dist.MatrixStatus{}, err
+		}
+		var ms *dist.MatrixStatus
+		for i := range mr.Matrices {
+			if mr.Matrices[i].ID == id {
+				ms = &mr.Matrices[i]
+				break
+			}
+		}
+		if ms == nil {
+			return dist.MatrixStatus{}, fmt.Errorf("submission %s vanished from the queue", id)
+		}
+		line := fmt.Sprintf("%s %s: campaigns %d/%d, injections %d/%d",
+			ms.ID, ms.State, ms.CampaignsDone, ms.Campaigns, ms.Injected, ms.Injections)
+		if line != last {
+			fmt.Println(line)
+			last = line
+		}
+		if ms.State != "running" {
+			return *ms, nil
+		}
+		select {
+		case <-ctx.Done():
+			return *ms, ctx.Err()
+		case <-time.After(2 * time.Second):
+		}
+	}
+}
+
+// cmdLs lists a queue coordinator's submissions.
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	join := fs.String("join", "", "queue coordinator address (host:port), required")
+	fs.Parse(args)
+	if *join == "" {
+		return fmt.Errorf("ls: -join <host:port> is required")
+	}
+	ctx, stop := interruptContext()
+	defer stop()
+	mr, err := dist.NewClient(*join).Matrices(ctx)
+	if err != nil {
+		return err
+	}
+	if len(mr.Matrices) == 0 {
+		fmt.Println("queue is empty")
+		return nil
+	}
+	fmt.Printf("%-10s %-12s %-10s %10s %14s %9s\n", "matrix", "tenant", "state", "campaigns", "injections", "elapsed")
+	for _, ms := range mr.Matrices {
+		tenant := ms.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		fmt.Printf("%-10s %-12s %-10s %6d/%-3d %7d/%-6d %8.0fs\n",
+			ms.ID, tenant, ms.State, ms.CampaignsDone, ms.Campaigns, ms.Injected, ms.Injections, ms.ElapsedSec)
+	}
+	return nil
+}
+
+// cmdCancel withdraws one submission from a queue coordinator.
+func cmdCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	join := fs.String("join", "", "queue coordinator address (host:port), required")
+	id := fs.String("id", "", "submission ID to cancel, required")
+	fs.Parse(args)
+	if *join == "" || *id == "" {
+		return fmt.Errorf("cancel: -join <host:port> and -id <matrix> are required")
+	}
+	ctx, stop := interruptContext()
+	defer stop()
+	reply, err := dist.NewClient(*join).CancelMatrix(ctx, *id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s\n", *id, reply.State)
+	return nil
 }
 
 // cmdWorker joins a coordinator and executes shards until the matrix is
@@ -568,6 +814,20 @@ func cmdWorker(args []string) error {
 	}
 	w := dist.NewWorker(dist.NewClient(*join), opts...)
 	fmt.Printf("worker joined %s (%d slots)\n", *join, parallel)
+	// SIGTERM is the fleet's graceful-drain signal: finish the shards
+	// already leased, stop leasing, exit 0 — no shard is abandoned to a
+	// lease expiry. SIGINT stays the hard path (cancel in-flight work).
+	drain := make(chan os.Signal, 1)
+	signal.Notify(drain, syscall.SIGTERM)
+	defer signal.Stop(drain)
+	go func() {
+		select {
+		case <-drain:
+			fmt.Println("draining: finishing leased shards, taking no new leases")
+			w.Drain()
+		case <-ctx.Done():
+		}
+	}()
 	if err := w.Run(ctx); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Println("interrupted: in-flight leases will expire and be re-issued")
@@ -575,7 +835,7 @@ func cmdWorker(args []string) error {
 		}
 		return err
 	}
-	fmt.Println("matrix complete, worker exiting")
+	fmt.Println("worker exiting: matrix complete or drained")
 	return nil
 }
 

@@ -470,50 +470,10 @@ func ReadDB(r io.Reader) (map[string]*Result, error) {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		var rec record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("campaign db line %d: %w", line, err)
-		}
-		scen, err := npb.ParseID(rec.Scenario)
+		res, err := decodeRecordLine(sc.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("campaign db line %d: %w", line, err)
 		}
-		var domain fault.Model
-		switch rec.Version {
-		case 0:
-			// Legacy pre-domain row: implicitly a register campaign.
-			if rec.Domain != "" {
-				return nil, fmt.Errorf("campaign db line %d: unversioned row carries domain %q (corrupt or hand-edited)",
-					line, rec.Domain)
-			}
-		case recordVersion, recordVersionProp, recordVersionRuns:
-			if domain, err = fault.ParseModel(rec.Domain); err != nil {
-				return nil, fmt.Errorf("campaign db line %d: %w", line, err)
-			}
-		default:
-			return nil, fmt.Errorf("campaign db line %d: unknown record version %d (this build reads legacy rows, v%d, v%d and v%d)",
-				line, rec.Version, recordVersion, recordVersionProp, recordVersionRuns)
-		}
-		res := &Result{
-			Scenario: scen,
-			Domain:   domain,
-			Faults:   rec.Faults,
-			Seed:     rec.Seed,
-			Golden:   rec.Golden,
-			Features: profile.FeaturesFromMap(rec.Features),
-			APICalls: rec.APICalls,
-			Prop:     rec.Prop,
-		}
-		if rec.Version == recordVersionRuns {
-			if err := restoreRuns(res, rec.Runs, domain); err != nil {
-				return nil, fmt.Errorf("campaign db line %d: %w", line, err)
-			}
-		}
-		res.Counts[fi.Vanished] = rec.Counts["vanished"]
-		res.Counts[fi.ONA] = rec.Counts["ona"]
-		res.Counts[fi.OMM] = rec.Counts["omm"]
-		res.Counts[fi.UT] = rec.Counts["ut"]
-		res.Counts[fi.Hang] = rec.Counts["hang"]
 		key := res.Key()
 		if _, dup := out[key]; dup {
 			return nil, fmt.Errorf("campaign db line %d: duplicate record for %q", line, key)
@@ -524,6 +484,57 @@ func ReadDB(r io.Reader) (map[string]*Result, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// decodeRecordLine parses one JSONL database row into a Result — the
+// single-row slice of ReadDB, shared with the segmented store's lazy row
+// loads (which read individual rows by segment offset instead of scanning
+// the whole database).
+func decodeRecordLine(b []byte) (*Result, error) {
+	var rec record
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, err
+	}
+	scen, err := npb.ParseID(rec.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	var domain fault.Model
+	switch rec.Version {
+	case 0:
+		// Legacy pre-domain row: implicitly a register campaign.
+		if rec.Domain != "" {
+			return nil, fmt.Errorf("unversioned row carries domain %q (corrupt or hand-edited)", rec.Domain)
+		}
+	case recordVersion, recordVersionProp, recordVersionRuns:
+		if domain, err = fault.ParseModel(rec.Domain); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown record version %d (this build reads legacy rows, v%d, v%d and v%d)",
+			rec.Version, recordVersion, recordVersionProp, recordVersionRuns)
+	}
+	res := &Result{
+		Scenario: scen,
+		Domain:   domain,
+		Faults:   rec.Faults,
+		Seed:     rec.Seed,
+		Golden:   rec.Golden,
+		Features: profile.FeaturesFromMap(rec.Features),
+		APICalls: rec.APICalls,
+		Prop:     rec.Prop,
+	}
+	if rec.Version == recordVersionRuns {
+		if err := restoreRuns(res, rec.Runs, domain); err != nil {
+			return nil, err
+		}
+	}
+	res.Counts[fi.Vanished] = rec.Counts["vanished"]
+	res.Counts[fi.ONA] = rec.Counts["ona"]
+	res.Counts[fi.OMM] = rec.Counts["omm"]
+	res.Counts[fi.UT] = rec.Counts["ut"]
+	res.Counts[fi.Hang] = rec.Counts["hang"]
+	return res, nil
 }
 
 // LoadDB reads a database file for -resume; a missing file is not an error

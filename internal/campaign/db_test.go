@@ -118,10 +118,16 @@ func storeImpls(t *testing.T) map[string]campaign.Store {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { fs.Close() })
+	ss, err := campaign.OpenSegmentedStore(t.TempDir() + "/segs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ss.Close() })
 	return map[string]campaign.Store{
 		"mem":    campaign.NewMemStore(),
 		"file":   fs,
 		"stream": campaign.StreamStore(&bytes.Buffer{}, nil),
+		"seg":    ss,
 	}
 }
 

@@ -36,6 +36,33 @@ type Store interface {
 	Query(Query) []*Result
 }
 
+// TenantStore is a Store that can partition its keyspace into named tenant
+// namespaces. Tenant returns a Store view scoped to one namespace: keys,
+// rows and duplicate detection are isolated per namespace, while the record
+// row format stays exactly the canonical JSONL — tenancy lives in store
+// organization, never in row content, so a tenant's rows remain
+// byte-identical to a single-tenant run. Tenant("") returns the default
+// (unscoped) view. Views of the same namespace alias the same data.
+type TenantStore interface {
+	Store
+	Tenant(ns string) Store
+}
+
+// TenantView resolves a tenant-scoped view of st. The empty namespace is
+// the store itself (every backend supports it); a named namespace needs a
+// TenantStore backend and errors otherwise, so a multi-tenant queue over a
+// flat legacy store fails loudly instead of mixing tenants' keys.
+func TenantView(st Store, ns string) (Store, error) {
+	if ns == "" || st == nil {
+		return st, nil
+	}
+	ts, ok := st.(TenantStore)
+	if !ok {
+		return nil, fmt.Errorf("campaign store: backend %T cannot scope tenant %q (need a TenantStore, e.g. OpenSegmentedStore)", st, ns)
+	}
+	return ts.Tenant(ns), nil
+}
+
 // Query selects campaigns by conjunctive predicates. Each field constrains
 // one axis when non-empty and matches everything when empty, so the zero
 // Query selects the whole store.
@@ -184,14 +211,40 @@ func (s *memIndex) Query(q Query) []*Result {
 }
 
 // MemStore is the in-memory Store: tests, examples and in-process
-// pipelines that never touch disk.
-type MemStore struct{ memIndex }
+// pipelines that never touch disk. It is also a TenantStore: Tenant(ns)
+// returns an isolated per-namespace sub-store, the in-memory analogue of
+// the segmented store's per-tenant segment sets.
+type MemStore struct {
+	memIndex
+
+	tmu     sync.Mutex
+	tenants map[string]*MemStore
+}
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore { return &MemStore{} }
 
 // Put appends one campaign record, rejecting duplicate keys.
 func (s *MemStore) Put(r *Result) error { return s.put(r) }
+
+// Tenant returns the namespace-scoped view: an isolated sub-store sharing
+// nothing with other namespaces. The empty namespace is the store itself.
+func (s *MemStore) Tenant(ns string) Store {
+	if ns == "" {
+		return s
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if s.tenants == nil {
+		s.tenants = make(map[string]*MemStore)
+	}
+	t := s.tenants[ns]
+	if t == nil {
+		t = NewMemStore()
+		s.tenants[ns] = t
+	}
+	return t
+}
 
 // FileStore is the JSONL-file Store: existing rows load at open (so an
 // Engine run over the same store resumes where the interrupted one
@@ -261,6 +314,15 @@ func (s *FileStore) Put(r *Result) error {
 		return fmt.Errorf("campaign store %s: %w", s.path, err)
 	}
 	return nil
+}
+
+// Sync flushes the backing file to stable storage without closing it —
+// the graceful-shutdown barrier: a store synced before the process prints
+// its resume hint cannot advertise campaigns a crash would lose.
+func (s *FileStore) Sync() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.f.Sync()
 }
 
 // Close flushes and closes the backing file. The in-memory index stays

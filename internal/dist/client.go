@@ -3,62 +3,152 @@
 // that drives a coordinator's http.Handler in-process through the full
 // request/response marshal path (no sockets), which is what the
 // golden-compat tests, the CI smoke cluster and the examples use.
+//
+// Transient failures (transport errors, 5xx answers) retry with jittered
+// exponential backoff inside post, so callers see one round trip per
+// logical request. 4xx answers never retry: the coordinator rejected the
+// request's content (bad protocol version, unknown submission, invalid
+// tenant) and resending the same bytes cannot help.
 package dist
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 )
+
+// defaultRetries is the retry budget per logical request: the first
+// attempt plus this many re-sends on transient failure.
+const defaultRetries = 4
 
 // Client speaks the coordinator protocol. Construct with NewClient (HTTP)
 // or NewLoopbackClient (in-process). Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retries int
+	sleep   func(context.Context, time.Duration) error // test seam
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// Retries sets the transient-failure retry budget per request (re-sends
+// after the first attempt). 0 disables retries; negative picks the
+// default.
+func Retries(n int) ClientOption { return func(c *Client) { c.retries = n } }
 
 // NewClient returns a client for a coordinator at addr ("host:8340" or a
 // full "http://host:8340" base URL).
-func NewClient(addr string) *Client {
+func NewClient(addr string, opts ...ClientOption) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	return &Client{
+	return newClient(&Client{
 		base: strings.TrimRight(addr, "/"),
 		hc:   &http.Client{Timeout: 2 * time.Minute},
-	}
+	}, opts)
 }
 
 // NewLoopbackClient returns a client that serves every request directly
 // from h — the coordinator's Handler — in the calling goroutine. The full
 // wire path (routing, JSON encode/decode, protocol version checks, status
 // codes) is exercised; only the TCP socket is elided.
-func NewLoopbackClient(h http.Handler) *Client {
-	return &Client{
+func NewLoopbackClient(h http.Handler, opts ...ClientOption) *Client {
+	return newClient(&Client{
 		base: "http://loopback",
 		hc:   &http.Client{Transport: loopbackTransport{h: h}},
+	}, opts)
+}
+
+func newClient(c *Client, opts []ClientOption) *Client {
+	c.retries = defaultRetries
+	c.sleep = sleepCtx
+	c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.retries < 0 {
+		c.retries = defaultRetries
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 
-// post sends one JSON request and decodes the JSON reply into out. Non-200
+// backoff returns the jittered delay before retry attempt n (0-based):
+// 50ms doubling per attempt, ±50% uniform jitter, capped near 2s. The
+// jitter decorrelates a fleet of workers hammering a briefly unavailable
+// coordinator.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := 50 * time.Millisecond << attempt
+	if base > 2*time.Second {
+		base = 2 * time.Second
+	}
+	c.mu.Lock()
+	f := 0.5 + c.rng.Float64() // uniform in [0.5, 1.5)
+	c.mu.Unlock()
+	return time.Duration(float64(base) * f)
+}
+
+// post sends one JSON request and decodes the JSON reply into out,
+// retrying transient failures under the client's retry budget. Non-2xx
 // answers surface the coordinator's error body.
 func (c *Client) post(ctx context.Context, path string, in, out any) (err error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		err = c.postOnce(ctx, path, body, out)
+		if err == nil {
+			return nil
+		}
+		var re *retryableError
+		if !errors.As(err, &re) || attempt >= c.retries {
+			return err
+		}
+		if serr := c.sleep(ctx, c.backoff(attempt)); serr != nil {
+			return err // context cancelled mid-backoff: report the wire error
+		}
+	}
+}
+
+// retryableError wraps a transient failure: a transport error or a 5xx
+// answer. Everything else (4xx, malformed replies) fails immediately.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// postOnce performs a single round trip.
+func (c *Client) postOnce(ctx context.Context, path string, body []byte, out any) (err error) {
 	obsWireRequests.With(path).Inc()
 	defer func() {
 		if err != nil {
 			obsWireErrors.With(path).Inc()
 		}
 	}()
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -66,27 +156,37 @@ func (c *Client) post(ctx context.Context, path string, in, out any) (err error)
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return &retryableError{err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
-		return err
+		return &retryableError{err}
 	}
 	if resp.StatusCode != http.StatusOK {
+		werr := fmt.Errorf("dist: %s: HTTP %d", path, resp.StatusCode)
 		var er errorReply
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return fmt.Errorf("dist: %s: %s", path, er.Error)
+			werr = fmt.Errorf("dist: %s: %s", path, er.Error)
 		}
-		return fmt.Errorf("dist: %s: HTTP %d", path, resp.StatusCode)
+		if resp.StatusCode >= 500 {
+			return &retryableError{werr}
+		}
+		return werr
 	}
 	return json.Unmarshal(data, out)
 }
 
 // Lease asks the coordinator for one shard.
 func (c *Client) Lease(ctx context.Context, worker string) (LeaseReply, error) {
+	return c.LeaseCapacity(ctx, worker, 0)
+}
+
+// LeaseCapacity asks for one shard while advertising the worker's parallel
+// slot count (0 leaves the coordinator's view unchanged).
+func (c *Client) LeaseCapacity(ctx context.Context, worker string, capacity int) (LeaseReply, error) {
 	var reply LeaseReply
-	err := c.post(ctx, PathLease, LeaseRequest{Proto: ProtoVersion, Worker: worker}, &reply)
+	err := c.post(ctx, PathLease, LeaseRequest{Proto: ProtoVersion, Worker: worker, Capacity: capacity}, &reply)
 	return reply, err
 }
 
@@ -103,6 +203,38 @@ func (c *Client) Event(ctx context.Context, req EventRequest) error {
 	req.Proto = ProtoVersion
 	var reply EventReply
 	return c.post(ctx, PathEvents, req, &reply)
+}
+
+// Submit enqueues one campaign matrix on a queue coordinator.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (SubmitReply, error) {
+	req.Proto = ProtoVersion
+	var reply SubmitReply
+	err := c.post(ctx, PathSubmit, req, &reply)
+	return reply, err
+}
+
+// Matrices lists the queue's submissions, submission order preserved.
+func (c *Client) Matrices(ctx context.Context) (MatricesReply, error) {
+	var reply MatricesReply
+	err := c.post(ctx, PathMatrices, struct {
+		Proto int `json:"proto"`
+	}{ProtoVersion}, &reply)
+	return reply, err
+}
+
+// CancelMatrix cancels one queued submission.
+func (c *Client) CancelMatrix(ctx context.Context, id string) (CancelReply, error) {
+	var reply CancelReply
+	err := c.post(ctx, PathCancel, CancelRequest{Proto: ProtoVersion, ID: id}, &reply)
+	return reply, err
+}
+
+// Fetch downloads one submission's assembled results as a campaign
+// database blob.
+func (c *Client) Fetch(ctx context.Context, id string) (FetchReply, error) {
+	var reply FetchReply
+	err := c.post(ctx, PathFetch, FetchRequest{Proto: ProtoVersion, ID: id}, &reply)
+	return reply, err
 }
 
 // Status fetches the coordinator's aggregate state.

@@ -1,0 +1,116 @@
+package dist
+
+// Client retry pins: transient failures (5xx, transport errors) retry with
+// jittered exponential backoff under a bounded budget; 4xx rejections
+// never retry.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers 503 for the first fail requests, then delegates.
+type flakyHandler struct {
+	fail int
+	next http.Handler
+	hits int
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.hits++
+	if h.hits <= h.fail {
+		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: "coordinator warming up"})
+		return
+	}
+	h.next.ServeHTTP(w, r)
+}
+
+// stubSleep replaces the client's backoff sleep, recording requested
+// delays instead of waiting.
+func stubSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func TestClientRetriesTransientErrors(t *testing.T) {
+	coord, err := NewCoordinator(compatJobs()[:1], compatFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyHandler{fail: 3, next: coord.Handler()}
+	cl := NewLoopbackClient(flaky)
+	var delays []time.Duration
+	cl.sleep = stubSleep(&delays)
+
+	reply, err := cl.Lease(context.Background(), "w0")
+	if err != nil {
+		t.Fatalf("lease through flaky coordinator: %v", err)
+	}
+	if reply.Lease == nil {
+		t.Fatal("no lease granted after retries")
+	}
+	if flaky.hits != 4 {
+		t.Errorf("round trips = %d, want 4 (3 failures + success)", flaky.hits)
+	}
+	if len(delays) != 3 {
+		t.Fatalf("backoff sleeps = %d, want 3", len(delays))
+	}
+	// Exponential with ±50% jitter: attempt n sleeps in [0.5, 1.5) × 50ms·2ⁿ.
+	base := 50 * time.Millisecond
+	for i, d := range delays {
+		lo, hi := base/2, base+base/2
+		if d < lo || d >= hi {
+			t.Errorf("backoff %d = %v, want in [%v, %v)", i, d, lo, hi)
+		}
+		base *= 2
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	flaky := &flakyHandler{fail: 1 << 30, next: http.NotFoundHandler()}
+	cl := NewLoopbackClient(flaky, Retries(2))
+	var delays []time.Duration
+	cl.sleep = stubSleep(&delays)
+
+	_, err := cl.Lease(context.Background(), "w0")
+	if err == nil {
+		t.Fatal("permanently failing coordinator did not error")
+	}
+	if flaky.hits != 3 {
+		t.Errorf("round trips = %d, want 3 (budget of 2 retries)", flaky.hits)
+	}
+	// The budget-exhausting error still carries the coordinator's body.
+	var re *retryableError
+	if !errors.As(err, &re) {
+		t.Errorf("final error lost its transient classification: %v", err)
+	}
+}
+
+func TestClientNeverRetries4xx(t *testing.T) {
+	coord, err := NewCoordinator(compatJobs()[:1], compatFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &flakyHandler{fail: 0, next: coord.Handler()}
+	cl := NewLoopbackClient(counter)
+	var delays []time.Duration
+	cl.sleep = stubSleep(&delays)
+
+	// A wrong-proto request is a 400: rejected once, never resent.
+	var reply LeaseReply
+	err = cl.post(context.Background(), PathLease, LeaseRequest{Proto: 99, Worker: "old"}, &reply)
+	if err == nil {
+		t.Fatal("wrong-proto request accepted")
+	}
+	if counter.hits != 1 {
+		t.Errorf("4xx retried: %d round trips", counter.hits)
+	}
+	if len(delays) != 0 {
+		t.Errorf("4xx slept %v before failing", delays)
+	}
+}

@@ -1,6 +1,15 @@
-// The coordinator half of the fabric: shard bookkeeping, the HTTP+JSON
-// protocol handlers, result folding into the canonical campaign.Store and
-// event stream, and the status page.
+// The coordinator half of the fabric: the submission queue, shard
+// bookkeeping, the HTTP+JSON protocol handlers, result folding into the
+// canonical campaign.Store and event stream, and the status page.
+//
+// A coordinator runs in one of two modes over the same machinery. The
+// one-shot mode (NewCoordinator) is the original single-matrix service:
+// one implicit submission, Done signalled to workers when it drains, Wait
+// returns its results. The persistent mode (NewQueue) is the multi-tenant
+// campaign service: submissions arrive over /v1/submit, each scoped to a
+// tenant namespace, the lease scheduler fair-shares the fleet across
+// tenants, and the queue survives restarts through the submission journal
+// (journal.go) plus the store's resume path.
 package dist
 
 import (
@@ -39,16 +48,57 @@ const (
 	// corrupts results.
 	DefaultLeaseTTL = 5 * time.Minute
 	// defaultRetryMs is the back-off hint handed to workers when every
-	// remaining shard is leased.
+	// remaining shard is leased (or, on a persistent queue, when the queue
+	// is momentarily empty).
 	defaultRetryMs = 200
 )
+
+// submission is one queued campaign matrix: the jobs and fault count a
+// local Engine.RunMatrix would take, the tenant namespace its rows land
+// in, and the per-campaign folding state. The one-shot coordinator has
+// exactly one; a persistent queue accumulates them over /v1/submit.
+type submission struct {
+	id         string
+	tenant     string
+	faults     int
+	traceProp  bool
+	recordRuns bool
+	store      campaign.Store // tenant-scoped view of the coordinator store
+	jobs       []campaign.ScenarioJob
+	camps      []*campState
+	results    []*campaign.Result
+	errs       []error
+	campsLeft  int
+	skipped    int
+	failed     int
+	cancelled  bool
+	t0         time.Time
+	endT       time.Time // terminal timestamp (zero while running)
+
+	done chan struct{} // closed when the last campaign retires
+}
+
+// state reports the submission's lifecycle state.
+func (s *submission) state() string {
+	switch {
+	case s.cancelled:
+		return "cancelled"
+	case s.campsLeft > 0:
+		return "running"
+	case s.failed > 0:
+		return "failed"
+	default:
+		return "done"
+	}
+}
 
 // campState is one (scenario, domain) campaign's folding state on the
 // coordinator: the identity it was sharded from, the per-fault results
 // collected so far, the scenario-level metadata reported by the first
 // completed shard, and the aggregated telemetry.
 type campState struct {
-	idx    int // position in the jobs / results slices
+	sub    *submission // owning submission (nil only in table-level tests)
+	idx    int         // position in the submission's jobs / results slices
 	job    campaign.ScenarioJob
 	key    string
 	faults int
@@ -77,17 +127,27 @@ type campState struct {
 	err  error
 }
 
+// tenant is the campaign's namespace, via its owning submission.
+func (cs *campState) tenant() string {
+	if cs.sub == nil {
+		return ""
+	}
+	return cs.sub.tenant
+}
+
 // workerInfo is the per-worker telemetry behind the status page.
 type workerInfo struct {
 	shards   int
 	runs     int
+	capacity int
 	lastSeen time.Time
 }
 
-// Coordinator shards a campaign matrix and serves it to workers. Construct
-// with NewCoordinator, mount Handler on a server (or hand it to loopback
-// clients), then Wait for the folded results; Serve does listen+wait in one
-// call. A Coordinator is single-use: one matrix per instance.
+// Coordinator serves campaign shards to workers. Construct with
+// NewCoordinator for the one-shot mode (one matrix, Wait for its results)
+// or NewQueue for the persistent multi-tenant service (Submit enqueues
+// matrices; the process serves until stopped). Mount Handler on a server
+// or hand it to loopback clients; Serve does listen+wait in one call.
 type Coordinator struct {
 	shardSize  int
 	ttl        time.Duration
@@ -96,18 +156,18 @@ type Coordinator struct {
 	traceProp  bool
 	recordRuns bool
 	now        func() time.Time
+	persistent bool
 
-	mu        sync.Mutex
-	camps     []*campState
-	table     *leaseTable
-	results   []*campaign.Result
-	errs      []error
-	campsLeft int
-	skipped   int
-	failed    int
-	workers   map[string]*workerInfo
-	t0        time.Time
-	muted     bool // terminal MatrixDone announced; drop late handler events
+	mu      sync.Mutex
+	subs    []*submission
+	subByID map[string]*submission
+	nextSeq int
+	oneShot *submission // NewCoordinator's single implicit submission
+	table   *leaseTable
+	workers map[string]*workerInfo
+	t0      time.Time
+	muted   bool // terminal MatrixDone announced; drop late handler events
+	journal *Journal
 
 	// Observability state (obs.go, dash.go): the coordinator's private
 	// instrument registry, the latest cumulative metric snapshot per worker
@@ -136,7 +196,9 @@ func LeaseTTL(d time.Duration) CoordOption { return func(c *Coordinator) { c.ttl
 // WithStore attaches the canonical results store: campaigns whose key the
 // store already holds are answered from it (the resume path, exactly like
 // the local Engine), and every freshly assembled campaign is Put in
-// completion order.
+// completion order. On a persistent queue the store should be a
+// campaign.TenantStore (e.g. OpenSegmentedStore) so named tenants can be
+// scoped; submissions for named tenants over a flat store are rejected.
 func WithStore(st campaign.Store) CoordOption { return func(c *Coordinator) { c.store = st } }
 
 // WithEvents attaches a typed campaign event stream. The coordinator sends
@@ -149,7 +211,8 @@ func WithEvents(ch chan<- campaign.Event) CoordOption { return func(c *Coordinat
 // TraceProp marks every lease with the propagation-tracing flag: workers
 // trace unmasked runs and ship the traces back, and assembled results carry
 // the campaign-level prop fold — the distributed analogue of the Engine's
-// TraceProp option.
+// TraceProp option. On a persistent queue this is the default for
+// submissions; each SubmitSpec can override it.
 func TraceProp() CoordOption { return func(c *Coordinator) { c.traceProp = true } }
 
 // RecordRuns marks every assembled campaign as a recorded one: the
@@ -164,20 +227,13 @@ func RecordRuns() CoordOption { return func(c *Coordinator) { c.recordRuns = tru
 // withNow overrides the coordinator clock (lease-expiry tests).
 func withNow(f func() time.Time) CoordOption { return func(c *Coordinator) { c.now = f } }
 
-// NewCoordinator shards one matrix: the same jobs and per-campaign fault
-// count a local Engine.RunMatrix would take. Jobs already recorded in the
-// store must match their fault count and seed (the campaign.ValidateResume
-// rule) and are answered without sharding; everything else becomes pending
-// shards. The fabric inherits the Engine's seed convention unchanged, so a
-// distributed run reproduces a local run bit for bit.
-func NewCoordinator(jobs []campaign.ScenarioJob, faults int, opts ...CoordOption) (*Coordinator, error) {
-	if faults < 0 {
-		return nil, fmt.Errorf("dist: negative fault count %d", faults)
-	}
+// newCoordinator builds the shared chassis of both modes.
+func newCoordinator(opts ...CoordOption) *Coordinator {
 	c := &Coordinator{
 		shardSize:  DefaultShardSize,
 		ttl:        DefaultLeaseTTL,
 		now:        time.Now,
+		subByID:    make(map[string]*submission),
 		workers:    make(map[string]*workerInfo),
 		cm:         newCoordMetrics(),
 		workerFams: make(map[string][]obs.Family),
@@ -194,43 +250,127 @@ func NewCoordinator(jobs []campaign.ScenarioJob, faults int, opts ...CoordOption
 	if c.ttl <= 0 {
 		c.ttl = DefaultLeaseTTL
 	}
-	c.results = make([]*campaign.Result, len(jobs))
-	c.errs = make([]error, len(jobs))
-	seen := make(map[string]bool, len(jobs))
-	for i, job := range jobs {
+	c.table = newLeaseTable(nil, c.shardSize, c.ttl, c.now)
+	c.t0 = c.now()
+	return c
+}
+
+// NewCoordinator shards one matrix: the same jobs and per-campaign fault
+// count a local Engine.RunMatrix would take. Jobs already recorded in the
+// store must match their fault count and seed (the campaign.ValidateResume
+// rule) and are answered without sharding; everything else becomes pending
+// shards. The fabric inherits the Engine's seed convention unchanged, so a
+// distributed run reproduces a local run bit for bit. The coordinator is
+// one-shot: the single implicit submission, then Done.
+func NewCoordinator(jobs []campaign.ScenarioJob, faults int, opts ...CoordOption) (*Coordinator, error) {
+	c := newCoordinator(opts...)
+	sub, err := c.enqueue(SubmitSpec{
+		Jobs:       jobs,
+		Faults:     faults,
+		TraceProp:  c.traceProp,
+		RecordRuns: c.recordRuns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.oneShot = sub
+	if sub.campsLeft == 0 {
+		close(c.finished)
+	}
+	return c, nil
+}
+
+// enqueue validates one submission spec and threads it into the queue:
+// store-answered campaigns retire immediately, the rest become pending
+// shards. Callers in persistent mode hold c.mu; NewCoordinator calls it
+// before the coordinator is shared.
+func (c *Coordinator) enqueue(spec SubmitSpec) (*submission, error) {
+	if spec.Faults < 0 {
+		return nil, fmt.Errorf("dist: negative fault count %d", spec.Faults)
+	}
+	if !campaign.ValidTenant(spec.Tenant) {
+		return nil, fmt.Errorf("dist: invalid tenant namespace %q", spec.Tenant)
+	}
+	view, err := campaign.TenantView(c.store, spec.Tenant)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	c.nextSeq++
+	sub := &submission{
+		id:         spec.ID,
+		tenant:     spec.Tenant,
+		faults:     spec.Faults,
+		traceProp:  spec.TraceProp,
+		recordRuns: spec.RecordRuns,
+		store:      view,
+		jobs:       spec.Jobs,
+		results:    make([]*campaign.Result, len(spec.Jobs)),
+		errs:       make([]error, len(spec.Jobs)),
+		t0:         c.now(),
+		done:       make(chan struct{}),
+	}
+	if sub.id == "" {
+		sub.id = fmt.Sprintf("m%06d", c.nextSeq)
+	}
+	if c.subByID[sub.id] != nil {
+		return nil, fmt.Errorf("dist: submission %s already exists", sub.id)
+	}
+	tn := tenantLabel(sub.tenant)
+	seen := make(map[string]bool, len(spec.Jobs))
+	for i, job := range spec.Jobs {
 		key := job.Key()
 		if seen[key] {
 			return nil, fmt.Errorf("dist: duplicate campaign %s in matrix", key)
 		}
 		seen[key] = true
-		st := &campState{idx: i, job: job, key: key, faults: faults, runs: make([]fi.Result, faults)}
-		if c.traceProp {
-			st.traces = make([]*prop.Trace, faults)
-		}
-		if c.store != nil {
-			if r, ok := c.store.Get(key); ok {
-				if r.Faults != faults || r.Seed != job.Seed {
-					return nil, fmt.Errorf("dist: %s recorded with (faults=%d seed=%d), this matrix uses (faults=%d seed=%d)",
-						key, r.Faults, r.Seed, faults, job.Seed)
+		// A campaign still running under another live submission of the
+		// same tenant would race it on the store; refuse up front.
+		for _, other := range c.subs {
+			if other.tenant != sub.tenant || other.campsLeft == 0 {
+				continue
+			}
+			for _, oc := range other.camps {
+				if oc.key == key && !oc.done {
+					return nil, fmt.Errorf("dist: campaign %s already queued by submission %s", key, other.id)
 				}
-				c.results[i] = r
-				st.done = true
-				st.skipped = true
-				c.skipped++
-				c.cm.campaigns.With("skipped").Inc()
 			}
 		}
-		c.camps = append(c.camps, st)
+		st := &campState{sub: sub, idx: i, job: job, key: key, faults: spec.Faults, runs: make([]fi.Result, spec.Faults)}
+		if spec.TraceProp {
+			st.traces = make([]*prop.Trace, spec.Faults)
+		}
+		if view != nil {
+			if r, ok := view.Get(key); ok {
+				if r.Faults != spec.Faults || r.Seed != job.Seed {
+					return nil, fmt.Errorf("dist: %s recorded with (faults=%d seed=%d), this matrix uses (faults=%d seed=%d)",
+						key, r.Faults, r.Seed, spec.Faults, job.Seed)
+				}
+				sub.results[i] = r
+				st.done = true
+				st.skipped = true
+				sub.skipped++
+			}
+		}
+		sub.camps = append(sub.camps, st)
 		if !st.done {
-			c.campsLeft++
+			sub.campsLeft++
 		}
 	}
-	c.table = newLeaseTable(c.camps, c.shardSize, c.ttl, c.now)
-	c.t0 = c.now()
-	if c.campsLeft == 0 {
-		close(c.finished)
+	// The spec is valid: commit. Metrics only move past this point, so a
+	// rejected submission leaves no trace.
+	for _, st := range sub.camps {
+		if st.skipped {
+			c.cm.campaigns.With("skipped", tn).Inc()
+		}
 	}
-	return c, nil
+	c.subs = append(c.subs, sub)
+	c.subByID[sub.id] = sub
+	c.table.add(sub.camps, c.shardSize)
+	if sub.campsLeft == 0 {
+		sub.endT = c.now()
+		close(sub.done)
+	}
+	return sub, nil
 }
 
 // emit publishes one campaign event when a stream is attached. Handlers
@@ -260,12 +400,12 @@ func (c *Coordinator) finish(ev campaign.MatrixDone) {
 	})
 }
 
-// Wait blocks until every campaign is assembled (or failed), or until ctx
-// cancels, then emits the terminal MatrixDone and returns results in job
-// order — the same contract as Engine.RunMatrix. On cancellation the
-// partial results plus ctx.Err() are returned; campaigns already assembled
-// are durable in the store, and a new coordinator over the same store
-// resumes where this one stopped.
+// Wait blocks until every campaign of the one-shot matrix is assembled (or
+// failed), or until ctx cancels, then emits the terminal MatrixDone and
+// returns results in job order — the same contract as Engine.RunMatrix. On
+// cancellation the partial results plus ctx.Err() are returned; campaigns
+// already assembled are durable in the store, and a new coordinator over
+// the same store resumes where this one stopped.
 func (c *Coordinator) Wait(ctx context.Context) ([]*campaign.Result, error) {
 	var cause error
 	select {
@@ -274,12 +414,13 @@ func (c *Coordinator) Wait(ctx context.Context) ([]*campaign.Result, error) {
 		cause = ctx.Err()
 	}
 	c.mu.Lock()
-	results := append([]*campaign.Result(nil), c.results...)
+	sub := c.oneShot
+	results := append([]*campaign.Result(nil), sub.results...)
 	var first error
 	if cause != nil {
 		first = cause
 	} else {
-		for _, err := range c.errs {
+		for _, err := range sub.errs {
 			if err != nil {
 				first = err
 				break
@@ -292,8 +433,8 @@ func (c *Coordinator) Wait(ctx context.Context) ([]*campaign.Result, error) {
 			completed++
 		}
 	}
-	completed -= c.skipped
-	skipped, failed := c.skipped, len(results)-completed-c.skipped
+	completed -= sub.skipped
+	skipped, failed := sub.skipped, len(results)-completed-sub.skipped
 	wall := c.now().Sub(c.t0).Seconds()
 	c.mu.Unlock()
 	c.finish(campaign.MatrixDone{
@@ -314,15 +455,16 @@ func (c *Coordinator) Wait(ctx context.Context) ([]*campaign.Result, error) {
 const doneLinger = 1500 * time.Millisecond
 
 // Serve listens on addr, serves the wire protocol plus the status page, and
-// waits for the matrix (see Wait). After completion the server lingers
-// briefly (doneLinger) so polling workers see the Done signal, then the
-// listener closes.
+// waits for the one-shot matrix (see Wait). After completion the server
+// lingers briefly (doneLinger) so polling workers see the Done signal, then
+// the listener closes. Persistent queues serve Handler on their own
+// http.Server instead.
 func (c *Coordinator) Serve(ctx context.Context, addr string) ([]*campaign.Result, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		// Announce the terminal event even when the run never starts, so an
 		// attached Collector goroutine unblocks instead of hanging its CLI.
-		c.finish(campaign.MatrixDone{Skipped: c.skipped, Err: err})
+		c.finish(campaign.MatrixDone{Skipped: c.oneShot.skipped, Err: err})
 		return nil, err
 	}
 	srv := &http.Server{Handler: c.Handler()}
@@ -339,16 +481,21 @@ func (c *Coordinator) Serve(ctx context.Context, addr string) ([]*campaign.Resul
 	return results, werr
 }
 
-// Handler returns the coordinator's HTTP handler: the /v1 wire protocol,
-// a human-readable status page at /, the cluster-wide Prometheus
-// exposition at /metrics, the live dashboard at /dash (SSE feed at
-// /dash/events), and the standard pprof endpoints under /debug/pprof/.
+// Handler returns the coordinator's HTTP handler: the /v1 wire protocol
+// (lease/complete/events plus the queue's submit/matrices/cancel/fetch), a
+// human-readable status page at /, the cluster-wide Prometheus exposition
+// at /metrics, the live dashboard at /dash (SSE feed at /dash/events), and
+// the standard pprof endpoints under /debug/pprof/.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathLease, c.handleLease)
 	mux.HandleFunc(PathComplete, c.handleComplete)
 	mux.HandleFunc(PathEvents, c.handleEvents)
 	mux.HandleFunc(PathStatus, c.handleStatus)
+	mux.HandleFunc(PathSubmit, c.handleSubmit)
+	mux.HandleFunc(PathMatrices, c.handleMatrices)
+	mux.HandleFunc(PathCancel, c.handleCancel)
+	mux.HandleFunc(PathFetch, c.handleFetch)
 	mux.HandleFunc("/metrics", c.handleMetrics)
 	mux.HandleFunc("/dash", c.handleDash)
 	mux.HandleFunc("/dash/events", c.handleDashEvents)
@@ -396,6 +543,14 @@ func (c *Coordinator) touch(name string) *workerInfo {
 	return wi
 }
 
+// matrixDoneLocked reports the Done flag piggybacked to workers: a one-shot
+// coordinator is done when its matrix drains; a persistent queue never
+// tells workers to exit — an idle fleet polls for the next submission.
+// Caller holds c.mu.
+func (c *Coordinator) matrixDoneLocked() bool {
+	return !c.persistent && c.oneShot != nil && c.oneShot.campsLeft == 0
+}
+
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if !decode(w, r, &req.Proto, &req) {
@@ -403,24 +558,28 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.touch(req.Worker)
-	sh, done := c.table.acquire(req.Worker)
-	if done {
-		c.cm.leaseRequests.With("done").Inc()
-		writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, Done: true})
-		return
+	wi := c.touch(req.Worker)
+	if req.Capacity > 0 {
+		wi.capacity = req.Capacity
 	}
+	sh, allRetired := c.table.acquire(req.Worker)
 	if sh == nil {
-		c.cm.leaseRequests.With("retry").Inc()
+		if allRetired && !c.persistent {
+			c.cm.leaseRequests.With("done", "none").Inc()
+			writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, Done: true})
+			return
+		}
+		c.cm.leaseRequests.With("retry", "none").Inc()
 		writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, RetryMs: defaultRetryMs})
 		return
 	}
-	c.cm.leaseRequests.With("grant").Inc()
 	camp := sh.camp
+	c.cm.leaseRequests.With("grant", tenantLabel(camp.tenant())).Inc()
 	if !camp.started {
 		camp.started = true
 		camp.t0 = c.now()
 	}
+	traceProp := camp.traces != nil
 	writeJSON(w, http.StatusOK, LeaseReply{Proto: ProtoVersion, Lease: &Lease{
 		ID:        sh.leaseID,
 		Key:       camp.key,
@@ -431,7 +590,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		Lo:        sh.lo,
 		Hi:        sh.hi,
 		TTLMs:     int(c.ttl / time.Millisecond),
-		TraceProp: c.traceProp,
+		TraceProp: traceProp,
 	}})
 }
 
@@ -449,29 +608,30 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	sh, stale := c.table.complete(req.LeaseID, req.Key, req.Lo, req.Hi)
 	if stale {
-		c.cm.shards.With("stale").Inc()
-		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Stale: true, Done: c.campsLeft == 0})
+		c.cm.shards.With("stale", "none").Inc()
+		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Stale: true, Done: c.matrixDoneLocked()})
 		return
 	}
 	camp := sh.camp
+	tn := tenantLabel(camp.tenant())
 	if req.Err != "" {
-		c.cm.shards.With("failed").Inc()
+		c.cm.shards.With("failed", tn).Inc()
 		c.failCampaign(camp, errors.New(req.Err))
-		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
+		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.matrixDoneLocked()})
 		return
 	}
 	if len(req.Runs) != sh.hi-sh.lo {
-		c.cm.shards.With("failed").Inc()
+		c.cm.shards.With("failed", tn).Inc()
 		c.failCampaign(camp, fmt.Errorf("shard [%d,%d) returned %d runs", sh.lo, sh.hi, len(req.Runs)))
-		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
+		writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.matrixDoneLocked()})
 		return
 	}
 	if camp.traces != nil {
 		if len(req.Traces) != len(req.Runs) {
-			c.cm.shards.With("failed").Inc()
+			c.cm.shards.With("failed", tn).Inc()
 			c.failCampaign(camp, fmt.Errorf("shard [%d,%d) returned %d traces for %d runs (tracing requested)",
 				sh.lo, sh.hi, len(req.Traces), len(req.Runs)))
-			writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
+			writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.matrixDoneLocked()})
 			return
 		}
 		copy(camp.traces[sh.lo:sh.hi], req.Traces)
@@ -503,7 +663,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			camp.unmasked++
 		}
 	}
-	c.cm.shards.With("accepted").Inc()
+	c.cm.shards.With("accepted", tn).Inc()
 	c.cm.shardSeconds.Observe(req.WallSec)
 	wi.shards++
 	wi.runs += len(req.Runs)
@@ -511,7 +671,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if camp.shardsLeft == 0 && !camp.done {
 		c.assemble(camp)
 	}
-	writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.campsLeft == 0})
+	writeJSON(w, http.StatusOK, CompleteReply{Proto: ProtoVersion, Accepted: true, Done: c.matrixDoneLocked()})
 }
 
 func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -537,7 +697,7 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	camp := sh.camp
 	sh.beats += req.Hi - req.Lo
 	camp.beats += req.Hi - req.Lo
-	c.cm.beats.Inc()
+	c.cm.beats.With(tenantLabel(camp.tenant())).Inc()
 	c.sse.publish(dashEvent{
 		Type:    "job",
 		Key:     camp.key,
@@ -563,6 +723,7 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 // it in the store and announces it — the distributed analogue of the
 // Engine's assemble step. Caller holds c.mu.
 func (c *Coordinator) assemble(camp *campState) {
+	sub := camp.sub
 	res := &campaign.Result{
 		Scenario:        camp.job.Scenario,
 		Domain:          camp.job.Domain,
@@ -580,23 +741,23 @@ func (c *Coordinator) assemble(camp *campState) {
 		SimulatedInstr:  camp.simulated,
 		FromResetInstr:  camp.fromReset,
 		PrunedRuns:      camp.pruned,
-		RecordRuns:      c.recordRuns,
+		RecordRuns:      sub.recordRuns,
 	}
 	for _, r := range camp.runs {
 		res.Counts.Add(r.Outcome)
 	}
-	if c.store != nil {
-		if err := c.store.Put(res); err != nil {
+	if sub.store != nil {
+		if err := sub.store.Put(res); err != nil {
 			c.failCampaign(camp, fmt.Errorf("stream record: %w", err))
 			return
 		}
 	}
-	c.results[camp.idx] = res
+	sub.results[camp.idx] = res
 	camp.done = true
-	c.cm.campaigns.With("completed").Inc()
+	c.cm.campaigns.With("completed", tenantLabel(sub.tenant)).Inc()
 	c.sse.publish(dashEvent{Type: "scenario", Key: camp.key, Done: camp.runsDone, Total: camp.faults})
 	c.emit(campaign.ScenarioDone{Key: camp.key, Result: res})
-	c.campDone()
+	c.campDone(sub)
 }
 
 // failCampaign retires a campaign with an error, dropping its remaining
@@ -605,24 +766,64 @@ func (c *Coordinator) failCampaign(camp *campState, err error) {
 	if camp.done {
 		return
 	}
+	sub := camp.sub
 	camp.done = true
 	camp.err = fmt.Errorf("%s: %w", camp.key, err)
-	c.errs[camp.idx] = camp.err
-	c.failed++
-	c.cm.campaigns.With("failed").Inc()
+	sub.errs[camp.idx] = camp.err
+	sub.failed++
+	c.cm.campaigns.With("failed", tenantLabel(sub.tenant)).Inc()
 	c.table.retireCampaign(camp)
 	c.sse.publish(dashEvent{Type: "scenario", Key: camp.key, Failed: true, Err: err.Error()})
 	c.emit(campaign.ScenarioDone{Key: camp.key, Err: camp.err})
-	c.campDone()
+	c.campDone(sub)
 }
 
-// campDone retires one campaign slot; the matrix finishes when none remain.
-// Caller holds c.mu.
-func (c *Coordinator) campDone() {
-	c.campsLeft--
-	if c.campsLeft == 0 {
+// campDone retires one campaign slot of a submission; the submission
+// finishes when none remain, and a one-shot coordinator then finishes the
+// matrix. Caller holds c.mu.
+func (c *Coordinator) campDone(sub *submission) {
+	sub.campsLeft--
+	if sub.campsLeft != 0 {
+		return
+	}
+	sub.endT = c.now()
+	close(sub.done)
+	if sub == c.oneShot {
 		close(c.finished)
 	}
+	if c.persistent {
+		// Long-lived queues prune retired shards so acquire scans stay
+		// proportional to live work, not to everything ever submitted.
+		c.table.pruneDone()
+	}
+}
+
+// matrixStatusLocked renders one submission's queue row. Caller holds c.mu.
+func (c *Coordinator) matrixStatusLocked(sub *submission) MatrixStatus {
+	ms := MatrixStatus{
+		ID:        sub.id,
+		Tenant:    sub.tenant,
+		State:     sub.state(),
+		Campaigns: len(sub.camps),
+		Skipped:   sub.skipped,
+		Failed:    sub.failed,
+	}
+	end := sub.endT
+	if end.IsZero() {
+		end = c.now()
+	}
+	ms.ElapsedSec = end.Sub(sub.t0).Seconds()
+	for _, camp := range sub.camps {
+		if camp.done {
+			ms.CampaignsDone++
+		}
+		if camp.skipped {
+			continue
+		}
+		ms.Injections += camp.faults
+		ms.Injected += camp.runsDone
+	}
+	return ms
 }
 
 // Status snapshots the coordinator's aggregate state (also served at
@@ -634,58 +835,67 @@ func (c *Coordinator) Status() StatusReply {
 	now := c.now()
 	st := StatusReply{
 		Proto:         ProtoVersion,
-		Done:          c.campsLeft == 0,
-		Campaigns:     len(c.camps),
-		Skipped:       c.skipped,
-		Failed:        c.failed,
-		Shards:        len(c.table.shards),
+		Shards:        c.table.total,
 		ShardsDone:    c.table.done,
 		ShardsLeased:  c.table.leased,
 		ShardsPending: c.table.pending,
 		Reissued:      c.table.reissued,
 		ElapsedSec:    now.Sub(c.t0).Seconds(),
 	}
-	for _, camp := range c.camps {
-		if camp.done {
-			st.CampaignsDone++
+	live := 0
+	for _, sub := range c.subs {
+		st.Campaigns += len(sub.camps)
+		st.Skipped += sub.skipped
+		st.Failed += sub.failed
+		if sub.campsLeft > 0 {
+			live++
 		}
-		row := CampaignStatus{
-			Key:     camp.key,
-			Faults:  camp.faults,
-			Done:    camp.done,
-			Skipped: camp.skipped,
-			Failed:  camp.err != nil,
-		}
-		if !camp.skipped {
-			// Live progress: beats lead runsDone while a shard is in flight,
-			// runsDone wins once folding catches up.
-			row.Injected = camp.runsDone
-			if camp.beats > row.Injected {
-				row.Injected = camp.beats
+		st.Matrices = append(st.Matrices, c.matrixStatusLocked(sub))
+		for _, camp := range sub.camps {
+			if camp.done {
+				st.CampaignsDone++
 			}
-		}
-		// Vulnerability: unmasked rate over folded results, with its 95%
-		// Wilson interval. Store-answered campaigns read the stored counts;
-		// live ones the fold counter (never camp.runs — its unfolded slots
-		// are zero values that would read as Vanished).
-		unmasked, n := camp.unmasked, camp.runsDone
-		if camp.skipped {
-			if r := c.results[camp.idx]; r != nil {
-				unmasked, n = r.Counts.Unmasked(), r.Counts.Total()
+			row := CampaignStatus{
+				Key:     camp.key,
+				Tenant:  sub.tenant,
+				Matrix:  sub.id,
+				Faults:  camp.faults,
+				Done:    camp.done,
+				Skipped: camp.skipped,
+				Failed:  camp.err != nil,
 			}
+			if !camp.skipped {
+				// Live progress: beats lead runsDone while a shard is in
+				// flight, runsDone wins once folding catches up.
+				row.Injected = camp.runsDone
+				if camp.beats > row.Injected {
+					row.Injected = camp.beats
+				}
+			}
+			// Vulnerability: unmasked rate over folded results, with its 95%
+			// Wilson interval. Store-answered campaigns read the stored
+			// counts; live ones the fold counter (never camp.runs — its
+			// unfolded slots are zero values that would read as Vanished).
+			unmasked, n := camp.unmasked, camp.runsDone
+			if camp.skipped {
+				if r := sub.results[camp.idx]; r != nil {
+					unmasked, n = r.Counts.Unmasked(), r.Counts.Total()
+				}
+			}
+			if n > 0 {
+				row.Unmasked = unmasked
+				row.Sampled = n
+				row.CILo, row.CIHi = sens.Wilson95(unmasked, n)
+			}
+			st.CampaignList = append(st.CampaignList, row)
+			if camp.skipped {
+				continue // answered from the store: counted in Skipped, not here
+			}
+			st.Injections += camp.faults
+			st.Injected += camp.runsDone
 		}
-		if n > 0 {
-			row.Unmasked = unmasked
-			row.Sampled = n
-			row.CILo, row.CIHi = sens.Wilson95(unmasked, n)
-		}
-		st.CampaignList = append(st.CampaignList, row)
-		if camp.skipped {
-			continue // answered from the store: counted in Skipped, not here
-		}
-		st.Injections += camp.faults
-		st.Injected += camp.runsDone
 	}
+	st.Done = live == 0
 	sort.Slice(st.CampaignList, func(i, j int) bool { return st.CampaignList[i].Key < st.CampaignList[j].Key })
 	if len(c.outcomes) > 0 {
 		st.Outcomes = make(map[string]int, len(c.outcomes))
@@ -700,17 +910,18 @@ func (c *Coordinator) Status() StatusReply {
 	sort.Strings(names)
 	for _, name := range names {
 		wi := c.workers[name]
-		live := 0
+		liveLeases := 0
 		for _, sh := range c.table.shards {
 			if sh.state == shardLeased && sh.worker == name {
-				live++
+				liveLeases++
 			}
 		}
 		st.Workers = append(st.Workers, WorkerStatus{
 			Name:        name,
-			Live:        live,
+			Live:        liveLeases,
 			Shards:      wi.shards,
 			Runs:        wi.runs,
+			Capacity:    wi.capacity,
 			LastSeenSec: now.Sub(wi.lastSeen).Seconds(),
 		})
 	}
@@ -738,6 +949,13 @@ func (c *Coordinator) handlePage(w http.ResponseWriter, r *http.Request) {
 		st.ShardsDone, st.Shards, st.ShardsLeased, st.ShardsPending, st.Reissued)
 	fmt.Fprintf(&b, "injections %d/%d classified\n", st.Injected, st.Injections)
 	fmt.Fprintf(&b, "elapsed    %.1fs\n", st.ElapsedSec)
+	if c.persistent && len(st.Matrices) > 0 {
+		fmt.Fprintf(&b, "\n%-10s %-12s %-10s %10s %10s\n", "matrix", "tenant", "state", "campaigns", "injected")
+		for _, ms := range st.Matrices {
+			fmt.Fprintf(&b, "%-10s %-12s %-10s %6d/%-3d %10d\n",
+				ms.ID, tenantLabel(ms.Tenant), ms.State, ms.CampaignsDone, ms.Campaigns, ms.Injected)
+		}
+	}
 	if len(st.Workers) > 0 {
 		fmt.Fprintf(&b, "\n%-24s %6s %8s %8s %10s\n", "worker", "live", "shards", "runs", "last seen")
 		for _, ws := range st.Workers {
@@ -755,7 +973,7 @@ func (c *Coordinator) handlePage(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "%-24s %8d\n", k, st.Outcomes[k])
 		}
 	}
-	if st.Done {
+	if st.Done && !c.persistent {
 		fmt.Fprintln(&b, "\nmatrix complete")
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")

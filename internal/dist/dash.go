@@ -48,6 +48,10 @@ const dashHTML = `<!DOCTYPE html>
 <table id="outcomes"><thead><tr><th>outcome</th><th>count</th></tr></thead><tbody></tbody></table>
 <h2>vulnerability (unmasked rate, 95% CI)</h2>
 <table id="vuln"><thead><tr><th>campaign</th><th>unmasked</th><th>sampled</th><th>rate</th><th>95% CI</th></tr></thead><tbody></tbody></table>
+<div id="queuepanel" style="display:none">
+<h2>submission queue (per tenant)</h2>
+<table id="queue"><thead><tr><th>matrix</th><th>tenant</th><th>state</th><th>campaigns</th><th>injected</th><th>elapsed</th></tr></thead><tbody></tbody></table>
+</div>
 <h2>workers</h2>
 <table id="workers"><thead><tr><th>worker</th><th>live</th><th>shards</th><th>runs</th><th>last seen</th></tr></thead><tbody></tbody></table>
 <p><a href="/">status page</a> &middot; <a href="/metrics">metrics</a></p>
@@ -116,6 +120,27 @@ function renderStatus(st) {
       td(tr, (100 * (c.ci_lo || 0)).toFixed(1) + "-" + (100 * (c.ci_hi || 0)).toFixed(1) + "%", true);
       vb.appendChild(tr);
     });
+
+  // Submission queue: one row per queued matrix, grouped by tenant so a
+  // starved namespace is visible at a glance. One-shot coordinators report
+  // a single anonymous matrix; the panel only shows once a queue exists.
+  var ms = st.matrices || [];
+  document.getElementById("queuepanel").style.display = ms.length > 1 || (ms.length === 1 && ms[0].tenant) ? "" : "none";
+  var qb = document.querySelector("#queue tbody");
+  qb.textContent = "";
+  ms.slice().sort(function (a, b) {
+    var ta = a.tenant || "default", tb = b.tenant || "default";
+    return ta < tb ? -1 : ta > tb ? 1 : a.id < b.id ? -1 : 1;
+  }).forEach(function (m) {
+    var tr = document.createElement("tr");
+    td(tr, m.id);
+    td(tr, m.tenant || "default");
+    td(tr, m.state);
+    td(tr, m.campaigns_done + "/" + m.campaigns, true);
+    td(tr, (m.injected || 0) + "/" + (m.injections || 0), true);
+    td(tr, m.elapsed_sec.toFixed(0) + "s", true);
+    qb.appendChild(tr);
+  });
 
   var wb = document.querySelector("#workers tbody");
   wb.textContent = "";

@@ -1,0 +1,209 @@
+// The submission journal: a tiny append-only JSONL log of queue
+// operations (submit, cancel) that makes a persistent coordinator survive
+// restarts. On startup RestoreQueue replays the journal against a fresh
+// queue; campaigns whose rows the store already holds are answered from it
+// (the ordinary resume path), so a restart loses at most the in-flight
+// shards — never an assembled campaign, and never the queue itself.
+//
+// The journal records intent, not progress: one line per accepted
+// submission or cancellation, fsynced before the operation is
+// acknowledged. Result durability belongs to the store; the journal only
+// has to remember what was asked for.
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"serfi/internal/campaign"
+	"serfi/internal/fault"
+	"serfi/internal/npb"
+)
+
+// JournalEntry is one queue operation on disk.
+type JournalEntry struct {
+	Op         string    `json:"op"` // "submit" | "cancel"
+	ID         string    `json:"id"`
+	Tenant     string    `json:"tenant,omitempty"`
+	Faults     int       `json:"faults,omitempty"`
+	TraceProp  bool      `json:"trace_prop,omitempty"`
+	RecordRuns bool      `json:"record_runs,omitempty"`
+	Jobs       []WireJob `json:"jobs,omitempty"`
+}
+
+// Journal is an append-only, fsync-on-append log of queue operations.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (or creates) the journal at path for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one entry and fsyncs before returning, so an acknowledged
+// queue operation survives a crash.
+func (j *Journal) Append(e JournalEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReadJournal loads every entry from path, in append order. A missing file
+// is an empty journal, not an error — the first boot of a fresh queue.
+func ReadJournal(path string) ([]JournalEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []JournalEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("dist journal line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PendingSubmissions folds a journal down to the submissions still wanted:
+// every submit entry minus the later-cancelled ones, submission order
+// preserved. Completed submissions stay in the list — on replay their
+// campaigns are answered from the store and the submission retires
+// instantly, which is exactly the bookkeeping a restarted queue needs.
+func PendingSubmissions(entries []JournalEntry) []JournalEntry {
+	cancelled := make(map[string]bool)
+	for _, e := range entries {
+		if e.Op == "cancel" {
+			cancelled[e.ID] = true
+		}
+	}
+	var out []JournalEntry
+	for _, e := range entries {
+		if e.Op == "submit" && !cancelled[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RestoreQueue builds a persistent queue from the journal at path: replays
+// every still-wanted submission against a fresh NewQueue (store-recorded
+// campaigns are answered immediately; unfinished ones become pending
+// shards again), then attaches the journal for new operations. Replayed
+// submissions are NOT re-appended — the journal already holds them. The
+// caller owns the returned journal and should Close it on shutdown.
+func RestoreQueue(path string, opts ...CoordOption) (*Coordinator, *Journal, error) {
+	entries, err := ReadJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := NewQueue(opts...)
+	maxSeq := 0
+	for _, e := range entries {
+		// Sequential IDs resume past everything ever journalled, including
+		// cancelled submissions, so a recycled ID can never collide.
+		if n, err := strconv.Atoi(strings.TrimPrefix(e.ID, "m")); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	for _, e := range PendingSubmissions(entries) {
+		jobs, err := jobsFromWire(e.Jobs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dist journal %s: %w", e.ID, err)
+		}
+		if _, err := c.enqueue(SubmitSpec{
+			ID:         e.ID,
+			Tenant:     e.Tenant,
+			Jobs:       jobs,
+			Faults:     e.Faults,
+			TraceProp:  e.TraceProp,
+			RecordRuns: e.RecordRuns,
+		}); err != nil {
+			return nil, nil, fmt.Errorf("dist journal %s: %w", e.ID, err)
+		}
+	}
+	c.mu.Lock()
+	if maxSeq > c.nextSeq {
+		c.nextSeq = maxSeq
+	}
+	c.mu.Unlock()
+	j, err := OpenJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.AttachJournal(j)
+	return c, j, nil
+}
+
+// WireJobs encodes scenario jobs for a SubmitRequest — the client-side
+// half of the wire encoding the journal shares.
+func WireJobs(jobs []campaign.ScenarioJob) []WireJob { return wireFromJobs(jobs) }
+
+// wireFromJobs encodes scenario jobs for the journal and the submit wire
+// message.
+func wireFromJobs(jobs []campaign.ScenarioJob) []WireJob {
+	out := make([]WireJob, len(jobs))
+	for i, job := range jobs {
+		out[i] = WireJob{Scenario: job.Scenario.ID(), Domain: job.Domain.String(), Seed: job.Seed}
+	}
+	return out
+}
+
+// jobsFromWire decodes the wire encoding back to scenario jobs.
+func jobsFromWire(jobs []WireJob) ([]campaign.ScenarioJob, error) {
+	out := make([]campaign.ScenarioJob, len(jobs))
+	for i, wj := range jobs {
+		sc, err := npb.ParseID(wj.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		d := fault.Reg
+		if wj.Domain != "" {
+			if d, err = fault.ParseModel(wj.Domain); err != nil {
+				return nil, fmt.Errorf("job %d: %w", i, err)
+			}
+		}
+		out[i] = campaign.ScenarioJob{Scenario: sc, Domain: d, Seed: wj.Seed}
+	}
+	return out, nil
+}

@@ -3,9 +3,17 @@
 // is pending, in flight and done; expiry is lazy (checked under the lock on
 // every acquire), so the fabric needs no background timer goroutine and
 // tests can drive time explicitly.
+//
+// Grant order is fair-share across tenants: a deficit round-robin over the
+// pending shards, one quantum (the shard size, in faults) of credit per
+// visit, so no tenant starves however lopsided the queue is. With every
+// shard costing at most one quantum the scheduler degenerates to a strict
+// tenant rotation — the deficit counters only matter for sub-quantum tail
+// shards, where they carry the unused credit to the tenant's next visit.
 package dist
 
 import (
+	"sort"
 	"time"
 )
 
@@ -40,18 +48,33 @@ type leaseTable struct {
 	nextID   int64
 	ttl      time.Duration
 	now      func() time.Time
+	quantum  int // DRR credit per tenant visit, in faults (= shard size)
 	reissued int // expired leases returned to pending
 
+	total   int // shards ever added (survives pruning)
 	pending int // shards with no live lease
 	leased  int // shards in flight
-	done    int // shards retired
+	done    int // shards retired (cumulative; pruned shards stay counted)
+
+	// Fair-share state: per-tenant deficit credit and the rotation pointer
+	// (grants resume after the tenant served last).
+	deficit    map[string]int
+	lastTenant string
 }
 
 // newLeaseTable shards every open campaign into [lo, hi) ranges of at most
 // shardSize faults, in campaign order. Campaigns already answered from the
 // store contribute no shards.
 func newLeaseTable(camps []*campState, shardSize int, ttl time.Duration, now func() time.Time) *leaseTable {
-	t := &leaseTable{ttl: ttl, now: now}
+	t := &leaseTable{ttl: ttl, now: now, quantum: shardSize, deficit: make(map[string]int)}
+	t.add(camps, shardSize)
+	return t
+}
+
+// add shards a batch of open campaigns into the table — the submission
+// path of the persistent queue (newLeaseTable calls it for the initial
+// matrix).
+func (t *leaseTable) add(camps []*campState, shardSize int) {
 	for _, c := range camps {
 		if c.done {
 			continue
@@ -64,6 +87,8 @@ func newLeaseTable(camps []*campState, shardSize int, ttl time.Duration, now fun
 			s := &shard{camp: c, lo: lo, hi: hi}
 			t.shards = append(t.shards, s)
 			c.shardsLeft++
+			t.total++
+			t.pending++
 		}
 		// A zero-fault campaign still needs one (empty) shard so that some
 		// worker reports its golden metadata and the campaign can assemble.
@@ -71,10 +96,10 @@ func newLeaseTable(camps []*campState, shardSize int, ttl time.Duration, now fun
 			s := &shard{camp: c}
 			t.shards = append(t.shards, s)
 			c.shardsLeft++
+			t.total++
+			t.pending++
 		}
 	}
-	t.pending = len(t.shards)
-	return t
 }
 
 // expire returns every overdue lease to pending. Called under the
@@ -98,26 +123,88 @@ func (t *leaseTable) expire() {
 	}
 }
 
-// acquire grants the first pending shard to worker, arming its deadline.
-// done reports that every shard is retired (the worker may exit); a nil
-// shard with done false means everything left is currently leased — retry.
-func (t *leaseTable) acquire(worker string) (s *shard, done bool) {
+// acquire grants one pending shard to worker under the fair-share policy,
+// arming its deadline. allRetired reports that every shard ever added is
+// retired (a one-shot coordinator translates that to Done); a nil shard
+// with allRetired false means everything left is currently leased — retry.
+func (t *leaseTable) acquire(worker string) (s *shard, allRetired bool) {
 	t.expire()
-	if t.done == len(t.shards) {
+	if t.done == t.total {
 		return nil, true
 	}
+	// The DRR candidate set: each tenant's first pending shard, in table
+	// (submission) order, so within one tenant shards still grant in the
+	// deterministic submit order.
+	first := make(map[string]*shard)
+	var tenants []string
 	for _, sh := range t.shards {
 		if sh.state != shardPending {
 			continue
 		}
-		t.nextID++
-		sh.state = shardLeased
-		sh.leaseID = t.nextID
-		sh.worker = worker
-		sh.deadline = t.now().Add(t.ttl)
-		t.pending--
-		t.leased++
-		return sh, false
+		tn := sh.camp.tenant()
+		if _, ok := first[tn]; !ok {
+			first[tn] = sh
+			tenants = append(tenants, tn)
+		}
+	}
+	if len(tenants) == 0 {
+		return nil, false
+	}
+	sort.Strings(tenants)
+	// Tenants with nothing pending forfeit their banked credit: saved-up
+	// deficit must not let a returning tenant burst ahead of the rotation.
+	for tn := range t.deficit {
+		if _, ok := first[tn]; !ok {
+			delete(t.deficit, tn)
+		}
+	}
+	// Rotation: resume after the tenant served last (wrapping), so grants
+	// interleave tenants even when one tenant's shards dominate the table.
+	start := 0
+	for i, tn := range tenants {
+		if tn > t.lastTenant {
+			start = i
+			break
+		}
+	}
+	quantum := t.quantum
+	if quantum <= 0 {
+		quantum = 1
+	}
+	// Two DRR passes: every visit banks one quantum; a tenant whose head
+	// shard costs at most the quantum (always true — shards never exceed
+	// the shard size) is served by its first visit, so the first tenant in
+	// rotation order with pending work gets this grant. The second pass is
+	// a safety net, never reached with well-formed shards.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < len(tenants); i++ {
+			tn := tenants[(start+i)%len(tenants)]
+			sh := first[tn]
+			cost := sh.hi - sh.lo
+			if cost < 1 {
+				cost = 1 // the zero-fault metadata shard still costs a turn
+			}
+			t.deficit[tn] += quantum
+			if t.deficit[tn] < cost {
+				continue
+			}
+			t.deficit[tn] -= cost
+			if t.deficit[tn] > quantum {
+				// Credit is capped at one quantum: sub-quantum tail shards
+				// may bank the remainder of a visit, never more, so no
+				// tenant can save up a burst.
+				t.deficit[tn] = quantum
+			}
+			t.lastTenant = tn
+			t.nextID++
+			sh.state = shardLeased
+			sh.leaseID = t.nextID
+			sh.worker = worker
+			sh.deadline = t.now().Add(t.ttl)
+			t.pending--
+			t.leased++
+			return sh, false
+		}
 	}
 	return nil, false
 }
@@ -166,12 +253,41 @@ func (t *leaseTable) retire(sh *shard) {
 	t.done++
 }
 
-// retireCampaign drops every remaining shard of a failed campaign so the
-// table still drains to completion.
+// retireCampaign drops every remaining shard of a failed (or cancelled)
+// campaign so the table still drains to completion.
 func (t *leaseTable) retireCampaign(c *campState) {
 	for _, sh := range t.shards {
 		if sh.camp == c {
 			t.retire(sh)
 		}
 	}
+}
+
+// pruneDone drops retired shards from the scan slice — long-lived queue
+// coordinators would otherwise scan every shard ever submitted on each
+// acquire. The cumulative counters (total, done, reissued) keep counting
+// pruned shards, so status arithmetic is unchanged.
+func (t *leaseTable) pruneDone() {
+	live := t.shards[:0]
+	for _, sh := range t.shards {
+		if sh.state != shardDone {
+			live = append(live, sh)
+		}
+	}
+	for i := len(live); i < len(t.shards); i++ {
+		t.shards[i] = nil
+	}
+	t.shards = live
+}
+
+// pendingByTenant tallies pending shards per tenant (the queue-depth
+// gauges).
+func (t *leaseTable) pendingByTenant() map[string]int {
+	out := make(map[string]int)
+	for _, sh := range t.shards {
+		if sh.state == shardPending {
+			out[sh.camp.tenant()]++
+		}
+	}
+	return out
 }

@@ -30,15 +30,26 @@ var (
 	obsWireErrors   = obs.Default.CounterVec("serfi_dist_wire_errors_total", "Failed coordinator protocol round trips, by path.", "path")
 )
 
+// tenantLabel renders a tenant namespace as a metric label value: the
+// anonymous namespace scrapes as "default", and rows that cannot be
+// attributed to a tenant (retry/done lease answers, stale shards) use
+// "none" at the call sites.
+func tenantLabel(ns string) string {
+	if ns == "" {
+		return "default"
+	}
+	return ns
+}
+
 // coordMetrics is one coordinator's instrument bundle on its private
 // registry.
 type coordMetrics struct {
 	reg *obs.Registry
 
-	leaseRequests obs.CounterVec // result: grant | retry | done
-	shards        obs.CounterVec // result: accepted | stale | failed
+	leaseRequests obs.CounterVec // result: grant | retry | done; tenant
+	shards        obs.CounterVec // result: accepted | stale | failed; tenant
 	shardSeconds  obs.Histogram  // wall clock of accepted shards
-	beats         obs.Counter    // progress beats folded
+	beats         obs.CounterVec // progress beats folded, by tenant
 	beatsStale    obs.Counter    // beats dropped from expired leases
 
 	shardsPending obs.Gauge
@@ -49,23 +60,29 @@ type coordMetrics struct {
 	campaignsDone obs.Gauge
 	injected      obs.Gauge
 
+	// Queue-level families: pending depth and banked fair-share credit per
+	// tenant, and the submission lifecycle tally.
+	queueDepth    obs.GaugeVec // pending shards, by tenant
+	tenantDeficit obs.GaugeVec // banked DRR credit (faults), by tenant
+	submissions   obs.GaugeVec // queued matrices, by state
+
 	// Engine-level families, fed by the coordinator's fold path. The
 	// coordinator is the cluster's orchestration layer — it classifies
 	// folded runs and retires campaigns exactly where a local Engine
 	// would — so the cluster /metrics covers the engine families even
 	// though no campaign.Engine runs in the coordinator process.
 	injections obs.CounterVec // by outcome
-	campaigns  obs.CounterVec // by status
+	campaigns  obs.CounterVec // by status and tenant
 }
 
 func newCoordMetrics() *coordMetrics {
 	r := obs.NewRegistry()
 	return &coordMetrics{
 		reg:           r,
-		leaseRequests: r.CounterVec("serfi_dist_lease_requests_total", "Lease requests answered, by result.", "result"),
-		shards:        r.CounterVec("serfi_dist_shards_total", "Shard completions posted, by result.", "result"),
+		leaseRequests: r.CounterVec("serfi_dist_lease_requests_total", "Lease requests answered, by result and tenant.", "result", "tenant"),
+		shards:        r.CounterVec("serfi_dist_shards_total", "Shard completions posted, by result and tenant.", "result", "tenant"),
 		shardSeconds:  r.Histogram("serfi_dist_shard_seconds", "Worker-reported wall clock of accepted shards.", obs.ExpBuckets(0.01, 4, 8)),
-		beats:         r.Counter("serfi_dist_beats_total", "Progress beats folded into campaign state."),
+		beats:         r.CounterVec("serfi_dist_beats_total", "Progress beats folded into campaign state, by tenant.", "tenant"),
 		beatsStale:    r.Counter("serfi_dist_beats_stale_total", "Progress beats dropped because their lease had expired."),
 		shardsPending: r.Gauge("serfi_dist_shards_pending", "Shards with no live lease."),
 		shardsLeased:  r.Gauge("serfi_dist_shards_leased", "Shards currently leased."),
@@ -74,13 +91,16 @@ func newCoordMetrics() *coordMetrics {
 		workersKnown:  r.Gauge("serfi_dist_workers", "Workers that have ever contacted this coordinator."),
 		campaignsDone: r.Gauge("serfi_dist_campaigns_done", "Campaigns assembled or failed."),
 		injected:      r.Gauge("serfi_dist_injected", "Injection results folded (each fault once)."),
+		queueDepth:    r.GaugeVec("serfi_dist_queue_depth", "Pending shards awaiting a lease, by tenant.", "tenant"),
+		tenantDeficit: r.GaugeVec("serfi_dist_tenant_deficit", "Banked fair-share credit (in faults), by tenant.", "tenant"),
+		submissions:   r.GaugeVec("serfi_dist_submissions", "Queued campaign matrices, by lifecycle state.", "state"),
 		injections:    r.CounterVec("serfi_campaign_injections_total", "Classified injection runs, by outcome.", "outcome"),
-		campaigns:     r.CounterVec("serfi_campaign_campaigns_total", "Retired (scenario, domain) campaigns, by status.", "status"),
+		campaigns:     r.CounterVec("serfi_campaign_campaigns_total", "Retired (scenario, domain) campaigns, by status and tenant.", "status", "tenant"),
 	}
 }
 
-// syncGaugesLocked refreshes the scrape-time gauges from the lease table
-// and campaign state. Caller holds c.mu.
+// syncGaugesLocked refreshes the scrape-time gauges from the lease table,
+// the submission queue and campaign state. Caller holds c.mu.
 func (c *Coordinator) syncGaugesLocked() {
 	c.cm.shardsPending.Set(float64(c.table.pending))
 	c.cm.shardsLeased.Set(float64(c.table.leased))
@@ -88,16 +108,36 @@ func (c *Coordinator) syncGaugesLocked() {
 	c.cm.reissued.Set(float64(c.table.reissued))
 	c.cm.workersKnown.Set(float64(len(c.workers)))
 	done, injected := 0, 0
-	for _, camp := range c.camps {
-		if camp.done {
-			done++
-		}
-		if !camp.skipped {
-			injected += camp.runsDone
+	states := map[string]int{"running": 0, "done": 0, "failed": 0, "cancelled": 0}
+	for _, sub := range c.subs {
+		states[sub.state()]++
+		for _, camp := range sub.camps {
+			if camp.done {
+				done++
+			}
+			if !camp.skipped {
+				injected += camp.runsDone
+			}
 		}
 	}
 	c.cm.campaignsDone.Set(float64(done))
 	c.cm.injected.Set(float64(injected))
+	for state, n := range states {
+		c.cm.submissions.With(state).Set(float64(n))
+	}
+	// Per-tenant queue state. Gauges for tenants whose queue just drained
+	// are pinned to zero rather than dropped: a scrape series that vanishes
+	// mid-run reads as a gap, a zero reads as an empty queue.
+	depth := c.table.pendingByTenant()
+	for _, sub := range c.subs {
+		if _, ok := depth[sub.tenant]; !ok {
+			depth[sub.tenant] = 0
+		}
+	}
+	for ns, n := range depth {
+		c.cm.queueDepth.With(tenantLabel(ns)).Set(float64(n))
+		c.cm.tenantDeficit.With(tenantLabel(ns)).Set(float64(c.table.deficit[ns]))
+	}
 }
 
 // handleMetrics serves the cluster-wide Prometheus exposition: the

@@ -76,7 +76,7 @@ func TestClusterMetrics(t *testing.T) {
 			t.Errorf("/metrics missing %q", fam)
 		}
 	}
-	if !strings.Contains(text, `serfi_dist_shards_total{result="accepted"} 3`) {
+	if !strings.Contains(text, `serfi_dist_shards_total{result="accepted",tenant="default"} 3`) {
 		t.Errorf("/metrics: want 3 accepted shards, got:\n%s", grepLines(text, "serfi_dist_shards_total"))
 	}
 }

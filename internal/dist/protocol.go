@@ -30,8 +30,11 @@ import (
 
 // ProtoVersion is the wire protocol version. Every request carries it and
 // the coordinator rejects mismatches up front, so a stale worker fails
-// loudly instead of corrupting a campaign.
-const ProtoVersion = 1
+// loudly instead of corrupting a campaign. v2 added the submission queue
+// (/v1/submit, /v1/matrices, /v1/cancel, /v1/fetch), tenant namespaces and
+// worker capacity advertisement; v1 clients are rejected with a clear
+// version error.
+const ProtoVersion = 2
 
 // Wire endpoints. All are POST JSON except PathStatus, which also answers
 // GET (the status page reads it).
@@ -40,12 +43,20 @@ const (
 	PathComplete = "/v1/complete"
 	PathEvents   = "/v1/events"
 	PathStatus   = "/v1/status"
+	PathSubmit   = "/v1/submit"
+	PathMatrices = "/v1/matrices"
+	PathCancel   = "/v1/cancel"
+	PathFetch    = "/v1/fetch"
 )
 
 // LeaseRequest asks the coordinator for one shard.
 type LeaseRequest struct {
 	Proto  int    `json:"proto"`
 	Worker string `json:"worker"` // stable worker name, for status/telemetry
+	// Capacity advertises how many leases the worker executes concurrently
+	// (its parallel slot count), so the status page and scheduler can see
+	// fleet capacity. 0 means unreported (a v2 client that never set it).
+	Capacity int `json:"capacity,omitempty"`
 }
 
 // LeaseReply answers a lease request: exactly one of Lease set (work to
@@ -184,6 +195,10 @@ type StatusReply struct {
 
 	Workers      []WorkerStatus   `json:"workers,omitempty"`
 	CampaignList []CampaignStatus `json:"campaign_list,omitempty"`
+
+	// Matrices lists the submission queue (persistent coordinators; a
+	// one-shot coordinator reports its single implicit submission).
+	Matrices []MatrixStatus `json:"matrices,omitempty"`
 }
 
 // CampaignStatus is one campaign's row in the status reply, sorted by key.
@@ -191,6 +206,8 @@ type StatusReply struct {
 // where a shard is still in flight.
 type CampaignStatus struct {
 	Key      string `json:"key"`
+	Tenant   string `json:"tenant,omitempty"` // owning submission's namespace
+	Matrix   string `json:"matrix,omitempty"` // owning submission ID
 	Faults   int    `json:"faults"`
 	Injected int    `json:"injected"`
 	Done     bool   `json:"done"`
@@ -208,10 +225,100 @@ type CampaignStatus struct {
 // WorkerStatus is one worker's row on the status page.
 type WorkerStatus struct {
 	Name        string  `json:"name"`
-	Live        int     `json:"live"`   // leases currently held
-	Shards      int     `json:"shards"` // shards completed
-	Runs        int     `json:"runs"`   // faults classified
+	Live        int     `json:"live"`               // leases currently held
+	Shards      int     `json:"shards"`             // shards completed
+	Runs        int     `json:"runs"`               // faults classified
+	Capacity    int     `json:"capacity,omitempty"` // advertised parallel slots
 	LastSeenSec float64 `json:"last_seen_sec"`
+}
+
+// WireJob is one campaign job of a submission on the wire: the scenario ID,
+// the domain spelling ("" for the register domain) and the campaign's
+// fault-list seed — exactly the identity triple of campaign.ScenarioJob.
+type WireJob struct {
+	Scenario string `json:"s"`
+	Domain   string `json:"d,omitempty"`
+	Seed     int64  `json:"seed"`
+}
+
+// SubmitRequest enqueues one campaign matrix on a persistent coordinator.
+// ID is optional: a client-generated submission ID makes resubmission after
+// a lost reply idempotent (the coordinator returns the existing submission
+// instead of enqueueing a duplicate); empty lets the coordinator assign one.
+type SubmitRequest struct {
+	Proto      int       `json:"proto"`
+	ID         string    `json:"id,omitempty"`
+	Tenant     string    `json:"tenant,omitempty"`
+	Jobs       []WireJob `json:"jobs"`
+	Faults     int       `json:"faults"`
+	TraceProp  bool      `json:"trace_prop,omitempty"`
+	RecordRuns bool      `json:"record_runs,omitempty"`
+}
+
+// SubmitReply acknowledges a submission: its (possibly assigned) ID and how
+// many of its campaigns were answered from the store immediately.
+type SubmitReply struct {
+	Proto     int    `json:"proto"`
+	ID        string `json:"id"`
+	Campaigns int    `json:"campaigns"`
+	Skipped   int    `json:"skipped"` // answered from the store, no shards
+	Shards    int    `json:"shards"`
+}
+
+// MatricesReply lists the submission queue.
+type MatricesReply struct {
+	Proto    int            `json:"proto"`
+	Matrices []MatrixStatus `json:"matrices,omitempty"`
+}
+
+// MatrixStatus is one submission's row: identity, lifecycle state and
+// progress.
+type MatrixStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	// State is "running" (shards pending or in flight), "done" (every
+	// campaign assembled), "failed" (at least one campaign failed; the rest
+	// completed) or "cancelled".
+	State         string  `json:"state"`
+	Campaigns     int     `json:"campaigns"`
+	CampaignsDone int     `json:"campaigns_done"`
+	Skipped       int     `json:"skipped"`
+	Failed        int     `json:"failed"`
+	Injections    int     `json:"injections"` // total faults across live campaigns
+	Injected      int     `json:"injected"`   // results folded so far
+	ElapsedSec    float64 `json:"elapsed_sec"`
+}
+
+// CancelRequest withdraws one submission: pending shards are dropped,
+// in-flight shards complete harmlessly as stale, campaigns already
+// assembled stay in the store.
+type CancelRequest struct {
+	Proto int    `json:"proto"`
+	ID    string `json:"id"`
+}
+
+// CancelReply acknowledges a cancellation. Cancelled is false when the
+// submission had already finished (its terminal state is in State).
+type CancelReply struct {
+	Proto     int    `json:"proto"`
+	Cancelled bool   `json:"cancelled"`
+	State     string `json:"state"`
+}
+
+// FetchRequest downloads one finished submission's folded database.
+type FetchRequest struct {
+	Proto int    `json:"proto"`
+	ID    string `json:"id"`
+}
+
+// FetchReply carries the submission's campaign records as a JSONL blob —
+// the exact canonical rows (campaign.WriteDB bytes), so a fetched database
+// is byte-identical to a local Engine run at the same seed after key sort.
+type FetchReply struct {
+	Proto int    `json:"proto"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	DB    string `json:"db"`
 }
 
 // errorReply is the JSON body of every non-200 protocol answer.

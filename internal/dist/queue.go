@@ -1,0 +1,285 @@
+// The persistent queue face of the coordinator: multi-tenant submission,
+// listing, cancellation and result fetch, over the same lease fabric the
+// one-shot coordinator uses. A queue coordinator never tells workers the
+// matrix is done — an idle fleet polls for the next submission — and its
+// lifetime is the process's, not one matrix's.
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"serfi/internal/campaign"
+)
+
+// SubmitSpec is one campaign matrix entering the queue: the same jobs and
+// fault count a local Engine.RunMatrix would take, plus the queue-level
+// envelope (tenant namespace, per-submission engine flags, an optional
+// caller-chosen ID for idempotent resubmission).
+type SubmitSpec struct {
+	// ID names the submission. Empty picks the next sequential ID
+	// ("m000001", ...). Submitting an ID that already exists is an error on
+	// the Go API; the wire handler answers it idempotently instead, so a
+	// client that lost a reply can safely resubmit.
+	ID string
+	// Tenant is the namespace the matrix's rows land in ("" = the default
+	// namespace; see campaign.ValidTenant for the character set).
+	Tenant     string
+	Jobs       []campaign.ScenarioJob
+	Faults     int
+	TraceProp  bool
+	RecordRuns bool
+}
+
+// NewQueue builds a persistent multi-tenant coordinator: an empty
+// submission queue over the usual options. Unlike NewCoordinator it has no
+// implicit matrix and never signals Done to workers; serve its Handler on
+// an http.Server for as long as the service should live, and feed it with
+// Submit (or the /v1/submit endpoint). On a queue the store should be a
+// campaign.TenantStore (e.g. OpenSegmentedStore) so named tenants can be
+// scoped.
+func NewQueue(opts ...CoordOption) *Coordinator {
+	c := newCoordinator(opts...)
+	c.persistent = true
+	return c
+}
+
+// AttachJournal makes the queue durable: every accepted submission and
+// cancellation is appended (and fsynced) to j before it is acknowledged,
+// so RestoreQueue can rebuild the queue after a restart. Attach before
+// serving traffic.
+func (c *Coordinator) AttachJournal(j *Journal) {
+	c.mu.Lock()
+	c.journal = j
+	c.mu.Unlock()
+}
+
+// Submit enqueues one matrix and returns its submission ID. Campaigns the
+// tenant's store already holds are answered from it immediately (the same
+// resume rule as NewCoordinator); the rest become pending shards,
+// fair-shared against every other tenant's. Safe to call while the queue
+// is serving traffic.
+func (c *Coordinator) Submit(spec SubmitSpec) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.persistent {
+		return "", fmt.Errorf("dist: Submit requires a queue coordinator (NewQueue)")
+	}
+	sub, err := c.enqueue(spec)
+	if err != nil {
+		return "", err
+	}
+	if err := c.journalSubmitLocked(sub); err != nil {
+		return "", err
+	}
+	return sub.id, nil
+}
+
+// journalSubmitLocked appends one accepted submission to the journal, if
+// attached. Caller holds c.mu.
+func (c *Coordinator) journalSubmitLocked(sub *submission) error {
+	if c.journal == nil {
+		return nil
+	}
+	err := c.journal.Append(JournalEntry{
+		Op:         "submit",
+		ID:         sub.id,
+		Tenant:     sub.tenant,
+		Faults:     sub.faults,
+		TraceProp:  sub.traceProp,
+		RecordRuns: sub.recordRuns,
+		Jobs:       wireFromJobs(sub.jobs),
+	})
+	if err != nil {
+		return fmt.Errorf("dist: journal submission %s: %w", sub.id, err)
+	}
+	return nil
+}
+
+// CancelSubmission cancels a queued matrix: every unfinished campaign's
+// shards are dropped from the lease table and the submission goes
+// terminal. Campaigns already assembled stay in the store — cancellation
+// stops future work, it does not undo durable results. Cancelling a
+// submission that is already terminal is a no-op; the returned state is
+// the submission's state after the call.
+func (c *Coordinator) CancelSubmission(id string) (state string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub := c.subByID[id]
+	if sub == nil {
+		return "", fmt.Errorf("dist: unknown submission %q", id)
+	}
+	if sub.campsLeft == 0 {
+		return sub.state(), nil
+	}
+	sub.cancelled = true
+	for _, camp := range sub.camps {
+		if camp.done {
+			continue
+		}
+		camp.done = true
+		c.table.retireCampaign(camp)
+		c.cm.campaigns.With("cancelled", tenantLabel(sub.tenant)).Inc()
+	}
+	sub.campsLeft = 0
+	sub.endT = c.now()
+	close(sub.done)
+	if c.persistent {
+		c.table.pruneDone()
+	}
+	if c.journal != nil {
+		if jerr := c.journal.Append(JournalEntry{Op: "cancel", ID: sub.id}); jerr != nil {
+			return sub.state(), fmt.Errorf("dist: journal cancel %s: %w", sub.id, jerr)
+		}
+	}
+	return sub.state(), nil
+}
+
+// MatrixList snapshots the queue, submission order preserved.
+func (c *Coordinator) MatrixList() []MatrixStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]MatrixStatus, 0, len(c.subs))
+	for _, sub := range c.subs {
+		out = append(out, c.matrixStatusLocked(sub))
+	}
+	return out
+}
+
+// WaitSubmission blocks until the submission goes terminal (done, failed
+// or cancelled). It returns immediately for terminal submissions and
+// errors for unknown IDs.
+func (c *Coordinator) WaitSubmission(id string) error {
+	c.mu.Lock()
+	sub := c.subByID[id]
+	c.mu.Unlock()
+	if sub == nil {
+		return fmt.Errorf("dist: unknown submission %q", id)
+	}
+	<-sub.done
+	return nil
+}
+
+// FetchDB renders one submission's assembled results as a campaign
+// database blob (the campaign.WriteDB JSONL encoding), key-sorted like a
+// folded local database. Campaigns not yet assembled — still running,
+// failed, or dropped by cancellation — are simply absent from the blob.
+func (c *Coordinator) FetchDB(id string) (state string, db []byte, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub := c.subByID[id]
+	if sub == nil {
+		return "", nil, fmt.Errorf("dist: unknown submission %q", id)
+	}
+	results := make([]*campaign.Result, 0, len(sub.results))
+	for _, r := range sub.results {
+		if r != nil {
+			results = append(results, r)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		return campaign.Key(results[i].Scenario, results[i].Domain) < campaign.Key(results[j].Scenario, results[j].Domain)
+	})
+	var buf bytes.Buffer
+	if err := campaign.WriteDB(&buf, results); err != nil {
+		return "", nil, err
+	}
+	return sub.state(), buf.Bytes(), nil
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !decode(w, r, &req.Proto, &req) {
+		return
+	}
+	jobs, err := jobsFromWire(req.Jobs)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.persistent {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "coordinator is one-shot: this instance does not accept submissions"})
+		return
+	}
+	// Idempotent resubmission: a client that lost the reply re-posts with
+	// the same ID and gets the original acknowledgement back.
+	if req.ID != "" {
+		if sub := c.subByID[req.ID]; sub != nil {
+			writeJSON(w, http.StatusOK, SubmitReply{
+				Proto: ProtoVersion, ID: sub.id, Campaigns: len(sub.camps),
+				Skipped: sub.skipped, Shards: c.shardsOfLocked(sub),
+			})
+			return
+		}
+	}
+	sub, err := c.enqueue(SubmitSpec{
+		ID:         req.ID,
+		Tenant:     req.Tenant,
+		Jobs:       jobs,
+		Faults:     req.Faults,
+		TraceProp:  req.TraceProp,
+		RecordRuns: req.RecordRuns,
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
+	if err := c.journalSubmitLocked(sub); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitReply{
+		Proto: ProtoVersion, ID: sub.id, Campaigns: len(sub.camps),
+		Skipped: sub.skipped, Shards: c.shardsOfLocked(sub),
+	})
+}
+
+// shardsOfLocked counts the shards a submission contributed to the lease
+// table. Caller holds c.mu.
+func (c *Coordinator) shardsOfLocked(sub *submission) int {
+	n := 0
+	for _, camp := range sub.camps {
+		if camp.skipped {
+			continue
+		}
+		n += (camp.faults + c.shardSize - 1) / c.shardSize
+		if camp.faults == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) handleMatrices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MatricesReply{Proto: ProtoVersion, Matrices: c.MatrixList()})
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req CancelRequest
+	if !decode(w, r, &req.Proto, &req) {
+		return
+	}
+	state, err := c.CancelSubmission(req.ID)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, CancelReply{Proto: ProtoVersion, Cancelled: state == "cancelled", State: state})
+}
+
+func (c *Coordinator) handleFetch(w http.ResponseWriter, r *http.Request) {
+	var req FetchRequest
+	if !decode(w, r, &req.Proto, &req) {
+		return
+	}
+	state, db, err := c.FetchDB(req.ID)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, FetchReply{Proto: ProtoVersion, ID: req.ID, State: state, DB: string(db)})
+}

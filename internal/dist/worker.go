@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"serfi/internal/campaign"
@@ -36,6 +37,8 @@ type Worker struct {
 	maxOpen      int
 	samplePeriod uint64
 	spillDir     string
+
+	draining atomic.Bool
 
 	gmu    sync.Mutex
 	groups map[string]*group
@@ -108,6 +111,12 @@ func NewWorker(cl *Client, opts ...WorkerOption) *Worker {
 	return w
 }
 
+// Drain puts the worker into graceful-shutdown mode: every lease slot
+// finishes the shard it holds (results are posted as usual), takes no new
+// lease, and Run returns nil once all slots have parked. Safe to call from
+// a signal handler; calling it more than once is a no-op.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
 // maxLeaseErrs is how many consecutive unreachable-coordinator round trips
 // a lease loop tolerates before giving up.
 const maxLeaseErrs = 20
@@ -149,7 +158,12 @@ func (w *Worker) loop(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		reply, err := w.cl.Lease(ctx, w.name)
+		if w.draining.Load() {
+			// Draining: this slot's previous shard (if any) was completed
+			// above; park without leasing again.
+			return nil
+		}
+		reply, err := w.cl.LeaseCapacity(ctx, w.name, w.parallel)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
